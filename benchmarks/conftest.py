@@ -1,0 +1,36 @@
+"""Shared helpers for the benchmark harness.
+
+Every ``test_bench_*`` module reproduces one table or figure of the
+paper.  Besides timing (pytest-benchmark), each benchmark writes the
+rows/series the paper reports into ``benchmarks/results/<name>.txt`` so
+the reproduction output survives the run, and attaches the headline
+numbers to the benchmark's ``extra_info``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Iterable
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def record_rows(results_dir):
+    """Write the paper-comparable rows of one benchmark to disk."""
+
+    def _record(name: str, rows: Iterable[str]) -> None:
+        path = results_dir / f"{name}.txt"
+        with open(path, "w") as handle:
+            for row in rows:
+                handle.write(row.rstrip() + "\n")
+
+    return _record

@@ -1,0 +1,114 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+- binary (zero/full swing) vs continuous allocation (Insight 2);
+- kappa sensitivity on a finer grid than the paper's four values;
+- personalized per-RX kappa (Sec. 9 future work);
+- TX-density sweep (Sec. 9);
+- RX-count scaling (Sec. 9).
+"""
+
+import numpy as np
+
+from repro.experiments.ablations import (
+    binary_vs_continuous,
+    kappa_sensitivity,
+    personalized_kappa,
+    rx_count_sweep,
+    tx_density_sweep,
+)
+
+
+def test_bench_binary_vs_continuous(benchmark, record_rows):
+    result = benchmark.pedantic(binary_vs_continuous, rounds=1, iterations=1)
+    rows = ["# Insight 2 ablation: budget [W] -> continuous / binary "
+            "[Mbit/s], utility gap [%]"]
+    for i, budget in enumerate(result.budgets):
+        rows.append(
+            f"{budget:5.2f}  {result.continuous[i] / 1e6:6.2f}  "
+            f"{result.binary[i] / 1e6:6.2f}  "
+            f"{100 * result.utility_gaps[i]:6.2f}"
+        )
+    record_rows("ablation_binary", rows)
+    # Binary operation is near-lossless once the budget covers >1 TX.
+    assert float(np.median(result.utility_gaps[1:])) < 0.10
+
+
+def test_bench_kappa_sensitivity(benchmark, record_rows):
+    sweep = benchmark.pedantic(
+        lambda: kappa_sensitivity(instances=8), rounds=1, iterations=1
+    )
+    rows = ["# kappa -> mean system throughput [Mbit/s] at 1.2 W"]
+    for kappa in sorted(sweep):
+        rows.append(f"{kappa:4.1f}  {sweep[kappa] / 1e6:6.2f}")
+    best = max(sweep, key=sweep.get)
+    rows.append(f"# best kappa: {best} (paper recommends 1.3)")
+    record_rows("ablation_kappa", rows)
+    assert best > 1.0
+    assert sweep[best] >= sweep[1.0]
+
+
+def test_bench_personalized_kappa(benchmark, record_rows):
+    global_thr, personal_thr, kappas = benchmark.pedantic(
+        personalized_kappa, rounds=1, iterations=1
+    )
+    rows = [
+        "# Sec. 9 personalized kappa",
+        f"global kappa=1.3:  {global_thr / 1e6:6.3f} Mbit/s",
+        f"personalized:      {personal_thr / 1e6:6.3f} Mbit/s "
+        f"(kappas: {kappas})",
+    ]
+    record_rows("ablation_personalized_kappa", rows)
+    assert personal_thr >= global_thr * 0.999
+
+
+def test_bench_tx_density(benchmark, record_rows):
+    points = benchmark.pedantic(tx_density_sweep, rounds=1, iterations=1)
+    rows = ["# TX density: grid side -> throughput [Mbit/s], fairness"]
+    for point in points:
+        rows.append(
+            f"{point.grid_side}x{point.grid_side}  "
+            f"{point.system_throughput / 1e6:6.2f}  {point.fairness:.3f}"
+        )
+    record_rows("ablation_density", rows)
+    throughputs = [p.system_throughput for p in points]
+    assert throughputs == sorted(throughputs)
+
+
+def test_bench_rx_count(benchmark, record_rows):
+    sweep = benchmark.pedantic(rx_count_sweep, rounds=1, iterations=1)
+    rows = ["# RX count -> per-RX throughput [Mbit/s] at 1.2 W"]
+    for count in sorted(sweep):
+        rows.append(f"{count}  {sweep[count] / 1e6:6.2f}")
+    record_rows("ablation_rx_count", rows)
+    assert sweep[4] < sweep[1]
+
+
+def test_bench_efficiency_analysis(benchmark, record_rows):
+    """Contribution 2: spending the whole budget is not most efficient."""
+    from repro.core import efficiency_curve, problem_for_scene
+    from repro.experiments import scenario_positions
+    from repro.system import experimental_scene
+
+    scene = experimental_scene(scenario_positions(3))
+    problem = problem_for_scene(scene, power_budget=2.0)
+    budgets = [k * 0.0541 for k in range(1, 37)]
+    curve = benchmark.pedantic(
+        lambda: efficiency_curve(problem, budgets), rounds=1, iterations=1
+    )
+    rows = ["# budget [W] -> throughput [Mbit/s], efficiency [Mbit/s/W]"]
+    for i in range(0, len(budgets), 4):
+        rows.append(
+            f"{curve.budgets[i]:5.2f}  {curve.throughputs[i] / 1e6:6.2f}  "
+            f"{curve.efficiencies[i] / 1e6:6.2f}"
+        )
+    rows.append(
+        f"knee: {curve.knee_budget():.2f} W; recommended (90% peak): "
+        f"{curve.recommended_budget(0.9):.2f} W of "
+        f"{curve.budgets[-1]:.2f} W available"
+    )
+    rows.append(
+        f"full budget most efficient: {curve.full_budget_is_most_efficient} "
+        "(paper: no)"
+    )
+    record_rows("ablation_efficiency", rows)
+    assert not curve.full_budget_is_most_efficient

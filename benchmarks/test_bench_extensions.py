@@ -1,0 +1,171 @@
+"""Benchmarks for the Sec. 9 extension experiments.
+
+These quantify the paper's future-work conjectures: blockage benefit,
+receiver orientation, dimming trade-off, the OFDM upgrade path, uplink
+headroom, and the waveform-level concurrent-beamspot check.
+"""
+
+import numpy as np
+
+from repro.core import RankingHeuristic, problem_for_scene
+from repro.experiments.extensions import (
+    blockage_effect,
+    dimming_tradeoff,
+    ofdm_comparison,
+    orientation_sweep,
+    uplink_check,
+)
+from repro.simulation import IperfConfig, MultiUserSimulator
+from repro.system import experimental_scene
+
+
+def test_bench_blockage(benchmark, record_rows):
+    result = benchmark.pedantic(blockage_effect, rounds=1, iterations=1)
+    rows = [
+        "# Sec. 9 blockage: per-RX throughput [Mbit/s] without / with a "
+        "blocker shielding RX1",
+        "unblocked: " + "  ".join(f"{v / 1e6:5.2f}" for v in result.unblocked),
+        "blocked:   " + "  ".join(f"{v / 1e6:5.2f}" for v in result.blocked),
+        f"victim RX{result.victim_rx + 1} gain: "
+        f"{100 * result.victim_gain:+.1f}%",
+    ]
+    record_rows("extension_blockage", rows)
+    assert result.victim_gain >= -0.05
+
+
+def test_bench_orientation(benchmark, record_rows):
+    sweep = benchmark.pedantic(orientation_sweep, rounds=1, iterations=1)
+    rows = ["# Sec. 9 orientation: tilt [deg] -> system throughput [Mbit/s]"]
+    for tilt in sorted(sweep):
+        rows.append(f"{tilt:5.1f}  {sweep[tilt] / 1e6:6.2f}")
+    record_rows("extension_orientation", rows)
+    assert sweep[0.0] == max(sweep.values())
+
+
+def test_bench_dimming(benchmark, record_rows):
+    points = benchmark.pedantic(dimming_tradeoff, rounds=1, iterations=1)
+    rows = ["# dimming -> lux, max swing [A], system throughput [Mbit/s]"]
+    for point in points:
+        rows.append(
+            f"{point.dimming:4.1f}  {point.average_lux:6.0f}  "
+            f"{point.max_swing:5.2f}  {point.system_throughput / 1e6:6.2f}"
+        )
+    record_rows("extension_dimming", rows)
+    throughputs = [p.system_throughput for p in points]
+    assert throughputs == sorted(throughputs, reverse=True)
+
+
+def test_bench_ofdm(benchmark, record_rows):
+    comparison = benchmark.pedantic(
+        lambda: ofdm_comparison(snrs_db=(10.0, 15.0, 20.0, 25.0)),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        "# Sec. 9 OFDM upgrade path (16-QAM DCO-OFDM, N=64, CP=8)",
+        f"OOK spectral efficiency:  {comparison.ook_spectral_efficiency:.2f} "
+        "bit/sample (Manchester)",
+        f"OFDM spectral efficiency: "
+        f"{comparison.ofdm_spectral_efficiency:.2f} bit/sample "
+        f"({comparison.efficiency_gain:.2f}x)",
+        "# SNR [dB] -> BER",
+    ]
+    for snr in sorted(comparison.ofdm_ber_by_snr_db):
+        rows.append(f"{snr:5.1f}  {comparison.ofdm_ber_by_snr_db[snr]:.5f}")
+    record_rows("extension_ofdm", rows)
+    assert comparison.efficiency_gain > 3.0
+
+
+def test_bench_uplink(benchmark, record_rows):
+    budget = benchmark(uplink_check)
+    rows = [
+        "# Sec. 7.2 WiFi uplink budget (4 RXs, 36 TXs)",
+        f"ACK load:    {budget.ack_load / 1e3:8.2f} kbit/s",
+        f"report load: {budget.report_load / 1e3:8.2f} kbit/s",
+        f"utilization: {100 * budget.utilization:8.4f}%  "
+        f"(congested: {budget.congested})",
+    ]
+    record_rows("extension_uplink", rows)
+    assert not budget.congested
+
+
+def test_bench_multiuser(benchmark, record_rows):
+    scene = experimental_scene(
+        [(0.50, 0.50), (2.50, 0.50), (0.50, 2.50), (2.50, 2.50)]
+    )
+    problem = problem_for_scene(scene, power_budget=0.45)
+    allocation = RankingHeuristic(kappa=1.3).solve(problem)
+    simulator = MultiUserSimulator(scene)
+
+    result = benchmark.pedantic(
+        lambda: simulator.run(
+            allocation, frames=6, config=IperfConfig(payload_bytes=200), rng=1
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    rows = ["# concurrent beamspots: RX -> PER [%], goodput [kbit/s]"]
+    for rx in sorted(result.frames_per_rx):
+        rows.append(
+            f"RX{rx + 1}  {100 * result.packet_error_rate(rx):5.1f}  "
+            f"{result.goodput(rx) / 1e3:6.2f}"
+        )
+    rows.append(f"system goodput: {result.system_goodput / 1e3:.1f} kbit/s")
+    record_rows("extension_multiuser", rows)
+    for rx in result.frames_per_rx:
+        assert result.packet_error_rate(rx) <= 1.0 / 6.0
+    # Spatial reuse: the aggregate clearly exceeds one link's goodput.
+    assert result.system_goodput > 2.5 * result.goodput(0)
+
+
+def test_bench_greedy_comparison(benchmark, record_rows):
+    from repro.experiments.extensions import greedy_comparison
+
+    result = benchmark.pedantic(greedy_comparison, rounds=1, iterations=1)
+    rows = [
+        "# SJR ranking vs greedy marginal-utility look-ahead",
+        f"ranking: {result.ranking_throughput / 1e6:6.2f} Mbit/s in "
+        f"{1e3 * result.ranking_seconds:7.2f} ms",
+        f"greedy:  {result.greedy_throughput / 1e6:6.2f} Mbit/s in "
+        f"{1e3 * result.greedy_seconds:7.2f} ms",
+        f"greedy advantage: {100 * result.throughput_advantage:+.1f}% "
+        f"at {result.slowdown:.0f}x the cost",
+    ]
+    record_rows("extension_greedy", rows)
+    # The paper's cheap ranking gives up only a few percent versus the
+    # expensive look-ahead.
+    assert result.throughput_advantage < 0.10
+    assert result.slowdown > 10.0
+
+
+def test_bench_diffuse_error(benchmark, record_rows):
+    from repro.experiments.extensions import diffuse_error
+
+    result = benchmark.pedantic(diffuse_error, rounds=1, iterations=1)
+    rows = [
+        "# LOS-only assumption check (Eq. 2): single-bounce diffuse share",
+        f"aggregate share (worst RX):      "
+        f"{100 * result.aggregate_share:.2f}%",
+        f"dominant (serving) link share:   "
+        f"{100 * result.dominant_link_share:.3f}%",
+    ]
+    record_rows("extension_diffuse", rows)
+    assert result.aggregate_share < 0.10
+    assert result.dominant_link_share < 0.02
+
+
+def test_bench_lens_ablation(benchmark, record_rows):
+    from repro.experiments.extensions import lens_ablation
+
+    result = benchmark.pedantic(lens_ablation, rounds=1, iterations=1)
+    rows = [
+        "# lens ablation: with / without the TINA FA10645 collimators",
+        f"lensed (15 deg): {result.lensed_throughput / 1e6:6.2f} Mbit/s, "
+        f"fairness {result.lensed_fairness:.3f}",
+        f"bare   (60 deg): {result.bare_throughput / 1e6:6.2f} Mbit/s, "
+        f"fairness {result.bare_fairness:.3f}",
+        f"lens gain: {result.lens_gain:.1f}x",
+    ]
+    record_rows("extension_lens", rows)
+    # The collimating optics are what make localized beamspots possible.
+    assert result.lens_gain > 3.0

@@ -1,0 +1,25 @@
+"""Fig. 4 benchmark: Taylor-approximation error vs swing level.
+
+Paper series: relative error on power consumption over 0-1000 mA swing
+with I_b = 450 mA; 0.45% at the 900 mA maximum swing.
+"""
+
+from repro.experiments import fig04_taylor
+
+
+def test_bench_fig04(benchmark, record_rows):
+    result = benchmark(fig04_taylor.run)
+
+    rows = ["# Fig. 4: swing [mA] -> relative error [%]"]
+    for swing, error in zip(result.swings, result.relative_errors):
+        rows.append(f"{swing * 1e3:7.1f}  {error * 100:.4f}")
+    rows.append(f"# at max swing: {result.error_at_max_swing * 100:.3f}% "
+                "(paper: 0.45%)")
+    record_rows("fig04_taylor", rows)
+
+    benchmark.extra_info["error_at_900mA_pct"] = round(
+        result.error_at_max_swing * 100, 4
+    )
+    # Paper's anchor: ~0.45% at 900 mA, small everywhere.
+    assert 0.3 < result.error_at_max_swing * 100 < 0.6
+    assert result.max_error * 100 < 0.6

@@ -1,0 +1,28 @@
+"""Fig. 5 benchmark: illuminance distribution and uniformity.
+
+Paper numbers: 564 lux average / 74% uniformity (simulated grid) inside
+the 2.2 m x 2.2 m area of interest; ISO 8995-1 satisfied.
+"""
+
+from repro.experiments import fig05_illumination
+
+
+def test_bench_fig05(benchmark, record_rows):
+    result = benchmark(fig05_illumination.run)
+
+    report = result.report
+    rows = [
+        "# Fig. 5: illumination in the 2.2 m x 2.2 m area of interest",
+        f"average_lux  {report.average_lux:8.1f}   (paper: 564)",
+        f"uniformity   {report.uniformity:8.3f}   (paper: 0.74)",
+        f"minimum_lux  {report.minimum_lux:8.1f}",
+        f"maximum_lux  {report.maximum_lux:8.1f}",
+        f"meets_iso    {result.meets_iso}",
+    ]
+    record_rows("fig05_illumination", rows)
+
+    benchmark.extra_info["average_lux"] = round(report.average_lux, 1)
+    benchmark.extra_info["uniformity"] = round(report.uniformity, 3)
+    assert abs(report.average_lux - 564.0) / 564.0 < 0.02
+    assert 0.70 <= report.uniformity <= 0.85
+    assert result.meets_iso

@@ -1,0 +1,52 @@
+"""Fig. 8 benchmark: throughput vs communication power, random instances.
+
+Paper series: system and per-RX throughput (mean, 95% CI) over 100
+random receiver placements as the budget grows to 3 W; growth slows
+markedly past ~1.2 W, RX3/RX4 finish above RX1/RX2.
+
+The optimal solver is the budget-limiting factor, so this benchmark uses
+the paper's policy on a reduced instance count (the curves are already
+tight at 12 instances).
+"""
+
+import numpy as np
+
+from repro.experiments import fig08_throughput
+
+
+def test_bench_fig08(benchmark, record_rows):
+    result = benchmark.pedantic(
+        lambda: fig08_throughput.run(instances=12, solver="optimal"),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = [
+        "# Fig. 8: budget [W] -> system throughput mean / ci [Mbit/s], "
+        "then per-RX means"
+    ]
+    for i, budget in enumerate(result.budgets):
+        per_rx = "  ".join(
+            f"{v / 1e6:5.2f}" for v in result.per_rx_mean[i]
+        )
+        rows.append(
+            f"{budget:5.2f}  {result.system_mean[i] / 1e6:6.2f} "
+            f"+-{result.system_ci[i] / 1e6:5.2f}   {per_rx}"
+        )
+    rows.append(f"# knee budget: {result.knee_budget:.2f} W "
+                "(paper: growth slows past ~1.2 W)")
+    record_rows("fig08_throughput", rows)
+
+    benchmark.extra_info["system_at_max_budget_mbps"] = round(
+        float(result.system_mean[-1]) / 1e6, 2
+    )
+    benchmark.extra_info["knee_budget_w"] = round(result.knee_budget, 2)
+
+    # Shape checks.
+    assert np.all(np.diff(result.system_mean) > -1e5)  # essentially rising
+    assert 5e6 < result.system_mean[-1] < 20e6          # ~10 Mbit/s scale
+    gains = np.diff(result.system_mean) / np.diff(result.budgets)
+    assert gains[-1] < 0.5 * gains[0]                   # diminishing returns
+    final = result.per_rx_mean[-1]
+    # RX3/RX4 above RX1/RX2 on average (more non-interfering TXs).
+    assert final[2] + final[3] > final[0] + final[1]

@@ -1,0 +1,38 @@
+"""Fig. 9 benchmark: optimal swing levels vs communication power.
+
+Paper series: per-TX swing waterfalls for RX1 and RX2 on the Fig. 7
+instance; RX1's TXs saturate in the order TX8 -> TX14 -> TX7 -> TX2 ->
+TX1 -> TX13, and intermediate swing levels are rare (Insight 2).
+"""
+
+from repro.experiments import fig09_swing_levels
+
+
+def test_bench_fig09(benchmark, record_rows):
+    result = benchmark.pedantic(
+        fig09_swing_levels.run, rounds=1, iterations=1
+    )
+
+    rows = ["# Fig. 9: assignment (switch-on) order per RX"]
+    for rx in sorted(result.orders):
+        rows.append(f"RX{rx + 1}: " + " -> ".join(result.order_labels(rx)))
+    rows.append(
+        "# paper RX1 order: TX8 -> TX14 -> TX7 -> TX2 -> TX1 -> TX13"
+    )
+    rows.append(
+        f"# Insight 2: mean intermediate fraction "
+        f"{result.insights.mean_intermediate_fraction:.3f}, "
+        f"mean binary gap {result.insights.mean_binary_gap * 100:.2f}%"
+    )
+    record_rows("fig09_swing_levels", rows)
+
+    benchmark.extra_info["rx1_order"] = result.order_labels(0)[:6]
+    benchmark.extra_info["mean_binary_gap_pct"] = round(
+        result.insights.mean_binary_gap * 100, 2
+    )
+
+    # The dominant TXs lead their waterfalls, as in the paper.
+    assert result.orders[0][0] == 7   # TX8 first for RX1
+    assert result.orders[1][0] == 9   # TX10 first for RX2
+    assert 13 in result.orders[0][:3]  # TX14 among RX1's earliest
+    assert result.insights.mean_binary_gap < 0.25

@@ -1,0 +1,40 @@
+"""Fig. 10 benchmark: empirical CDFs of optimal swings toward RX2.
+
+Paper series: CDFs for TX3, TX5, TX10 and TX15 over random instances --
+TX10 mostly at full swing (steep edge at I_sw,max), TX5 similar but
+offset, TX3 smooth and rarely at full swing, TX15 never used.
+"""
+
+from repro.experiments import fig10_swing_cdf
+
+
+def test_bench_fig10(benchmark, record_rows):
+    result = benchmark.pedantic(
+        lambda: fig10_swing_cdf.run(instances=5), rounds=1, iterations=1
+    )
+    max_swing = 0.9
+
+    rows = ["# Fig. 10: TX -> P(full swing), P(zero swing) toward RX2"]
+    stats = {}
+    for tx in sorted(result.cdfs):
+        full = result.full_swing_mass(tx, max_swing)
+        zero = result.zero_mass(tx, max_swing)
+        stats[tx] = (full, zero)
+        rows.append(f"TX{tx + 1:<3d}  full: {full:5.2f}   zero: {zero:5.2f}")
+    rows.append("# paper: TX10 steep edge at max; TX5 offset; TX3 smooth; "
+                "TX15 unused")
+    record_rows("fig10_swing_cdf", rows)
+
+    benchmark.extra_info["tx10_full_mass"] = round(stats[9][0], 2)
+    benchmark.extra_info["tx15_zero_mass"] = round(stats[14][1], 2)
+
+    # The paper's four TX categories.
+    assert stats[9][0] > 0.6            # TX10 dominant, mostly full swing
+    assert stats[4][0] > 0.3            # TX5 assigned later but often full
+    assert stats[9][0] > stats[4][0]    # TX10 leads TX5
+    assert stats[2][0] < stats[4][0]    # TX3 reluctant
+    # TX15 is (nearly) unused: most mass at zero, far below the dominant
+    # TXs' full-swing mass.  (The paper's instance draws leave it fully
+    # unused; ours occasionally grant it a sliver.)
+    assert stats[14][1] > 0.7
+    assert stats[14][0] < 0.2

@@ -1,0 +1,40 @@
+"""Fig. 12 benchmark: synchronization delay vs symbol rate.
+
+Paper series: median delay for "Synch. off" and NTP/PTP over 1-60
+ksym/s (log scale); NTP/PTP at least 2x better, maximum usable rate
+14.28 ksym/s at 10% symbol overlap.
+"""
+
+import numpy as np
+
+from repro.experiments import fig12_sync_delay
+
+
+def test_bench_fig12(benchmark, record_rows):
+    result = benchmark(fig12_sync_delay.run)
+
+    rows = ["# Fig. 12: rate [ksym/s] -> no-sync, ntp-ptp median delay [us]"]
+    for i, rate in enumerate(result.symbol_rates):
+        rows.append(
+            f"{rate / 1e3:6.2f}  {result.delays['no-sync'][i] * 1e6:8.2f}  "
+            f"{result.delays['ntp-ptp'][i] * 1e6:8.2f}"
+        )
+    rows.append(
+        f"# measured at 100 ksym/s: "
+        f"no-sync {result.measured_at_100k['no-sync'] * 1e6:.2f} us, "
+        f"ntp-ptp {result.measured_at_100k['ntp-ptp'] * 1e6:.2f} us "
+        "(paper: 10.04 / 4.565)"
+    )
+    rows.append(
+        f"# max NTP/PTP rate at 10% overlap: "
+        f"{result.max_ntp_ptp_rate / 1e3:.2f} ksym/s (paper: 14.28)"
+    )
+    record_rows("fig12_sync_delay", rows)
+
+    benchmark.extra_info["max_ntp_ptp_rate_ksps"] = round(
+        result.max_ntp_ptp_rate / 1e3, 2
+    )
+    assert np.all(result.improvement_factors() >= 2.0)
+    assert abs(result.max_ntp_ptp_rate - 14_280.0) / 14_280.0 < 0.01
+    # Delays grow toward low symbol rates (the log-scale shape).
+    assert result.delays["no-sync"][0] > result.delays["no-sync"][-1]

@@ -1,0 +1,53 @@
+"""Figs. 18-20 benchmark: the heuristic on measured channels, 3 scenarios.
+
+Paper series (normalized throughput vs budget, per kappa and per RX):
+
+- Scenario 1: interference-free, all kappas alike, no throughput drop;
+- Scenario 2: RX1/RX2 (interference-coupled) end below RX3/RX4,
+  kappa = 1.0 weak at low budgets;
+- Scenario 3: dominating TXs; system throughput *drops* once too many
+  TXs are assigned.
+"""
+
+import numpy as np
+
+from repro.experiments import fig18_20_scenarios
+
+
+def test_bench_fig18_20(benchmark, record_rows):
+    results = benchmark.pedantic(
+        fig18_20_scenarios.run, rounds=1, iterations=1
+    )
+
+    rows = ["# Figs. 18-20: normalized system throughput vs budget"]
+    for scenario, result in sorted(results.items()):
+        rows.append(f"\n## Scenario {scenario}: {result.description}")
+        kappas = sorted(result.system_by_kappa)
+        rows.append("budget  " + "  ".join(f"k={k}" for k in kappas))
+        step = max(1, len(result.budgets) // 12)
+        for i in range(0, len(result.budgets), step):
+            values = "  ".join(
+                f"{result.normalized_system(k)[i]:5.2f}" for k in kappas
+            )
+            rows.append(f"{result.budgets[i]:5.2f}  {values}")
+        rows.append(
+            f"peak at {result.peak_budget(1.3):.2f} W; drops at high "
+            f"budget: {result.drops_at_high_budget(1.3)}"
+        )
+    record_rows("fig18_20_scenarios", rows)
+
+    benchmark.extra_info["scenario3_peak_w"] = round(
+        results[3].peak_budget(1.3), 2
+    )
+
+    # Scenario signatures from Sec. 8.2.
+    assert not results[1].drops_at_high_budget(1.3)
+    assert results[3].drops_at_high_budget(1.3)
+    final2 = results[2].per_rx[-1]
+    assert max(final2[0], final2[1]) < min(final2[2], final2[3]) * 1.05
+    # kappa = 1.0 underperforms at low budget in scenario 2.
+    low = len(results[2].budgets) // 4
+    assert (
+        results[2].system_by_kappa[1.0][low]
+        <= results[2].system_by_kappa[1.3][low] * 1.001
+    )

@@ -1,0 +1,54 @@
+"""Fig. 21 benchmark: DenseVLC vs SISO and D-MISO.
+
+Paper claims: the SISO operating point lies on the DenseVLC curve;
+DenseVLC reaches the D-MISO throughput at ~2.3x better power efficiency;
+the throughput gain over SISO at that operating point is ~45%.
+"""
+
+from repro.experiments import fig21_efficiency
+
+
+def test_bench_fig21(benchmark, record_rows):
+    result = benchmark.pedantic(fig21_efficiency.run, rounds=1, iterations=1)
+    reference = max(
+        float(result.densevlc_curve.max()), result.dmiso.system_throughput
+    )
+
+    rows = ["# Fig. 21: budget [W] -> normalized DenseVLC throughput"]
+    step = max(1, len(result.budgets) // 15)
+    for i in range(0, len(result.budgets), step):
+        rows.append(
+            f"{result.budgets[i]:5.2f}  "
+            f"{result.densevlc_curve[i] / reference:5.3f}"
+        )
+    rows.append(
+        f"SISO point:   {result.siso.system_throughput / reference:5.3f} "
+        f"at {result.siso.total_power:.3f} W "
+        f"(curve match at {result.siso_match_budget:.3f} W)"
+    )
+    rows.append(
+        f"D-MISO point: {result.dmiso.system_throughput / reference:5.3f} "
+        f"at {result.dmiso.total_power:.2f} W "
+        f"(curve match at {result.dmiso_match_budget:.2f} W)"
+    )
+    rows.append(
+        f"power-efficiency gain: {result.power_efficiency_gain:.2f}x "
+        "(paper: 2.3x)"
+    )
+    rows.append(
+        f"throughput gain vs SISO: "
+        f"{100 * result.throughput_gain_vs_siso:.0f}% (paper: 45%)"
+    )
+    record_rows("fig21_efficiency", rows)
+
+    benchmark.extra_info["efficiency_gain"] = round(
+        result.power_efficiency_gain, 2
+    )
+    benchmark.extra_info["gain_vs_siso_pct"] = round(
+        100 * result.throughput_gain_vs_siso
+    )
+
+    assert result.siso_on_curve
+    assert result.power_efficiency_gain > 1.5
+    assert result.throughput_gain_vs_siso > 0.3
+    assert result.densevlc_curve.max() >= result.dmiso.system_throughput

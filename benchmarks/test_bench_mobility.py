@@ -1,0 +1,29 @@
+"""Mobility-adaptation benchmark (the Sec. 2.1 "fast adaptation" goal).
+
+Not a paper figure, but the paper's central systems argument: a walking
+receiver served by a frozen allocation loses its beamspot, while
+per-round re-allocation (affordable only because Algorithm 1 is fast)
+keeps it served.  The benchmark reports both traces and the gain.
+"""
+
+from repro.experiments import mobility
+
+
+def test_bench_mobility_adaptation(benchmark, record_rows):
+    trace = benchmark.pedantic(mobility.run, rounds=1, iterations=1)
+
+    rows = [
+        "# mobility: t [s], position, adaptive / static throughput [Mbit/s]"
+    ]
+    for i, t in enumerate(trace.times):
+        x, y = trace.positions[i]
+        rows.append(
+            f"{t:5.1f}  ({x:4.2f}, {y:4.2f})  "
+            f"{trace.adaptive[i] / 1e6:5.2f}  {trace.static[i] / 1e6:5.2f}"
+        )
+    rows.append(f"adaptation gain: {trace.adaptation_gain:.2f}x")
+    record_rows("mobility_adaptation", rows)
+
+    benchmark.extra_info["adaptation_gain"] = round(trace.adaptation_gain, 2)
+    assert trace.adaptation_gain > 1.5
+    assert trace.static[-1] < trace.static[0]

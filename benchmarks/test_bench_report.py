@@ -1,0 +1,36 @@
+"""End-to-end benchmark: the consolidated reproduction report.
+
+Runs every experiment at ``fast`` fidelity through the report generator
+(the same code path as ``repro-report``) and archives the produced
+markdown under ``benchmarks/results/report.md``.  This is the one-shot
+"does the whole reproduction still hold together" check.
+"""
+
+from repro.experiments.report import generate_report
+
+
+def test_bench_full_report(benchmark, results_dir):
+    report = benchmark.pedantic(
+        lambda: generate_report("fast"), rounds=1, iterations=1
+    )
+    (results_dir / "report.md").write_text(report)
+
+    # Every section must be present...
+    for heading in (
+        "Fig. 4",
+        "Fig. 5",
+        "Fig. 8",
+        "Fig. 9",
+        "Fig. 11",
+        "Fig. 12",
+        "Table 4",
+        "Table 5",
+        "Figs. 18–20",
+        "Fig. 21",
+        "Sec. 5",
+    ):
+        assert heading in report, heading
+    # ...and the calibration-anchored numbers must hold exactly.
+    assert "10.040 µs" in report
+    assert "4.565 µs" in report
+    assert "14.28 ksym/s" in report

@@ -1,0 +1,31 @@
+"""Table 4 benchmark: median synchronization error of the three methods.
+
+Paper rows: no synchronization 10.040 us, NTP/PTP 4.565 us, NLOS VLC
+0.575 us.
+"""
+
+from repro.experiments import table4_sync
+
+
+def test_bench_table4(benchmark, record_rows):
+    result = benchmark.pedantic(
+        lambda: table4_sync.run(draws=4000), rounds=1, iterations=1
+    )
+    micro = result.as_microseconds()
+
+    paper = {"no-sync": 10.040, "ntp-ptp": 4.565, "nlos-vlc": 0.575}
+    rows = ["# Table 4: median synchronization error [us]"]
+    for method, value in micro.items():
+        rows.append(f"{method:10s}  {value:7.3f}   (paper: {paper[method]:.3f})")
+    rows.append(
+        f"# NLOS improvement over NTP/PTP: {result.nlos_vs_ntp_factor:.1f}x"
+    )
+    record_rows("table4_sync", rows)
+
+    for method, value in micro.items():
+        benchmark.extra_info[f"{method}_us"] = round(value, 3)
+
+    assert abs(micro["no-sync"] - 10.040) < 0.01
+    assert abs(micro["ntp-ptp"] - 4.565) < 0.01
+    assert abs(micro["nlos-vlc"] - 0.575) / 0.575 < 0.10
+    assert result.nlos_vs_ntp_factor > 5.0

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Illumination design: sizing a DenseVLC grid against ISO 8995-1.
+
+The LEDs' day job is lighting.  This example sweeps grid densities over
+the 3 m x 3 m room, checks each against the ISO office requirement
+(>= 500 lux average, >= 70% uniformity in the central 2.2 m square) and
+reports the communication throughput the same grids support -- making
+the paper's Sec. 9 density trade-off concrete.
+
+Run:  python examples/illumination_design.py
+"""
+
+from repro.channel import channel_matrix
+from repro.core import AllocationProblem, RankingHeuristic, jain_fairness
+from repro.geometry import FIG7_RX_POSITIONS, GridLayout
+from repro.illumination import area_of_interest_report, calibrate_luminous_flux
+from repro.optics import cree_xte
+from repro.system import simulation_scene
+
+
+def main() -> None:
+    print("Calibration: per-LED flux implied by the paper's 564 lux "
+          f"average: {calibrate_luminous_flux():.1f} lm (6x6 grid)\n")
+
+    print("side  #LED  avg lux  uniformity  ISO   sys-thr    fairness")
+    led = cree_xte()
+    for side in (3, 4, 5, 6, 8):
+        spacing = 3.0 / side
+        grid = GridLayout(
+            columns=side, rows=side, spacing=spacing,
+            offset_x=spacing / 2, offset_y=spacing / 2,
+        )
+        scene = simulation_scene(FIG7_RX_POSITIONS, led=led, grid=grid)
+        light = area_of_interest_report(scene, resolution=0.1)
+        problem = AllocationProblem(
+            channel=channel_matrix(scene), power_budget=1.2, led=led
+        )
+        allocation = RankingHeuristic().solve(problem)
+        print(f"{side:3d}   {side * side:4d}  {light.average_lux:7.0f}  "
+              f"{100 * light.uniformity:9.0f}%  "
+              f"{'yes' if light.meets_iso_8995() else ' no':>4s} "
+              f"{allocation.system_throughput / 1e6:7.2f} Mb/s  "
+              f"{jain_fairness(allocation.throughput):8.3f}")
+
+    print("\nDenser grids improve illumination uniformity *and* give the "
+          "allocator more spatial degrees of freedom (Sec. 9): throughput "
+          "and fairness grow together with density at a fixed power "
+          "budget.  Note the per-LED flux is held constant, so sparser "
+          "grids also fall short of the 500 lux floor.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Mobile receiver: the controller re-forms beamspots as a user walks.
+
+One receiver follows a waypoint path across the room while three others
+stay put.  Every 0.5 s the controller runs a full MAC cycle -- measure
+the downlink channels with pilots, rank the TXs with Algorithm 1, form
+synchronized beamspots -- and the walking receiver's serving set follows
+it across the grid.  This is the "fast adaptation" requirement of
+Sec. 2.1 that motivates the 0.07-second heuristic.
+
+Run:  python examples/mobile_receiver.py
+"""
+
+import numpy as np
+
+from repro.geometry import WaypointPath
+from repro.mac import DenseVLCController
+from repro.system import simulation_scene
+
+STATIC_RXS = [(2.25, 2.25), (0.75, 2.25), (2.25, 0.75)]
+
+
+def main() -> None:
+    scene = simulation_scene([(0.45, 0.45)] + STATIC_RXS)
+    path = WaypointPath(
+        [(0.45, 0.45), (2.55, 0.45), (2.55, 1.55), (0.45, 1.55)], speed=0.7
+    )
+    controller = DenseVLCController(scene, power_budget=1.2)
+
+    print("t[s]   RX1 position     beamspot (leader first)          RX1 rate")
+    times = np.arange(0.0, path.duration + 1e-9, 0.5)
+    snapshots = [[path.position_at(float(t))] + STATIC_RXS for t in times]
+    rounds = controller.track(snapshots, rng=7)
+    for t, positions, round_result in zip(times, snapshots, rounds):
+        x, y = positions[0]
+        spot = next(
+            (p.beamspot for p in round_result.plans if p.beamspot.rx == 0), None
+        )
+        rate = round_result.allocation.throughput[0]
+        if spot is None:
+            members = "(unserved)"
+        else:
+            ordered = [spot.leader] + sorted(spot.followers)
+            members = ", ".join(f"TX{j + 1}" for j in ordered)
+        print(f"{t:4.1f}   ({x:4.2f}, {y:4.2f})   {members:30s} "
+              f"{rate / 1e6:5.2f} Mbit/s")
+
+    rates = np.array([r.allocation.throughput[0] for r in rounds])
+    print(f"\nRX1 over the walk: mean {rates.mean() / 1e6:.2f} Mbit/s, "
+          f"min {rates.min() / 1e6:.2f}, max {rates.max() / 1e6:.2f}")
+    print("The beamspot follows the receiver; throughput stays available "
+          "everywhere thanks to the cell-free design.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Channel substrate: LOS/NLOS gains, noise, SINR and estimation."""
+
+from .blockage import (
+    CylinderBlocker,
+    blockage_mask,
+    blocked_channel_matrix,
+)
+from .diffuse import (
+    diffuse_channel_matrix,
+    diffuse_gain,
+    dominant_link_error,
+    los_only_error,
+)
+from .estimation import (
+    SNREstimate,
+    m2m4_snr,
+    path_loss_from_measurement,
+    received_swing_estimate,
+)
+from .los import (
+    channel_matrix,
+    channel_matrix_for_positions,
+    los_gain,
+    node_gain,
+    vertical_los_gain,
+)
+from .nlos import floor_reflection_gain, reflected_pilot_current
+from .noise import AWGNNoise, DetailedNoise
+from .sinr import (
+    received_amplitudes,
+    shannon_throughput,
+    sinr,
+    snr,
+    throughput,
+)
+
+__all__ = [
+    "CylinderBlocker",
+    "blockage_mask",
+    "blocked_channel_matrix",
+    "diffuse_channel_matrix",
+    "diffuse_gain",
+    "dominant_link_error",
+    "los_only_error",
+    "SNREstimate",
+    "m2m4_snr",
+    "path_loss_from_measurement",
+    "received_swing_estimate",
+    "channel_matrix",
+    "channel_matrix_for_positions",
+    "los_gain",
+    "node_gain",
+    "vertical_los_gain",
+    "floor_reflection_gain",
+    "reflected_pilot_current",
+    "AWGNNoise",
+    "DetailedNoise",
+    "received_amplitudes",
+    "shannon_throughput",
+    "sinr",
+    "snr",
+    "throughput",
+]

@@ -1,0 +1,253 @@
+"""Diffuse (single-bounce) contribution to the data channel.
+
+The paper's analysis is LOS-only (Eq. 2): with a 15-degree lens nearly
+all emitted power lands in a tight spot, so reflections contribute
+little.  This module makes that assumption *checkable*: it computes the
+single-bounce contribution via the floor and the four walls for
+down-facing TXs and up-facing RXs, so the LOS-only modeling error can be
+quantified (see ``experiments.extensions.diffuse_error``).
+
+Each reflecting surface is discretized into patches; a patch receives
+light per the TX's Lambertian pattern, scatters it with the surface's
+diffuse reflectivity (Lambertian order 1), and illuminates the receiver
+subject to its FOV.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ChannelError
+from ..geometry import Room
+from ..optics import LEDModel, Photodiode
+from ..system import Scene
+from .los import channel_matrix
+
+
+@dataclass(frozen=True)
+class _Surface:
+    """A rectangular reflecting surface with an inward normal."""
+
+    origin: np.ndarray      # one corner
+    edge_u: np.ndarray      # first edge vector
+    edge_v: np.ndarray      # second edge vector
+    normal: np.ndarray      # unit inward normal
+    reflectivity: float
+
+
+def _room_surfaces(
+    room: Room, wall_reflectivity: float, ceiling_height: float
+) -> List[_Surface]:
+    w, d, h = room.width, room.depth, ceiling_height
+    return [
+        # Floor (z = 0), normal +z.
+        _Surface(
+            origin=np.array([0.0, 0.0, 0.0]),
+            edge_u=np.array([w, 0.0, 0.0]),
+            edge_v=np.array([0.0, d, 0.0]),
+            normal=np.array([0.0, 0.0, 1.0]),
+            reflectivity=room.floor_reflectivity,
+        ),
+        # Wall y = 0, normal +y.
+        _Surface(
+            origin=np.array([0.0, 0.0, 0.0]),
+            edge_u=np.array([w, 0.0, 0.0]),
+            edge_v=np.array([0.0, 0.0, h]),
+            normal=np.array([0.0, 1.0, 0.0]),
+            reflectivity=wall_reflectivity,
+        ),
+        # Wall y = d, normal -y.
+        _Surface(
+            origin=np.array([0.0, d, 0.0]),
+            edge_u=np.array([w, 0.0, 0.0]),
+            edge_v=np.array([0.0, 0.0, h]),
+            normal=np.array([0.0, -1.0, 0.0]),
+            reflectivity=wall_reflectivity,
+        ),
+        # Wall x = 0, normal +x.
+        _Surface(
+            origin=np.array([0.0, 0.0, 0.0]),
+            edge_u=np.array([0.0, d, 0.0]),
+            edge_v=np.array([0.0, 0.0, h]),
+            normal=np.array([1.0, 0.0, 0.0]),
+            reflectivity=wall_reflectivity,
+        ),
+        # Wall x = w, normal -x.
+        _Surface(
+            origin=np.array([w, 0.0, 0.0]),
+            edge_u=np.array([0.0, d, 0.0]),
+            edge_v=np.array([0.0, 0.0, h]),
+            normal=np.array([-1.0, 0.0, 0.0]),
+            reflectivity=wall_reflectivity,
+        ),
+    ]
+
+
+def _surface_patches(
+    surface: _Surface, resolution: float
+) -> Tuple[np.ndarray, float]:
+    """Patch centers (K, 3) and the per-patch area."""
+    len_u = float(np.linalg.norm(surface.edge_u))
+    len_v = float(np.linalg.norm(surface.edge_v))
+    nu = max(1, int(len_u / resolution))
+    nv = max(1, int(len_v / resolution))
+    us = (np.arange(nu) + 0.5) / nu
+    vs = (np.arange(nv) + 0.5) / nv
+    gu, gv = np.meshgrid(us, vs, indexing="ij")
+    centers = (
+        surface.origin[None, :]
+        + gu.reshape(-1, 1) * surface.edge_u[None, :]
+        + gv.reshape(-1, 1) * surface.edge_v[None, :]
+    )
+    return centers, (len_u / nu) * (len_v / nv)
+
+
+def diffuse_gain(
+    tx_position: np.ndarray,
+    tx_orientation: np.ndarray,
+    rx_position: np.ndarray,
+    rx_orientation: np.ndarray,
+    led: LEDModel,
+    photodiode: Photodiode,
+    room: Room,
+    wall_reflectivity: float = 0.7,
+    resolution: float = 0.2,
+) -> float:
+    """Single-bounce gain through the floor and the four walls."""
+    if resolution <= 0:
+        raise ChannelError(f"resolution must be positive, got {resolution}")
+    tx = np.asarray(tx_position, dtype=float)
+    rx = np.asarray(rx_position, dtype=float)
+    tx_dir = np.asarray(tx_orientation, dtype=float)
+    rx_dir = np.asarray(rx_orientation, dtype=float)
+    m = led.lambertian_order
+    total = 0.0
+    for surface in _room_surfaces(room, wall_reflectivity, room.tx_height):
+        centers, patch_area = _surface_patches(surface, resolution)
+        # TX -> patch.
+        to_patch = centers - tx[None, :]
+        d1 = np.linalg.norm(to_patch, axis=1)
+        valid = d1 > 1e-9
+        direction1 = np.zeros_like(to_patch)
+        direction1[valid] = to_patch[valid] / d1[valid, None]
+        cos_phi1 = direction1 @ tx_dir
+        cos_in1 = -(direction1 @ surface.normal)
+        # Patch -> RX.
+        to_rx = rx[None, :] - centers
+        d2 = np.linalg.norm(to_rx, axis=1)
+        valid &= d2 > 1e-9
+        direction2 = np.zeros_like(to_rx)
+        ok = d2 > 1e-9
+        direction2[ok] = to_rx[ok] / d2[ok, None]
+        cos_out2 = direction2 @ surface.normal
+        cos_in2 = -(direction2 @ rx_dir)
+        mask = (
+            valid
+            & (cos_phi1 > 0)
+            & (cos_in1 > 0)
+            & (cos_out2 > 0)
+            & (cos_in2 > 0)
+        )
+        if not mask.any():
+            continue
+        incidence = np.arccos(np.clip(cos_in2[mask], -1.0, 1.0))
+        fov_ok = incidence <= photodiode.field_of_view
+        if not fov_ok.any():
+            continue
+        first = (
+            (m + 1.0)
+            / (2.0 * math.pi * d1[mask] ** 2)
+            * cos_phi1[mask] ** m
+            * cos_in1[mask]
+        )
+        second = (
+            photodiode.area
+            / (math.pi * d2[mask] ** 2)
+            * cos_out2[mask]
+            * cos_in2[mask]
+        )
+        contribution = np.where(
+            fov_ok, first * surface.reflectivity * second * patch_area, 0.0
+        )
+        total += float(np.sum(contribution))
+    return total
+
+
+def diffuse_channel_matrix(
+    scene: Scene,
+    wall_reflectivity: float = 0.7,
+    resolution: float = 0.25,
+) -> np.ndarray:
+    """The (N, M) single-bounce gain matrix for a scene."""
+    if scene.num_receivers == 0:
+        raise ChannelError("scene has no receivers")
+    matrix = np.zeros((scene.num_transmitters, scene.num_receivers))
+    for j, tx in enumerate(scene.transmitters):
+        for k, rx in enumerate(scene.receivers):
+            matrix[j, k] = diffuse_gain(
+                tx.position,
+                tx.orientation,
+                rx.position,
+                rx.orientation,
+                tx.led,
+                rx.photodiode,
+                scene.room,
+                wall_reflectivity=wall_reflectivity,
+                resolution=resolution,
+            )
+    return matrix
+
+
+def los_only_error(
+    scene: Scene,
+    wall_reflectivity: float = 0.7,
+    resolution: float = 0.25,
+) -> float:
+    """Relative error of the LOS-only channel assumption where it matters.
+
+    Distant links are LOS-starved (the 15-degree lens kills cos^20 fast)
+    and diffuse-dominated -- but they also carry negligible power, so they
+    are irrelevant to allocation.  The meaningful question is how much of
+    each receiver's *total* received gain the LOS model misses:
+
+        max over RXs of  sum_j diffuse[j, rx] / sum_j (los + diffuse)[j, rx]
+
+    With the paper's lens this is a few percent, justifying Eq. 2.
+    """
+    los = channel_matrix(scene)
+    diffuse = diffuse_channel_matrix(
+        scene, wall_reflectivity=wall_reflectivity, resolution=resolution
+    )
+    totals = (los + diffuse).sum(axis=0)
+    if not np.all(totals > 0):
+        raise ChannelError("a receiver sees no light at all")
+    shares = diffuse.sum(axis=0) / totals
+    return float(np.max(shares))
+
+
+def dominant_link_error(
+    scene: Scene,
+    wall_reflectivity: float = 0.7,
+    resolution: float = 0.25,
+) -> float:
+    """Diffuse share on each receiver's strongest (serving) link.
+
+    The beamspot is built from the strongest links, so this is the
+    modeling error on the links the allocator actually uses.
+    """
+    los = channel_matrix(scene)
+    diffuse = diffuse_channel_matrix(
+        scene, wall_reflectivity=wall_reflectivity, resolution=resolution
+    )
+    worst = 0.0
+    for rx in range(scene.num_receivers):
+        j = int(np.argmax(los[:, rx]))
+        total = los[j, rx] + diffuse[j, rx]
+        if total <= 0:
+            raise ChannelError(f"RX {rx} has no usable link")
+        worst = max(worst, diffuse[j, rx] / total)
+    return float(worst)

@@ -1,0 +1,130 @@
+"""Line-of-sight VLC channel gain (paper Eq. 2).
+
+The LOS DC gain from one LED to one photodiode is
+
+    H = (m + 1) * A_pd / (2 * pi * d^2) * cos^m(phi) * g(psi) * cos(psi)
+
+for incidence angles ``psi`` inside the receiver's FOV and zero otherwise,
+where ``phi`` is the irradiation angle at the LED and ``d`` the TX-RX
+distance.  :func:`channel_matrix` evaluates the full N x M gain matrix for
+a :class:`~repro.system.Scene`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ChannelError
+from ..optics import LEDModel, Photodiode
+from ..system import ReceiverNode, Scene, TransmitterNode
+
+
+def los_gain(
+    tx_position: np.ndarray,
+    tx_orientation: np.ndarray,
+    lambertian_order: float,
+    rx_position: np.ndarray,
+    rx_orientation: np.ndarray,
+    photodiode: Photodiode,
+) -> float:
+    """LOS gain between one TX and one RX -- Eq. 2.
+
+    Both orientations must be unit vectors; the geometry layer guarantees
+    this for scene nodes.  Returns 0 when the RX is behind the LED, the
+    LED is behind the RX or the incidence falls outside the FOV.
+    """
+    delta = np.asarray(rx_position, dtype=float) - np.asarray(tx_position, dtype=float)
+    distance = float(np.linalg.norm(delta))
+    if distance <= 0.0:
+        raise ChannelError("TX and RX positions coincide; LOS gain undefined")
+    direction = delta / distance
+    cos_phi = float(np.dot(tx_orientation, direction))
+    cos_psi = float(np.dot(rx_orientation, -direction))
+    if cos_phi <= 0.0 or cos_psi <= 0.0:
+        return 0.0
+    cos_psi = min(cos_psi, 1.0)
+    cos_phi = min(cos_phi, 1.0)
+    incidence = math.acos(cos_psi)
+    gain = photodiode.gain(incidence)
+    if gain == 0.0:
+        return 0.0
+    return (
+        (lambertian_order + 1.0)
+        * photodiode.area
+        / (2.0 * math.pi * distance**2)
+        * cos_phi**lambertian_order
+        * gain
+        * cos_psi
+    )
+
+
+def node_gain(tx: TransmitterNode, rx: ReceiverNode) -> float:
+    """LOS gain between two scene nodes."""
+    return los_gain(
+        tx.position,
+        tx.orientation,
+        tx.led.lambertian_order,
+        rx.position,
+        rx.orientation,
+        rx.photodiode,
+    )
+
+
+def channel_matrix(scene: Scene) -> np.ndarray:
+    """The (N, M) LOS gain matrix H for a scene.
+
+    Entry ``H[j, m]`` is the gain from TX ``j`` to RX ``m``; this is the
+    ``H_{j,i}`` of the paper's Eqs. 3 and 12.
+    """
+    if scene.num_receivers == 0:
+        raise ChannelError("scene has no receivers; channel matrix is empty")
+    matrix = np.zeros((scene.num_transmitters, scene.num_receivers))
+    for j, tx in enumerate(scene.transmitters):
+        for m, rx in enumerate(scene.receivers):
+            matrix[j, m] = node_gain(tx, rx)
+    return matrix
+
+
+def channel_matrix_for_positions(
+    scene: Scene, rx_positions_xy: "np.ndarray | list"
+) -> np.ndarray:
+    """Channel matrix with receivers moved to the given XY positions.
+
+    Convenience for sweep workloads (Fig. 6 random instances): reuses the
+    scene's TX grid and receiver hardware, only the positions change.
+    """
+    moved = scene.with_receivers_at([(float(x), float(y)) for x, y in rx_positions_xy])
+    return channel_matrix(moved)
+
+
+def vertical_los_gain(
+    led: LEDModel,
+    photodiode: Photodiode,
+    height: float,
+    horizontal_offset: float,
+) -> float:
+    """LOS gain for the common down-facing TX / up-facing RX geometry.
+
+    With coaxial orientations, ``cos(phi) = cos(psi) = h / d``.  Handy for
+    closed-form checks in tests.
+    """
+    if height <= 0:
+        raise ChannelError(f"height must be positive, got {height}")
+    d = math.hypot(height, horizontal_offset)
+    cos_angle = height / d
+    incidence = math.acos(min(cos_angle, 1.0))
+    gain = photodiode.gain(incidence)
+    if gain == 0.0:
+        return 0.0
+    m = led.lambertian_order
+    return (
+        (m + 1.0)
+        * photodiode.area
+        / (2.0 * math.pi * d**2)
+        * cos_angle**m
+        * gain
+        * cos_angle
+    )

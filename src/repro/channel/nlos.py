@@ -1,0 +1,121 @@
+"""Single-bounce NLOS channel via floor reflection (paper Secs. 3.1, 6.2).
+
+DenseVLC's synchronization pilot travels from the leading TX *down* to the
+floor, diffuses off it (the floor acts as an extended Lambertian source of
+order 1 weighted by its reflectivity) and travels back *up* to the
+photodiodes of the other ceiling TXs.  The classic single-bounce integral
+over floor patches is
+
+    H_nlos = sum over patches dA of
+        (m + 1) / (2 * pi * d1^2) * cos^m(phi1) * cos(psi1)      (TX -> floor)
+        * rho * dA
+        * 1 / (pi * d2^2) * cos(phi2) * g(psi2) * cos(psi2) * A_pd  (floor -> PD)
+
+where ``psi1``/``phi2`` are measured against the floor normal.  The
+integral is evaluated on a regular grid with vectorized numpy; resolution
+0.05 m converges to well under 1% for the paper's geometry.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ChannelError
+from ..geometry import Room
+from ..optics import LEDModel, Photodiode
+
+
+def floor_reflection_gain(
+    tx_position: np.ndarray,
+    rx_position: np.ndarray,
+    led: LEDModel,
+    photodiode: Photodiode,
+    room: Room,
+    resolution: float = 0.05,
+    rx_orientation: Optional[np.ndarray] = None,
+) -> float:
+    """Single-bounce TX -> floor -> RX gain.
+
+    *tx_position* must face straight down (ceiling luminaire); the
+    receiving photodiode faces straight down too by default (it is the
+    synchronization front-end of another ceiling TX).  Pass an
+    ``rx_orientation`` of ``(0, 0, 1)`` to model an upward-facing ground
+    receiver picking up the reflection instead.
+    """
+    if resolution <= 0:
+        raise ChannelError(f"resolution must be positive, got {resolution}")
+    tx = np.asarray(tx_position, dtype=float)
+    rx = np.asarray(rx_position, dtype=float)
+    if tx[2] <= 0 or rx[2] <= 0:
+        raise ChannelError("NLOS endpoints must be above the floor")
+    orientation = (
+        np.array([0.0, 0.0, -1.0])
+        if rx_orientation is None
+        else np.asarray(rx_orientation, dtype=float)
+    )
+
+    xs = np.arange(resolution / 2.0, room.width, resolution)
+    ys = np.arange(resolution / 2.0, room.depth, resolution)
+    gx, gy = np.meshgrid(xs, ys, indexing="ij")
+    patch_area = resolution * resolution
+
+    # TX -> floor patch (TX faces straight down, floor normal is +z).
+    dx1 = gx - tx[0]
+    dy1 = gy - tx[1]
+    d1_sq = dx1**2 + dy1**2 + tx[2] ** 2
+    d1 = np.sqrt(d1_sq)
+    cos_phi1 = tx[2] / d1           # irradiation angle at the TX
+    cos_psi1 = cos_phi1             # incidence on the floor (normal +z)
+    m = led.lambertian_order
+    first_hop = (
+        (m + 1.0) / (2.0 * math.pi * d1_sq) * cos_phi1**m * cos_psi1
+    )
+
+    # Floor patch -> RX photodiode (patch re-emits Lambertian order 1).
+    dx2 = rx[0] - gx
+    dy2 = rx[1] - gy
+    dz2 = rx[2]
+    d2_sq = dx2**2 + dy2**2 + dz2**2
+    d2 = np.sqrt(d2_sq)
+    cos_phi2 = dz2 / d2             # emission angle at the floor patch
+    # Incidence at the photodiode relative to its orientation.
+    to_patch_x = -dx2 / d2
+    to_patch_y = -dy2 / d2
+    to_patch_z = -dz2 / d2
+    cos_psi2 = (
+        orientation[0] * to_patch_x
+        + orientation[1] * to_patch_y
+        + orientation[2] * to_patch_z
+    )
+    cos_psi2 = np.clip(cos_psi2, 0.0, 1.0)
+    incidence = np.arccos(np.clip(cos_psi2, -1.0, 1.0))
+    fov_mask = incidence <= photodiode.field_of_view
+    gain = np.where(fov_mask, 1.0, 0.0)
+    if hasattr(photodiode.concentrator, "value"):
+        gain = gain * getattr(photodiode.concentrator, "value")
+    second_hop = (
+        photodiode.area / (math.pi * d2_sq) * cos_phi2 * gain * cos_psi2
+    )
+
+    integrand = first_hop * room.floor_reflectivity * second_hop * patch_area
+    return float(np.sum(integrand))
+
+
+def reflected_pilot_current(
+    swing: float,
+    gain: float,
+    led: LEDModel,
+    photodiode: Photodiode,
+) -> float:
+    """Photocurrent amplitude [A] of a reflected pilot.
+
+    The pilot is an OOK waveform with the given swing; the received
+    photocurrent amplitude is the physical optical swing amplitude of the
+    LED scaled by the NLOS gain and the photodiode responsivity.
+    """
+    if gain < 0:
+        raise ChannelError(f"gain must be non-negative, got {gain}")
+    return photodiode.responsivity * gain * led.optical_swing_amplitude(swing)

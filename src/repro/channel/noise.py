@@ -1,0 +1,107 @@
+"""Receiver noise models.
+
+The paper models receiver noise as AWGN with a single-sided spectral power
+density ``N_0`` expressed in photocurrent units (A^2/Hz, Table 1), so the
+in-band noise power is ``N_0 * B``.  :class:`AWGNNoise` is that model;
+:class:`DetailedNoise` decomposes the density into shot and thermal
+contributions for ablation studies (it reduces to an effective ``N_0``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import constants
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class AWGNNoise:
+    """Flat AWGN: ``N_0`` [A^2/Hz] over a bandwidth ``B`` [Hz] (Table 1)."""
+
+    psd: float = constants.NOISE_PSD
+    bandwidth: float = constants.BANDWIDTH
+
+    def __post_init__(self) -> None:
+        if self.psd <= 0:
+            raise ConfigurationError(f"noise PSD must be positive, got {self.psd}")
+        if self.bandwidth <= 0:
+            raise ConfigurationError(
+                f"bandwidth must be positive, got {self.bandwidth}"
+            )
+
+    @property
+    def power(self) -> float:
+        """In-band noise power ``N_0 * B`` [A^2]."""
+        return self.psd * self.bandwidth
+
+    @property
+    def current_std(self) -> float:
+        """RMS noise photocurrent [A]."""
+        return math.sqrt(self.power)
+
+    def sample(
+        self, shape: "int | tuple", rng: "np.random.Generator | int | None" = None
+    ) -> np.ndarray:
+        """Draw zero-mean Gaussian photocurrent noise samples [A]."""
+        generator = np.random.default_rng(rng)
+        return generator.normal(0.0, self.current_std, size=shape)
+
+
+@dataclass(frozen=True)
+class DetailedNoise:
+    """Shot + thermal noise decomposition (for ablations).
+
+    Shot noise density is ``2 * q * (I_signal + I_background)``; thermal
+    noise density is ``4 * k_B * T / R_f`` referred to the TIA input
+    through its feedback resistor ``R_f``.  ``effective()`` collapses the
+    model to an :class:`AWGNNoise` so the rest of the stack is unchanged.
+    """
+
+    background_current: float = 100e-6
+    signal_current: float = 0.0
+    temperature: float = 300.0
+    feedback_resistance: float = 50e3
+    bandwidth: float = constants.BANDWIDTH
+
+    def __post_init__(self) -> None:
+        if self.background_current < 0 or self.signal_current < 0:
+            raise ConfigurationError("photocurrents must be >= 0")
+        if self.temperature <= 0:
+            raise ConfigurationError(
+                f"temperature must be positive, got {self.temperature}"
+            )
+        if self.feedback_resistance <= 0:
+            raise ConfigurationError(
+                f"feedback resistance must be positive, got {self.feedback_resistance}"
+            )
+        if self.bandwidth <= 0:
+            raise ConfigurationError(
+                f"bandwidth must be positive, got {self.bandwidth}"
+            )
+
+    @property
+    def shot_psd(self) -> float:
+        """Shot-noise spectral density [A^2/Hz]."""
+        return (
+            2.0
+            * constants.ELEMENTARY_CHARGE
+            * (self.background_current + self.signal_current)
+        )
+
+    @property
+    def thermal_psd(self) -> float:
+        """Thermal-noise spectral density [A^2/Hz]."""
+        return 4.0 * constants.BOLTZMANN * self.temperature / self.feedback_resistance
+
+    @property
+    def psd(self) -> float:
+        """Total spectral density [A^2/Hz]."""
+        return self.shot_psd + self.thermal_psd
+
+    def effective(self) -> AWGNNoise:
+        """The equivalent flat AWGN model."""
+        return AWGNNoise(psd=self.psd, bandwidth=self.bandwidth)

@@ -1,0 +1,117 @@
+"""SINR and Shannon throughput (paper Eq. 12 and objective Eq. 5).
+
+Given the LOS gain matrix ``H`` (N TXs x M RXs) and a swing allocation
+matrix ``S`` with ``S[j, k]`` the swing current TX ``j`` dedicates to RX
+``k``, the received signal amplitude at RX ``i`` is
+
+    a_i = R * eta * r * sum_j H[j, i] * (S[j, i] / 2)**2
+
+(the electrical communication power ``r * (I_sw/2)^2`` converted to optical
+power at efficiency ``eta``, attenuated by ``H`` and converted back to a
+photocurrent at responsivity ``R``).  The paper's Eq. 12 treats other
+receivers' beamspots as coherent interference:
+
+    SINR_i = a_i**2 / (N_0 * B + (sum_{k != i} a_{i,k})**2)
+
+The bias current does not enter: it carries no data (Sec. 3.4.2).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ChannelError
+from ..optics import LEDModel, Photodiode
+from .noise import AWGNNoise
+
+
+def _validate(channel: np.ndarray, swings: np.ndarray) -> None:
+    if channel.ndim != 2:
+        raise ChannelError(f"channel matrix must be 2-D, got shape {channel.shape}")
+    if swings.shape != channel.shape:
+        raise ChannelError(
+            f"swing matrix shape {swings.shape} does not match channel "
+            f"matrix shape {channel.shape}"
+        )
+    if np.any(channel < 0):
+        raise ChannelError("channel gains must be non-negative")
+    if np.any(swings < -1e-12):
+        raise ChannelError("swing currents must be non-negative")
+
+
+def received_amplitudes(
+    channel: np.ndarray,
+    swings: np.ndarray,
+    led: LEDModel,
+    photodiode: Photodiode,
+) -> np.ndarray:
+    """Per-(RX, beamspot) signal amplitudes [A].
+
+    Returns an (M, M) array ``A`` where ``A[i, k]`` is the photocurrent
+    amplitude RX ``i`` receives from the beamspot intended for RX ``k``.
+    The diagonal is the useful signal; off-diagonal entries are
+    interference.
+    """
+    channel = np.asarray(channel, dtype=float)
+    swings = np.asarray(swings, dtype=float)
+    _validate(channel, swings)
+    scale = photodiode.responsivity * led.wall_plug_efficiency * led.dynamic_resistance
+    # power_per_link[j, k] = r * (S[j, k] / 2)^2 (electrical comm power).
+    power_per_link = (np.clip(swings, 0.0, None) / 2.0) ** 2
+    # A[i, k] = scale * sum_j H[j, i] * power_per_link[j, k]
+    return scale * channel.T @ power_per_link
+
+
+def sinr(
+    channel: np.ndarray,
+    swings: np.ndarray,
+    led: LEDModel,
+    photodiode: Photodiode,
+    noise: Optional[AWGNNoise] = None,
+) -> np.ndarray:
+    """Per-RX SINR (linear) -- Eq. 12."""
+    noise_model = noise if noise is not None else AWGNNoise()
+    amplitudes = received_amplitudes(channel, swings, led, photodiode)
+    signal = np.diag(amplitudes)
+    interference = amplitudes.sum(axis=1) - signal
+    return signal**2 / (noise_model.power + interference**2)
+
+
+def snr(
+    channel: np.ndarray,
+    swings: np.ndarray,
+    led: LEDModel,
+    photodiode: Photodiode,
+    noise: Optional[AWGNNoise] = None,
+) -> np.ndarray:
+    """Per-RX SNR ignoring inter-beamspot interference (for diagnostics)."""
+    noise_model = noise if noise is not None else AWGNNoise()
+    amplitudes = received_amplitudes(channel, swings, led, photodiode)
+    signal = np.diag(amplitudes)
+    return signal**2 / noise_model.power
+
+
+def shannon_throughput(sinr_values: np.ndarray, bandwidth: float) -> np.ndarray:
+    """Per-RX Shannon throughput ``B * log2(1 + SINR)`` [bit/s]."""
+    if bandwidth <= 0:
+        raise ChannelError(f"bandwidth must be positive, got {bandwidth}")
+    values = np.asarray(sinr_values, dtype=float)
+    if np.any(values < 0):
+        raise ChannelError("SINR must be non-negative")
+    return bandwidth * np.log2(1.0 + values)
+
+
+def throughput(
+    channel: np.ndarray,
+    swings: np.ndarray,
+    led: LEDModel,
+    photodiode: Photodiode,
+    noise: Optional[AWGNNoise] = None,
+) -> np.ndarray:
+    """Per-RX throughput [bit/s] for an allocation."""
+    noise_model = noise if noise is not None else AWGNNoise()
+    return shannon_throughput(
+        sinr(channel, swings, led, photodiode, noise_model), noise_model.bandwidth
+    )

@@ -1,0 +1,210 @@
+"""Command-line interface: run experiments by name.
+
+``python -m repro <command>`` exposes the reproduction from the shell:
+
+    python -m repro list                    # available experiments
+    python -m repro run fig04               # one experiment, summary out
+    python -m repro report --fidelity fast  # the consolidated report
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from .errors import ConfigurationError
+
+
+def _summary_fig04() -> str:
+    from .experiments import fig04_taylor
+
+    result = fig04_taylor.run()
+    return (
+        f"Fig. 4 — Taylor error at 900 mA: "
+        f"{100 * result.error_at_max_swing:.3f}% (paper: 0.45%)"
+    )
+
+
+def _summary_fig05() -> str:
+    from .experiments import fig05_illumination
+
+    result = fig05_illumination.run()
+    return (
+        f"Fig. 5 — {result.report.average_lux:.0f} lux, "
+        f"{100 * result.report.uniformity:.0f}% uniformity, "
+        f"ISO: {result.meets_iso} (paper: 564 lux, 74%, yes)"
+    )
+
+
+def _summary_fig08() -> str:
+    from .experiments import fig08_throughput
+
+    result = fig08_throughput.run(instances=6, solver="heuristic")
+    return (
+        f"Fig. 8 — system throughput "
+        f"{result.system_mean[-1] / 1e6:.1f} Mbit/s at "
+        f"{result.budgets[-1]:.2f} W, knee {result.knee_budget:.2f} W"
+    )
+
+
+def _summary_fig09() -> str:
+    from .experiments import fig09_swing_levels
+
+    result = fig09_swing_levels.run()
+    return (
+        "Fig. 9 — RX1 order: "
+        + " > ".join(result.order_labels(0)[:6])
+        + " (paper: TX8 > TX14 > TX7 > TX2 > TX1 > TX13)"
+    )
+
+
+def _summary_fig11() -> str:
+    from .experiments import fig11_heuristic
+
+    result = fig11_heuristic.run(instances=5)
+    losses = ", ".join(
+        f"k={k}: {100 * result.average_loss(k):+.1f}%"
+        for k in sorted(result.heuristic_curves)
+    )
+    return f"Fig. 11 — heuristic losses vs optimal: {losses}"
+
+
+def _summary_fig12() -> str:
+    from .experiments import fig12_sync_delay
+
+    result = fig12_sync_delay.run()
+    return (
+        f"Fig. 12 — NTP/PTP max rate "
+        f"{result.max_ntp_ptp_rate / 1e3:.2f} ksym/s (paper: 14.28)"
+    )
+
+
+def _summary_table4() -> str:
+    from .experiments import table4_sync
+
+    micro = table4_sync.run().as_microseconds()
+    return (
+        f"Table 4 — {micro['no-sync']:.3f} / {micro['ntp-ptp']:.3f} / "
+        f"{micro['nlos-vlc']:.3f} us (paper: 10.040 / 4.565 / 0.575)"
+    )
+
+
+def _summary_table5() -> str:
+    from .experiments import table5_iperf
+
+    result = table5_iperf.run(max_frames=60)
+    return (
+        f"Table 5 — 2TX: {result.goodput_kbps('2tx-same-board'):.1f} kbit/s; "
+        f"no-sync PER: {result.per_percent('4tx-no-sync'):.0f}%; "
+        f"synced: {result.goodput_kbps('4tx-nlos-sync'):.1f} kbit/s"
+    )
+
+
+def _summary_fig18_20() -> str:
+    from .experiments import fig18_20_scenarios
+
+    results = fig18_20_scenarios.run()
+    return (
+        f"Figs. 18-20 — scenario 3 peaks at "
+        f"{results[3].peak_budget(1.3):.2f} W and drops after: "
+        f"{results[3].drops_at_high_budget(1.3)}"
+    )
+
+
+def _summary_fig21() -> str:
+    from .experiments import fig21_efficiency
+
+    result = fig21_efficiency.run()
+    return (
+        f"Fig. 21 — efficiency gain {result.power_efficiency_gain:.2f}x "
+        f"(paper: 2.3x), SISO on curve: {result.siso_on_curve}"
+    )
+
+
+def _summary_complexity() -> str:
+    from .experiments import complexity
+
+    result = complexity.run()
+    return (
+        f"Sec. 5 — latency reduction {100 * result.reduction:.2f}% "
+        f"(paper: 99.96%), loss {100 * result.heuristic_loss:.1f}%"
+    )
+
+
+def _summary_mobility() -> str:
+    from .experiments import mobility
+
+    trace = mobility.run()
+    return (
+        f"Mobility — adaptation gain {trace.adaptation_gain:.2f}x over a "
+        "frozen allocation"
+    )
+
+
+def _summary_extensions() -> str:
+    from .experiments.extensions import diffuse_error, uplink_check
+
+    diffuse = diffuse_error()
+    uplink = uplink_check()
+    return (
+        f"Extensions — LOS-only error {100 * diffuse.aggregate_share:.1f}% "
+        f"aggregate; uplink utilization "
+        f"{100 * uplink.utilization:.3f}%"
+    )
+
+
+EXPERIMENTS: Dict[str, Callable[[], str]] = {
+    "fig04": _summary_fig04,
+    "fig05": _summary_fig05,
+    "fig08": _summary_fig08,
+    "fig09": _summary_fig09,
+    "fig11": _summary_fig11,
+    "fig12": _summary_fig12,
+    "table4": _summary_table4,
+    "table5": _summary_table5,
+    "fig18_20": _summary_fig18_20,
+    "fig21": _summary_fig21,
+    "complexity": _summary_complexity,
+    "mobility": _summary_mobility,
+    "extensions": _summary_extensions,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DenseVLC (CoNEXT 2018) reproduction toolkit.",
+    )
+    subparsers = parser.add_subparsers(dest="command")
+    subparsers.add_parser("list", help="list available experiments")
+    run_parser = subparsers.add_parser("run", help="run one experiment")
+    run_parser.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    report_parser = subparsers.add_parser(
+        "report", help="run everything and emit the markdown report"
+    )
+    report_parser.add_argument(
+        "--fidelity", choices=("fast", "full"), default="fast"
+    )
+    report_parser.add_argument("--output", default="-")
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        for name in sorted(EXPERIMENTS):
+            print(name)
+        return 0
+    if args.command == "run":
+        print(EXPERIMENTS[args.experiment]())
+        return 0
+    if args.command == "report":
+        from .experiments import report as report_module
+
+        return report_module.main(
+            ["--fidelity", args.fidelity, "--output", args.output]
+        )
+    parser.print_help()
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,91 @@
+"""Core contribution: the DenseVLC power-allocation policy and solvers."""
+
+from .allocation import (
+    Allocation,
+    Assignment,
+    assignment_matrix,
+    binary_allocation,
+    truncate_to_budget,
+)
+from .baselines import (
+    DMISO_NEIGHBORHOOD,
+    dmiso_allocation,
+    dmiso_assignments,
+    siso_allocation,
+    siso_assignments,
+)
+from .efficiency import (
+    EfficiencyCurve,
+    efficiency_curve,
+    most_efficient_budget,
+)
+from .greedy import GreedyMarginalHeuristic
+from .heuristic import (
+    RankingHeuristic,
+    personalized_kappa_ranking,
+    rank_transmitters,
+    sjr_matrix,
+    tune_kappa,
+)
+from .insights import (
+    InsightReport,
+    utility_gap,
+    assignment_order,
+    binary_projection,
+    empirical_cdf,
+    insight_report,
+    intermediate_fraction,
+    swing_cdf_for_tx,
+    swing_trajectories,
+)
+from .metrics import (
+    crossover_budget,
+    jain_fairness,
+    normalized,
+    power_efficiency,
+    throughput_loss,
+)
+from .optimizer import ContinuousOptimizer, OptimizerOptions, solve_optimal
+from .problem import UTILITY_FLOOR, AllocationProblem, problem_for_scene
+
+__all__ = [
+    "Allocation",
+    "Assignment",
+    "assignment_matrix",
+    "binary_allocation",
+    "truncate_to_budget",
+    "DMISO_NEIGHBORHOOD",
+    "dmiso_allocation",
+    "dmiso_assignments",
+    "siso_allocation",
+    "siso_assignments",
+    "EfficiencyCurve",
+    "efficiency_curve",
+    "most_efficient_budget",
+    "GreedyMarginalHeuristic",
+    "RankingHeuristic",
+    "personalized_kappa_ranking",
+    "rank_transmitters",
+    "sjr_matrix",
+    "tune_kappa",
+    "InsightReport",
+    "assignment_order",
+    "binary_projection",
+    "empirical_cdf",
+    "insight_report",
+    "utility_gap",
+    "intermediate_fraction",
+    "swing_cdf_for_tx",
+    "swing_trajectories",
+    "crossover_budget",
+    "jain_fairness",
+    "normalized",
+    "power_efficiency",
+    "throughput_loss",
+    "ContinuousOptimizer",
+    "OptimizerOptions",
+    "solve_optimal",
+    "UTILITY_FLOOR",
+    "AllocationProblem",
+    "problem_for_scene",
+]

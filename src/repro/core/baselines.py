@@ -1,0 +1,119 @@
+"""Comparison baselines: SISO and D-MISO (paper Sec. 8.3).
+
+- **SISO (nearest-TX communicating)**: each RX is served only by its
+  nearest TX at full swing; all other LEDs only illuminate.
+- **D-MISO (all-TXs communicating)**: every RX is served by its 9
+  surrounding TXs at full swing, independent of positions -- the
+  energy-oblivious distributed-MISO design of prior work the paper
+  benchmarks against.
+
+Both produce :class:`~repro.core.allocation.Allocation` objects so they
+are directly comparable with the heuristic and the optimal solver.
+Conflicts (one TX nearest to / surrounding two RXs) are resolved toward
+the closer RX, matching a physical deployment where a TX can only join
+one beamspot at a time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import AllocationError
+from ..geometry import GridLayout
+from ..system import Scene
+from .allocation import Allocation, Assignment, binary_allocation
+from .problem import AllocationProblem
+
+#: The paper's D-MISO beamspot size: the 9 TXs surrounding each RX.
+DMISO_NEIGHBORHOOD: int = 9
+
+
+def _resolve_conflicts(
+    candidates: Dict[int, List[Tuple[float, int]]]
+) -> List[Assignment]:
+    """Assign each contested TX to the closest RX.
+
+    *candidates* maps tx -> list of (distance, rx) claims.
+    """
+    assignments: List[Assignment] = []
+    for tx, claims in sorted(candidates.items()):
+        _, rx = min(claims)
+        assignments.append((tx, rx))
+    return assignments
+
+
+def siso_assignments(scene: Scene) -> List[Assignment]:
+    """Nearest-TX pairs for each RX, conflicts resolved by distance."""
+    grid = _grid_of(scene)
+    candidates: Dict[int, List[Tuple[float, int]]] = {}
+    for rx in scene.receivers:
+        x, y = float(rx.position[0]), float(rx.position[1])
+        tx = grid.nearest_tx(x, y)
+        tx_x, tx_y = grid.xy(tx)
+        dist = float(np.hypot(x - tx_x, y - tx_y))
+        candidates.setdefault(tx, []).append((dist, rx.index))
+    return _resolve_conflicts(candidates)
+
+
+def dmiso_assignments(
+    scene: Scene, neighborhood: Optional[int] = None
+) -> List[Assignment]:
+    """All-TXs-communicating assignments (the paper's D-MISO).
+
+    With ``neighborhood=None`` (default) *every* TX communicates, joined
+    to the beamspot of its nearest RX -- "all TXs are used for
+    communication, independent of the position of the receivers"
+    (Sec. 8.3; for the paper's setup this realizes 9 surrounding TXs per
+    RX).  Pass an explicit *neighborhood* to restrict each RX to its k
+    surrounding TXs instead (conflicts resolved by distance).
+    """
+    grid = _grid_of(scene)
+    candidates: Dict[int, List[Tuple[float, int]]] = {}
+    if neighborhood is None:
+        for tx in range(grid.count):
+            tx_x, tx_y = grid.xy(tx)
+            for rx in scene.receivers:
+                dist = float(
+                    np.hypot(rx.position[0] - tx_x, rx.position[1] - tx_y)
+                )
+                candidates.setdefault(tx, []).append((dist, rx.index))
+        return _resolve_conflicts(candidates)
+    for rx in scene.receivers:
+        x, y = float(rx.position[0]), float(rx.position[1])
+        for tx in grid.neighborhood(x, y, neighborhood):
+            tx_x, tx_y = grid.xy(tx)
+            dist = float(np.hypot(x - tx_x, y - tx_y))
+            candidates.setdefault(tx, []).append((dist, rx.index))
+    return _resolve_conflicts(candidates)
+
+
+def siso_allocation(problem: AllocationProblem, scene: Scene) -> Allocation:
+    """The SISO baseline evaluated on *problem* (budget ignored).
+
+    The baseline is defined by its fixed operating point, so the returned
+    allocation's :attr:`total_power` is its actual consumption -- compare
+    it against DenseVLC's budget sweep as in Fig. 21.
+    """
+    return binary_allocation(problem, siso_assignments(scene), solver="siso")
+
+
+def dmiso_allocation(
+    problem: AllocationProblem,
+    scene: Scene,
+    neighborhood: Optional[int] = None,
+) -> Allocation:
+    """The D-MISO baseline evaluated on *problem* (budget ignored)."""
+    return binary_allocation(
+        problem, dmiso_assignments(scene, neighborhood), solver="dmiso"
+    )
+
+
+def _grid_of(scene: Scene) -> GridLayout:
+    if scene.grid is None:
+        raise AllocationError(
+            "baselines need the scene's grid layout to find nearest/"
+            "surrounding TXs"
+        )
+    return scene.grid

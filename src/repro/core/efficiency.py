@@ -1,0 +1,128 @@
+"""Power-efficiency analysis (the paper's second contribution bullet).
+
+Sec. 4.1 observes that *using all the power budget does not necessarily
+mean the system will operate in the most power-efficient state*: beyond
+a knee (~1.2 W on the paper's axis) each extra watt buys little
+throughput, and in interference-heavy scenes extra TXs can even hurt.
+This module turns that observation into an operator-facing tool:
+
+- :func:`efficiency_curve` -- throughput-per-watt along a budget sweep;
+- :func:`most_efficient_budget` -- the budget maximizing bits per joule;
+- :func:`knee_budget` -- where the marginal gain drops below a fraction
+  of the initial marginal gain (the "diminishing returns" point);
+- :func:`recommended_budget` -- the smallest budget achieving a target
+  fraction of the peak throughput (how a deployment would actually pick
+  its operating point).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import AllocationError
+from .allocation import Allocation
+from .heuristic import RankingHeuristic
+from .problem import AllocationProblem
+
+
+@dataclass(frozen=True)
+class EfficiencyCurve:
+    """Throughput and efficiency along a budget sweep."""
+
+    budgets: np.ndarray
+    throughputs: np.ndarray
+    consumed_power: np.ndarray
+
+    def __post_init__(self) -> None:
+        if not (
+            self.budgets.shape
+            == self.throughputs.shape
+            == self.consumed_power.shape
+        ):
+            raise AllocationError("curve arrays must share a shape")
+        if self.budgets.size < 2:
+            raise AllocationError("a curve needs at least two budgets")
+
+    @property
+    def efficiencies(self) -> np.ndarray:
+        """Throughput per consumed watt [bit/s/W] (0 where no power)."""
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return np.where(
+                self.consumed_power > 0,
+                self.throughputs / self.consumed_power,
+                0.0,
+            )
+
+    @property
+    def most_efficient_index(self) -> int:
+        """Index of the bits-per-joule optimum."""
+        return int(np.argmax(self.efficiencies))
+
+    @property
+    def most_efficient_budget(self) -> float:
+        return float(self.budgets[self.most_efficient_index])
+
+    def knee_budget(self, fraction: float = 0.5) -> float:
+        """Budget where marginal throughput falls below *fraction* of the
+        initial marginal throughput."""
+        if not 0.0 < fraction < 1.0:
+            raise AllocationError(
+                f"fraction must be in (0, 1), got {fraction}"
+            )
+        gains = np.diff(self.throughputs) / np.maximum(
+            np.diff(self.budgets), 1e-12
+        )
+        if gains.size == 0 or gains[0] <= 0:
+            return float("nan")
+        for i in range(1, gains.size):
+            if gains[i] < fraction * gains[0]:
+                return float(self.budgets[i])
+        return float(self.budgets[-1])
+
+    def recommended_budget(self, target_fraction: float = 0.9) -> float:
+        """Smallest budget reaching *target_fraction* of peak throughput."""
+        if not 0.0 < target_fraction <= 1.0:
+            raise AllocationError(
+                f"target fraction must be in (0, 1], got {target_fraction}"
+            )
+        peak = float(self.throughputs.max())
+        if peak <= 0:
+            raise AllocationError("the sweep produced no throughput")
+        for budget, throughput in zip(self.budgets, self.throughputs):
+            if throughput >= target_fraction * peak:
+                return float(budget)
+        return float(self.budgets[-1])
+
+    @property
+    def full_budget_is_most_efficient(self) -> bool:
+        """The paper's claim is that this is usually *False*."""
+        return self.most_efficient_index == self.budgets.size - 1
+
+
+def efficiency_curve(
+    problem: AllocationProblem,
+    budgets: Sequence[float],
+    solver: Optional[RankingHeuristic] = None,
+) -> EfficiencyCurve:
+    """Sweep budgets and collect throughput / consumed power."""
+    if len(budgets) < 2:
+        raise AllocationError("need at least two budgets")
+    heuristic = solver if solver is not None else RankingHeuristic()
+    allocations = heuristic.sweep(problem, list(budgets))
+    return EfficiencyCurve(
+        budgets=np.asarray(budgets, dtype=float),
+        throughputs=np.asarray(
+            [a.system_throughput for a in allocations]
+        ),
+        consumed_power=np.asarray([a.total_power for a in allocations]),
+    )
+
+
+def most_efficient_budget(
+    problem: AllocationProblem, budgets: Sequence[float]
+) -> float:
+    """The budget maximizing bits per joule (convenience wrapper)."""
+    return efficiency_curve(problem, budgets).most_efficient_budget

@@ -1,0 +1,171 @@
+"""The ranking-based heuristic, Algorithm 1 (paper Sec. 5).
+
+The heuristic replaces the 165-second nonlinear program with a ranking
+over a custom Signal-to-Jamming Ratio:
+
+    SJR[i, j] = H[i, j]**kappa / sum_{j'} H[i, j']           (Eq. 14)
+
+``kappa`` trades the desired channel against the interference a TX would
+cause at the other receivers (Insight 3).  Algorithm 1 repeatedly takes
+the (TX, RX) pair with the maximum SJR, appends it to the ranking and
+removes that TX's row; the controller then grants full swing to the
+ranked TXs in order until the power budget is exhausted (Insights 1-2).
+
+With kappa = 1.3 on the paper's setup the heuristic loses only ~1.8% of
+the optimal system throughput while being ~2500x faster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import constants
+from ..errors import AllocationError
+from .allocation import Allocation, Assignment, binary_allocation, truncate_to_budget
+from .problem import AllocationProblem
+
+
+def sjr_matrix(channel: np.ndarray, kappa: float = constants.DEFAULT_KAPPA) -> np.ndarray:
+    """The (N, M) Signal-to-Jamming-Ratio matrix -- Eq. 14.
+
+    Rows whose channel sums to zero (a TX no receiver can see) get an SJR
+    of zero everywhere so they rank last.
+    """
+    matrix = np.asarray(channel, dtype=float)
+    if matrix.ndim != 2:
+        raise AllocationError(f"channel must be 2-D, got shape {matrix.shape}")
+    if np.any(matrix < 0):
+        raise AllocationError("channel gains must be non-negative")
+    if kappa <= 0:
+        raise AllocationError(f"kappa must be positive, got {kappa}")
+    row_sums = matrix.sum(axis=1, keepdims=True)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        sjr = np.where(row_sums > 0.0, matrix**kappa / row_sums, 0.0)
+    return sjr
+
+
+def rank_transmitters(
+    channel: np.ndarray, kappa: float = constants.DEFAULT_KAPPA
+) -> List[Assignment]:
+    """Algorithm 1: rank every TX with its intended RX by descending SJR.
+
+    Returns the ``RankedTX`` list: N (tx, rx) pairs, each TX exactly once.
+    Ties (including all-zero rows) break toward the lower TX index, which
+    keeps the ranking deterministic.
+    """
+    sjr = sjr_matrix(channel, kappa).copy()
+    num_tx, num_rx = sjr.shape
+    ranking: List[Assignment] = []
+    remaining = np.ones(num_tx, dtype=bool)
+    for _ in range(num_tx):
+        masked = np.where(remaining[:, None], sjr, -np.inf)
+        flat_index = int(np.argmax(masked))
+        tx, rx = divmod(flat_index, num_rx)
+        ranking.append((int(tx), int(rx)))
+        remaining[tx] = False
+    return ranking
+
+
+@dataclass(frozen=True)
+class RankingHeuristic:
+    """The paper's heuristic as a solver object.
+
+    Attributes:
+        kappa: SJR exponent; the paper recommends 1.3 for its setup.
+    """
+
+    kappa: float = constants.DEFAULT_KAPPA
+
+    def ranking(self, problem: AllocationProblem) -> List[Assignment]:
+        """The full ``RankedTX`` list for a problem instance."""
+        return rank_transmitters(problem.channel, self.kappa)
+
+    def solve(self, problem: AllocationProblem) -> Allocation:
+        """Grant full swing down the ranking until the budget runs out."""
+        ranked = self.ranking(problem)
+        granted = truncate_to_budget(problem, ranked)
+        return binary_allocation(problem, granted, solver=f"heuristic(kappa={self.kappa})")
+
+    def sweep(
+        self, problem: AllocationProblem, budgets: Sequence[float]
+    ) -> List[Allocation]:
+        """Solve the same instance under several budgets.
+
+        The ranking is computed once (it does not depend on the budget).
+        """
+        ranked = self.ranking(problem)
+        allocations = []
+        for budget in budgets:
+            scoped = problem.with_budget(float(budget))
+            granted = truncate_to_budget(scoped, ranked)
+            allocations.append(
+                binary_allocation(
+                    scoped, granted, solver=f"heuristic(kappa={self.kappa})"
+                )
+            )
+        return allocations
+
+
+def tune_kappa(
+    problem: AllocationProblem,
+    candidates: Sequence[float] = constants.PAPER_KAPPAS,
+) -> Tuple[float, float]:
+    """Pick the kappa maximizing system throughput on *problem*.
+
+    Returns ``(best_kappa, best_system_throughput)``.  This mirrors the
+    paper's offline sweep over kappa in Fig. 11; Sec. 9 discusses
+    personalized/adaptive kappa as future work (see
+    :func:`personalized_kappa_ranking` for that extension).
+    """
+    if not candidates:
+        raise AllocationError("need at least one kappa candidate")
+    best_kappa = None
+    best_throughput = -np.inf
+    for kappa in candidates:
+        allocation = RankingHeuristic(kappa=float(kappa)).solve(problem)
+        throughput = allocation.system_throughput
+        if throughput > best_throughput:
+            best_throughput = throughput
+            best_kappa = float(kappa)
+    return best_kappa, float(best_throughput)
+
+
+def personalized_kappa_ranking(
+    channel: np.ndarray, kappas: Sequence[float]
+) -> List[Assignment]:
+    """Sec. 9 extension: a per-RX kappa in the SJR computation.
+
+    ``kappas[j]`` applies to RX ``j``'s column, letting receivers in
+    interference-heavy spots weigh jamming differently.  Reduces to
+    Algorithm 1 when all kappas are equal.
+    """
+    matrix = np.asarray(channel, dtype=float)
+    if matrix.ndim != 2:
+        raise AllocationError(f"channel must be 2-D, got shape {matrix.shape}")
+    if len(kappas) != matrix.shape[1]:
+        raise AllocationError(
+            f"expected {matrix.shape[1]} kappas, got {len(kappas)}"
+        )
+    row_sums = matrix.sum(axis=1, keepdims=True)
+    sjr = np.zeros_like(matrix)
+    for j, kappa in enumerate(kappas):
+        if kappa <= 0:
+            raise AllocationError(f"kappa must be positive, got {kappa}")
+        with np.errstate(divide="ignore", invalid="ignore"):
+            column = np.where(
+                row_sums[:, 0] > 0.0, matrix[:, j] ** kappa / row_sums[:, 0], 0.0
+            )
+        sjr[:, j] = column
+    num_tx, num_rx = sjr.shape
+    ranking: List[Assignment] = []
+    remaining = np.ones(num_tx, dtype=bool)
+    for _ in range(num_tx):
+        masked = np.where(remaining[:, None], sjr, -np.inf)
+        flat_index = int(np.argmax(masked))
+        tx, rx = divmod(flat_index, num_rx)
+        ranking.append((int(tx), int(rx)))
+        remaining[tx] = False
+    return ranking

@@ -1,0 +1,183 @@
+"""Analyses behind the Sec. 4 design insights (Figs. 9-10).
+
+The paper inspects the optimal policies and distills three insights:
+
+1. power is granted *sequentially* to each RX's preferred TXs;
+2. swing transitions zero -> full are fast, so binary operation
+   (zero or maximum swing) is near-optimal;
+3. interference-heavy TXs rank late or are never used.
+
+These helpers extract exactly those statistics from solved allocations:
+per-TX swing trajectories over a budget sweep (Fig. 9), empirical swing
+CDFs across instances (Fig. 10), the fraction of TXs caught at
+intermediate swings, and the throughput gap of the binary projection
+(the quantitative form of Insight 2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import AllocationError
+from .allocation import Allocation, Assignment
+
+
+def swing_trajectories(allocations: Sequence[Allocation], rx: int) -> np.ndarray:
+    """Per-TX swing toward RX *rx* across a budget sweep (Fig. 9 rows).
+
+    Returns an (N, num_budgets) array; row ``j`` traces TX ``j``'s swing
+    as the budget grows.
+    """
+    if not allocations:
+        raise AllocationError("need at least one allocation")
+    num_rx = allocations[0].problem.num_receivers
+    if not 0 <= rx < num_rx:
+        raise AllocationError(f"RX index {rx} out of range")
+    return np.column_stack([a.swings[:, rx] for a in allocations])
+
+
+def assignment_order(allocations: Sequence[Allocation], rx: int) -> List[int]:
+    """TX indices in the order they switch on for RX *rx* over a sweep.
+
+    A TX counts as "on" once its swing crosses half the maximum; this is
+    the sequence like TX8 -> TX14 -> TX7 -> ... reported in Sec. 4.2.
+    """
+    trajectories = swing_trajectories(allocations, rx)
+    max_swing = allocations[0].problem.led.max_swing
+    order: List[int] = []
+    for step in range(trajectories.shape[1]):
+        active = np.nonzero(trajectories[:, step] >= max_swing / 2.0)[0]
+        for tx in active:
+            if int(tx) not in order:
+                order.append(int(tx))
+    return order
+
+
+def intermediate_fraction(
+    allocation: Allocation, tolerance: float = 0.05
+) -> float:
+    """Fraction of *active* TXs at neither zero nor full swing (Insight 2).
+
+    A TX is active when its total swing exceeds ``tolerance * I_sw,max``;
+    it is "intermediate" when the swing is also below
+    ``(1 - tolerance) * I_sw,max``.  Returns 0 when no TX is active.
+    """
+    if not 0.0 < tolerance < 0.5:
+        raise AllocationError(f"tolerance must be in (0, 0.5), got {tolerance}")
+    max_swing = allocation.problem.led.max_swing
+    per_tx = allocation.swings.sum(axis=1)
+    active = per_tx > tolerance * max_swing
+    if not active.any():
+        return 0.0
+    intermediate = active & (per_tx < (1.0 - tolerance) * max_swing)
+    return float(np.count_nonzero(intermediate)) / float(np.count_nonzero(active))
+
+
+def empirical_cdf(samples: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF points ``(sorted values, cumulative probability)``."""
+    values = np.sort(np.asarray(samples, dtype=float))
+    if values.size == 0:
+        raise AllocationError("CDF of an empty sample set is undefined")
+    probabilities = np.arange(1, values.size + 1) / values.size
+    return values, probabilities
+
+
+def swing_cdf_for_tx(
+    allocations: Sequence[Allocation], tx: int, rx: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF of TX *tx*'s optimal swing toward RX *rx* (Fig. 10).
+
+    *allocations* should span instances (and/or budgets), one solved
+    allocation each.
+    """
+    if not allocations:
+        raise AllocationError("need at least one allocation")
+    samples = []
+    for allocation in allocations:
+        if not 0 <= tx < allocation.problem.num_transmitters:
+            raise AllocationError(f"TX index {tx} out of range")
+        if not 0 <= rx < allocation.problem.num_receivers:
+            raise AllocationError(f"RX index {rx} out of range")
+        samples.append(float(allocation.swings[tx, rx]))
+    return empirical_cdf(samples)
+
+
+def binary_projection(allocation: Allocation) -> Allocation:
+    """Project a continuous allocation to binary zero/full swings.
+
+    Each TX is assigned to the RX it spends the most swing on; TXs are
+    then granted full swing in decreasing order of their total swing, as
+    long as the budget allows.  The throughput gap between the original
+    and the projection quantifies Insight 2.
+    """
+    problem = allocation.problem
+    max_swing = problem.led.max_swing
+    per_tx = allocation.swings.sum(axis=1)
+    order = np.argsort(-per_tx, kind="stable")
+    assignments: List[Assignment] = []
+    budget_left = problem.power_budget
+    for tx in order:
+        if per_tx[tx] <= 1e-6 * max_swing:
+            break
+        if budget_left < problem.full_swing_power - 1e-12:
+            break
+        rx = int(np.argmax(allocation.swings[tx]))
+        assignments.append((int(tx), rx))
+        budget_left -= problem.full_swing_power
+    from .allocation import binary_allocation  # local import avoids cycle
+
+    return binary_allocation(problem, assignments, solver="binary-projection")
+
+
+def utility_gap(continuous: Allocation, projected: Allocation) -> float:
+    """Geometric-mean throughput loss of a projection (Insight 2 metric).
+
+    The optimum maximizes the *sum-log* utility, so the meaningful
+    discretization cost is the utility difference.  Expressed as
+    ``1 - exp((u_proj - u_cont) / M)`` -- the relative loss in the
+    geometric mean of per-RX throughputs; positive means the projection
+    is worse, and a feasible projection can make it negative only when
+    the "continuous" solution was itself suboptimal.
+    """
+    receivers = continuous.problem.num_receivers
+    delta = projected.utility - continuous.utility
+    return float(1.0 - math.exp(delta / receivers))
+
+
+@dataclass(frozen=True)
+class InsightReport:
+    """Aggregate Insight-2 statistics over a set of optimal allocations.
+
+    ``binary gap`` is the geometric-mean throughput loss (see
+    :func:`utility_gap`) of the zero/full-swing projection.
+    """
+
+    mean_intermediate_fraction: float
+    max_intermediate_fraction: float
+    mean_binary_gap: float
+    worst_binary_gap: float
+
+
+def insight_report(allocations: Sequence[Allocation]) -> InsightReport:
+    """Quantify Insight 2 across allocations."""
+    if not allocations:
+        raise AllocationError("need at least one allocation")
+    fractions = []
+    gaps = []
+    for allocation in allocations:
+        fractions.append(intermediate_fraction(allocation))
+        if allocation.system_throughput <= 0:
+            continue
+        gaps.append(utility_gap(allocation, binary_projection(allocation)))
+    if not gaps:
+        gaps = [0.0]
+    return InsightReport(
+        mean_intermediate_fraction=float(np.mean(fractions)),
+        max_intermediate_fraction=float(np.max(fractions)),
+        mean_binary_gap=float(np.mean(gaps)),
+        worst_binary_gap=float(np.max(gaps)),
+    )

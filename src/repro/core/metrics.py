@@ -1,0 +1,88 @@
+"""Performance metrics used across the evaluation (Secs. 4, 8).
+
+Throughput and SINR live on :class:`~repro.core.problem.AllocationProblem`;
+this module adds the derived comparison metrics:
+
+- power efficiency (throughput per watt of communication power, the
+  Sec. 8.3 comparison axis),
+- Jain's fairness index (the paper optimizes proportional fairness; Jain
+  quantifies how balanced the resulting rates are),
+- normalized throughput (the paper's Figs. 18-21 plot throughput
+  normalized to the best observed value).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import AllocationError
+
+
+def power_efficiency(system_throughput: float, total_power: float) -> float:
+    """Throughput per watt [bit/s/W]; ``inf`` at zero power with traffic."""
+    if system_throughput < 0 or total_power < 0:
+        raise AllocationError("throughput and power must be non-negative")
+    if total_power == 0.0:
+        return float("inf") if system_throughput > 0 else 0.0
+    return system_throughput / total_power
+
+
+def jain_fairness(rates: Sequence[float]) -> float:
+    """Jain's fairness index of per-RX rates; 1.0 means perfectly equal."""
+    values = np.asarray(rates, dtype=float)
+    if values.size == 0:
+        raise AllocationError("fairness of an empty rate vector is undefined")
+    if np.any(values < 0):
+        raise AllocationError("rates must be non-negative")
+    peak = float(np.max(values))
+    if peak == 0.0:
+        return 1.0
+    # Normalize before squaring so extreme magnitudes cannot under- or
+    # overflow (Jain's index is scale invariant).
+    scaled = values / peak
+    total = float(np.sum(scaled))
+    return total**2 / (values.size * float(np.sum(scaled**2)))
+
+
+def normalized(values: Sequence[float], reference: float) -> np.ndarray:
+    """Values normalized by a positive reference (Figs. 18-21 y-axes)."""
+    if reference <= 0:
+        raise AllocationError(f"reference must be positive, got {reference}")
+    return np.asarray(values, dtype=float) / reference
+
+
+def throughput_loss(candidate: float, reference: float) -> float:
+    """Relative loss of *candidate* vs *reference* (negative = worse).
+
+    The paper's Fig. 11 histograms report ``(heuristic - optimal) /
+    optimal`` in percent; this returns the same fraction (not percent).
+    """
+    if reference <= 0:
+        raise AllocationError(f"reference must be positive, got {reference}")
+    return (candidate - reference) / reference
+
+
+def crossover_budget(
+    budgets: Sequence[float],
+    series: Sequence[float],
+    target: float,
+) -> float:
+    """First budget at which *series* reaches *target* (linear interp).
+
+    Used for the Sec. 8.3 comparison: the budget where DenseVLC matches
+    the D-MISO throughput determines the power-efficiency gain.  Returns
+    ``nan`` when the series never reaches the target.
+    """
+    xs = np.asarray(budgets, dtype=float)
+    ys = np.asarray(series, dtype=float)
+    if xs.shape != ys.shape or xs.size == 0:
+        raise AllocationError("budgets and series must be equal-length, non-empty")
+    for i in range(xs.size):
+        if ys[i] >= target:
+            if i == 0 or ys[i] == ys[i - 1]:
+                return float(xs[i])
+            frac = (target - ys[i - 1]) / (ys[i] - ys[i - 1])
+            return float(xs[i - 1] + frac * (xs[i] - xs[i - 1]))
+    return float("nan")

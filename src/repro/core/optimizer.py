@@ -1,0 +1,278 @@
+"""Continuous solver for the optimal allocation policy (paper Sec. 3.4).
+
+The paper solves program (5)-(7) with Matlab's ``fmincon``; this module is
+the scipy equivalent (SLSQP with analytic gradients).  The program is
+nonconvex (interference couples beamspots), so the solver supports
+multi-start: the first start is seeded from the ranking heuristic -- which
+Insight 1 says is close to the optimal structure -- and further starts
+perturb it randomly.  The best feasible local optimum wins.
+
+Variables are the scaled swings ``x[j, k] = I_sw[j, k] / I_sw,max`` in
+``[0, 1]``; constraints are the per-TX total-swing bound (Eq. 6, linear)
+and the total-power budget (Eq. 7, quadratic).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+from scipy import optimize
+
+from ..errors import OptimizationError
+from .allocation import Allocation
+from .heuristic import RankingHeuristic
+from .problem import UTILITY_FLOOR, AllocationProblem
+
+
+@dataclass(frozen=True)
+class OptimizerOptions:
+    """Knobs for :class:`ContinuousOptimizer`.
+
+    Attributes:
+        restarts: number of additional randomly-perturbed starts.
+        max_iterations: SLSQP iteration cap per start.
+        tolerance: SLSQP convergence tolerance.
+        utility_floor: throughput floor [bit/s] inside the log utility.
+        seed: RNG seed for the perturbed starts.
+        budget_headroom: fraction of the budget the initial points use
+            (starting strictly inside the power constraint helps SLSQP).
+    """
+
+    restarts: int = 2
+    max_iterations: int = 250
+    tolerance: float = 1e-10
+    utility_floor: float = UTILITY_FLOOR
+    seed: Optional[int] = 0
+    budget_headroom: float = 0.9
+
+    def __post_init__(self) -> None:
+        if self.restarts < 0:
+            raise OptimizationError(f"restarts must be >= 0, got {self.restarts}")
+        if self.max_iterations < 1:
+            raise OptimizationError(
+                f"max_iterations must be >= 1, got {self.max_iterations}"
+            )
+        if self.utility_floor <= 0:
+            raise OptimizationError(
+                f"utility floor must be positive, got {self.utility_floor}"
+            )
+        if not 0.0 < self.budget_headroom <= 1.0:
+            raise OptimizationError(
+                f"budget headroom must be in (0, 1], got {self.budget_headroom}"
+            )
+
+
+class ContinuousOptimizer:
+    """SLSQP solver for the Eq. 5-7 program with analytic gradients."""
+
+    def __init__(self, options: Optional[OptimizerOptions] = None) -> None:
+        self.options = options if options is not None else OptimizerOptions()
+
+    # ------------------------------------------------------------------
+
+    def solve(self, problem: AllocationProblem) -> Allocation:
+        """Best feasible local optimum across all starts."""
+        if problem.power_budget <= 0.0:
+            return Allocation(
+                problem=problem,
+                swings=problem.zero_allocation(),
+                solver="slsqp",
+            )
+        starts = self._initial_points(problem)
+        best: Optional[np.ndarray] = None
+        best_utility = -math.inf
+        for x0 in starts:
+            swings = self._solve_from(problem, x0)
+            if swings is None:
+                continue
+            utility = problem.utility(swings)
+            if utility > best_utility:
+                best_utility = utility
+                best = swings
+        if best is None:
+            raise OptimizationError(
+                "SLSQP failed to produce a feasible allocation from any start"
+            )
+        return Allocation(problem=problem, swings=best, solver="slsqp")
+
+    def sweep(
+        self, problem: AllocationProblem, budgets: "list[float]"
+    ) -> List[Allocation]:
+        """Solve the same instance under increasing budgets, warm-starting.
+
+        Each budget's solution seeds the next one, which both speeds the
+        sweep up and produces the smooth swing trajectories of Fig. 9.
+        """
+        allocations: List[Allocation] = []
+        previous: Optional[np.ndarray] = None
+        for budget in budgets:
+            scoped = problem.with_budget(float(budget))
+            if budget <= 0.0:
+                allocations.append(
+                    Allocation(
+                        problem=scoped,
+                        swings=scoped.zero_allocation(),
+                        solver="slsqp",
+                    )
+                )
+                continue
+            starts = self._initial_points(scoped)
+            if previous is not None:
+                warm = previous / scoped.led.max_swing
+                starts.insert(0, self._fit_budget(scoped, warm.ravel()))
+            best = None
+            best_utility = -math.inf
+            for x0 in starts:
+                swings = self._solve_from(scoped, x0)
+                if swings is None:
+                    continue
+                utility = scoped.utility(swings)
+                if utility > best_utility:
+                    best_utility = utility
+                    best = swings
+            if best is None:
+                raise OptimizationError(
+                    f"SLSQP failed at budget {budget} in the sweep"
+                )
+            allocations.append(Allocation(problem=scoped, swings=best, solver="slsqp"))
+            previous = best
+        return allocations
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _initial_points(self, problem: AllocationProblem) -> List[np.ndarray]:
+        num_tx = problem.num_transmitters
+        num_rx = problem.num_receivers
+        size = num_tx * num_rx
+        rng = np.random.default_rng(self.options.seed)
+
+        # Start 1: heuristic structure, scaled into the budget interior.
+        heuristic = RankingHeuristic().solve(problem)
+        base = heuristic.swings / problem.led.max_swing
+        seeded = base.ravel() * 0.8 + 5e-3
+        points = [self._fit_budget(problem, seeded)]
+
+        # Perturbed restarts.
+        for _ in range(self.options.restarts):
+            noise = rng.uniform(0.0, 0.3, size=size)
+            candidate = np.clip(seeded + noise, 1e-4, 1.0)
+            points.append(self._fit_budget(problem, candidate))
+        return points
+
+    def _fit_budget(self, problem: AllocationProblem, x: np.ndarray) -> np.ndarray:
+        """Scale a candidate so it strictly satisfies both constraints."""
+        num_rx = problem.num_receivers
+        x = np.clip(np.asarray(x, dtype=float), 0.0, 1.0)
+        matrix = x.reshape(problem.num_transmitters, num_rx)
+        per_tx = matrix.sum(axis=1)
+        overflow = per_tx.max(initial=0.0)
+        if overflow > 1.0:
+            matrix = matrix / overflow
+        swings = matrix * problem.led.max_swing
+        power = problem.total_power(swings)
+        target = problem.power_budget * self.options.budget_headroom
+        if power > target > 0.0:
+            # Power is quadratic in the swing scale.
+            matrix = matrix * math.sqrt(target / power)
+        return matrix.ravel()
+
+    def _solve_from(
+        self, problem: AllocationProblem, x0: np.ndarray
+    ) -> Optional[np.ndarray]:
+        num_tx = problem.num_transmitters
+        num_rx = problem.num_receivers
+        max_swing = problem.led.max_swing
+        channel = problem.channel
+        scale = (
+            problem.photodiode.responsivity
+            * problem.led.wall_plug_efficiency
+            * problem.led.dynamic_resistance
+        )
+        noise_power = problem.noise.power
+        bandwidth = problem.noise.bandwidth
+        resistance = problem.led.dynamic_resistance
+        floor = self.options.utility_floor
+        ln2 = math.log(2.0)
+
+        def objective(x: np.ndarray) -> Tuple[float, np.ndarray]:
+            swings = x.reshape(num_tx, num_rx) * max_swing
+            quarter = (swings / 2.0) ** 2
+            amplitudes = scale * channel.T @ quarter  # (M, M)
+            signal = np.diag(amplitudes).copy()
+            interference = amplitudes.sum(axis=1) - signal
+            denom = noise_power + interference**2
+            sinr = signal**2 / denom
+            rate = bandwidth * np.log2(1.0 + sinr)
+            value = float(np.sum(np.log(rate + floor)))
+
+            # dF/dSINR_i, dSINR/dsignal, dSINR/dinterference.
+            g = (1.0 / (rate + floor)) * bandwidth / (ln2 * (1.0 + sinr))
+            dsinr_dsig = 2.0 * signal / denom
+            dsinr_dint = -2.0 * signal**2 * interference / denom**2
+            w_direct = g * dsinr_dsig
+            w_interf = g * dsinr_dint
+            total_interf = channel @ w_interf  # (N,)
+            grad_q = scale * (
+                channel * (w_direct - w_interf)[None, :]
+                + total_interf[:, None]
+            )
+            grad_swing = grad_q * (swings / 2.0)
+            gradient = grad_swing.ravel() * max_swing
+            return -value, -gradient
+
+        def power_constraint(x: np.ndarray) -> float:
+            swings = x.reshape(num_tx, num_rx) * max_swing
+            return problem.power_budget - problem.total_power(swings)
+
+        def power_jacobian(x: np.ndarray) -> np.ndarray:
+            matrix = x.reshape(num_tx, num_rx)
+            per_tx = matrix.sum(axis=1) * max_swing
+            # d(budget - power)/dx[j,k] = -r * T_j * max_swing / 2
+            grad = -resistance * per_tx * max_swing / 2.0
+            return np.repeat(grad, num_rx)
+
+        per_tx_a = np.zeros((num_tx, num_tx * num_rx))
+        for j in range(num_tx):
+            per_tx_a[j, j * num_rx : (j + 1) * num_rx] = 1.0
+
+        constraints = [
+            {"type": "ineq", "fun": power_constraint, "jac": power_jacobian},
+            {
+                "type": "ineq",
+                "fun": lambda x: 1.0 - per_tx_a @ x,
+                "jac": lambda x: -per_tx_a,
+            },
+        ]
+        bounds = [(0.0, 1.0)] * (num_tx * num_rx)
+        result = optimize.minimize(
+            objective,
+            x0,
+            jac=True,
+            method="SLSQP",
+            bounds=bounds,
+            constraints=constraints,
+            options={
+                "maxiter": self.options.max_iterations,
+                "ftol": self.options.tolerance,
+            },
+        )
+        candidate = np.clip(result.x, 0.0, 1.0).reshape(num_tx, num_rx) * max_swing
+        # SLSQP can end a hair outside the power budget; pull it back in.
+        power = problem.total_power(candidate)
+        if power > problem.power_budget > 0.0:
+            candidate = candidate * math.sqrt(problem.power_budget / power)
+        if not problem.is_feasible(candidate, tolerance=1e-6):
+            return None
+        return candidate
+
+
+def solve_optimal(
+    problem: AllocationProblem, options: Optional[OptimizerOptions] = None
+) -> Allocation:
+    """One-call convenience wrapper around :class:`ContinuousOptimizer`."""
+    return ContinuousOptimizer(options).solve(problem)

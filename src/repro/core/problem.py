@@ -1,0 +1,166 @@
+"""The DenseVLC power-allocation problem (paper Sec. 3.3, Eqs. 5-7).
+
+Given the LOS gain matrix between N TXs and M RXs, choose the swing
+currents ``I_sw[j, k]`` (TX ``j`` serving RX ``k``) that maximize the
+proportionally-fair sum-log throughput
+
+    max  sum_i log( B * log2(1 + SINR_i) )                    (Eq. 5)
+    s.t. 0 <= sum_k I_sw[j, k] <= I_sw,max   for every TX j   (Eq. 6)
+         sum_j r * (sum_k I_sw[j, k] / 2)^2 <= P_budget       (Eq. 7)
+
+with the SINR of Eq. 12.  :class:`AllocationProblem` bundles the inputs
+and provides the objective/constraint evaluations shared by the optimal
+solver, the heuristic and the baselines.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+import numpy as np
+
+from ..channel import AWGNNoise, channel_matrix
+from ..channel import sinr as sinr_of
+from ..channel.sinr import shannon_throughput
+from ..errors import AllocationError
+from ..optics import LEDModel, Photodiode, cree_xte_paper_power, s5971
+from ..system import Scene
+
+#: Throughput floor [bit/s] inside the log utility, to keep the sum-log
+#: objective finite when a receiver is (temporarily) unserved.
+UTILITY_FLOOR: float = 1.0
+
+
+@dataclass(frozen=True)
+class AllocationProblem:
+    """An instance of the Eq. 5-7 program.
+
+    Attributes:
+        channel: (N, M) LOS gain matrix ``H``.
+        power_budget: total communication power budget ``P_C,tot`` [W].
+        led: LED model (provides ``r``, ``eta``, ``I_sw,max``).
+        photodiode: receiver front-end (provides ``R``).
+        noise: AWGN model (provides ``N_0 * B`` and the bandwidth).
+    """
+
+    channel: np.ndarray
+    power_budget: float
+    led: LEDModel = field(default_factory=cree_xte_paper_power)
+    photodiode: Photodiode = field(default_factory=s5971)
+    noise: AWGNNoise = field(default_factory=AWGNNoise)
+
+    def __post_init__(self) -> None:
+        matrix = np.asarray(self.channel, dtype=float)
+        if matrix.ndim != 2 or matrix.shape[0] == 0 or matrix.shape[1] == 0:
+            raise AllocationError(
+                f"channel must be a non-empty 2-D matrix, got shape {matrix.shape}"
+            )
+        if np.any(matrix < 0) or not np.all(np.isfinite(matrix)):
+            raise AllocationError("channel gains must be finite and non-negative")
+        object.__setattr__(self, "channel", matrix)
+        if not math.isfinite(self.power_budget) or self.power_budget < 0:
+            raise AllocationError(
+                f"power budget must be finite and >= 0, got {self.power_budget}"
+            )
+
+    # ------------------------------------------------------------------
+
+    @property
+    def num_transmitters(self) -> int:
+        return int(self.channel.shape[0])
+
+    @property
+    def num_receivers(self) -> int:
+        return int(self.channel.shape[1])
+
+    @property
+    def full_swing_power(self) -> float:
+        """Per-TX communication power at maximum swing [W]."""
+        return self.led.full_swing_power
+
+    @property
+    def max_affordable_transmitters(self) -> int:
+        """How many full-swing TXs the budget can pay for."""
+        return int(self.power_budget / self.full_swing_power + 1e-9)
+
+    def with_budget(self, power_budget: float) -> "AllocationProblem":
+        """The same instance under a different power budget."""
+        return replace(self, power_budget=power_budget)
+
+    # ------------------------------------------------------------------
+    # Evaluations shared by all solvers
+    # ------------------------------------------------------------------
+
+    def _check_swings(self, swings: np.ndarray) -> np.ndarray:
+        matrix = np.asarray(swings, dtype=float)
+        if matrix.shape != self.channel.shape:
+            raise AllocationError(
+                f"swing matrix shape {matrix.shape} does not match channel "
+                f"shape {self.channel.shape}"
+            )
+        return matrix
+
+    def total_power(self, swings: np.ndarray) -> float:
+        """Total communication power [W] of an allocation -- Eq. 7.
+
+        The per-TX power depends on the TX's *total* swing across all the
+        beamspots it participates in.
+        """
+        matrix = self._check_swings(swings)
+        per_tx_swing = matrix.sum(axis=1)
+        return float(
+            np.sum(self.led.dynamic_resistance * (per_tx_swing / 2.0) ** 2)
+        )
+
+    def is_feasible(self, swings: np.ndarray, tolerance: float = 1e-9) -> bool:
+        """Whether an allocation satisfies Eqs. 6 and 7."""
+        matrix = self._check_swings(swings)
+        if np.any(matrix < -tolerance):
+            return False
+        per_tx_swing = matrix.sum(axis=1)
+        if np.any(per_tx_swing > self.led.max_swing * (1.0 + tolerance) + tolerance):
+            return False
+        return self.total_power(matrix) <= self.power_budget * (1.0 + tolerance) + tolerance
+
+    def sinr(self, swings: np.ndarray) -> np.ndarray:
+        """Per-RX SINR of an allocation -- Eq. 12."""
+        matrix = self._check_swings(swings)
+        return sinr_of(self.channel, matrix, self.led, self.photodiode, self.noise)
+
+    def throughput(self, swings: np.ndarray) -> np.ndarray:
+        """Per-RX Shannon throughput [bit/s] of an allocation."""
+        return shannon_throughput(self.sinr(swings), self.noise.bandwidth)
+
+    def system_throughput(self, swings: np.ndarray) -> float:
+        """Total throughput [bit/s] across receivers."""
+        return float(np.sum(self.throughput(swings)))
+
+    def utility(self, swings: np.ndarray) -> float:
+        """Sum-log (proportional-fairness) objective -- Eq. 5.
+
+        Throughputs are floored at :data:`UTILITY_FLOOR` so the objective
+        stays finite for unserved receivers.
+        """
+        rates = np.maximum(self.throughput(swings), UTILITY_FLOOR)
+        return float(np.sum(np.log(rates)))
+
+    def zero_allocation(self) -> np.ndarray:
+        """The all-zeros swing matrix (pure illumination)."""
+        return np.zeros_like(self.channel)
+
+
+def problem_for_scene(
+    scene: Scene,
+    power_budget: float,
+    noise: Optional[AWGNNoise] = None,
+) -> AllocationProblem:
+    """Build an :class:`AllocationProblem` from a scene's LOS channel."""
+    return AllocationProblem(
+        channel=channel_matrix(scene),
+        power_budget=power_budget,
+        led=scene.led,
+        photodiode=scene.receivers[0].photodiode if scene.receivers else s5971(),
+        noise=noise if noise is not None else AWGNNoise(),
+    )

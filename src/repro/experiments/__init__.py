@@ -1,0 +1,56 @@
+"""Experiment runners: one module per paper table/figure, plus ablations.
+
+See DESIGN.md for the experiment index and EXPERIMENTS.md for
+paper-vs-measured results.
+"""
+
+from . import (
+    ablations,
+    complexity,
+    extensions,
+    fig04_taylor,
+    fig05_illumination,
+    fig08_throughput,
+    fig09_swing_levels,
+    fig10_swing_cdf,
+    fig11_heuristic,
+    fig12_sync_delay,
+    fig18_20_scenarios,
+    fig21_efficiency,
+    mobility,
+    table4_sync,
+    table5_iperf,
+)
+from .config import ExperimentConfig, default_config
+from .scenarios import (
+    SCENARIO_DESCRIPTIONS,
+    TABLE6_SCENARIOS,
+    fig6_instances,
+    fig7_instance,
+    scenario_positions,
+)
+
+__all__ = [
+    "ablations",
+    "complexity",
+    "extensions",
+    "fig04_taylor",
+    "fig05_illumination",
+    "fig08_throughput",
+    "fig09_swing_levels",
+    "fig10_swing_cdf",
+    "fig11_heuristic",
+    "fig12_sync_delay",
+    "fig18_20_scenarios",
+    "fig21_efficiency",
+    "mobility",
+    "table4_sync",
+    "table5_iperf",
+    "ExperimentConfig",
+    "default_config",
+    "SCENARIO_DESCRIPTIONS",
+    "TABLE6_SCENARIOS",
+    "fig6_instances",
+    "fig7_instance",
+    "scenario_positions",
+]

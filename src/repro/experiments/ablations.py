@@ -1,0 +1,258 @@
+"""Design-choice ablations called out in DESIGN.md (paper Secs. 4, 5, 9).
+
+- :func:`binary_vs_continuous` -- Insight 2 quantified: projecting the
+  continuous optimum onto zero/full swings loses almost nothing.
+- :func:`kappa_sensitivity` -- the heuristic's throughput across a finer
+  kappa grid than the paper's four values.
+- :func:`personalized_kappa` -- the Sec. 9 future-work idea: a per-RX
+  kappa, tuned coordinate-wise, versus the global kappa.
+- :func:`tx_density_sweep` -- Sec. 9: sparser grids lose throughput and
+  fairness ("the lower the TX density, the less degrees of freedom").
+- :func:`rx_count_sweep` -- Sec. 9: more receivers share the budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..channel import channel_matrix
+from ..core import (
+    AllocationProblem,
+    utility_gap,
+    ContinuousOptimizer,
+    OptimizerOptions,
+    RankingHeuristic,
+    binary_projection,
+    jain_fairness,
+    personalized_kappa_ranking,
+    truncate_to_budget,
+)
+from ..core.allocation import binary_allocation
+from ..errors import ConfigurationError
+from ..geometry import GridLayout
+from ..system import simulation_scene
+from .config import ExperimentConfig, default_config
+from .scenarios import fig6_instances, fig7_instance
+
+
+@dataclass(frozen=True)
+class BinaryGapResult:
+    """Gap of the binary projection vs the continuous optimum.
+
+    ``continuous``/``binary`` are system throughputs; ``utility_gaps``
+    are the per-budget geometric-mean throughput losses (the Insight-2
+    metric -- see :func:`repro.core.insights.utility_gap`).
+    """
+
+    budgets: np.ndarray
+    continuous: np.ndarray
+    binary: np.ndarray
+    utility_gaps: np.ndarray
+
+    @property
+    def worst_gap(self) -> float:
+        """Largest geometric-mean throughput loss of the projection."""
+        return float(np.max(self.utility_gaps))
+
+
+def binary_vs_continuous(
+    config: Optional[ExperimentConfig] = None,
+    budgets: Optional[Sequence[float]] = None,
+) -> BinaryGapResult:
+    """Quantify Insight 2 on the Fig. 7 instance."""
+    cfg = config if config is not None else default_config()
+    budget_list = (
+        list(budgets) if budgets is not None else list(cfg.coarse_budgets(8))
+    )
+    scene = cfg.simulation_scene_at(fig7_instance())
+    problem = AllocationProblem(
+        channel=channel_matrix(scene),
+        power_budget=budget_list[-1],
+        led=cfg.led,
+        photodiode=cfg.photodiode,
+        noise=cfg.noise,
+    )
+    optimizer = ContinuousOptimizer(OptimizerOptions(restarts=0, seed=cfg.seed))
+    allocations = optimizer.sweep(problem, budget_list)
+    projections = [binary_projection(a) for a in allocations]
+    continuous = np.array([a.system_throughput for a in allocations])
+    binary = np.array([p.system_throughput for p in projections])
+    gaps = np.array(
+        [
+            utility_gap(a, p)
+            for a, p in zip(allocations, projections)
+        ]
+    )
+    return BinaryGapResult(
+        budgets=np.asarray(budget_list),
+        continuous=continuous,
+        binary=binary,
+        utility_gaps=gaps,
+    )
+
+
+def kappa_sensitivity(
+    config: Optional[ExperimentConfig] = None,
+    kappas: Optional[Sequence[float]] = None,
+    power_budget: float = 1.2,
+    instances: int = 10,
+    seed: int = 0,
+) -> Dict[float, float]:
+    """Mean system throughput per kappa over random instances."""
+    cfg = config if config is not None else default_config()
+    kappa_list = (
+        list(kappas)
+        if kappas is not None
+        else [round(0.8 + 0.1 * i, 1) for i in range(11)]
+    )
+    placements = fig6_instances(instances=instances, seed=seed)
+    base_scene = cfg.simulation_scene_at(placements[0])
+    totals = {kappa: 0.0 for kappa in kappa_list}
+    for t in range(instances):
+        scene = base_scene.with_receivers_at(
+            [(float(x), float(y)) for x, y in placements[t]]
+        )
+        problem = AllocationProblem(
+            channel=channel_matrix(scene),
+            power_budget=power_budget,
+            led=cfg.led,
+            photodiode=cfg.photodiode,
+            noise=cfg.noise,
+        )
+        for kappa in kappa_list:
+            allocation = RankingHeuristic(kappa=kappa).solve(problem)
+            totals[kappa] += allocation.system_throughput
+    return {kappa: total / instances for kappa, total in totals.items()}
+
+
+def personalized_kappa(
+    config: Optional[ExperimentConfig] = None,
+    power_budget: float = 1.2,
+    base_kappa: float = 1.3,
+    candidates: Sequence[float] = (1.1, 1.2, 1.3, 1.4, 1.5),
+    passes: int = 2,
+) -> Tuple[float, float, List[float]]:
+    """Sec. 9 extension: coordinate-wise per-RX kappa tuning.
+
+    Returns ``(global_throughput, personalized_throughput, kappas)``.
+    Personalization can only help (the global kappa is in the search
+    space), typically by a few percent on interference-heavy instances.
+    """
+    if passes < 1:
+        raise ConfigurationError(f"passes must be >= 1, got {passes}")
+    cfg = config if config is not None else default_config()
+    scene = cfg.simulation_scene_at(fig7_instance())
+    problem = AllocationProblem(
+        channel=channel_matrix(scene),
+        power_budget=power_budget,
+        led=cfg.led,
+        photodiode=cfg.photodiode,
+        noise=cfg.noise,
+    )
+
+    def throughput_for(kappas: List[float]) -> float:
+        ranking = personalized_kappa_ranking(problem.channel, kappas)
+        granted = truncate_to_budget(problem, ranking)
+        allocation = binary_allocation(problem, granted, solver="personalized")
+        return allocation.system_throughput
+
+    global_throughput = RankingHeuristic(kappa=base_kappa).solve(
+        problem
+    ).system_throughput
+    kappas = [base_kappa] * problem.num_receivers
+    best = throughput_for(kappas)
+    for _ in range(passes):
+        for rx in range(problem.num_receivers):
+            for candidate in candidates:
+                trial = list(kappas)
+                trial[rx] = candidate
+                value = throughput_for(trial)
+                if value > best:
+                    best = value
+                    kappas = trial
+    return global_throughput, best, kappas
+
+
+@dataclass(frozen=True)
+class DensityPoint:
+    """One TX-density configuration's outcome."""
+
+    grid_side: int
+    spacing: float
+    system_throughput: float
+    fairness: float
+
+
+def tx_density_sweep(
+    config: Optional[ExperimentConfig] = None,
+    sides: Sequence[int] = (3, 4, 6),
+    power_budget: float = 1.2,
+) -> List[DensityPoint]:
+    """Sec. 9 ablation: sparser TX grids over the same room.
+
+    Each grid spans the same 3 m x 3 m footprint; the budget is fixed, so
+    differences isolate the spatial degrees of freedom.
+    """
+    cfg = config if config is not None else default_config()
+    points = []
+    for side in sides:
+        if side < 2:
+            raise ConfigurationError(f"grid side must be >= 2, got {side}")
+        spacing = 3.0 / side
+        grid = GridLayout(
+            columns=side,
+            rows=side,
+            spacing=spacing,
+            offset_x=spacing / 2.0,
+            offset_y=spacing / 2.0,
+        )
+        scene = simulation_scene(
+            fig7_instance(), led=cfg.led, photodiode=cfg.photodiode, grid=grid
+        )
+        problem = AllocationProblem(
+            channel=channel_matrix(scene),
+            power_budget=power_budget,
+            led=cfg.led,
+            photodiode=cfg.photodiode,
+            noise=cfg.noise,
+        )
+        allocation = RankingHeuristic().solve(problem)
+        points.append(
+            DensityPoint(
+                grid_side=side,
+                spacing=spacing,
+                system_throughput=allocation.system_throughput,
+                fairness=jain_fairness(allocation.throughput),
+            )
+        )
+    return points
+
+
+def rx_count_sweep(
+    config: Optional[ExperimentConfig] = None,
+    counts: Sequence[int] = (1, 2, 3, 4),
+    power_budget: float = 1.2,
+) -> Dict[int, float]:
+    """Sec. 9 ablation: per-RX throughput as the receiver count grows."""
+    cfg = config if config is not None else default_config()
+    positions = list(fig7_instance())
+    results = {}
+    for count in counts:
+        if not 1 <= count <= len(positions):
+            raise ConfigurationError(
+                f"count must be in [1, {len(positions)}], got {count}"
+            )
+        scene = cfg.simulation_scene_at(positions[:count])
+        problem = AllocationProblem(
+            channel=channel_matrix(scene),
+            power_budget=power_budget,
+            led=cfg.led,
+            photodiode=cfg.photodiode,
+            noise=cfg.noise,
+        )
+        allocation = RankingHeuristic().solve(problem)
+        results[count] = allocation.system_throughput / count
+    return results

@@ -1,0 +1,91 @@
+"""Shared experiment configuration (paper Table 1 and Secs. 4/8 setups).
+
+Every experiment runner takes an :class:`ExperimentConfig` so the whole
+evaluation can be re-run against modified hardware assumptions in one
+place.  Defaults are the paper's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import constants
+from ..channel import AWGNNoise
+from ..errors import ConfigurationError
+from ..optics import LEDModel, Photodiode, cree_xte, s5971
+from ..system import Scene, experimental_scene, simulation_scene
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Hardware/channel assumptions shared by the experiment runners.
+
+    Attributes:
+        led: LED model (Table 1 CREE XT-E by default).
+        photodiode: receiver front-end (Table 1 S5971 by default).
+        noise: AWGN model (Table 1 N_0 and B by default).
+        budget_grid: power budgets [W] for sweep figures; the paper sweeps
+            0..3 W, which at the small-signal dynamic resistance covers
+            the full 36-TX grid (36 x 54 mW = 1.95 W).
+        kappas: the Fig. 11/18-20 kappa values.
+        seed: base RNG seed for reproducibility.
+    """
+
+    led: LEDModel = field(default_factory=cree_xte)
+    photodiode: Photodiode = field(default_factory=s5971)
+    noise: AWGNNoise = field(default_factory=AWGNNoise)
+    budget_grid: Tuple[float, ...] = ()
+    kappas: Tuple[float, ...] = constants.PAPER_KAPPAS
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.budget_grid:
+            step = self.led.full_swing_power
+            grid = tuple(
+                float(step * k) for k in range(1, self.max_transmitters() + 1)
+            )
+            object.__setattr__(self, "budget_grid", grid)
+        if any(b < 0 for b in self.budget_grid):
+            raise ConfigurationError("budgets must be >= 0")
+        if not self.kappas:
+            raise ConfigurationError("need at least one kappa")
+
+    @staticmethod
+    def max_transmitters() -> int:
+        return constants.NUM_TRANSMITTERS
+
+    # ------------------------------------------------------------------
+
+    def simulation_scene_at(
+        self, rx_positions_xy: Sequence[Tuple[float, float]]
+    ) -> Scene:
+        """The Sec. 4 deployment with this config's hardware."""
+        return simulation_scene(
+            rx_positions_xy, led=self.led, photodiode=self.photodiode
+        )
+
+    def experimental_scene_at(
+        self, rx_positions_xy: Sequence[Tuple[float, float]]
+    ) -> Scene:
+        """The Sec. 8 deployment with this config's hardware."""
+        return experimental_scene(
+            rx_positions_xy, led=self.led, photodiode=self.photodiode
+        )
+
+    def coarse_budgets(self, count: int = 8) -> Tuple[float, ...]:
+        """An evenly thinned subset of the budget grid for slow solvers."""
+        if count < 1:
+            raise ConfigurationError(f"count must be >= 1, got {count}")
+        grid = self.budget_grid
+        if count >= len(grid):
+            return grid
+        indices = np.linspace(0, len(grid) - 1, count).round().astype(int)
+        return tuple(grid[i] for i in sorted(set(int(i) for i in indices)))
+
+
+def default_config() -> ExperimentConfig:
+    """The paper's Table 1 configuration."""
+    return ExperimentConfig()

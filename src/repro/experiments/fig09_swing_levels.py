@@ -1,0 +1,84 @@
+"""Fig. 9: optimal swing levels vs communication power (the waterfall).
+
+Solving the optimal policy for the Fig. 7 instance under a fine budget
+grid exposes Insight 1: each RX's preferred TXs saturate to full swing
+*sequentially* -- for RX1 in the order TX8 -> TX14 -> TX7 -> TX2 -> TX1 ->
+TX13 -- and intermediate swing levels are rare (Insight 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..channel import channel_matrix
+from ..core import (
+    Allocation,
+    AllocationProblem,
+    ContinuousOptimizer,
+    OptimizerOptions,
+    assignment_order,
+    insight_report,
+    swing_trajectories,
+)
+from ..core.insights import InsightReport
+from .config import ExperimentConfig, default_config
+from .scenarios import fig7_instance
+
+
+@dataclass(frozen=True)
+class SwingLevelResult:
+    """The Fig. 9 data for one instance.
+
+    Attributes:
+        budgets: the budget grid [W].
+        trajectories: RX index -> (N, B) per-TX swing trajectories [A].
+        orders: RX index -> TX indices in switch-on order (0-based).
+        insights: aggregate Insight-2 statistics across the sweep.
+        allocations: the solved allocations, one per budget.
+    """
+
+    budgets: np.ndarray
+    trajectories: Dict[int, np.ndarray]
+    orders: Dict[int, List[int]]
+    insights: InsightReport
+    allocations: List[Allocation]
+
+    def order_labels(self, rx: int) -> List[str]:
+        """1-based TX labels of the switch-on order, e.g. ['TX8', 'TX14']."""
+        return [f"TX{j + 1}" for j in self.orders[rx]]
+
+
+def run(
+    config: Optional[ExperimentConfig] = None,
+    budgets: Optional[Sequence[float]] = None,
+    rx_indices: Sequence[int] = (0, 1),
+) -> SwingLevelResult:
+    """Optimal budget sweep on the Fig. 7 instance."""
+    cfg = config if config is not None else default_config()
+    budget_list = (
+        list(budgets) if budgets is not None else list(cfg.coarse_budgets(12))
+    )
+    scene = cfg.simulation_scene_at(fig7_instance())
+    problem = AllocationProblem(
+        channel=channel_matrix(scene),
+        power_budget=budget_list[-1],
+        led=cfg.led,
+        photodiode=cfg.photodiode,
+        noise=cfg.noise,
+    )
+    optimizer = ContinuousOptimizer(OptimizerOptions(restarts=0, seed=cfg.seed))
+    allocations = optimizer.sweep(problem, budget_list)
+    trajectories = {
+        rx: swing_trajectories(allocations, rx) for rx in rx_indices
+    }
+    orders = {rx: assignment_order(allocations, rx) for rx in rx_indices}
+    return SwingLevelResult(
+        budgets=np.asarray(budget_list, dtype=float),
+        trajectories=trajectories,
+        orders=orders,
+        insights=insight_report(allocations),
+        allocations=allocations,
+    )

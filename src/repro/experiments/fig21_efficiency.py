@@ -1,0 +1,127 @@
+"""Fig. 21: DenseVLC vs SISO and D-MISO -- throughput and power efficiency.
+
+On the interference-heavy scenario, the paper finds:
+
+- SISO's operating point lies *on* the DenseVLC curve (equal power
+  efficiency), but SISO cannot grow beyond it;
+- DenseVLC reaches the D-MISO system throughput at a fraction of the
+  D-MISO power (paper: 1.19 W vs 2.68 W -> 2.3x power efficiency);
+- at that operating point DenseVLC's throughput gain over SISO is ~45%.
+
+The headline factors depend on the interference level of the scenario;
+the paper's text analyzes Scenario 3 ("the system throughput drops when
+assigning many TXs"), which is this module's default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..channel import channel_matrix
+from ..core import (
+    Allocation,
+    AllocationProblem,
+    RankingHeuristic,
+    crossover_budget,
+    dmiso_allocation,
+    siso_allocation,
+)
+from ..errors import ConfigurationError
+from ..mac import measure_channel
+from .config import ExperimentConfig, default_config
+from .scenarios import scenario_positions
+
+
+@dataclass(frozen=True)
+class EfficiencyResult:
+    """The Fig. 21 comparison.
+
+    Attributes:
+        budgets: DenseVLC budget grid [W].
+        densevlc_curve: DenseVLC (kappa = 1.3) system throughput, (B,).
+        siso: the SISO operating point.
+        dmiso: the D-MISO operating point.
+        dmiso_match_budget: budget [W] where DenseVLC reaches the D-MISO
+            throughput (NaN when it never does).
+        siso_match_budget: likewise for the SISO throughput.
+    """
+
+    budgets: np.ndarray
+    densevlc_curve: np.ndarray
+    siso: Allocation
+    dmiso: Allocation
+    dmiso_match_budget: float
+    siso_match_budget: float
+
+    @property
+    def power_efficiency_gain(self) -> float:
+        """D-MISO power over the DenseVLC matching budget (paper: ~2.3x)."""
+        if not np.isfinite(self.dmiso_match_budget):
+            return float("nan")
+        return self.dmiso.total_power / self.dmiso_match_budget
+
+    @property
+    def throughput_gain_vs_siso(self) -> float:
+        """Throughput gain of the D-MISO-matching operating point over
+        SISO (paper: ~45%)."""
+        siso_throughput = self.siso.system_throughput
+        if siso_throughput <= 0:
+            return float("nan")
+        return (
+            self.dmiso.system_throughput - siso_throughput
+        ) / siso_throughput
+
+    @property
+    def siso_on_curve(self) -> bool:
+        """Whether SISO's operating point lies on the DenseVLC curve
+        (budget where DenseVLC matches SISO ~= SISO's own power)."""
+        if not np.isfinite(self.siso_match_budget):
+            return False
+        power = self.siso.total_power
+        return abs(self.siso_match_budget - power) <= 0.35 * max(power, 1e-9)
+
+
+def run(
+    config: Optional[ExperimentConfig] = None,
+    scenario: int = 3,
+    kappa: float = 1.3,
+    measurement_noise: bool = True,
+    budgets: Optional[Sequence[float]] = None,
+    seed: int = 0,
+) -> EfficiencyResult:
+    """Compare DenseVLC (ranking heuristic) against SISO and D-MISO."""
+    cfg = config if config is not None else default_config()
+    scene = cfg.experimental_scene_at(scenario_positions(scenario))
+    if measurement_noise:
+        channel = measure_channel(scene, noise=cfg.noise, rng=seed)
+    else:
+        channel = channel_matrix(scene)
+    budget_list = (
+        list(budgets) if budgets is not None else list(cfg.budget_grid)
+    )
+    problem = AllocationProblem(
+        channel=channel,
+        power_budget=budget_list[-1],
+        led=cfg.led,
+        photodiode=cfg.photodiode,
+        noise=cfg.noise,
+    )
+    sweep = RankingHeuristic(kappa=kappa).sweep(problem, budget_list)
+    curve = np.array([a.system_throughput for a in sweep])
+    siso = siso_allocation(problem, scene)
+    dmiso = dmiso_allocation(problem, scene)
+    return EfficiencyResult(
+        budgets=np.asarray(budget_list),
+        densevlc_curve=curve,
+        siso=siso,
+        dmiso=dmiso,
+        dmiso_match_budget=crossover_budget(
+            budget_list, curve, dmiso.system_throughput
+        ),
+        siso_match_budget=crossover_budget(
+            budget_list, curve, siso.system_throughput
+        ),
+    )

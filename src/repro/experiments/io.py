@@ -1,0 +1,95 @@
+"""Serialization helpers for experiment results.
+
+Experiment runners return frozen dataclasses holding numpy arrays.
+These helpers flatten any such result into JSON-compatible structures so
+runs can be archived, diffed across code versions, or consumed by
+external plotting tools:
+
+    from repro.experiments import fig04_taylor, io
+    io.save_result("fig04.json", fig04_taylor.run())
+    data = io.load_result("fig04.json")
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Dict
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+def to_jsonable(value: Any) -> Any:
+    """Recursively convert a result object to JSON-compatible data.
+
+    Handles dataclasses, numpy arrays/scalars, mappings, sequences and
+    the plain JSON types.  Non-finite floats become strings ("inf",
+    "-inf", "nan") so round-trips stay lossless under strict JSON.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        if value != value:
+            return "nan"
+        if value == float("inf"):
+            return "inf"
+        if value == float("-inf"):
+            return "-inf"
+        return value
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return to_jsonable(float(value))
+    if isinstance(value, np.ndarray):
+        return [to_jsonable(item) for item in value.tolist()]
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            "__dataclass__": type(value).__name__,
+            **{
+                field.name: to_jsonable(getattr(value, field.name))
+                for field in dataclasses.fields(value)
+            },
+        }
+    if isinstance(value, dict):
+        return {str(key): to_jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [to_jsonable(item) for item in value]
+    raise ConfigurationError(
+        f"cannot serialize a {type(value).__name__} to JSON"
+    )
+
+
+def from_jsonable(value: Any) -> Any:
+    """Best-effort inverse of :func:`to_jsonable`.
+
+    Dataclasses come back as plain dicts (with their ``__dataclass__``
+    tag preserved); the special float strings are restored.
+    """
+    if isinstance(value, str):
+        if value == "nan":
+            return float("nan")
+        if value == "inf":
+            return float("inf")
+        if value == "-inf":
+            return float("-inf")
+        return value
+    if isinstance(value, dict):
+        return {key: from_jsonable(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [from_jsonable(item) for item in value]
+    return value
+
+
+def save_result(path: str, result: Any, indent: int = 2) -> None:
+    """Serialize an experiment result to a JSON file."""
+    with open(path, "w") as handle:
+        json.dump(to_jsonable(result), handle, indent=indent)
+        handle.write("\n")
+
+
+def load_result(path: str) -> Any:
+    """Load a previously saved result (as plain dicts/lists)."""
+    with open(path) as handle:
+        return from_jsonable(json.load(handle))

@@ -1,0 +1,69 @@
+"""Receiver placement workloads from the paper.
+
+- Fig. 6: 100 random instances, RXs clustered around anchor TXs.
+- Fig. 7: the illustrative instance (equal to Table 6 Scenario 2).
+- Table 6: the three experimental scenarios of Sec. 8.2:
+    1. interference-free, no dominating TX (corners, 2 m apart);
+    2. with interference, no dominating TX (the Fig. 7 positions);
+    3. with interference, with dominating TX (each RX exactly under a TX,
+       1 m apart).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..geometry import (
+    FIG6_ANCHOR_TXS,
+    FIG6_CLUSTER_RADIUS,
+    FIG7_RX_POSITIONS,
+    paper_grid,
+    random_instances_around,
+    simulation_room,
+)
+
+#: Table 6 receiver positions [m], keyed by scenario number.
+TABLE6_SCENARIOS: Dict[int, Tuple[Tuple[float, float], ...]] = {
+    1: ((0.50, 0.50), (2.50, 0.50), (0.50, 2.50), (2.50, 2.50)),
+    2: FIG7_RX_POSITIONS,
+    3: ((0.75, 0.75), (1.75, 0.75), (0.75, 1.75), (1.75, 1.75)),
+}
+
+#: Human-readable descriptions (Sec. 8.2).
+SCENARIO_DESCRIPTIONS: Dict[int, str] = {
+    1: "interference-free; no dominating TX",
+    2: "with interference; no dominating TX",
+    3: "with interference; with dominating TX",
+}
+
+
+def scenario_positions(scenario: int) -> Tuple[Tuple[float, float], ...]:
+    """Receiver XY positions for a Table 6 scenario."""
+    if scenario not in TABLE6_SCENARIOS:
+        raise ConfigurationError(
+            f"scenario must be one of {sorted(TABLE6_SCENARIOS)}, got {scenario}"
+        )
+    return TABLE6_SCENARIOS[scenario]
+
+
+def fig6_instances(
+    instances: int = 100, seed: int = 0
+) -> np.ndarray:
+    """The Fig. 6 workload: (instances, 4, 2) random RX positions."""
+    return random_instances_around(
+        paper_grid(),
+        simulation_room(),
+        anchors=FIG6_ANCHOR_TXS,
+        radius=FIG6_CLUSTER_RADIUS,
+        instances=instances,
+        rng=seed,
+    )
+
+
+def fig7_instance() -> Tuple[Tuple[float, float], ...]:
+    """The illustrative Fig. 7 receiver positions."""
+    return FIG7_RX_POSITIONS

@@ -1,0 +1,73 @@
+"""Table 5: iperf throughput and PER under three sync scenarios.
+
+One RX centered among TX2, TX3, TX8 and TX9; 100-second sessions at
+100 ksym/s.  Paper numbers:
+
+    2 TXs (same BBB, no sync needed)   33.9 kbit/s    PER 0.19%
+    4 TXs, no synchronization           0   kbit/s    PER 100%
+    4 TXs, NLOS-VLC synchronization    33.8 kbit/s    PER 0.55%
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..simulation import IperfConfig, IperfResult, NetworkSimulator
+from ..system import Scene
+from .config import ExperimentConfig, default_config
+
+#: 0-based indices of TX2, TX3, TX8, TX9.
+QUAD_TXS: Tuple[int, ...] = (1, 2, 7, 8)
+
+#: The same-board pair used in the first scenario (TX2 and TX8).
+PAIR_TXS: Tuple[int, ...] = (1, 7)
+
+#: RX position: the center of the TX2/TX3/TX8/TX9 square [m].
+RX_POSITION: Tuple[float, float] = (1.0, 0.5)
+
+
+@dataclass(frozen=True)
+class IperfComparisonResult:
+    """The Table 5 rows."""
+
+    results: Dict[str, IperfResult]
+
+    def goodput_kbps(self, scenario: str) -> float:
+        return self.results[scenario].goodput / 1e3
+
+    def per_percent(self, scenario: str) -> float:
+        return 100.0 * self.results[scenario].packet_error_rate
+
+
+def run(
+    config: Optional[ExperimentConfig] = None,
+    iperf: Optional[IperfConfig] = None,
+    max_frames: Optional[int] = None,
+) -> IperfComparisonResult:
+    """Run the three Table 5 scenarios.
+
+    *max_frames* caps each session's frame count (the full 100 s session
+    carries ~425 frames; small caps keep unit tests fast at the cost of
+    PER resolution).
+    """
+    cfg = config if config is not None else default_config()
+    traffic = iperf if iperf is not None else IperfConfig()
+    scene = cfg.experimental_scene_at([RX_POSITION])
+    synced = NetworkSimulator(scene, sync_mode="nlos", noise=cfg.noise)
+    unsynced = NetworkSimulator(scene, sync_mode="none", noise=cfg.noise)
+    no_sync_frames = (
+        max_frames if max_frames is not None else 40
+    )  # every frame fails; a short session suffices
+    results = {
+        "2tx-same-board": synced.run_iperf(
+            list(PAIR_TXS), 0, traffic, max_frames=max_frames
+        ),
+        "4tx-no-sync": unsynced.run_iperf(
+            list(QUAD_TXS), 0, traffic, max_frames=no_sync_frames
+        ),
+        "4tx-nlos-sync": synced.run_iperf(
+            list(QUAD_TXS), 0, traffic, max_frames=max_frames
+        ),
+    }
+    return IperfComparisonResult(results=results)

@@ -1,0 +1,53 @@
+"""Geometry substrate: vectors, rooms, TX grids and receiver mobility."""
+
+from .mobility import (
+    MobilityModel,
+    RandomWalkModel,
+    RandomWaypointModel,
+    WaypointPath,
+)
+from .placement import (
+    FIG6_ANCHOR_TXS,
+    FIG6_CLUSTER_RADIUS,
+    FIG7_RX_POSITIONS,
+    GridLayout,
+    paper_grid,
+    random_instances_around,
+)
+from .room import Room, experimental_room, simulation_room
+from .vectors import (
+    DOWN,
+    UP,
+    angle_between,
+    as_point,
+    centroid,
+    cos_angle_between,
+    distance,
+    horizontal_distance,
+    normalize,
+)
+
+__all__ = [
+    "MobilityModel",
+    "RandomWalkModel",
+    "RandomWaypointModel",
+    "WaypointPath",
+    "FIG6_ANCHOR_TXS",
+    "FIG6_CLUSTER_RADIUS",
+    "FIG7_RX_POSITIONS",
+    "GridLayout",
+    "paper_grid",
+    "random_instances_around",
+    "Room",
+    "experimental_room",
+    "simulation_room",
+    "DOWN",
+    "UP",
+    "angle_between",
+    "as_point",
+    "centroid",
+    "cos_angle_between",
+    "distance",
+    "horizontal_distance",
+    "normalize",
+]

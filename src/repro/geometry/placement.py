@@ -1,0 +1,179 @@
+"""Transmitter grid layout and receiver placement generators.
+
+The paper deploys N = 36 transmitters in a 6 x 6 grid with 0.5 m spacing
+over a 3 m x 3 m footprint.  TX numbering follows the paper's figures:
+TX1 sits at the (0.25 m, 0.25 m) corner, numbering runs along x first and
+then row by row along y, so ``TX8`` is at (0.75 m, 0.75 m) and ``TX10`` at
+(1.75 m, 0.75 m) -- consistent with the preferred-TX orderings reported in
+Sec. 4.2 for the Fig. 7 receiver instance.
+
+Receiver placement mirrors the paper's workloads:
+
+- :func:`random_instances_around` reproduces the Fig. 6 workload -- for
+  each RX, positions drawn uniformly in a disc around an anchor TX.
+- :data:`FIG7_RX_POSITIONS` is the illustrative instance of Fig. 7 (equal
+  to Table 6 Scenario 2).
+- Table 6's three experimental scenarios live in
+  :mod:`repro.experiments.scenarios`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from .. import constants
+from ..errors import GeometryError
+from .room import Room
+
+
+@dataclass(frozen=True)
+class GridLayout:
+    """A rectangular TX grid, numbered row-major from the low-XY corner.
+
+    Attributes:
+        columns: number of TXs along x.
+        rows: number of TXs along y.
+        spacing: inter-TX distance [m].
+        offset_x: x of the first column [m].
+        offset_y: y of the first row [m].
+    """
+
+    columns: int = constants.GRID_SIDE
+    rows: int = constants.GRID_SIDE
+    spacing: float = constants.TX_SPACING
+    offset_x: float = constants.TX_SPACING / 2.0
+    offset_y: float = constants.TX_SPACING / 2.0
+
+    def __post_init__(self) -> None:
+        if self.columns < 1 or self.rows < 1:
+            raise GeometryError("grid must have at least one row and column")
+        if self.spacing <= 0:
+            raise GeometryError(f"grid spacing must be positive, got {self.spacing}")
+
+    @property
+    def count(self) -> int:
+        """Total number of transmitters in the grid."""
+        return self.columns * self.rows
+
+    def index_to_row_col(self, index: int) -> Tuple[int, int]:
+        """Map a 0-based TX index to its (row, column)."""
+        self._check_index(index)
+        return divmod(index, self.columns)
+
+    def xy(self, index: int) -> Tuple[float, float]:
+        """XY position [m] of the TX with 0-based *index*."""
+        row, col = self.index_to_row_col(index)
+        return (self.offset_x + col * self.spacing, self.offset_y + row * self.spacing)
+
+    def positions_xy(self) -> np.ndarray:
+        """All TX positions as an (N, 2) array, in index order."""
+        return np.array([self.xy(i) for i in range(self.count)])
+
+    def positions_3d(self, height: float) -> np.ndarray:
+        """All TX positions as an (N, 3) array at the given height [m]."""
+        xy = self.positions_xy()
+        z = np.full((self.count, 1), float(height))
+        return np.hstack([xy, z])
+
+    def label(self, index: int) -> str:
+        """Human-readable 1-based label, e.g. ``'TX8'``."""
+        self._check_index(index)
+        return f"TX{index + 1}"
+
+    def index_of_label(self, label: str) -> int:
+        """Inverse of :meth:`label` (accepts e.g. ``'TX8'`` or ``'tx8'``)."""
+        text = label.strip().upper()
+        if not text.startswith("TX"):
+            raise GeometryError(f"not a TX label: {label!r}")
+        try:
+            number = int(text[2:])
+        except ValueError as exc:
+            raise GeometryError(f"not a TX label: {label!r}") from exc
+        index = number - 1
+        self._check_index(index)
+        return index
+
+    def nearest_tx(self, x: float, y: float) -> int:
+        """0-based index of the TX closest (in XY) to the given point."""
+        deltas = self.positions_xy() - np.array([x, y])
+        return int(np.argmin(np.einsum("ij,ij->i", deltas, deltas)))
+
+    def neighborhood(self, x: float, y: float, k: int) -> List[int]:
+        """Indices of the *k* TXs closest (in XY) to the given point.
+
+        Used by the D-MISO baseline, which serves each RX with its 9
+        surrounding TXs (Sec. 8.3).
+        """
+        if not 1 <= k <= self.count:
+            raise GeometryError(f"k must be in [1, {self.count}], got {k}")
+        deltas = self.positions_xy() - np.array([x, y])
+        order = np.argsort(np.einsum("ij,ij->i", deltas, deltas), kind="stable")
+        return [int(i) for i in order[:k]]
+
+    def fits_in(self, room: Room) -> bool:
+        """Whether every TX position falls inside the room footprint."""
+        return all(room.contains_xy(x, y) for x, y in self.positions_xy())
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self.count:
+            raise GeometryError(
+                f"TX index {index} out of range for a {self.rows}x{self.columns} grid"
+            )
+
+
+def paper_grid() -> GridLayout:
+    """The paper's 6 x 6 grid with 0.5 m spacing, TX1 at (0.25, 0.25)."""
+    return GridLayout()
+
+
+#: 0-based anchor TX indices for the Fig. 6 random-instance workload:
+#: the four receivers cluster around TX8, TX10, TX20 and TX23 (1-based).
+FIG6_ANCHOR_TXS: Tuple[int, ...] = (7, 9, 19, 22)
+
+#: Radius [m] of the disc around each anchor TX that random RX positions
+#: are drawn from (Fig. 6 shows clusters of roughly this extent).
+FIG6_CLUSTER_RADIUS: float = 0.35
+
+#: The illustrative receiver instance of Fig. 7 / Table 6 Scenario 2 [m].
+FIG7_RX_POSITIONS: Tuple[Tuple[float, float], ...] = (
+    (0.92, 0.92),
+    (1.65, 0.65),
+    (0.72, 1.93),
+    (1.99, 1.69),
+)
+
+
+def random_instances_around(
+    grid: GridLayout,
+    room: Room,
+    anchors: Sequence[int] = FIG6_ANCHOR_TXS,
+    radius: float = FIG6_CLUSTER_RADIUS,
+    instances: int = 100,
+    rng: "np.random.Generator | int | None" = None,
+) -> np.ndarray:
+    """Generate the Fig. 6 workload: random RX positions around anchor TXs.
+
+    Returns an array of shape ``(instances, len(anchors), 2)`` whose entry
+    ``[t, m]`` is the XY position of RX ``m`` in instance ``t``.  Positions
+    are uniform over a disc of the given radius centered on the anchor TX
+    and clamped to the room footprint.
+    """
+    if radius <= 0:
+        raise GeometryError(f"cluster radius must be positive, got {radius}")
+    if instances < 1:
+        raise GeometryError(f"need at least one instance, got {instances}")
+    generator = np.random.default_rng(rng)
+    result = np.empty((instances, len(anchors), 2))
+    for m, anchor in enumerate(anchors):
+        ax, ay = grid.xy(anchor)
+        # Uniform over a disc: radius ~ sqrt(U) * R.
+        r = radius * np.sqrt(generator.uniform(size=instances))
+        theta = generator.uniform(0.0, 2.0 * np.pi, size=instances)
+        xs = ax + r * np.cos(theta)
+        ys = ay + r * np.sin(theta)
+        for t in range(instances):
+            result[t, m] = room.clamp_xy(float(xs[t]), float(ys[t]))
+    return result

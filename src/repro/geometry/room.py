@@ -1,0 +1,125 @@
+"""Room geometry: the indoor volume DenseVLC operates in.
+
+The paper's setups are a 3 m x 3 m footprint with the TX grid either on a
+2.8 m ceiling (simulation, receivers on a 0.8 m table) or at 2 m above the
+floor (hardware experiments, receivers on the floor).  :class:`Room`
+captures the footprint, TX plane height and receiver plane height, plus the
+floor reflectivity used by the NLOS synchronization path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+import numpy as np
+
+from .. import constants
+from ..errors import GeometryError
+
+
+@dataclass(frozen=True)
+class Room:
+    """An axis-aligned indoor area with a TX plane and an RX plane.
+
+    Attributes:
+        width: extent along x [m].
+        depth: extent along y [m].
+        tx_height: height of the transmitter plane above the floor [m].
+        rx_height: height of the receiver plane above the floor [m].
+        floor_reflectivity: diffuse (Lambertian) reflectivity of the floor,
+            in [0, 1]; used for the NLOS synchronization channel.
+    """
+
+    width: float = constants.ROOM_SIDE
+    depth: float = constants.ROOM_SIDE
+    tx_height: float = constants.SIM_CEILING_HEIGHT
+    rx_height: float = constants.SIM_RECEIVER_HEIGHT
+    floor_reflectivity: float = constants.FLOOR_REFLECTIVITY
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.depth <= 0:
+            raise GeometryError(
+                f"room footprint must be positive, got {self.width} x {self.depth}"
+            )
+        if self.tx_height <= self.rx_height:
+            raise GeometryError(
+                "transmitter plane must be above the receiver plane "
+                f"(tx_height={self.tx_height}, rx_height={self.rx_height})"
+            )
+        if self.rx_height < 0:
+            raise GeometryError(f"receiver height must be >= 0, got {self.rx_height}")
+        if not 0.0 <= self.floor_reflectivity <= 1.0:
+            raise GeometryError(
+                f"floor reflectivity must be in [0, 1], got {self.floor_reflectivity}"
+            )
+
+    @property
+    def vertical_separation(self) -> float:
+        """Vertical distance between the TX and RX planes [m]."""
+        return self.tx_height - self.rx_height
+
+    def contains_xy(self, x: float, y: float) -> bool:
+        """Whether the XY point lies inside the room footprint."""
+        return 0.0 <= x <= self.width and 0.0 <= y <= self.depth
+
+    def clamp_xy(self, x: float, y: float) -> Tuple[float, float]:
+        """Clamp an XY point onto the room footprint."""
+        return (
+            float(np.clip(x, 0.0, self.width)),
+            float(np.clip(y, 0.0, self.depth)),
+        )
+
+    def tx_point(self, x: float, y: float) -> np.ndarray:
+        """A 3-D point on the transmitter plane."""
+        if not self.contains_xy(x, y):
+            raise GeometryError(f"TX position ({x}, {y}) outside room footprint")
+        return np.array([x, y, self.tx_height])
+
+    def rx_point(self, x: float, y: float) -> np.ndarray:
+        """A 3-D point on the receiver plane."""
+        if not self.contains_xy(x, y):
+            raise GeometryError(f"RX position ({x}, {y}) outside room footprint")
+        return np.array([x, y, self.rx_height])
+
+    def floor_point(self, x: float, y: float) -> np.ndarray:
+        """A 3-D point on the floor (z = 0)."""
+        if not self.contains_xy(x, y):
+            raise GeometryError(f"floor position ({x}, {y}) outside room footprint")
+        return np.array([x, y, 0.0])
+
+    def area_of_interest_bounds(
+        self, side: float = constants.AREA_OF_INTEREST_SIDE
+    ) -> Tuple[float, float, float, float]:
+        """Bounds (x0, x1, y0, y1) of the centered area of interest.
+
+        The paper excludes the boundary and evaluates illumination inside a
+        centered ``side x side`` square (2.2 m in the paper).
+        """
+        if side <= 0 or side > min(self.width, self.depth):
+            raise GeometryError(
+                f"area-of-interest side {side} does not fit in the room"
+            )
+        margin_x = (self.width - side) / 2.0
+        margin_y = (self.depth - side) / 2.0
+        return (margin_x, self.width - margin_x, margin_y, self.depth - margin_y)
+
+
+def simulation_room() -> Room:
+    """The Sec. 4 simulation room: 3 x 3 x 2.8 m, RXs on a 0.8 m table."""
+    return Room(
+        width=constants.ROOM_SIDE,
+        depth=constants.ROOM_SIDE,
+        tx_height=constants.SIM_CEILING_HEIGHT,
+        rx_height=constants.SIM_RECEIVER_HEIGHT,
+    )
+
+
+def experimental_room() -> Room:
+    """The Sec. 8 testbed room: TXs 2 m above the floor, RXs on the floor."""
+    return Room(
+        width=constants.ROOM_SIDE,
+        depth=constants.ROOM_SIDE,
+        tx_height=constants.EXP_TX_HEIGHT,
+        rx_height=0.0,
+    )

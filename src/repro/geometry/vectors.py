@@ -1,0 +1,82 @@
+"""Small 3-D vector helpers used throughout the geometry and channel code.
+
+Positions and orientations are plain ``numpy`` arrays of shape ``(3,)``;
+these helpers keep the call sites explicit without introducing a heavy
+vector class.  Angles are radians everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..errors import GeometryError
+
+#: Unit vector pointing straight down (ceiling luminaire orientation).
+DOWN = np.array([0.0, 0.0, -1.0])
+
+#: Unit vector pointing straight up (desk receiver orientation).
+UP = np.array([0.0, 0.0, 1.0])
+
+
+def as_point(value: Sequence[float]) -> np.ndarray:
+    """Coerce *value* to a float64 ``(3,)`` array.
+
+    Raises :class:`GeometryError` if the input does not have exactly three
+    finite components.
+    """
+    point = np.asarray(value, dtype=float)
+    if point.shape != (3,):
+        raise GeometryError(f"expected a 3-D point, got shape {point.shape}")
+    if not np.all(np.isfinite(point)):
+        raise GeometryError(f"point has non-finite components: {point}")
+    return point
+
+
+def normalize(vector: Sequence[float]) -> np.ndarray:
+    """Return *vector* scaled to unit length.
+
+    Raises :class:`GeometryError` for (near-)zero vectors, because a zero
+    orientation is always a configuration bug upstream.
+    """
+    vec = as_point(vector)
+    norm = float(np.linalg.norm(vec))
+    if norm < 1e-12:
+        raise GeometryError("cannot normalize a zero-length vector")
+    return vec / norm
+
+
+def distance(a: Sequence[float], b: Sequence[float]) -> float:
+    """Euclidean distance between two points [m]."""
+    return float(np.linalg.norm(as_point(a) - as_point(b)))
+
+
+def angle_between(u: Sequence[float], v: Sequence[float]) -> float:
+    """Angle [rad] between two vectors, clipped for numerical safety."""
+    un = normalize(u)
+    vn = normalize(v)
+    cosine = float(np.clip(np.dot(un, vn), -1.0, 1.0))
+    return float(np.arccos(cosine))
+
+
+def cos_angle_between(u: Sequence[float], v: Sequence[float]) -> float:
+    """Cosine of the angle between two vectors (cheaper than arccos)."""
+    un = normalize(u)
+    vn = normalize(v)
+    return float(np.clip(np.dot(un, vn), -1.0, 1.0))
+
+
+def horizontal_distance(a: Sequence[float], b: Sequence[float]) -> float:
+    """Distance between the XY projections of two points [m]."""
+    pa = as_point(a)
+    pb = as_point(b)
+    return float(np.hypot(pa[0] - pb[0], pa[1] - pb[1]))
+
+
+def centroid(points: Iterable[Sequence[float]]) -> np.ndarray:
+    """Arithmetic mean of a non-empty collection of 3-D points."""
+    stacked = np.array([as_point(p) for p in points], dtype=float)
+    if stacked.size == 0:
+        raise GeometryError("centroid of an empty point set is undefined")
+    return stacked.mean(axis=0)

@@ -1,0 +1,32 @@
+"""Illumination substrate: illuminance fields, uniformity, calibration."""
+
+from .calibration import calibrate_luminous_flux, calibrated_led
+from .dimming import (
+    XTE_MAX_CURRENT,
+    DimmingPoint,
+    dimmed_led,
+    dimming_sweep,
+    max_swing_for_bias,
+)
+from .grid import IlluminanceField, illuminance_at, illuminance_field
+from .uniformity import (
+    UniformityReport,
+    area_of_interest_report,
+    uniformity_of,
+)
+
+__all__ = [
+    "calibrate_luminous_flux",
+    "calibrated_led",
+    "XTE_MAX_CURRENT",
+    "DimmingPoint",
+    "dimmed_led",
+    "dimming_sweep",
+    "max_swing_for_bias",
+    "IlluminanceField",
+    "illuminance_at",
+    "illuminance_field",
+    "UniformityReport",
+    "area_of_interest_report",
+    "uniformity_of",
+]

@@ -1,0 +1,58 @@
+"""Flux calibration against the paper's reported illuminance.
+
+The paper never states the luminous flux of the lensed CREE XT-E at the
+450 mA bias; it reports the *outcome*: 564 lux average over the central
+2.2 m x 2.2 m at 74% uniformity (Sec. 4).  Illuminance is linear in the
+per-LED flux, so a single scale factor recovers the implied flux:
+
+    F = F_ref * (target_lux / average_lux(F_ref))
+
+:func:`calibrate_luminous_flux` performs that one-step calibration; the
+result (~183 lm) is recorded as
+:data:`repro.constants.CALIBRATED_LUMINOUS_FLUX` and asserted by the test
+suite so drift in the illumination code is caught.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from .. import constants
+from ..errors import ConfigurationError
+from ..optics import LEDModel, cree_xte
+from ..system import Scene, simulation_scene
+from .uniformity import area_of_interest_report
+
+
+def calibrate_luminous_flux(
+    target_average_lux: float = 564.0,
+    resolution: float = 0.05,
+    side: float = constants.AREA_OF_INTEREST_SIDE,
+    reference_flux: float = 100.0,
+) -> float:
+    """Per-LED flux [lm] that yields *target_average_lux* in the Sec. 4 room.
+
+    Linearity of illuminance in flux makes this exact in one step.
+    """
+    if target_average_lux <= 0:
+        raise ConfigurationError(
+            f"target illuminance must be positive, got {target_average_lux}"
+        )
+    if reference_flux <= 0:
+        raise ConfigurationError(
+            f"reference flux must be positive, got {reference_flux}"
+        )
+    led = cree_xte(luminous_flux_at_bias=reference_flux)
+    scene = simulation_scene(rx_positions_xy=[], led=led)
+    report = area_of_interest_report(scene, resolution=resolution, side=side)
+    return reference_flux * target_average_lux / report.average_lux
+
+
+def calibrated_led(
+    target_average_lux: float = 564.0, resolution: float = 0.05
+) -> LEDModel:
+    """A CREE XT-E model whose flux reproduces the paper's illuminance."""
+    flux = calibrate_luminous_flux(
+        target_average_lux=target_average_lux, resolution=resolution
+    )
+    return cree_xte(luminous_flux_at_bias=flux)

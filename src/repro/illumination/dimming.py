@@ -1,0 +1,115 @@
+"""Dimming: how the illumination target constrains communication.
+
+The paper sets the bias at the center of the LED's linear region so the
+largest swing is available (end of Sec. 3.4): the swing is bounded by
+
+    I_sw <= 2 * I_b              (the LOW symbol cannot go negative)
+    I_sw <= 2 * (I_max - I_b)    (the HIGH symbol cannot exceed I_max)
+    I_sw <= I_sw,max             (the hardware driver bound)
+
+A dimmed room (lower target illuminance -> lower bias) therefore also
+caps the communication swing -- and with it the per-TX communication
+power ``r * (I_sw/2)^2``.  :func:`dimmed_led` builds an LED model for a
+given dimming level; :func:`dimming_sweep` quantifies the throughput
+cost of dimming, an ablation the paper's design discussion implies but
+never plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence
+
+from .. import constants
+from ..errors import ConfigurationError
+from ..optics import LEDModel, cree_xte
+
+#: Maximum continuous forward current of the CREE XT-E [A].
+XTE_MAX_CURRENT: float = 1.5
+
+
+def max_swing_for_bias(
+    bias_current: float,
+    max_current: float = XTE_MAX_CURRENT,
+    hardware_limit: float = constants.MAX_SWING_CURRENT,
+) -> float:
+    """Largest symmetric swing available at a bias point [A]."""
+    if bias_current <= 0:
+        raise ConfigurationError(
+            f"bias current must be positive, got {bias_current}"
+        )
+    if max_current <= bias_current:
+        raise ConfigurationError(
+            f"bias {bias_current} A exceeds the device maximum {max_current} A"
+        )
+    return min(
+        hardware_limit,
+        2.0 * bias_current,
+        2.0 * (max_current - bias_current),
+    )
+
+
+def dimmed_led(
+    dimming: float,
+    base: Optional[LEDModel] = None,
+    max_current: float = XTE_MAX_CURRENT,
+) -> LEDModel:
+    """An LED model dimmed to *dimming* (1.0 = the Table 1 operating point).
+
+    Flux and bias scale linearly with the dimming level (flux is ~linear
+    in drive current); the maximum swing shrinks with the bias headroom.
+    """
+    if not 0.0 < dimming <= 1.0:
+        raise ConfigurationError(
+            f"dimming must be in (0, 1], got {dimming}"
+        )
+    led = base if base is not None else cree_xte()
+    bias = led.bias_current * dimming
+    swing = max_swing_for_bias(
+        bias, max_current=max_current, hardware_limit=led.max_swing
+    )
+    return replace(
+        led,
+        bias_current=bias,
+        max_swing=swing,
+        luminous_flux_at_bias=led.luminous_flux_at_bias * dimming,
+    )
+
+
+@dataclass(frozen=True)
+class DimmingPoint:
+    """One dimming level's illumination + communication envelope."""
+
+    dimming: float
+    bias_current: float
+    max_swing: float
+    full_swing_power: float
+    average_lux: float
+
+
+def dimming_sweep(
+    levels: Sequence[float] = (1.0, 0.8, 0.6, 0.4, 0.2),
+    base: Optional[LEDModel] = None,
+) -> List[DimmingPoint]:
+    """Evaluate the illumination/communication envelope per dimming level.
+
+    The average illuminance is reported for the paper's Sec. 4 room.
+    """
+    from ..system import simulation_scene
+    from .uniformity import area_of_interest_report
+
+    points = []
+    for level in levels:
+        led = dimmed_led(level, base=base)
+        scene = simulation_scene([], led=led)
+        report = area_of_interest_report(scene, resolution=0.1)
+        points.append(
+            DimmingPoint(
+                dimming=float(level),
+                bias_current=led.bias_current,
+                max_swing=led.max_swing,
+                full_swing_power=led.full_swing_power,
+                average_lux=report.average_lux,
+            )
+        )
+    return points

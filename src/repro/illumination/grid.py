@@ -1,0 +1,139 @@
+"""Illuminance fields on the work plane (paper Fig. 5, Sec. 4).
+
+A grid of Lambertian LEDs each carrying a luminous flux ``F`` produces on
+a horizontal work plane an illuminance
+
+    E(x, y) = sum over TXs of F * (m + 1) / (2 * pi * d^2) * cos^m(phi) * cos(psi)
+
+with ``cos(phi) = cos(psi) = h / d`` for ceiling-mounted, down-facing
+luminaires.  The bias current (not the communication swing) determines
+``F``; Manchester-coded communication keeps the average flux unchanged, so
+a single static field describes both operating modes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..system import Scene
+
+
+@dataclass(frozen=True)
+class IlluminanceField:
+    """A sampled illuminance field on the work plane.
+
+    Attributes:
+        xs: grid x coordinates [m], shape (nx,).
+        ys: grid y coordinates [m], shape (ny,).
+        values: illuminance [lux], shape (nx, ny).
+    """
+
+    xs: np.ndarray
+    ys: np.ndarray
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.values.shape != (self.xs.size, self.ys.size):
+            raise ConfigurationError(
+                f"field shape {self.values.shape} does not match grid "
+                f"({self.xs.size}, {self.ys.size})"
+            )
+
+    def region(
+        self, x0: float, x1: float, y0: float, y1: float
+    ) -> "IlluminanceField":
+        """The sub-field restricted to [x0, x1] x [y0, y1]."""
+        mask_x = (self.xs >= x0) & (self.xs <= x1)
+        mask_y = (self.ys >= y0) & (self.ys <= y1)
+        if not mask_x.any() or not mask_y.any():
+            raise ConfigurationError("region contains no grid samples")
+        return IlluminanceField(
+            xs=self.xs[mask_x],
+            ys=self.ys[mask_y],
+            values=self.values[np.ix_(mask_x, mask_y)],
+        )
+
+    @property
+    def average(self) -> float:
+        """Average illuminance [lux]."""
+        return float(np.mean(self.values))
+
+    @property
+    def minimum(self) -> float:
+        """Minimum illuminance [lux]."""
+        return float(np.min(self.values))
+
+    @property
+    def maximum(self) -> float:
+        """Maximum illuminance [lux]."""
+        return float(np.max(self.values))
+
+
+def illuminance_at(
+    scene: Scene, x: float, y: float, plane_height: Optional[float] = None
+) -> float:
+    """Illuminance [lux] at one work-plane point."""
+    height = scene.room.rx_height if plane_height is None else plane_height
+    total = 0.0
+    for tx in scene.transmitters:
+        led = tx.led
+        m = led.lambertian_order
+        dz = tx.position[2] - height
+        if dz <= 0:
+            raise ConfigurationError(
+                "work plane must be below the transmitter plane"
+            )
+        dx = x - tx.position[0]
+        dy = y - tx.position[1]
+        d_sq = dx * dx + dy * dy + dz * dz
+        cos_angle = dz / math.sqrt(d_sq)
+        total += (
+            led.luminous_flux_at_bias
+            * (m + 1.0)
+            / (2.0 * math.pi * d_sq)
+            * cos_angle ** (m + 1.0)
+        )
+    return total
+
+
+def illuminance_field(
+    scene: Scene,
+    resolution: float = 0.05,
+    plane_height: Optional[float] = None,
+) -> IlluminanceField:
+    """Sample the illuminance over the whole room footprint (Fig. 5).
+
+    Vectorized over the grid; ``resolution`` is the sample spacing [m].
+    """
+    if resolution <= 0:
+        raise ConfigurationError(f"resolution must be positive, got {resolution}")
+    room = scene.room
+    height = room.rx_height if plane_height is None else plane_height
+    xs = np.arange(resolution / 2.0, room.width, resolution)
+    ys = np.arange(resolution / 2.0, room.depth, resolution)
+    gx, gy = np.meshgrid(xs, ys, indexing="ij")
+    values = np.zeros_like(gx)
+    for tx in scene.transmitters:
+        led = tx.led
+        m = led.lambertian_order
+        dz = tx.position[2] - height
+        if dz <= 0:
+            raise ConfigurationError(
+                "work plane must be below the transmitter plane"
+            )
+        dx = gx - tx.position[0]
+        dy = gy - tx.position[1]
+        d_sq = dx**2 + dy**2 + dz**2
+        cos_angle = dz / np.sqrt(d_sq)
+        values += (
+            led.luminous_flux_at_bias
+            * (m + 1.0)
+            / (2.0 * math.pi * d_sq)
+            * cos_angle ** (m + 1.0)
+        )
+    return IlluminanceField(xs=xs, ys=ys, values=values)

@@ -1,0 +1,41 @@
+"""MAC substrate: pilots, beamspot scheduling and the controller loop."""
+
+from .pilots import (
+    PilotSchedule,
+    PilotScheduler,
+    measure_channel,
+    measurement_noise_std,
+    measurement_overhead,
+)
+from .protocol import DenseVLCController, ProtocolRound
+from .rate_adaptation import RateAdapter, max_symbol_rate_for_error
+from .uplink import UplinkBudget, WiFiUplink, uplink_budget
+from .scheduler import (
+    Beamspot,
+    BeamspotScheduler,
+    SynchronizationPlan,
+    bbb_index,
+    beamspots_from_allocation,
+    same_board,
+)
+
+__all__ = [
+    "PilotSchedule",
+    "PilotScheduler",
+    "measure_channel",
+    "measurement_noise_std",
+    "measurement_overhead",
+    "DenseVLCController",
+    "ProtocolRound",
+    "RateAdapter",
+    "max_symbol_rate_for_error",
+    "UplinkBudget",
+    "WiFiUplink",
+    "uplink_budget",
+    "Beamspot",
+    "BeamspotScheduler",
+    "SynchronizationPlan",
+    "bbb_index",
+    "beamspots_from_allocation",
+    "same_board",
+]

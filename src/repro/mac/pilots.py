@@ -1,0 +1,175 @@
+"""Downlink channel measurement via pilots (paper Secs. 3.2, 7.2, 8.2).
+
+The controller cycles pilot transmissions through the TXs in a
+time-division schedule; each RX measures the received swing per TX (via
+the M2M4 estimator on the captured samples) and reports it back over the
+WiFi uplink.  The controller normalizes by the transmitted swing to get
+the path-loss matrix the decision logic runs on.
+
+:func:`measure_channel` is the condensed form used by the experiments: it
+produces the *estimated* gain matrix, i.e. the true LOS matrix corrupted
+by measurement noise consistent with the per-link SNR.
+:class:`PilotScheduler` exposes the TDMA schedule itself for the
+discrete-event simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..channel import AWGNNoise, channel_matrix
+from ..errors import ChannelError, ConfigurationError
+from ..system import Scene
+
+
+@dataclass(frozen=True)
+class PilotSchedule:
+    """The TDMA pilot round: which TX sounds the channel in which slot.
+
+    Attributes:
+        slot_duration: seconds per pilot slot.
+        tx_order: TX indices in transmission order.
+    """
+
+    slot_duration: float
+    tx_order: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.slot_duration <= 0:
+            raise ConfigurationError(
+                f"slot duration must be positive, got {self.slot_duration}"
+            )
+        if len(set(self.tx_order)) != len(self.tx_order):
+            raise ConfigurationError("pilot schedule repeats a TX")
+
+    @property
+    def round_duration(self) -> float:
+        """Seconds for one full measurement round."""
+        return self.slot_duration * len(self.tx_order)
+
+    def slot_of(self, tx: int) -> int:
+        """Slot index of a TX; raises if the TX is not scheduled."""
+        try:
+            return self.tx_order.index(tx)
+        except ValueError as exc:
+            raise ConfigurationError(f"TX {tx} is not in the schedule") from exc
+
+
+@dataclass(frozen=True)
+class PilotScheduler:
+    """Builds measurement rounds for a scene.
+
+    Attributes:
+        pilot_symbols: pilot length per slot [symbols].
+        symbol_rate: pilot symbol rate [sym/s].
+        guard_symbols: idle symbols between slots.
+    """
+
+    pilot_symbols: int = 32
+    symbol_rate: float = 100_000.0
+    guard_symbols: int = 8
+
+    def __post_init__(self) -> None:
+        if self.pilot_symbols < 1:
+            raise ConfigurationError(
+                f"pilot symbols must be >= 1, got {self.pilot_symbols}"
+            )
+        if self.symbol_rate <= 0:
+            raise ConfigurationError(
+                f"symbol rate must be positive, got {self.symbol_rate}"
+            )
+        if self.guard_symbols < 0:
+            raise ConfigurationError(
+                f"guard symbols must be >= 0, got {self.guard_symbols}"
+            )
+
+    def schedule(self, scene: Scene) -> PilotSchedule:
+        """A round-robin schedule over all TXs of the scene."""
+        slot = (self.pilot_symbols + self.guard_symbols) / self.symbol_rate
+        return PilotSchedule(
+            slot_duration=slot,
+            tx_order=tuple(range(scene.num_transmitters)),
+        )
+
+
+def measurement_overhead(
+    scene: Scene,
+    scheduler: Optional[PilotScheduler] = None,
+    measurement_period: float = 1.0,
+) -> float:
+    """Fraction of airtime spent sounding the channel (Sec. 3.2).
+
+    One TDMA pilot round (one slot per TX) every *measurement_period*
+    seconds; the remainder is available for data.  With the paper's 36
+    TXs, 40-symbol slots at 100 ksym/s and a 1 s period the overhead is
+    ~1.4% -- the measurement cost of staying adaptive.
+    """
+    if measurement_period <= 0:
+        raise ConfigurationError(
+            f"measurement period must be positive, got {measurement_period}"
+        )
+    pilot_scheduler = scheduler if scheduler is not None else PilotScheduler()
+    round_duration = pilot_scheduler.schedule(scene).round_duration
+    if round_duration >= measurement_period:
+        raise ConfigurationError(
+            f"a {round_duration:.3f} s measurement round does not fit a "
+            f"{measurement_period:.3f} s period"
+        )
+    return round_duration / measurement_period
+
+
+def measurement_noise_std(
+    true_gain: np.ndarray,
+    led_amplitude: float,
+    noise: AWGNNoise,
+    pilot_symbols: int,
+    responsivity: float,
+) -> np.ndarray:
+    """Std of the relative gain-estimate error per link.
+
+    The received swing amplitude is ``a = R * gain * led_amplitude``; over
+    ``n`` pilot symbols the amplitude estimate has std
+    ``sigma_n / sqrt(n)`` so the relative error std is
+    ``sigma_n / (a * sqrt(n))``.  Links too weak to measure keep a
+    relative std of 1 (their estimate is dominated by noise).
+    """
+    if led_amplitude <= 0:
+        raise ChannelError(f"LED amplitude must be positive, got {led_amplitude}")
+    if pilot_symbols < 1:
+        raise ChannelError(f"pilot symbols must be >= 1, got {pilot_symbols}")
+    amplitude = responsivity * np.asarray(true_gain, dtype=float) * led_amplitude
+    with np.errstate(divide="ignore"):
+        relative = noise.current_std / (amplitude * np.sqrt(pilot_symbols))
+    return np.minimum(np.where(amplitude > 0, relative, 1.0), 1.0)
+
+
+def measure_channel(
+    scene: Scene,
+    noise: Optional[AWGNNoise] = None,
+    pilot_symbols: int = 32,
+    rng: "np.random.Generator | int | None" = None,
+) -> np.ndarray:
+    """One measured (noisy) channel matrix for a scene.
+
+    The relative error per link follows the physical pilot SNR: strong
+    links are measured accurately, weak links noisily -- the property that
+    makes the experimental Figs. 18-20 differ slightly from the
+    simulation figures.  Estimates are clipped at zero (a swing readout
+    cannot be negative).
+    """
+    noise_model = noise if noise is not None else AWGNNoise()
+    true_gain = channel_matrix(scene)
+    led = scene.led
+    amplitude = led.optical_swing_amplitude(led.max_swing)
+    responsivity = (
+        scene.receivers[0].photodiode.responsivity if scene.receivers else 0.4
+    )
+    relative_std = measurement_noise_std(
+        true_gain, amplitude, noise_model, pilot_symbols, responsivity
+    )
+    generator = np.random.default_rng(rng)
+    noisy = true_gain * (1.0 + relative_std * generator.normal(size=true_gain.shape))
+    return np.clip(noisy, 0.0, None)

@@ -1,0 +1,145 @@
+"""The controller's MAC protocol (paper Sec. 3.2).
+
+One protocol cycle:
+
+1. **Measurement** -- pilots cycle through the TXs; RXs report downlink
+   channel qualities (here: :func:`repro.mac.pilots.measure_channel`).
+2. **Decision** -- the controller allocates the communication power among
+   the TXs (the ranking heuristic by default) within the power budget.
+3. **Synchronization + data** -- per beamspot, the leading TX's pilot
+   synchronizes the members, which then jointly transmit; TXs with no
+   assigned communication power stay in asynchronous illumination mode.
+
+:class:`DenseVLCController` is that loop as a reusable object.  It is
+deliberately free of waveform details so the experiments can run many
+protocol rounds quickly; the waveform-accurate path lives in
+:mod:`repro.simulation`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..channel import AWGNNoise
+from ..core.allocation import Allocation
+from ..core.heuristic import RankingHeuristic
+from ..core.problem import AllocationProblem
+from ..errors import ConfigurationError
+from ..optics import s5971
+from ..system import Scene
+from .pilots import measure_channel
+from .scheduler import BeamspotScheduler, SynchronizationPlan
+
+
+@dataclass(frozen=True)
+class ProtocolRound:
+    """Everything one MAC cycle produced."""
+
+    measured_channel: np.ndarray
+    allocation: Allocation
+    plans: List[SynchronizationPlan]
+
+    @property
+    def served_receivers(self) -> int:
+        """Number of receivers with a non-empty beamspot."""
+        return len(self.plans)
+
+    @property
+    def active_transmitters(self) -> int:
+        """Number of TXs actually transmitting this round."""
+        return sum(len(plan.active_members) for plan in self.plans)
+
+
+class DenseVLCController:
+    """The measurement -> decision -> synchronization loop.
+
+    Attributes:
+        scene: the deployment under control.
+        power_budget: communication power budget P_C,tot [W].
+        heuristic: the decision logic (Algorithm 1 by default).
+        noise: receiver noise model for measurement and SINR.
+        measurement_noise: whether pilots see realistic estimation noise.
+    """
+
+    def __init__(
+        self,
+        scene: Scene,
+        power_budget: float,
+        heuristic: Optional[RankingHeuristic] = None,
+        noise: Optional[AWGNNoise] = None,
+        measurement_noise: bool = True,
+        scheduler: Optional[BeamspotScheduler] = None,
+    ) -> None:
+        if power_budget < 0:
+            raise ConfigurationError(
+                f"power budget must be >= 0, got {power_budget}"
+            )
+        if scene.num_receivers == 0:
+            raise ConfigurationError("the controller needs at least one RX")
+        self.scene = scene
+        self.power_budget = power_budget
+        self.heuristic = heuristic if heuristic is not None else RankingHeuristic()
+        self.noise = noise if noise is not None else AWGNNoise()
+        self.measurement_noise = measurement_noise
+        self.scheduler = (
+            scheduler if scheduler is not None else BeamspotScheduler(scene)
+        )
+
+    def measure(
+        self, rng: "np.random.Generator | int | None" = None
+    ) -> np.ndarray:
+        """Run a measurement round, returning the estimated channel."""
+        if self.measurement_noise:
+            return measure_channel(self.scene, noise=self.noise, rng=rng)
+        from ..channel import channel_matrix
+
+        return channel_matrix(self.scene)
+
+    def decide(self, measured_channel: np.ndarray) -> Allocation:
+        """Run the decision logic on a measured channel."""
+        problem = AllocationProblem(
+            channel=measured_channel,
+            power_budget=self.power_budget,
+            led=self.scene.led,
+            photodiode=(
+                self.scene.receivers[0].photodiode
+                if self.scene.receivers
+                else s5971()
+            ),
+            noise=self.noise,
+        )
+        return self.heuristic.solve(problem)
+
+    def run_round(
+        self, rng: "np.random.Generator | int | None" = None
+    ) -> ProtocolRound:
+        """One full MAC cycle: measure, decide, synchronize."""
+        generator = np.random.default_rng(rng)
+        measured = self.measure(generator)
+        allocation = self.decide(measured)
+        plans = self.scheduler.plan(allocation, generator)
+        return ProtocolRound(
+            measured_channel=measured, allocation=allocation, plans=plans
+        )
+
+    def track(
+        self,
+        rx_positions_over_time: Sequence[Sequence[tuple]],
+        rng: "np.random.Generator | int | None" = None,
+    ) -> List[ProtocolRound]:
+        """Run one round per receiver-position snapshot (mobility).
+
+        *rx_positions_over_time* is a sequence of per-round XY position
+        lists; the scene is re-posed before each round, which is how the
+        controller follows moving receivers.
+        """
+        generator = np.random.default_rng(rng)
+        rounds = []
+        for positions in rx_positions_over_time:
+            self.scene = self.scene.with_receivers_at(list(positions))
+            self.scheduler = BeamspotScheduler(self.scene)
+            rounds.append(self.run_round(generator))
+        return rounds

@@ -1,0 +1,86 @@
+"""Symbol-rate adaptation from synchronization quality (Secs. 6.1, 8.1).
+
+The usable symbol rate of a joint transmission is capped by the timing
+misalignment between its members: the paper's rule is that synchronized
+symbols may overlap by at most 10% of the symbol width.  NTP/PTP's
+~4.6 us residual caps the rate at 14.28 ksym/s; the NLOS method's
+~0.58 us supports the testbed's 100 ksym/s with headroom -- and faster
+ADCs push it further (Sec. 8.1).
+
+:func:`max_symbol_rate_for_error` is the rule; :class:`RateAdapter`
+applies it per beamspot, falling back to the full hardware rate for
+single-board beamspots (no cross-board sync needed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from .. import constants
+from ..errors import ConfigurationError, SynchronizationError
+from .scheduler import SynchronizationPlan
+
+
+def max_symbol_rate_for_error(
+    timing_error: float,
+    overlap_fraction: float = constants.MAX_SYMBOL_OVERLAP_FRACTION,
+) -> float:
+    """Highest symbol rate tolerating a given timing error [s].
+
+    Solves ``error <= overlap * T_symbol``; an error of zero allows an
+    unbounded rate (the hardware cap applies instead).
+    """
+    if timing_error < 0:
+        raise SynchronizationError(
+            f"timing error must be >= 0, got {timing_error}"
+        )
+    if not 0.0 < overlap_fraction < 1.0:
+        raise SynchronizationError(
+            f"overlap fraction must be in (0, 1), got {overlap_fraction}"
+        )
+    if timing_error == 0.0:
+        return float("inf")
+    return overlap_fraction / timing_error
+
+
+@dataclass(frozen=True)
+class RateAdapter:
+    """Choose each beamspot's symbol rate from its sync plan.
+
+    Attributes:
+        hardware_limit: the TX front-end's maximum rate [sym/s] (the
+            paper's front-end supports up to 2 Msym/s; the PRU software
+            chain runs at 100 ksym/s).
+        overlap_fraction: the symbol-overlap tolerance.
+    """
+
+    hardware_limit: float = constants.SYNC_SYMBOL_RATE
+    overlap_fraction: float = constants.MAX_SYMBOL_OVERLAP_FRACTION
+
+    def __post_init__(self) -> None:
+        if self.hardware_limit <= 0:
+            raise ConfigurationError(
+                f"hardware limit must be positive, got {self.hardware_limit}"
+            )
+
+    def rate_for(self, plan: SynchronizationPlan) -> float:
+        """Supported symbol rate [sym/s] for one beamspot."""
+        active_offsets = [
+            offset
+            for follower, offset in plan.offsets.items()
+            if follower in plan.active_members
+        ]
+        if not active_offsets:
+            return self.hardware_limit  # single TX or single board
+        worst = max(active_offsets)
+        return min(
+            self.hardware_limit,
+            max_symbol_rate_for_error(worst, self.overlap_fraction),
+        )
+
+    def rates_for(
+        self, plans: "list[SynchronizationPlan]"
+    ) -> Dict[int, float]:
+        """Symbol rate per receiver across all beamspots."""
+        return {plan.beamspot.rx: self.rate_for(plan) for plan in plans}

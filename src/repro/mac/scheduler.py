@@ -1,0 +1,182 @@
+"""Beamspot orchestration: from an allocation to synchronized TX groups.
+
+After the decision logic produces (TX, RX) assignments, the controller
+builds one *beamspot* per served RX: the set of TXs that will jointly
+transmit, plus the appointed leading TX whose pilot synchronizes the rest
+(Sec. 3.2).  The leader is the assigned TX with the strongest channel to
+the RX -- it anchors the beamspot spatially, so its floor reflection is
+strongest exactly where the other members sit.
+
+BeagleBone grouping matters for synchronization: the paper drives four
+TXs per BBB (one PRU clock), so TXs on the same board are inherently
+aligned and only *across* boards does the NLOS procedure apply.  The 36
+TXs map onto 9 boards as the 2x2 blocks of the 6x6 grid -- consistent
+with Sec. 8.1, where TX2/TX8 share a BBB and TX3/TX9 share another.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.allocation import Allocation, Assignment
+from ..errors import ConfigurationError, SynchronizationError
+from ..geometry import GridLayout
+from ..sync.nlos_sync import NlosSynchronizer
+from ..system import Scene
+
+
+def bbb_index(tx_index: int, grid: GridLayout) -> int:
+    """BeagleBone board index of a TX: 2x2 grid blocks, row-major.
+
+    Requires an even number of grid rows and columns (the paper's 6x6
+    grid maps to 9 boards of 4 TXs).
+    """
+    if grid.columns % 2 != 0 or grid.rows % 2 != 0:
+        raise ConfigurationError(
+            "BBB grouping needs even grid dimensions, got "
+            f"{grid.rows}x{grid.columns}"
+        )
+    row, col = grid.index_to_row_col(tx_index)
+    blocks_per_row = grid.columns // 2
+    return (row // 2) * blocks_per_row + (col // 2)
+
+
+def same_board(a: int, b: int, grid: GridLayout) -> bool:
+    """Whether two TXs share a BeagleBone (and hence a symbol clock)."""
+    return bbb_index(a, grid) == bbb_index(b, grid)
+
+
+@dataclass(frozen=True)
+class Beamspot:
+    """One CFM-MIMO beamspot: the TXs jointly serving one RX.
+
+    Attributes:
+        rx: 0-based receiver index.
+        tx_indices: all member TXs.
+        leader: the appointed leading TX (member with the best channel).
+    """
+
+    rx: int
+    tx_indices: FrozenSet[int]
+    leader: int
+
+    def __post_init__(self) -> None:
+        members = frozenset(int(i) for i in self.tx_indices)
+        if not members:
+            raise ConfigurationError("a beamspot needs at least one TX")
+        object.__setattr__(self, "tx_indices", members)
+        if self.leader not in members:
+            raise ConfigurationError(
+                f"leader TX{self.leader + 1} is not a beamspot member"
+            )
+
+    @property
+    def followers(self) -> FrozenSet[int]:
+        """Members other than the leader."""
+        return self.tx_indices - {self.leader}
+
+    @property
+    def size(self) -> int:
+        return len(self.tx_indices)
+
+
+def beamspots_from_allocation(allocation: Allocation) -> List[Beamspot]:
+    """Group an allocation's assignments into per-RX beamspots.
+
+    The leader is the member with the largest channel gain toward the RX.
+    Unserved receivers produce no beamspot.
+    """
+    channel = allocation.problem.channel
+    members: Dict[int, List[int]] = {}
+    for tx, rx in allocation.assignments:
+        members.setdefault(rx, []).append(tx)
+    if not allocation.assignments:
+        # Continuous allocations carry no assignment list; derive
+        # membership from non-zero swings.
+        swings = allocation.swings
+        for rx in range(allocation.problem.num_receivers):
+            active = [int(j) for j in np.nonzero(swings[:, rx] > 0)[0]]
+            if active:
+                members[rx] = active
+    beamspots = []
+    for rx in sorted(members):
+        txs = members[rx]
+        leader = max(txs, key=lambda j: channel[j, rx])
+        beamspots.append(
+            Beamspot(rx=rx, tx_indices=frozenset(txs), leader=int(leader))
+        )
+    return beamspots
+
+
+@dataclass(frozen=True)
+class SynchronizationPlan:
+    """Per-beamspot timing offsets produced by the NLOS procedure.
+
+    Attributes:
+        beamspot: the beamspot this plan covers.
+        offsets: follower TX -> start offset relative to the leader [s]
+            (same-board followers have offset 0).
+        unsynchronized: followers whose pilot detection failed; they are
+            dropped from the joint transmission.
+    """
+
+    beamspot: Beamspot
+    offsets: Dict[int, float]
+    unsynchronized: FrozenSet[int]
+
+    @property
+    def active_members(self) -> FrozenSet[int]:
+        """TXs that will actually transmit."""
+        return self.beamspot.tx_indices - self.unsynchronized
+
+
+class BeamspotScheduler:
+    """Turns allocations into synchronized transmission plans."""
+
+    def __init__(
+        self,
+        scene: Scene,
+        synchronizer: Optional[NlosSynchronizer] = None,
+    ) -> None:
+        if scene.grid is None:
+            raise ConfigurationError(
+                "the scheduler needs the scene's grid layout for BBB grouping"
+            )
+        self.scene = scene
+        self.grid = scene.grid
+        self.synchronizer = (
+            synchronizer if synchronizer is not None else NlosSynchronizer(scene)
+        )
+
+    def plan(
+        self,
+        allocation: Allocation,
+        rng: "np.random.Generator | int | None" = None,
+    ) -> List[SynchronizationPlan]:
+        """Synchronization plans for every beamspot of an allocation."""
+        generator = np.random.default_rng(rng)
+        plans = []
+        for beamspot in beamspots_from_allocation(allocation):
+            offsets: Dict[int, float] = {}
+            failed = set()
+            for follower in sorted(beamspot.followers):
+                if same_board(beamspot.leader, follower, self.grid):
+                    offsets[follower] = 0.0
+                    continue
+                try:
+                    offsets[follower] = self.synchronizer.timing_error(
+                        beamspot.leader, follower, generator
+                    )
+                except SynchronizationError:
+                    failed.add(follower)
+            plans.append(
+                SynchronizationPlan(
+                    beamspot=beamspot,
+                    offsets=offsets,
+                    unsynchronized=frozenset(failed),
+                )
+            )
+        return plans

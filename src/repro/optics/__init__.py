@@ -1,0 +1,37 @@
+"""Optics substrate: Lambertian emission, LED and photodiode models."""
+
+from .lambertian import (
+    half_power_semi_angle,
+    lambertian_order,
+    peak_intensity_factor,
+    radiation_pattern,
+)
+from .led import LEDModel, cree_xte, cree_xte_paper_power
+from .lens import BARE_LED_SEMI_ANGLE, TINA_FA10645, Lens, bare, lensed
+from .photodiode import (
+    CompoundParabolicConcentrator,
+    ConcentratorModel,
+    FlatConcentrator,
+    Photodiode,
+    s5971,
+)
+
+__all__ = [
+    "half_power_semi_angle",
+    "lambertian_order",
+    "peak_intensity_factor",
+    "radiation_pattern",
+    "LEDModel",
+    "cree_xte",
+    "cree_xte_paper_power",
+    "BARE_LED_SEMI_ANGLE",
+    "TINA_FA10645",
+    "Lens",
+    "bare",
+    "lensed",
+    "CompoundParabolicConcentrator",
+    "ConcentratorModel",
+    "FlatConcentrator",
+    "Photodiode",
+    "s5971",
+]

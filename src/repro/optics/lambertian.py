@@ -1,0 +1,64 @@
+"""Lambertian emission math (paper Eq. 2 prerequisites).
+
+An LED's radiant intensity follows a generalized Lambertian pattern
+``I(phi) = I0 * cos^m(phi)`` where the order ``m`` is determined by the
+half-power semi-angle ``phi_1/2``:
+
+    m = -ln(2) / ln(cos(phi_1/2))
+
+The paper's lensed CREE XT-E has ``phi_1/2 = 15 deg`` giving ``m ~= 20``.
+These helpers convert between the two representations and evaluate the
+normalized radiation pattern.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import ConfigurationError
+
+
+def lambertian_order(half_power_semi_angle: float) -> float:
+    """Lambertian order ``m`` from the half-power semi-angle [rad].
+
+    ``m = -ln(2) / ln(cos(phi_1/2))``; an ideal (bare) Lambertian source
+    has ``phi_1/2 = 60 deg`` and ``m = 1``.
+    """
+    if not 0.0 < half_power_semi_angle < math.pi / 2:
+        raise ConfigurationError(
+            "half-power semi-angle must be in (0, pi/2) rad, "
+            f"got {half_power_semi_angle}"
+        )
+    return -math.log(2.0) / math.log(math.cos(half_power_semi_angle))
+
+
+def half_power_semi_angle(order: float) -> float:
+    """Inverse of :func:`lambertian_order`: semi-angle [rad] from order."""
+    if order <= 0:
+        raise ConfigurationError(f"Lambertian order must be positive, got {order}")
+    return math.acos(math.exp(-math.log(2.0) / order))
+
+
+def radiation_pattern(order: float, irradiation_angle: float) -> float:
+    """Normalized radiant intensity ``cos^m(phi)`` at angle *phi* [rad].
+
+    Returns 0 for angles at or beyond 90 degrees (no back emission).
+    """
+    if order <= 0:
+        raise ConfigurationError(f"Lambertian order must be positive, got {order}")
+    cosine = math.cos(irradiation_angle)
+    if cosine <= 1e-12:  # at or beyond 90 degrees (within float rounding)
+        return 0.0
+    return cosine**order
+
+
+def peak_intensity_factor(order: float) -> float:
+    """On-axis intensity per unit flux: ``(m + 1) / (2 * pi)`` [1/sr].
+
+    A generalized Lambertian source with total flux ``F`` has on-axis
+    intensity ``F * (m + 1) / (2 * pi)``; this is the prefactor in the
+    paper's Eq. (2).
+    """
+    if order <= 0:
+        raise ConfigurationError(f"Lambertian order must be positive, got {order}")
+    return (order + 1.0) / (2.0 * math.pi)

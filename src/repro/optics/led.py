@@ -1,0 +1,295 @@
+"""LED electrical and optical model (paper Sec. 3.4.1, Eqs. 8-11, Fig. 4).
+
+The LED power draw as a function of forward current follows the Shockley
+model with a series resistance:
+
+    P_led(I) = k * V_t * ln(I / I_s + 1) * I + R_s * I**2        (Eq. 8)
+
+Communication modulates the current around the illumination bias ``I_b``
+with a symmetric swing ``I_sw`` (Manchester-coded OOK, so HIGH and LOW are
+equiprobable).  Expanding Eq. 8 to second order around ``I_b`` gives the
+average *extra* power spent on communication (Eq. 10):
+
+    P_C = r * (I_sw / 2)**2,    r = k * V_t / (2 * I_b) + R_s
+
+With the Table 1 constants this reproduces Fig. 4: the relative error of
+the Taylor approximation on the total average power is ~0.45% at the
+maximum 900 mA swing.  Note the paper's Sec. 4.2 quotes a larger
+per-TX full-swing power (74.42 mW, implying r = 0.3675 Ohm, consistent
+with a hot junction); ``dynamic_resistance_override`` lets callers pin
+``r`` to that value.  Because ``r`` scales both the power budget and the
+received signal identically (Eq. 12), the choice only rescales the power
+axis of the result figures, never their shape.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from .. import constants
+from ..errors import ConfigurationError
+from .lambertian import lambertian_order
+
+
+@dataclass(frozen=True)
+class LEDModel:
+    """Electrical + optical model of one LED transmitter.
+
+    Attributes:
+        ideality: diode ideality factor ``k``.
+        thermal_voltage: thermal voltage ``V_t`` [V].
+        saturation_current: reverse-bias saturation current ``I_s`` [A].
+        series_resistance: series resistance ``R_s`` [Ohm].
+        bias_current: illumination bias current ``I_b`` [A].
+        max_swing: maximum swing current ``I_sw,max`` [A].
+        wall_plug_efficiency: electrical-to-optical efficiency ``eta``.
+        half_power_semi_angle: lensed semi-angle ``phi_1/2`` [rad].
+        luminous_flux_at_bias: luminous flux at ``I_b`` [lm]; calibrated in
+            :mod:`repro.illumination.calibration`.
+        dynamic_resistance_override: if set, use this ``r`` [Ohm] instead of
+            the small-signal formula (see module docstring).
+    """
+
+    ideality: float = constants.IDEALITY_FACTOR
+    thermal_voltage: float = constants.THERMAL_VOLTAGE_300K
+    saturation_current: float = constants.SATURATION_CURRENT
+    series_resistance: float = constants.SERIES_RESISTANCE
+    bias_current: float = constants.BIAS_CURRENT
+    max_swing: float = constants.MAX_SWING_CURRENT
+    wall_plug_efficiency: float = constants.WALL_PLUG_EFFICIENCY
+    half_power_semi_angle: float = constants.HALF_POWER_SEMI_ANGLE
+    luminous_flux_at_bias: float = constants.CALIBRATED_LUMINOUS_FLUX
+    dynamic_resistance_override: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.ideality <= 0:
+            raise ConfigurationError(f"ideality must be positive, got {self.ideality}")
+        if self.thermal_voltage <= 0:
+            raise ConfigurationError(
+                f"thermal voltage must be positive, got {self.thermal_voltage}"
+            )
+        if self.saturation_current <= 0:
+            raise ConfigurationError(
+                f"saturation current must be positive, got {self.saturation_current}"
+            )
+        if self.series_resistance < 0:
+            raise ConfigurationError(
+                f"series resistance must be >= 0, got {self.series_resistance}"
+            )
+        if self.bias_current <= 0:
+            raise ConfigurationError(
+                f"bias current must be positive, got {self.bias_current}"
+            )
+        if self.max_swing <= 0:
+            raise ConfigurationError(
+                f"max swing must be positive, got {self.max_swing}"
+            )
+        if self.max_swing > 2.0 * self.bias_current:
+            raise ConfigurationError(
+                "max swing exceeds 2 * bias current; the LOW symbol current "
+                f"would be negative (I_b={self.bias_current}, "
+                f"I_sw,max={self.max_swing})"
+            )
+        if not 0.0 < self.wall_plug_efficiency <= 1.0:
+            raise ConfigurationError(
+                f"wall-plug efficiency must be in (0, 1], got {self.wall_plug_efficiency}"
+            )
+        if self.luminous_flux_at_bias <= 0:
+            raise ConfigurationError(
+                f"luminous flux must be positive, got {self.luminous_flux_at_bias}"
+            )
+        if self.dynamic_resistance_override is not None and (
+            self.dynamic_resistance_override <= 0
+        ):
+            raise ConfigurationError(
+                "dynamic resistance override must be positive, got "
+                f"{self.dynamic_resistance_override}"
+            )
+
+    # ------------------------------------------------------------------
+    # Electrical model (Eq. 8 and derivatives)
+    # ------------------------------------------------------------------
+
+    @property
+    def lambertian_order(self) -> float:
+        """Lambertian order ``m`` of the lensed LED."""
+        return lambertian_order(self.half_power_semi_angle)
+
+    def forward_voltage(self, current: float) -> float:
+        """Forward voltage [V] at *current* [A] (Shockley + series R)."""
+        self._check_current(current)
+        return (
+            self.ideality
+            * self.thermal_voltage
+            * math.log(current / self.saturation_current + 1.0)
+            + self.series_resistance * current
+        )
+
+    def power(self, current: float) -> float:
+        """Electrical power draw [W] at *current* [A] -- Eq. 8."""
+        self._check_current(current)
+        if current == 0.0:
+            return 0.0
+        return self.forward_voltage(current) * current
+
+    def power_taylor(self, current: float) -> float:
+        """Second-order Taylor expansion of :meth:`power` around the bias.
+
+        The three terms of Eq. 9: illumination power plus the linear and
+        quadratic communication terms.
+        """
+        self._check_current(current)
+        delta = current - self.bias_current
+        return (
+            self.illumination_power
+            + self._power_derivative1() * delta
+            + 0.5 * self._power_derivative2() * delta**2
+        )
+
+    @property
+    def illumination_power(self) -> float:
+        """Power [W] drawn in pure illumination mode: ``P_led(I_b)``."""
+        return self.power(self.bias_current)
+
+    def _power_derivative1(self) -> float:
+        """First derivative of Eq. 8 at the bias current [W/A]."""
+        i_b = self.bias_current
+        i_s = self.saturation_current
+        k_vt = self.ideality * self.thermal_voltage
+        return (
+            k_vt * (math.log(i_b / i_s + 1.0) + i_b / (i_b + i_s))
+            + 2.0 * self.series_resistance * i_b
+        )
+
+    def _power_derivative2(self) -> float:
+        """Second derivative of Eq. 8 at the bias current [W/A^2]."""
+        i_b = self.bias_current
+        i_s = self.saturation_current
+        k_vt = self.ideality * self.thermal_voltage
+        return (
+            k_vt * (1.0 / (i_b + i_s) + i_s / (i_b + i_s) ** 2)
+            + 2.0 * self.series_resistance
+        )
+
+    @property
+    def dynamic_resistance(self) -> float:
+        """The ``r`` of Eq. 10 [Ohm]: ``k*V_t/(2*I_b) + R_s`` (or override)."""
+        if self.dynamic_resistance_override is not None:
+            return self.dynamic_resistance_override
+        return (
+            self.ideality * self.thermal_voltage / (2.0 * self.bias_current)
+            + self.series_resistance
+        )
+
+    # ------------------------------------------------------------------
+    # Communication power (Eqs. 10-11, Fig. 4)
+    # ------------------------------------------------------------------
+
+    def communication_power(self, swing: float) -> float:
+        """Average extra power [W] for a swing [A] -- Eq. 10.
+
+        ``P_C = r * (I_sw / 2)**2``; zero swing means pure illumination.
+        """
+        self._check_swing(swing)
+        return self.dynamic_resistance * (swing / 2.0) ** 2
+
+    @property
+    def full_swing_power(self) -> float:
+        """Per-TX communication power at maximum swing [W] (Sec. 4.2)."""
+        return self.communication_power(self.max_swing)
+
+    def exact_communication_power(self, swing: float) -> float:
+        """Exact (non-Taylor) average extra power [W] for a swing [A].
+
+        Manchester coding spends half the time at ``I_h = I_b + I_sw/2``
+        and half at ``I_l = I_b - I_sw/2``, so the exact average extra
+        power is ``(P(I_h) + P(I_l)) / 2 - P(I_b)``.
+        """
+        self._check_swing(swing)
+        high, low = self.symbol_currents(swing)
+        return 0.5 * (self.power(high) + self.power(low)) - self.illumination_power
+
+    def approximation_error(self, swing: float) -> float:
+        """Relative Taylor-approximation error on total average power.
+
+        This is the quantity of Fig. 4: with the CREE XT-E constants the
+        error stays below ~0.5% over the full 0-900 mA swing range.
+        """
+        self._check_swing(swing)
+        exact = self.illumination_power + self.exact_communication_power(swing)
+        approx = self.illumination_power + self.communication_power(swing)
+        return abs(approx - exact) / exact
+
+    def symbol_currents(self, swing: float) -> "tuple[float, float]":
+        """(HIGH, LOW) currents [A] for a swing: ``I_b +- I_sw/2``."""
+        self._check_swing(swing)
+        return (self.bias_current + swing / 2.0, self.bias_current - swing / 2.0)
+
+    # ------------------------------------------------------------------
+    # Optical model
+    # ------------------------------------------------------------------
+
+    def optical_signal_power(self, swing: float) -> float:
+        """Optical power [W] of the communication signal at a swing [A].
+
+        The electrical communication power converted at wall-plug
+        efficiency; this is the ``eta * r * (I_sw/2)**2`` factor inside the
+        paper's SINR expression (Eq. 12).
+        """
+        return self.wall_plug_efficiency * self.communication_power(swing)
+
+    def optical_swing_amplitude(self, swing: float) -> float:
+        """Peak optical-power deviation [W] of the OOK waveform at a swing.
+
+        Unlike :meth:`optical_signal_power` (the paper's *average extra
+        power* convention used inside Eq. 12), this is the physical
+        amplitude of the emitted optical square wave,
+        ``eta * (P(I_h) - P(I_l)) / 2`` -- the quantity a photodiode
+        detecting the synchronization pilot actually sees.
+        """
+        self._check_swing(swing)
+        if swing == 0.0:
+            return 0.0
+        high, low = self.symbol_currents(swing)
+        return self.wall_plug_efficiency * 0.5 * (self.power(high) - self.power(low))
+
+    def luminous_flux(self, current: float) -> float:
+        """Luminous flux [lm] at *current* [A] (linear flux-vs-current).
+
+        LED flux is close to linear in drive current over the operating
+        region; Manchester coding keeps the *average* current at ``I_b``,
+        so illumination is unchanged by communication (Sec. 3.3).
+        """
+        self._check_current(current)
+        return self.luminous_flux_at_bias * current / self.bias_current
+
+    # ------------------------------------------------------------------
+
+    def _check_current(self, current: float) -> None:
+        if not math.isfinite(current) or current < 0.0:
+            raise ConfigurationError(f"current must be finite and >= 0, got {current}")
+
+    def _check_swing(self, swing: float) -> None:
+        if not math.isfinite(swing) or swing < 0.0:
+            raise ConfigurationError(f"swing must be finite and >= 0, got {swing}")
+        limit = min(self.max_swing, 2.0 * self.bias_current)
+        if swing > limit * (1.0 + 1e-9):
+            raise ConfigurationError(
+                f"swing {swing} A exceeds the allowed maximum {limit} A"
+            )
+
+
+def cree_xte(
+    luminous_flux_at_bias: float = constants.CALIBRATED_LUMINOUS_FLUX,
+    dynamic_resistance_override: Optional[float] = None,
+) -> LEDModel:
+    """The paper's CREE XT-E LED behind the TINA FA10645 lens (Table 1)."""
+    return LEDModel(luminous_flux_at_bias=luminous_flux_at_bias,
+                    dynamic_resistance_override=dynamic_resistance_override)
+
+
+def cree_xte_paper_power() -> LEDModel:
+    """CREE XT-E with ``r`` pinned to the paper's 74.42 mW full-swing power."""
+    return cree_xte(dynamic_resistance_override=constants.PAPER_DYNAMIC_RESISTANCE)

@@ -1,0 +1,101 @@
+"""Lens model: how secondary optics narrow an LED's beam (Sec. 7.1).
+
+The bare CREE XT-E is a near-ideal Lambertian emitter (half-power
+semi-angle ~60 degrees); the testbed mounts a TINA FA10645 collimating
+lens that narrows it to the 15 degrees of Table 1.  A lens trades beam
+width for on-axis intensity: with a transmission efficiency ``tau`` the
+total flux scales by ``tau`` while the Lambertian order jumps from ~1 to
+~20, concentrating the light into the beamspot.
+
+:func:`lensed` applies a lens to an LED model; the stock
+:data:`TINA_FA10645` reproduces the paper's optics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from ..errors import ConfigurationError
+from .lambertian import lambertian_order
+from .led import LEDModel
+
+#: Half-power semi-angle of a bare (unlensed) Lambertian LED [rad].
+BARE_LED_SEMI_ANGLE: float = math.radians(60.0)
+
+
+@dataclass(frozen=True)
+class Lens:
+    """A collimating lens over an LED.
+
+    Attributes:
+        half_power_semi_angle: the lensed beam's semi-angle [rad].
+        transmission: optical transmission efficiency tau in (0, 1].
+        name: catalogue label for reports.
+    """
+
+    half_power_semi_angle: float
+    transmission: float = 0.9
+    name: str = "custom"
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.half_power_semi_angle < math.pi / 2:
+            raise ConfigurationError(
+                "lens semi-angle must be in (0, pi/2) rad, got "
+                f"{self.half_power_semi_angle}"
+            )
+        if not 0.0 < self.transmission <= 1.0:
+            raise ConfigurationError(
+                f"transmission must be in (0, 1], got {self.transmission}"
+            )
+
+    @property
+    def lambertian_order(self) -> float:
+        """Lambertian order of the lensed beam."""
+        return lambertian_order(self.half_power_semi_angle)
+
+    def concentration_gain(
+        self, bare_semi_angle: float = BARE_LED_SEMI_ANGLE
+    ) -> float:
+        """On-axis intensity gain over the bare LED.
+
+        Intensity per unit flux scales with ``(m + 1) / 2 pi``; the lens
+        multiplies flux by its transmission.
+        """
+        bare_order = lambertian_order(bare_semi_angle)
+        return (
+            self.transmission
+            * (self.lambertian_order + 1.0)
+            / (bare_order + 1.0)
+        )
+
+
+#: The paper's TINA FA10645 collimator: 15-degree semi-angle.
+TINA_FA10645 = Lens(
+    half_power_semi_angle=math.radians(15.0),
+    transmission=0.9,
+    name="TINA FA10645",
+)
+
+
+def lensed(led: LEDModel, lens: Lens = TINA_FA10645) -> LEDModel:
+    """The LED model behind a lens.
+
+    The semi-angle narrows to the lens's and the flux (and with it the
+    effective wall-plug efficiency toward the room) scales by the lens
+    transmission.
+    """
+    efficiency = led.wall_plug_efficiency * lens.transmission
+    if efficiency <= 0.0:
+        raise ConfigurationError("lens transmission annihilates the output")
+    return replace(
+        led,
+        half_power_semi_angle=lens.half_power_semi_angle,
+        wall_plug_efficiency=efficiency,
+        luminous_flux_at_bias=led.luminous_flux_at_bias * lens.transmission,
+    )
+
+
+def bare(led: LEDModel, bare_semi_angle: float = BARE_LED_SEMI_ANGLE) -> LEDModel:
+    """The same LED without its lens (for optics ablations)."""
+    return replace(led, half_power_semi_angle=bare_semi_angle)

@@ -1,0 +1,127 @@
+"""Photodiode receiver front-end model (paper Table 1, Eq. 2).
+
+The receiver enters the LOS path-loss expression through three factors:
+the collection area ``A_pd``, the incidence-angle gain ``g(psi)`` of the
+optical concentrator/filter, and the field of view ``Psi_c`` outside of
+which the gain is zero.  The photocurrent is the received optical power
+times the responsivity ``R``.
+
+Two concentrator models are provided:
+
+- :class:`FlatConcentrator` -- unity gain inside the FOV (the paper's bare
+  S5971 photodiode; Table 1 uses ``g = 1`` implicitly).
+- :class:`CompoundParabolicConcentrator` -- the classic
+  ``g = n^2 / sin^2(Psi_c)`` idealized CPC, useful for ablations.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from .. import constants
+from ..errors import ConfigurationError
+
+
+class ConcentratorModel:
+    """Interface: optical gain as a function of incidence angle."""
+
+    def gain(self, incidence_angle: float) -> float:
+        """Dimensionless optical gain at *incidence_angle* [rad]."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class FlatConcentrator(ConcentratorModel):
+    """Constant gain inside the field of view (default: unity)."""
+
+    value: float = 1.0
+    field_of_view: float = constants.RECEIVER_FOV
+
+    def __post_init__(self) -> None:
+        if self.value <= 0:
+            raise ConfigurationError(f"gain must be positive, got {self.value}")
+        if not 0.0 < self.field_of_view <= math.pi / 2:
+            raise ConfigurationError(
+                f"field of view must be in (0, pi/2] rad, got {self.field_of_view}"
+            )
+
+    def gain(self, incidence_angle: float) -> float:
+        if not 0.0 <= incidence_angle <= self.field_of_view:
+            return 0.0
+        return self.value
+
+
+@dataclass(frozen=True)
+class CompoundParabolicConcentrator(ConcentratorModel):
+    """Idealized CPC: ``g = n^2 / sin^2(Psi_c)`` inside the FOV."""
+
+    refractive_index: float = 1.5
+    field_of_view: float = constants.RECEIVER_FOV
+
+    def __post_init__(self) -> None:
+        if self.refractive_index < 1.0:
+            raise ConfigurationError(
+                f"refractive index must be >= 1, got {self.refractive_index}"
+            )
+        if not 0.0 < self.field_of_view <= math.pi / 2:
+            raise ConfigurationError(
+                f"field of view must be in (0, pi/2] rad, got {self.field_of_view}"
+            )
+
+    def gain(self, incidence_angle: float) -> float:
+        if not 0.0 <= incidence_angle <= self.field_of_view:
+            return 0.0
+        return self.refractive_index**2 / math.sin(self.field_of_view) ** 2
+
+
+@dataclass(frozen=True)
+class Photodiode:
+    """Photodiode front-end: S5971 by default (Table 1).
+
+    Attributes:
+        area: collection area ``A_pd`` [m^2].
+        responsivity: ``R`` [A/W].
+        field_of_view: ``Psi_c`` [rad]; incidence beyond this sees zero gain.
+        concentrator: optical concentrator/filter gain model ``g(psi)``.
+    """
+
+    area: float = constants.PHOTODIODE_AREA
+    responsivity: float = constants.RESPONSIVITY
+    field_of_view: float = constants.RECEIVER_FOV
+    concentrator: ConcentratorModel = field(default_factory=FlatConcentrator)
+
+    def __post_init__(self) -> None:
+        if self.area <= 0:
+            raise ConfigurationError(f"area must be positive, got {self.area}")
+        if self.responsivity <= 0:
+            raise ConfigurationError(
+                f"responsivity must be positive, got {self.responsivity}"
+            )
+        if not 0.0 < self.field_of_view <= math.pi / 2:
+            raise ConfigurationError(
+                f"field of view must be in (0, pi/2] rad, got {self.field_of_view}"
+            )
+
+    def accepts(self, incidence_angle: float) -> bool:
+        """Whether light at *incidence_angle* [rad] falls inside the FOV."""
+        return 0.0 <= incidence_angle <= self.field_of_view
+
+    def gain(self, incidence_angle: float) -> float:
+        """Concentrator/filter gain ``g(psi)`` at *incidence_angle* [rad]."""
+        if not self.accepts(incidence_angle):
+            return 0.0
+        return self.concentrator.gain(incidence_angle)
+
+    def photocurrent(self, optical_power: float) -> float:
+        """Photocurrent [A] produced by *optical_power* [W]."""
+        if optical_power < 0:
+            raise ConfigurationError(
+                f"optical power must be >= 0, got {optical_power}"
+            )
+        return self.responsivity * optical_power
+
+
+def s5971() -> Photodiode:
+    """The paper's Hamamatsu S5971 front-end (Table 1)."""
+    return Photodiode()

@@ -1,0 +1,82 @@
+"""PHY substrate: coding, modulation, framing and waveform simulation."""
+
+from .frame import (
+    MAX_PAYLOAD,
+    POST_SFD_HEADER_BYTES,
+    SFD,
+    TX_ID_FIELD_BYTES,
+    ControllerFrame,
+    MACFrame,
+    tx_mask_from_bytes,
+    tx_mask_to_bytes,
+)
+from .manchester import (
+    bits_to_bytes,
+    bytes_to_bits,
+    dc_balance,
+    decode_symbols,
+    decode_to_bytes,
+    encode_bits,
+    encode_bytes,
+)
+from .ofdm import DCOOFDMConfig, DCOOFDMModem, qam_constellation
+from .ook import OOKDemodulator, OOKModulator
+from .preamble import (
+    SEQUENCE_LENGTH,
+    DetectionResult,
+    correlate,
+    detect_sequence,
+    pilot_sequence,
+    preamble_sequence,
+)
+from .reed_solomon import (
+    PAPER_BLOCK_SIZE,
+    PAPER_PARITY,
+    BlockCoder,
+    ReedSolomonCodec,
+    rs_generator_poly,
+)
+from .sampling import ADCModel
+from .transceiver import (
+    ReceptionResult,
+    TransmissionPath,
+    VLCPhyLink,
+)
+
+__all__ = [
+    "MAX_PAYLOAD",
+    "POST_SFD_HEADER_BYTES",
+    "SFD",
+    "TX_ID_FIELD_BYTES",
+    "ControllerFrame",
+    "MACFrame",
+    "tx_mask_from_bytes",
+    "tx_mask_to_bytes",
+    "bits_to_bytes",
+    "bytes_to_bits",
+    "dc_balance",
+    "decode_symbols",
+    "decode_to_bytes",
+    "encode_bits",
+    "encode_bytes",
+    "DCOOFDMConfig",
+    "DCOOFDMModem",
+    "qam_constellation",
+    "OOKDemodulator",
+    "OOKModulator",
+    "SEQUENCE_LENGTH",
+    "DetectionResult",
+    "correlate",
+    "detect_sequence",
+    "pilot_sequence",
+    "preamble_sequence",
+    "PAPER_BLOCK_SIZE",
+    "PAPER_PARITY",
+    "BlockCoder",
+    "ReedSolomonCodec",
+    "rs_generator_poly",
+    "ADCModel",
+    "ReceptionResult",
+    "TransmissionPath",
+    "VLCPhyLink",
+]

@@ -1,0 +1,217 @@
+"""Frame structure of DenseVLC (paper Table 3).
+
+A frame travels in two legs.  The controller multicasts over Ethernet:
+
+    | ETH header | TX ID (8 B) | ...VLC portion... |
+
+where the 8-byte TX ID field is a bitmask of the (up to 64) transmitters
+that must send this frame.  Each selected TX then emits the VLC portion:
+
+    | Pilot (32 sym) | Preamble (32 sym) | SFD | Length | Dst | Src |
+    | Protocol | Payload (x B) | Reed-Solomon (ceil(x/200)*16 B) |
+
+The pilot and preamble are raw line symbols (the NLOS synchronization
+and symbol-alignment references); everything from the SFD onward is
+Manchester-coded bytes protected by the per-block RS parity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, Tuple
+
+import numpy as np
+
+from ..errors import CodingError, DecodingError
+from .manchester import decode_to_bytes, encode_bytes
+from .preamble import SEQUENCE_LENGTH, pilot_sequence, preamble_sequence
+from .reed_solomon import BlockCoder
+
+#: Start-of-frame delimiter byte.
+SFD: int = 0xD5
+
+#: Size of the TX ID bitmask on the Ethernet leg [bytes] (Table 3).
+TX_ID_FIELD_BYTES: int = 8
+
+#: Byte length of the fixed header after the SFD: length + dst + src + proto.
+POST_SFD_HEADER_BYTES: int = 8
+
+#: Maximum payload length representable by the 2-byte length field.
+MAX_PAYLOAD: int = 0xFFFF
+
+
+def _check_u16(value: int, name: str) -> None:
+    if not 0 <= value <= 0xFFFF:
+        raise CodingError(f"{name} must fit in 16 bits, got {value}")
+
+
+@dataclass(frozen=True)
+class MACFrame:
+    """The VLC-visible part of a frame: SFD through Reed-Solomon.
+
+    Attributes:
+        destination: 16-bit destination address (RX id).
+        source: 16-bit source address (controller/TX id).
+        protocol: 16-bit protocol tag.
+        payload: application payload (1..65535 bytes).
+    """
+
+    destination: int
+    source: int
+    protocol: int
+    payload: bytes
+
+    def __post_init__(self) -> None:
+        _check_u16(self.destination, "destination")
+        _check_u16(self.source, "source")
+        _check_u16(self.protocol, "protocol")
+        if not 1 <= len(self.payload) <= MAX_PAYLOAD:
+            raise CodingError(
+                f"payload must be 1..{MAX_PAYLOAD} bytes, got {len(self.payload)}"
+            )
+
+    # ------------------------------------------------------------------
+
+    def to_bytes(self, coder: BlockCoder = BlockCoder()) -> bytes:
+        """Serialize SFD..RS with per-block RS parity appended."""
+        header = bytes([SFD]) + len(self.payload).to_bytes(2, "big")
+        header += self.destination.to_bytes(2, "big")
+        header += self.source.to_bytes(2, "big")
+        header += self.protocol.to_bytes(2, "big")
+        return header + coder.encode(self.payload)
+
+    @classmethod
+    def from_bytes(cls, data: bytes, coder: BlockCoder = BlockCoder()) -> "MACFrame":
+        """Parse and RS-correct a serialized frame.
+
+        Raises :class:`DecodingError` on a bad SFD, truncated data or an
+        uncorrectable payload.
+        """
+        if len(data) < 1 + POST_SFD_HEADER_BYTES:
+            raise DecodingError(f"frame of {len(data)} bytes is too short")
+        if data[0] != SFD:
+            raise DecodingError(
+                f"bad SFD: expected {SFD:#04x}, got {data[0]:#04x}"
+            )
+        length = int.from_bytes(data[1:3], "big")
+        destination = int.from_bytes(data[3:5], "big")
+        source = int.from_bytes(data[5:7], "big")
+        protocol = int.from_bytes(data[7:9], "big")
+        body = data[9:]
+        expected = length + coder.parity_length(length)
+        if len(body) < expected:
+            raise DecodingError(
+                f"frame body truncated: expected {expected} bytes, got {len(body)}"
+            )
+        payload = coder.decode(body[:expected], length)
+        return cls(
+            destination=destination,
+            source=source,
+            protocol=protocol,
+            payload=payload,
+        )
+
+    # ------------------------------------------------------------------
+
+    def vlc_symbols(
+        self,
+        coder: BlockCoder = BlockCoder(),
+        pilot_length: int = SEQUENCE_LENGTH,
+        preamble_length: int = SEQUENCE_LENGTH,
+    ) -> np.ndarray:
+        """Full VLC line-symbol sequence: pilot + preamble + Manchester body."""
+        body = encode_bytes(self.to_bytes(coder))
+        return np.concatenate(
+            [pilot_sequence(pilot_length), preamble_sequence(preamble_length), body]
+        )
+
+    def vlc_symbol_count(
+        self,
+        coder: BlockCoder = BlockCoder(),
+        pilot_length: int = SEQUENCE_LENGTH,
+        preamble_length: int = SEQUENCE_LENGTH,
+    ) -> int:
+        """Length of :meth:`vlc_symbols` without building it."""
+        body_bytes = (
+            1
+            + POST_SFD_HEADER_BYTES
+            + len(self.payload)
+            + coder.parity_length(len(self.payload))
+        )
+        return pilot_length + preamble_length + body_bytes * 16
+
+    @staticmethod
+    def decode_symbols(
+        symbols: np.ndarray,
+        coder: BlockCoder = BlockCoder(),
+        strict_manchester: bool = False,
+    ) -> "MACFrame":
+        """Decode the Manchester body symbols (after the preamble)."""
+        usable = (symbols.size // 16) * 16
+        data = decode_to_bytes(symbols[:usable], strict=strict_manchester)
+        return MACFrame.from_bytes(data, coder)
+
+
+def tx_mask_to_bytes(tx_indices: Iterable[int]) -> bytes:
+    """Encode a set of 0-based TX indices as the 8-byte TX ID bitmask."""
+    mask = 0
+    for index in tx_indices:
+        if not 0 <= index < TX_ID_FIELD_BYTES * 8:
+            raise CodingError(
+                f"TX index {index} does not fit the {TX_ID_FIELD_BYTES * 8}-bit mask"
+            )
+        mask |= 1 << index
+    return mask.to_bytes(TX_ID_FIELD_BYTES, "big")
+
+
+def tx_mask_from_bytes(data: bytes) -> FrozenSet[int]:
+    """Decode the 8-byte TX ID bitmask back into TX indices."""
+    if len(data) != TX_ID_FIELD_BYTES:
+        raise DecodingError(
+            f"TX ID field must be {TX_ID_FIELD_BYTES} bytes, got {len(data)}"
+        )
+    mask = int.from_bytes(data, "big")
+    return frozenset(i for i in range(TX_ID_FIELD_BYTES * 8) if mask & (1 << i))
+
+
+@dataclass(frozen=True)
+class ControllerFrame:
+    """The Ethernet-leg frame: TX ID bitmask + the VLC frame.
+
+    The leading TX (first index in the mask by convention unless given
+    explicitly) sends the synchronization pilot; the others join after
+    detecting it (Sec. 6.2).
+    """
+
+    tx_indices: FrozenSet[int]
+    frame: MACFrame
+    leading_tx: int = -1
+
+    def __post_init__(self) -> None:
+        indices = frozenset(int(i) for i in self.tx_indices)
+        if not indices:
+            raise CodingError("a controller frame needs at least one TX")
+        object.__setattr__(self, "tx_indices", indices)
+        leader = self.leading_tx
+        if leader < 0:
+            leader = min(indices)
+            object.__setattr__(self, "leading_tx", leader)
+        if leader not in indices:
+            raise CodingError(
+                f"leading TX {leader} is not in the TX set {sorted(indices)}"
+            )
+
+    def to_bytes(self, coder: BlockCoder = BlockCoder()) -> bytes:
+        """Serialize for the Ethernet multicast leg."""
+        return tx_mask_to_bytes(self.tx_indices) + self.frame.to_bytes(coder)
+
+    @classmethod
+    def from_bytes(
+        cls, data: bytes, coder: BlockCoder = BlockCoder()
+    ) -> "ControllerFrame":
+        """Parse an Ethernet-leg frame."""
+        if len(data) < TX_ID_FIELD_BYTES:
+            raise DecodingError("controller frame shorter than the TX ID field")
+        indices = tx_mask_from_bytes(data[:TX_ID_FIELD_BYTES])
+        frame = MACFrame.from_bytes(data[TX_ID_FIELD_BYTES:], coder)
+        return cls(tx_indices=indices, frame=frame)

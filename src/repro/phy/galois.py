@@ -1,0 +1,143 @@
+"""GF(2^8) arithmetic for the Reed-Solomon codec.
+
+The field is GF(256) with the conventional primitive polynomial
+``x^8 + x^4 + x^3 + x^2 + 1`` (0x11d) and generator element 2 -- the same
+field used by CCSDS/DVB RS codes and the OpenVLC lineage the testbed
+software builds on.  Log/antilog tables make multiplication O(1).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..errors import CodingError
+
+#: Primitive polynomial x^8 + x^4 + x^3 + x^2 + 1.
+PRIMITIVE_POLY: int = 0x11D
+
+#: Field size.
+FIELD_SIZE: int = 256
+
+
+def _build_tables() -> "tuple[list[int], list[int]]":
+    exp = [0] * (FIELD_SIZE * 2)
+    log = [0] * FIELD_SIZE
+    value = 1
+    for power in range(FIELD_SIZE - 1):
+        exp[power] = value
+        log[value] = power
+        value <<= 1
+        if value & 0x100:
+            value ^= PRIMITIVE_POLY
+    for power in range(FIELD_SIZE - 1, FIELD_SIZE * 2):
+        exp[power] = exp[power - (FIELD_SIZE - 1)]
+    return exp, log
+
+
+_EXP, _LOG = _build_tables()
+
+
+def gf_add(a: int, b: int) -> int:
+    """Addition in GF(256) (XOR)."""
+    return (a ^ b) & 0xFF
+
+
+def gf_sub(a: int, b: int) -> int:
+    """Subtraction in GF(256) (same as addition)."""
+    return (a ^ b) & 0xFF
+
+
+def gf_mul(a: int, b: int) -> int:
+    """Multiplication in GF(256)."""
+    if a == 0 or b == 0:
+        return 0
+    return _EXP[_LOG[a] + _LOG[b]]
+
+
+def gf_div(a: int, b: int) -> int:
+    """Division in GF(256); division by zero raises :class:`CodingError`."""
+    if b == 0:
+        raise CodingError("division by zero in GF(256)")
+    if a == 0:
+        return 0
+    return _EXP[(_LOG[a] - _LOG[b]) % (FIELD_SIZE - 1)]
+
+
+def gf_pow(a: int, power: int) -> int:
+    """Exponentiation in GF(256); ``0**0 == 1`` by convention."""
+    if a == 0:
+        if power == 0:
+            return 1
+        if power < 0:
+            raise CodingError("zero has no negative powers in GF(256)")
+        return 0
+    return _EXP[(_LOG[a] * power) % (FIELD_SIZE - 1)]
+
+
+def gf_inverse(a: int) -> int:
+    """Multiplicative inverse in GF(256)."""
+    if a == 0:
+        raise CodingError("zero has no inverse in GF(256)")
+    return _EXP[(FIELD_SIZE - 1) - _LOG[a]]
+
+
+def generator_element(power: int) -> int:
+    """``alpha**power`` for the field generator ``alpha = 2``."""
+    return _EXP[power % (FIELD_SIZE - 1)]
+
+
+# ---------------------------------------------------------------------------
+# Polynomials over GF(256), coefficients most-significant first.
+# ---------------------------------------------------------------------------
+
+
+def poly_scale(poly: Sequence[int], factor: int) -> List[int]:
+    """Multiply every coefficient by *factor*."""
+    return [gf_mul(coefficient, factor) for coefficient in poly]
+
+
+def poly_add(a: Sequence[int], b: Sequence[int]) -> List[int]:
+    """Add two polynomials."""
+    result = [0] * max(len(a), len(b))
+    for i, coefficient in enumerate(a):
+        result[i + len(result) - len(a)] = coefficient
+    for i, coefficient in enumerate(b):
+        result[i + len(result) - len(b)] ^= coefficient
+    return result
+
+
+def poly_mul(a: Sequence[int], b: Sequence[int]) -> List[int]:
+    """Multiply two polynomials."""
+    result = [0] * (len(a) + len(b) - 1)
+    for i, ca in enumerate(a):
+        if ca == 0:
+            continue
+        for j, cb in enumerate(b):
+            result[i + j] ^= gf_mul(ca, cb)
+    return result
+
+
+def poly_eval(poly: Sequence[int], x: int) -> int:
+    """Evaluate a polynomial at *x* (Horner's method)."""
+    value = 0
+    for coefficient in poly:
+        value = gf_mul(value, x) ^ coefficient
+    return value
+
+
+def poly_divmod(dividend: Sequence[int], divisor: Sequence[int]) -> "tuple[list[int], list[int]]":
+    """Polynomial division: returns (quotient, remainder)."""
+    if not divisor or all(c == 0 for c in divisor):
+        raise CodingError("polynomial division by zero")
+    output = list(dividend)
+    normalizer = divisor[0]
+    separator = len(divisor) - 1
+    for i in range(len(dividend) - separator):
+        output[i] = gf_div(output[i], normalizer)
+        coefficient = output[i]
+        if coefficient != 0:
+            for j in range(1, len(divisor)):
+                output[i + j] ^= gf_mul(divisor[j], coefficient)
+    if separator == 0:
+        return output, []
+    return output[:-separator], output[-separator:]

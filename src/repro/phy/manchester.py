@@ -1,0 +1,110 @@
+"""Manchester line coding (paper Sec. 3.3).
+
+DenseVLC uses Manchester encoding so HIGH and LOW symbols are
+equiprobable: the LED's average brightness is unchanged by communication
+and flicker is avoided.  The paper's convention: a LOW -> HIGH transition
+encodes binary 0, a HIGH -> LOW transition encodes binary 1.
+
+Symbols are integers: 0 = LOW, 1 = HIGH.  One data bit becomes two line
+symbols, so the bit rate is half the symbol rate.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import CodingError, DecodingError
+
+#: Symbol pair for binary 0: LOW then HIGH.
+ZERO_SYMBOLS: Tuple[int, int] = (0, 1)
+
+#: Symbol pair for binary 1: HIGH then LOW.
+ONE_SYMBOLS: Tuple[int, int] = (1, 0)
+
+
+def encode_bits(bits: Sequence[int]) -> np.ndarray:
+    """Manchester-encode a bit sequence into line symbols.
+
+    Returns an int8 array twice the input length.
+    """
+    array = np.asarray(bits, dtype=np.int8)
+    if array.ndim != 1:
+        raise CodingError(f"bits must be 1-D, got shape {array.shape}")
+    if array.size and not np.all((array == 0) | (array == 1)):
+        raise CodingError("bits must be 0 or 1")
+    symbols = np.empty(array.size * 2, dtype=np.int8)
+    # bit 0 -> (0, 1); bit 1 -> (1, 0).
+    symbols[0::2] = array
+    symbols[1::2] = 1 - array
+    return symbols
+
+
+def decode_symbols(symbols: Sequence[int], strict: bool = True) -> np.ndarray:
+    """Decode line symbols back to bits.
+
+    With ``strict=True`` an invalid pair (00 or 11 -- no mid-bit
+    transition) raises :class:`DecodingError`; with ``strict=False`` the
+    first symbol of the pair decides the bit (the testbed's tolerant
+    behaviour under noise).
+    """
+    array = np.asarray(symbols, dtype=np.int8)
+    if array.ndim != 1:
+        raise DecodingError(f"symbols must be 1-D, got shape {array.shape}")
+    if array.size % 2 != 0:
+        raise DecodingError(
+            f"symbol count must be even, got {array.size}"
+        )
+    if array.size and not np.all((array == 0) | (array == 1)):
+        raise DecodingError("symbols must be 0 or 1")
+    first = array[0::2]
+    second = array[1::2]
+    if strict and array.size and np.any(first == second):
+        bad = int(np.nonzero(first == second)[0][0])
+        raise DecodingError(
+            f"invalid Manchester pair at bit {bad}: missing mid-bit transition"
+        )
+    return first.astype(np.int8)
+
+
+def bytes_to_bits(data: bytes) -> np.ndarray:
+    """MSB-first bit expansion of a byte string."""
+    if len(data) == 0:
+        return np.zeros(0, dtype=np.int8)
+    array = np.frombuffer(data, dtype=np.uint8)
+    return np.unpackbits(array).astype(np.int8)
+
+
+def bits_to_bytes(bits: Sequence[int]) -> bytes:
+    """Inverse of :func:`bytes_to_bits`; length must be a multiple of 8."""
+    array = np.asarray(bits, dtype=np.uint8)
+    if array.size % 8 != 0:
+        raise DecodingError(
+            f"bit count must be a multiple of 8, got {array.size}"
+        )
+    if array.size and not np.all((array == 0) | (array == 1)):
+        raise DecodingError("bits must be 0 or 1")
+    return np.packbits(array).tobytes()
+
+
+def encode_bytes(data: bytes) -> np.ndarray:
+    """Bytes -> Manchester line symbols (16 symbols per byte)."""
+    return encode_bits(bytes_to_bits(data))
+
+
+def decode_to_bytes(symbols: Sequence[int], strict: bool = True) -> bytes:
+    """Manchester line symbols -> bytes."""
+    return bits_to_bytes(decode_symbols(symbols, strict=strict))
+
+
+def dc_balance(symbols: Sequence[int]) -> float:
+    """Fraction of HIGH symbols; 0.5 means perfect DC balance.
+
+    Manchester-coded data is exactly DC balanced, which is what keeps the
+    LED's average brightness at the illumination level.
+    """
+    array = np.asarray(symbols, dtype=float)
+    if array.size == 0:
+        raise CodingError("DC balance of an empty symbol sequence is undefined")
+    return float(np.mean(array))

@@ -1,0 +1,110 @@
+"""OOK waveform synthesis and detection with variable swing (Sec. 3.3).
+
+The modified On-Off-Keying of DenseVLC drives the LED current between
+``I_h = I_b + I_sw/2`` (HIGH) and ``I_l = I_b - I_sw/2`` (LOW) around the
+illumination bias.  The receiver front-end is AC coupled (the second
+amplifier stage filters the bias out), so the baseband waveform seen by
+the decoder is an antipodal square wave of amplitude proportional to the
+received swing.
+
+:class:`OOKModulator` turns line symbols into sampled waveforms;
+:class:`OOKDemodulator` recovers symbols by per-symbol integration
+(integrate-and-dump), which is the optimum detector for rectangular
+pulses in AWGN.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..errors import CodingError, DecodingError
+
+
+@dataclass(frozen=True)
+class OOKModulator:
+    """Symbols -> sampled current (or normalized) waveform.
+
+    Attributes:
+        samples_per_symbol: oversampling factor of the waveform.
+        bias: bias level added to every sample (0 for AC-coupled views).
+        amplitude: half swing; HIGH = bias + amplitude, LOW = bias - amplitude.
+    """
+
+    samples_per_symbol: int = 10
+    bias: float = 0.0
+    amplitude: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.samples_per_symbol < 1:
+            raise CodingError(
+                f"samples_per_symbol must be >= 1, got {self.samples_per_symbol}"
+            )
+        if self.amplitude <= 0:
+            raise CodingError(f"amplitude must be positive, got {self.amplitude}")
+
+    def waveform(self, symbols: Sequence[int]) -> np.ndarray:
+        """Rectangular waveform for the line symbols."""
+        array = np.asarray(symbols, dtype=float)
+        if array.ndim != 1:
+            raise CodingError(f"symbols must be 1-D, got shape {array.shape}")
+        if array.size and not np.all((array == 0) | (array == 1)):
+            raise CodingError("symbols must be 0 or 1")
+        levels = self.bias + self.amplitude * (2.0 * array - 1.0)
+        return np.repeat(levels, self.samples_per_symbol)
+
+    def duration_samples(self, num_symbols: int) -> int:
+        """Waveform length in samples for *num_symbols* symbols."""
+        if num_symbols < 0:
+            raise CodingError(f"symbol count must be >= 0, got {num_symbols}")
+        return num_symbols * self.samples_per_symbol
+
+
+@dataclass(frozen=True)
+class OOKDemodulator:
+    """Sampled waveform -> symbols by integrate-and-dump.
+
+    The decision threshold defaults to 0 (AC-coupled antipodal signal);
+    pass the known bias for DC-coupled captures.
+    """
+
+    samples_per_symbol: int = 10
+    threshold: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.samples_per_symbol < 1:
+            raise CodingError(
+                f"samples_per_symbol must be >= 1, got {self.samples_per_symbol}"
+            )
+
+    def symbols(self, waveform: Sequence[float], offset: int = 0) -> np.ndarray:
+        """Detect symbols starting *offset* samples into the waveform.
+
+        Trailing samples that do not fill a whole symbol are dropped.
+        """
+        array = np.asarray(waveform, dtype=float)
+        if array.ndim != 1:
+            raise DecodingError(f"waveform must be 1-D, got shape {array.shape}")
+        if offset < 0 or offset > array.size:
+            raise DecodingError(f"offset {offset} out of range")
+        usable = array[offset:]
+        count = usable.size // self.samples_per_symbol
+        if count == 0:
+            return np.zeros(0, dtype=np.int8)
+        trimmed = usable[: count * self.samples_per_symbol]
+        energies = trimmed.reshape(count, self.samples_per_symbol).mean(axis=1)
+        return (energies > self.threshold).astype(np.int8)
+
+    def soft_values(self, waveform: Sequence[float], offset: int = 0) -> np.ndarray:
+        """Per-symbol mean values (soft decisions) for SNR estimation."""
+        array = np.asarray(waveform, dtype=float)
+        if offset < 0 or offset > array.size:
+            raise DecodingError(f"offset {offset} out of range")
+        usable = array[offset:]
+        count = usable.size // self.samples_per_symbol
+        trimmed = usable[: count * self.samples_per_symbol]
+        if count == 0:
+            return np.zeros(0)
+        return trimmed.reshape(count, self.samples_per_symbol).mean(axis=1)

@@ -1,0 +1,260 @@
+"""Systematic Reed-Solomon codec over GF(256) (paper Table 3).
+
+DenseVLC appends ``ceil(x / 200) * 16`` parity bytes to an ``x``-byte
+payload: the payload is split into blocks of at most 200 bytes and each
+block is protected by an RS code with 16 parity symbols, correcting up to
+8 byte errors per block.  :class:`ReedSolomonCodec` implements the block
+code (encoder + Berlekamp-Massey / Chien / Forney decoder);
+:class:`BlockCoder` implements the paper's chunked framing on top of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import CodingError, DecodingError
+from . import galois as gf
+
+#: The paper's block size: payload chunks of at most 200 bytes.
+PAPER_BLOCK_SIZE: int = 200
+
+#: The paper's parity per block: 16 bytes (corrects 8 byte errors).
+PAPER_PARITY: int = 16
+
+
+def rs_generator_poly(parity: int) -> List[int]:
+    """Generator polynomial ``prod_{i=0}^{parity-1} (x - alpha^i)``."""
+    if parity < 1:
+        raise CodingError(f"parity symbol count must be >= 1, got {parity}")
+    poly = [1]
+    for i in range(parity):
+        poly = gf.poly_mul(poly, [1, gf.generator_element(i)])
+    return poly
+
+
+@dataclass(frozen=True)
+class ReedSolomonCodec:
+    """An RS(n, k) codec with ``parity = n - k`` symbols over GF(256).
+
+    Codewords are ``message + parity`` byte sequences; message length can
+    vary per call (shortened code) as long as ``len(message) + parity``
+    stays within the 255-byte field bound.
+    """
+
+    parity: int = PAPER_PARITY
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.parity <= 254:
+            raise CodingError(f"parity must be in [1, 254], got {self.parity}")
+        object.__setattr__(self, "_generator", tuple(rs_generator_poly(self.parity)))
+
+    @property
+    def correctable_errors(self) -> int:
+        """Maximum correctable byte errors per codeword."""
+        return self.parity // 2
+
+    def max_message_length(self) -> int:
+        """Longest message a single codeword can carry."""
+        return 255 - self.parity
+
+    # ------------------------------------------------------------------
+
+    def encode(self, message: bytes) -> bytes:
+        """Append parity to *message*, returning the systematic codeword."""
+        if len(message) == 0:
+            raise CodingError("cannot encode an empty message")
+        if len(message) > self.max_message_length():
+            raise CodingError(
+                f"message of {len(message)} bytes exceeds the RS limit of "
+                f"{self.max_message_length()}"
+            )
+        padded = list(message) + [0] * self.parity
+        _, remainder = gf.poly_divmod(padded, list(self._generator))
+        parity_bytes = [0] * (self.parity - len(remainder)) + list(remainder)
+        return bytes(message) + bytes(parity_bytes)
+
+    def decode(self, codeword: bytes) -> bytes:
+        """Correct up to ``parity // 2`` byte errors and strip the parity.
+
+        Raises :class:`DecodingError` when the codeword is uncorrectable.
+        """
+        if len(codeword) <= self.parity:
+            raise DecodingError(
+                f"codeword of {len(codeword)} bytes is shorter than parity "
+                f"{self.parity}"
+            )
+        if len(codeword) > 255:
+            raise DecodingError(
+                f"codeword of {len(codeword)} bytes exceeds the field bound"
+            )
+        received = list(codeword)
+        syndromes = self._syndromes(received)
+        if all(s == 0 for s in syndromes):
+            return bytes(received[: -self.parity])
+        error_locator = self._berlekamp_massey(syndromes)
+        error_positions = self._chien_search(error_locator, len(received))
+        if len(error_positions) != len(error_locator) - 1:
+            raise DecodingError("error locator degree does not match its roots")
+        corrected = self._forney(received, syndromes, error_locator, error_positions)
+        if any(self._syndromes(corrected)):
+            raise DecodingError("residual syndromes after correction")
+        return bytes(corrected[: -self.parity])
+
+    def detect_only(self, codeword: bytes) -> bool:
+        """Whether *codeword* passes the syndrome check unchanged."""
+        if len(codeword) <= self.parity or len(codeword) > 255:
+            return False
+        return all(s == 0 for s in self._syndromes(list(codeword)))
+
+    # ------------------------------------------------------------------
+
+    def _syndromes(self, received: List[int]) -> List[int]:
+        return [
+            gf.poly_eval(received, gf.generator_element(i))
+            for i in range(self.parity)
+        ]
+
+    def _berlekamp_massey(self, syndromes: Sequence[int]) -> List[int]:
+        """Error locator polynomial (coefficients MSB-first)."""
+        error_locator = [1]
+        previous_locator = [1]
+        for i, syndrome in enumerate(syndromes):
+            delta = syndrome
+            for j in range(1, len(error_locator)):
+                delta ^= gf.gf_mul(
+                    error_locator[len(error_locator) - 1 - j], syndromes[i - j]
+                )
+            previous_locator = previous_locator + [0]
+            if delta != 0:
+                if len(previous_locator) > len(error_locator):
+                    new_locator = gf.poly_scale(previous_locator, delta)
+                    previous_locator = gf.poly_scale(
+                        error_locator, gf.gf_inverse(delta)
+                    )
+                    error_locator = new_locator
+                error_locator = gf.poly_add(
+                    error_locator, gf.poly_scale(previous_locator, delta)
+                )
+        errors = len(error_locator) - 1
+        if errors * 2 > self.parity:
+            raise DecodingError(
+                f"too many errors to correct ({errors} > {self.parity // 2})"
+            )
+        return error_locator
+
+    def _chien_search(
+        self, error_locator: Sequence[int], codeword_length: int
+    ) -> List[int]:
+        """Positions (0 = first byte) of the errors."""
+        positions = []
+        for i in range(codeword_length):
+            # X_i = alpha^(codeword_length - 1 - i); error at position i
+            # iff locator(X_i^-1) == 0.
+            power = codeword_length - 1 - i
+            x_inverse = gf.gf_pow(gf.generator_element(power), -1) if power else 1
+            if power:
+                x_inverse = gf.gf_inverse(gf.generator_element(power))
+            if gf.poly_eval(list(error_locator), x_inverse) == 0:
+                positions.append(i)
+        return positions
+
+    def _forney(
+        self,
+        received: List[int],
+        syndromes: Sequence[int],
+        error_locator: Sequence[int],
+        error_positions: Sequence[int],
+    ) -> List[int]:
+        """Error magnitudes via the Forney algorithm; returns corrected bytes."""
+        length = len(received)
+        # Error evaluator Omega(x) = [S(x) * Lambda(x)] mod x^parity,
+        # with S(x) written LSB-first then flipped back.
+        syndrome_poly = list(reversed(list(syndromes)))
+        omega_full = gf.poly_mul(syndrome_poly, list(error_locator))
+        omega = omega_full[-self.parity :]
+        corrected = list(received)
+        x_values = [
+            gf.generator_element(length - 1 - position)
+            for position in error_positions
+        ]
+        for position, x_value in zip(error_positions, x_values):
+            x_inverse = gf.gf_inverse(x_value)
+            # Lambda'(x) evaluated at X^-1: sum of odd-degree terms.
+            locator_lsb = list(reversed(list(error_locator)))
+            derivative = 0
+            for degree in range(1, len(locator_lsb), 2):
+                derivative ^= gf.gf_mul(
+                    locator_lsb[degree], gf.gf_pow(x_inverse, degree - 1)
+                )
+            if derivative == 0:
+                raise DecodingError("Forney derivative vanished; uncorrectable")
+            # e_k = X_k^(1 - fcr) * Omega(X_k^-1) / Lambda'(X_k^-1), fcr = 0.
+            numerator = gf.gf_mul(x_value, gf.poly_eval(omega, x_inverse))
+            magnitude = gf.gf_div(numerator, derivative)
+            corrected[position] ^= magnitude
+        return corrected
+
+
+@dataclass(frozen=True)
+class BlockCoder:
+    """The paper's chunked RS framing: ``ceil(x / 200) * 16`` parity bytes.
+
+    The payload is split into blocks of at most *block_size* bytes; each
+    block gets *parity* RS parity bytes.  Parity for all blocks is
+    appended after the payload (Table 3 shows payload then Reed-Solomon
+    field), so the payload itself travels unmodified.
+    """
+
+    block_size: int = PAPER_BLOCK_SIZE
+    parity: int = PAPER_PARITY
+
+    def __post_init__(self) -> None:
+        if self.block_size < 1:
+            raise CodingError(f"block size must be >= 1, got {self.block_size}")
+        codec = ReedSolomonCodec(parity=self.parity)
+        if self.block_size > codec.max_message_length():
+            raise CodingError(
+                f"block size {self.block_size} exceeds the RS message limit "
+                f"{codec.max_message_length()}"
+            )
+        object.__setattr__(self, "_codec", codec)
+
+    def parity_length(self, payload_length: int) -> int:
+        """Total parity bytes for a payload: ``ceil(x / block) * parity``."""
+        if payload_length < 0:
+            raise CodingError(f"payload length must be >= 0, got {payload_length}")
+        blocks = -(-payload_length // self.block_size)
+        return blocks * self.parity
+
+    def encode(self, payload: bytes) -> bytes:
+        """``payload + parity`` with per-block RS parity."""
+        if len(payload) == 0:
+            return b""
+        parity_parts = []
+        for start in range(0, len(payload), self.block_size):
+            block = payload[start : start + self.block_size]
+            codeword = self._codec.encode(block)
+            parity_parts.append(codeword[len(block) :])
+        return payload + b"".join(parity_parts)
+
+    def decode(self, encoded: bytes, payload_length: int) -> bytes:
+        """Recover the payload, correcting up to 8 byte errors per block."""
+        expected = payload_length + self.parity_length(payload_length)
+        if len(encoded) != expected:
+            raise DecodingError(
+                f"encoded length {len(encoded)} does not match the expected "
+                f"{expected} for a {payload_length}-byte payload"
+            )
+        if payload_length == 0:
+            return b""
+        payload = encoded[:payload_length]
+        parity = encoded[payload_length:]
+        decoded_parts = []
+        parity_offset = 0
+        for start in range(0, payload_length, self.block_size):
+            block = payload[start : start + self.block_size]
+            block_parity = parity[parity_offset : parity_offset + self.parity]
+            parity_offset += self.parity
+            decoded_parts.append(self._codec.decode(block + block_parity))
+        return b"".join(decoded_parts)

@@ -1,0 +1,81 @@
+"""ADC / sampling model of the RX front-end (paper Sec. 7.1).
+
+The testbed digitizes the amplified photocurrent with an ADS7883 12-bit
+ADC at 1 Msample/s, feeding the BeagleBone's PRU over SPI.
+:class:`ADCModel` captures the three effects that matter for the
+reproduction: sample-rate quantization of timing, amplitude quantization,
+and clipping at the full-scale range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .. import constants
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ADCModel:
+    """An ideal mid-rise quantizer with clipping.
+
+    Attributes:
+        sample_rate: samples per second.
+        bits: resolution in bits (ADS7883: 12).
+        full_scale: symmetric input range [-full_scale, +full_scale].
+    """
+
+    sample_rate: float = constants.SYNC_SAMPLING_RATE
+    bits: int = 12
+    full_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.sample_rate <= 0:
+            raise ConfigurationError(
+                f"sample rate must be positive, got {self.sample_rate}"
+            )
+        if not 1 <= self.bits <= 24:
+            raise ConfigurationError(f"bits must be in [1, 24], got {self.bits}")
+        if self.full_scale <= 0:
+            raise ConfigurationError(
+                f"full scale must be positive, got {self.full_scale}"
+            )
+
+    @property
+    def levels(self) -> int:
+        """Number of quantization levels."""
+        return 2**self.bits
+
+    @property
+    def step(self) -> float:
+        """Quantization step size."""
+        return 2.0 * self.full_scale / self.levels
+
+    @property
+    def sample_period(self) -> float:
+        """Seconds between samples."""
+        return 1.0 / self.sample_rate
+
+    def quantize(self, samples: Sequence[float]) -> np.ndarray:
+        """Clip and quantize an analog waveform."""
+        array = np.asarray(samples, dtype=float)
+        clipped = np.clip(array, -self.full_scale, self.full_scale - self.step)
+        indices = np.floor(clipped / self.step)
+        return (indices + 0.5) * self.step
+
+    def timing_quantization_error(
+        self, true_time: float
+    ) -> float:
+        """Timing error [s] from sampling an edge at *true_time*.
+
+        The edge is observed at the next sampling instant, so the error is
+        in ``[0, sample_period)``.
+        """
+        if true_time < 0:
+            raise ConfigurationError(f"time must be >= 0, got {true_time}")
+        period = self.sample_period
+        observed = np.ceil(true_time / period) * period
+        return float(observed - true_time)

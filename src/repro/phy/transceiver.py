@@ -1,0 +1,226 @@
+"""End-to-end PHY simulation: multi-TX waveforms to decoded frames.
+
+This is the waveform-level model behind the Table 5 (iperf) experiments:
+several transmitters emit the *same* frame, each arriving at the receiver
+with its own amplitude and its own timing offset (the synchronization
+residual).  The receiver sees the superposition plus AWGN, locks onto the
+preamble by correlation, integrates per symbol, undoes Manchester coding
+and Reed-Solomon-corrects the payload.
+
+When the transmitters are well synchronized the copies add coherently;
+as the offsets approach the symbol width, inter-symbol interference
+destroys the eye and frames fail -- exactly the paper's "4 TXs, no sync
+-> 100% packet error rate" observation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import CodingError, DecodingError
+from .frame import MACFrame
+from .manchester import decode_to_bytes
+from .ook import OOKDemodulator, OOKModulator
+from .preamble import SEQUENCE_LENGTH, detect_sequence, preamble_sequence
+from .reed_solomon import BlockCoder
+
+
+@dataclass(frozen=True)
+class TransmissionPath:
+    """One TX's contribution to the received waveform.
+
+    Attributes:
+        amplitude: received photocurrent amplitude [A] (positive).
+        delay_samples: arrival offset in waveform samples (>= 0).
+    """
+
+    amplitude: float
+    delay_samples: int = 0
+
+    def __post_init__(self) -> None:
+        if self.amplitude <= 0:
+            raise CodingError(f"amplitude must be positive, got {self.amplitude}")
+        if self.delay_samples < 0:
+            raise CodingError(
+                f"delay must be >= 0 samples, got {self.delay_samples}"
+            )
+
+
+@dataclass(frozen=True)
+class ReceptionResult:
+    """Outcome of one frame reception attempt."""
+
+    success: bool
+    frame: Optional[MACFrame]
+    preamble_offset: int
+    error: str = ""
+
+
+class VLCPhyLink:
+    """A simulated PHY link: frame in, waveform out, frame back.
+
+    Attributes:
+        samples_per_symbol: oversampling of the simulated waveform (the
+            testbed's 1 Msps ADC over a 100 ksym/s signal gives 10).
+        noise_std: AWGN standard deviation in photocurrent units [A].
+        coder: the Reed-Solomon block coder in use.
+        strict_manchester: when True (default -- the testbed's behaviour),
+            a missing mid-bit transition fails the frame: the PRU's
+            Manchester clock recovery loses lock under gross inter-symbol
+            interference.  Set False for a soft-decision receiver that
+            leaves all error handling to Reed-Solomon.
+    """
+
+    def __init__(
+        self,
+        samples_per_symbol: int = 10,
+        noise_std: float = 0.0,
+        coder: Optional[BlockCoder] = None,
+        strict_manchester: bool = True,
+    ) -> None:
+        if samples_per_symbol < 2:
+            raise CodingError(
+                f"samples_per_symbol must be >= 2, got {samples_per_symbol}"
+            )
+        if noise_std < 0:
+            raise CodingError(f"noise std must be >= 0, got {noise_std}")
+        self.samples_per_symbol = samples_per_symbol
+        self.noise_std = noise_std
+        self.coder = coder if coder is not None else BlockCoder()
+        self.strict_manchester = strict_manchester
+
+    # ------------------------------------------------------------------
+
+    def transmit(
+        self,
+        frame: MACFrame,
+        paths: Sequence[TransmissionPath],
+        rng: "np.random.Generator | int | None" = None,
+        tail_symbols: int = 8,
+    ) -> np.ndarray:
+        """Received waveform: superposed delayed copies plus AWGN.
+
+        Every path carries the same frame (they form one beamspot).  The
+        waveform is AC-coupled: symbols map to +-amplitude around zero.
+        """
+        if not paths:
+            raise CodingError("need at least one transmission path")
+        symbols = frame.vlc_symbols(self.coder)
+        length = symbols.size * self.samples_per_symbol
+        max_delay = max(path.delay_samples for path in paths)
+        total = length + max_delay + tail_symbols * self.samples_per_symbol
+        waveform = np.zeros(total)
+        for path in paths:
+            modulator = OOKModulator(
+                samples_per_symbol=self.samples_per_symbol,
+                bias=0.0,
+                amplitude=path.amplitude,
+            )
+            contribution = modulator.waveform(symbols)
+            start = path.delay_samples
+            waveform[start : start + contribution.size] += contribution
+        if self.noise_std > 0:
+            generator = np.random.default_rng(rng)
+            waveform += generator.normal(0.0, self.noise_std, size=total)
+        return waveform
+
+    def receive(
+        self, waveform: np.ndarray, search_window: Optional[int] = None
+    ) -> ReceptionResult:
+        """Lock onto the preamble and decode the frame.
+
+        *search_window* caps the preamble search to the first so-many
+        samples; the frame always starts with pilot + preamble, so a
+        window slightly beyond their span plus the worst-case path delay
+        is sufficient and much faster than scanning the whole capture.
+        """
+        preamble = preamble_sequence(SEQUENCE_LENGTH)
+        search = waveform
+        if search_window is not None:
+            if search_window < 1:
+                return ReceptionResult(
+                    success=False,
+                    frame=None,
+                    preamble_offset=-1,
+                    error="empty search window",
+                )
+            search = waveform[: search_window]
+        try:
+            detection = detect_sequence(
+                search, preamble, self.samples_per_symbol
+            )
+        except DecodingError as exc:
+            return ReceptionResult(
+                success=False, frame=None, preamble_offset=-1, error=str(exc)
+            )
+        body_start = detection.offset + SEQUENCE_LENGTH * self.samples_per_symbol
+        demodulator = OOKDemodulator(samples_per_symbol=self.samples_per_symbol)
+        symbols = demodulator.symbols(waveform, offset=body_start)
+        if symbols.size < 16:
+            return ReceptionResult(
+                success=False,
+                frame=None,
+                preamble_offset=detection.offset,
+                error="no symbols after the preamble",
+            )
+        try:
+            frame = MACFrame.decode_symbols(
+                symbols, self.coder, strict_manchester=self.strict_manchester
+            )
+        except DecodingError as exc:
+            return ReceptionResult(
+                success=False,
+                frame=None,
+                preamble_offset=detection.offset,
+                error=str(exc),
+            )
+        return ReceptionResult(
+            success=True, frame=frame, preamble_offset=detection.offset
+        )
+
+    # ------------------------------------------------------------------
+
+    def frame_trial(
+        self,
+        frame: MACFrame,
+        paths: Sequence[TransmissionPath],
+        rng: "np.random.Generator | int | None" = None,
+    ) -> bool:
+        """Transmit + receive once; True when the payload survives."""
+        waveform = self.transmit(frame, paths, rng=rng)
+        result = self.receive(waveform)
+        return bool(
+            result.success
+            and result.frame is not None
+            and result.frame.payload == frame.payload
+        )
+
+    def packet_error_rate(
+        self,
+        paths: Sequence[TransmissionPath],
+        trials: int = 100,
+        payload_length: int = 64,
+        seed: Optional[int] = 0,
+    ) -> float:
+        """Monte-Carlo PER over random payloads (Table 5 metric)."""
+        if trials < 1:
+            raise CodingError(f"trials must be >= 1, got {trials}")
+        if payload_length < 1:
+            raise CodingError(
+                f"payload length must be >= 1, got {payload_length}"
+            )
+        generator = np.random.default_rng(seed)
+        failures = 0
+        for _ in range(trials):
+            payload = generator.integers(0, 256, size=payload_length).astype(
+                np.uint8
+            ).tobytes()
+            frame = MACFrame(
+                destination=1, source=0, protocol=0x0800, payload=payload
+            )
+            if not self.frame_trial(frame, paths, rng=generator):
+                failures += 1
+        return failures / trials

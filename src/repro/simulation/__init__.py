@@ -1,0 +1,38 @@
+"""Network simulation: discrete events, entities and iperf sessions."""
+
+from .entities import (
+    BoardClock,
+    ReceiverUnit,
+    TransmitterUnit,
+    build_transmitter_units,
+    make_board_clocks,
+)
+from .events import EventHandle, Simulator
+from .multiuser import MultiUserResult, MultiUserSimulator
+from .network import (
+    BOARD_DRIFT_PPM_STD,
+    BOARD_GLITCH_PROBABILITY,
+    NO_SYNC_SKEW_RANGE,
+    NetworkSimulator,
+    SessionPlan,
+)
+from .traffic import IperfConfig, IperfResult
+
+__all__ = [
+    "BoardClock",
+    "ReceiverUnit",
+    "TransmitterUnit",
+    "build_transmitter_units",
+    "make_board_clocks",
+    "EventHandle",
+    "Simulator",
+    "BOARD_DRIFT_PPM_STD",
+    "BOARD_GLITCH_PROBABILITY",
+    "NO_SYNC_SKEW_RANGE",
+    "MultiUserResult",
+    "MultiUserSimulator",
+    "NetworkSimulator",
+    "SessionPlan",
+    "IperfConfig",
+    "IperfResult",
+]

@@ -1,0 +1,115 @@
+"""Runtime entities of the network simulation (paper Sec. 7.1).
+
+The testbed's timing hierarchy: one BeagleBone Black drives four TXs from
+a single PRU clock, so TXs on the same board are perfectly aligned with
+each other; boards drift against each other with their own crystals.
+:class:`BoardClock` carries that per-board drift; :class:`TransmitterUnit`
+and :class:`ReceiverUnit` bundle the per-node state the simulator tracks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError, SimulationError
+from ..geometry import GridLayout
+from ..mac.scheduler import bbb_index
+from ..sync.clocks import ClockModel
+from ..system import Scene
+
+
+@dataclass(frozen=True)
+class BoardClock:
+    """One BeagleBone's symbol clock.
+
+    Attributes:
+        board: board index.
+        clock: the affine drifting clock of the board's PRU.
+    """
+
+    board: int
+    clock: ClockModel
+
+    def relative_drift_ppm(self, other: "BoardClock") -> float:
+        """Frequency difference against another board [ppm]."""
+        return self.clock.drift_ppm - other.clock.drift_ppm
+
+
+def make_board_clocks(
+    scene: Scene,
+    drift_ppm_std: float = 8.0,
+    rng: "np.random.Generator | int | None" = None,
+) -> Dict[int, BoardClock]:
+    """Board clocks for every BBB of the scene's grid.
+
+    Drift is drawn per board; offsets start at zero (the NLOS procedure
+    removes offsets per frame -- what remains *within* a frame is drift).
+    """
+    if scene.grid is None:
+        raise ConfigurationError("scene has no grid layout; cannot group boards")
+    if drift_ppm_std < 0:
+        raise ConfigurationError(
+            f"drift std must be >= 0, got {drift_ppm_std}"
+        )
+    generator = np.random.default_rng(rng)
+    boards = sorted(
+        {bbb_index(tx, scene.grid) for tx in range(scene.num_transmitters)}
+    )
+    return {
+        board: BoardClock(
+            board=board,
+            clock=ClockModel(
+                offset=0.0,
+                drift_ppm=float(generator.normal(0.0, drift_ppm_std)),
+            ),
+        )
+        for board in boards
+    }
+
+
+@dataclass
+class TransmitterUnit:
+    """Per-TX simulation state."""
+
+    index: int
+    board: int
+    serving_rx: Optional[int] = None
+    frames_sent: int = 0
+
+    @property
+    def communicating(self) -> bool:
+        return self.serving_rx is not None
+
+
+@dataclass
+class ReceiverUnit:
+    """Per-RX simulation state and counters."""
+
+    index: int
+    frames_received: int = 0
+    frames_failed: int = 0
+    payload_bits: int = 0
+
+    @property
+    def frames_total(self) -> int:
+        return self.frames_received + self.frames_failed
+
+    @property
+    def packet_error_rate(self) -> float:
+        total = self.frames_total
+        if total == 0:
+            raise SimulationError("no frames observed yet")
+        return self.frames_failed / total
+
+
+def build_transmitter_units(scene: Scene) -> Dict[int, TransmitterUnit]:
+    """One :class:`TransmitterUnit` per scene TX, with board mapping."""
+    if scene.grid is None:
+        raise ConfigurationError("scene has no grid layout; cannot group boards")
+    return {
+        tx: TransmitterUnit(index=tx, board=bbb_index(tx, scene.grid))
+        for tx in range(scene.num_transmitters)
+    }

@@ -1,0 +1,133 @@
+"""A small discrete-event simulation engine.
+
+The network simulation (Sec. 8's iperf-style measurements) needs ordered
+event delivery over simulated time: frame starts, frame ends, ACK
+arrivals, measurement rounds.  :class:`Simulator` is a classic
+heapq-based event loop with deterministic tie-breaking (insertion order)
+so runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+from ..errors import SimulationError
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time: float
+    sequence: int
+    callback: Callable[..., None] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventHandle:
+    """Handle returned by :meth:`Simulator.schedule`; allows cancellation."""
+
+    def __init__(self, event: _ScheduledEvent) -> None:
+        self._event = event
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (no-op if it already fired)."""
+        self._event.cancelled = True
+
+    @property
+    def time(self) -> float:
+        """Scheduled firing time [s]."""
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+
+class Simulator:
+    """Deterministic discrete-event loop.
+
+    Events scheduled for the same instant fire in scheduling order.
+    Callbacks may schedule further events; time never moves backwards.
+    """
+
+    def __init__(self) -> None:
+        self._queue: List[_ScheduledEvent] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulated time [s]."""
+        return self._now
+
+    def schedule(
+        self, delay: float, callback: Callable[..., None], *args: Any
+    ) -> EventHandle:
+        """Schedule *callback(\\*args)* to fire *delay* seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        event = _ScheduledEvent(
+            time=self._now + delay,
+            sequence=next(self._counter),
+            callback=callback,
+            args=args,
+        )
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def schedule_at(
+        self, time: float, callback: Callable[..., None], *args: Any
+    ) -> EventHandle:
+        """Schedule at an absolute simulated time."""
+        return self.schedule(time - self._now, callback, *args)
+
+    def peek_time(self) -> Optional[float]:
+        """Firing time of the next pending event, or None when idle."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None
+
+    def step(self) -> bool:
+        """Fire the next event; returns False when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback(*event.args)
+            return True
+        return False
+
+    def run_until(self, end_time: float, max_events: int = 10_000_000) -> int:
+        """Run events with time <= *end_time*; returns events fired.
+
+        *max_events* guards against runaway self-scheduling loops.
+        """
+        if end_time < self._now:
+            raise SimulationError(
+                f"end time {end_time} is before current time {self._now}"
+            )
+        fired = 0
+        while fired < max_events:
+            next_time = self.peek_time()
+            if next_time is None or next_time > end_time:
+                break
+            self.step()
+            fired += 1
+        else:
+            raise SimulationError(f"exceeded {max_events} events before {end_time}")
+        self._now = max(self._now, end_time)
+        return fired
+
+    def run(self, max_events: int = 10_000_000) -> int:
+        """Run until the queue drains; returns events fired."""
+        fired = 0
+        while fired < max_events and self.step():
+            fired += 1
+        if fired >= max_events:
+            raise SimulationError(f"exceeded {max_events} events")
+        return fired

@@ -1,0 +1,119 @@
+"""iperf-style traffic generation and accounting (paper Sec. 8.1, Table 5).
+
+The paper measures goodput and packet error rate with iperf over 100
+seconds.  :class:`IperfConfig` captures the traffic/MAC timing knobs;
+:class:`IperfResult` is the measurement outcome.  Frame air time follows
+directly from the Table 3 structure:
+
+    symbols = pilot + preamble + 16 * (SFD..RS bytes)
+    airtime = symbols / symbol_rate
+
+and the MAC adds a WiFi-uplink ACK turnaround between frames (Sec. 7.2),
+which is what brings the 100 ksym/s link down to the observed ~34 kbit/s
+goodput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import ConfigurationError, SimulationError
+from ..phy.frame import MACFrame, POST_SFD_HEADER_BYTES
+from ..phy.preamble import SEQUENCE_LENGTH
+from ..phy.reed_solomon import BlockCoder
+
+
+@dataclass(frozen=True)
+class IperfConfig:
+    """Traffic and MAC timing parameters for an iperf-style session.
+
+    Attributes:
+        duration: session length [s] (paper: 100 s).
+        payload_bytes: application payload per frame.
+        symbol_rate: VLC line symbol rate [sym/s] (paper: 100 ksym/s).
+        samples_per_symbol: receiver oversampling factor.
+        ack_turnaround: gap between a frame end and the next frame start,
+            covering the WiFi ACK round trip [s].
+        seed: RNG seed for payloads, noise and sync draws.
+    """
+
+    duration: float = 100.0
+    payload_bytes: int = 1000
+    symbol_rate: float = 100_000.0
+    samples_per_symbol: int = 10
+    ack_turnaround: float = 0.060
+    seed: Optional[int] = 0
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ConfigurationError(f"duration must be positive, got {self.duration}")
+        if not 1 <= self.payload_bytes <= 0xFFFF:
+            raise ConfigurationError(
+                f"payload must be 1..65535 bytes, got {self.payload_bytes}"
+            )
+        if self.symbol_rate <= 0:
+            raise ConfigurationError(
+                f"symbol rate must be positive, got {self.symbol_rate}"
+            )
+        if self.samples_per_symbol < 2:
+            raise ConfigurationError(
+                f"samples per symbol must be >= 2, got {self.samples_per_symbol}"
+            )
+        if self.ack_turnaround < 0:
+            raise ConfigurationError(
+                f"ACK turnaround must be >= 0, got {self.ack_turnaround}"
+            )
+
+    def frame_symbols(self, coder: Optional[BlockCoder] = None) -> int:
+        """Line symbols per frame, per Table 3."""
+        rs = coder if coder is not None else BlockCoder()
+        body_bytes = (
+            1
+            + POST_SFD_HEADER_BYTES
+            + self.payload_bytes
+            + rs.parity_length(self.payload_bytes)
+        )
+        return 2 * SEQUENCE_LENGTH + 16 * body_bytes
+
+    def frame_airtime(self, coder: Optional[BlockCoder] = None) -> float:
+        """Seconds of light per frame."""
+        return self.frame_symbols(coder) / self.symbol_rate
+
+    def frame_interval(self, coder: Optional[BlockCoder] = None) -> float:
+        """Seconds from one frame start to the next (airtime + ACK gap)."""
+        return self.frame_airtime(coder) + self.ack_turnaround
+
+    def offered_goodput(self, coder: Optional[BlockCoder] = None) -> float:
+        """Goodput [bit/s] if every frame succeeds."""
+        return 8.0 * self.payload_bytes / self.frame_interval(coder)
+
+
+@dataclass(frozen=True)
+class IperfResult:
+    """Outcome of an iperf-style session."""
+
+    duration: float
+    frames_sent: int
+    frames_received: int
+    payload_bits_received: int
+
+    def __post_init__(self) -> None:
+        if self.frames_received > self.frames_sent:
+            raise SimulationError("received more frames than were sent")
+
+    @property
+    def frames_lost(self) -> int:
+        return self.frames_sent - self.frames_received
+
+    @property
+    def packet_error_rate(self) -> float:
+        """Fraction of frames lost (the paper's PER column)."""
+        if self.frames_sent == 0:
+            raise SimulationError("no frames were sent")
+        return self.frames_lost / self.frames_sent
+
+    @property
+    def goodput(self) -> float:
+        """Delivered payload bits per second (the paper's Throughput)."""
+        return self.payload_bits_received / self.duration

@@ -1,0 +1,29 @@
+"""Synchronization substrate: clocks, NTP/PTP models and NLOS-VLC sync."""
+
+from .clocks import ClockModel, random_clock
+from .evaluation import (
+    PAPER_FRAME_REPEATS,
+    SyncDelayPoint,
+    delay_vs_symbol_rate,
+    improvement_factor,
+    measured_median_delay,
+    table4_medians,
+)
+from .nlos_sync import NlosSyncConfig, NlosSynchronizer
+from .protocols import TimestampSyncModel, no_sync_model, ntp_ptp_model
+
+__all__ = [
+    "ClockModel",
+    "random_clock",
+    "PAPER_FRAME_REPEATS",
+    "SyncDelayPoint",
+    "delay_vs_symbol_rate",
+    "improvement_factor",
+    "measured_median_delay",
+    "table4_medians",
+    "NlosSyncConfig",
+    "NlosSynchronizer",
+    "TimestampSyncModel",
+    "no_sync_model",
+    "ntp_ptp_model",
+]

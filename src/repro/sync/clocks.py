@@ -1,0 +1,90 @@
+"""Free-running clock models for the distributed transmitters (Sec. 6).
+
+Each BeagleBone's oscillator runs at a slightly wrong rate (drift, ppm)
+from a random initial offset, and software timestamping adds jitter.
+These models underpin both the NTP/PTP residual analysis and the
+discrete-event MAC simulation: a :class:`ClockModel` converts between
+true (global) time and the node's local time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..errors import SynchronizationError
+
+
+@dataclass(frozen=True)
+class ClockModel:
+    """An affine drifting clock with Gaussian read jitter.
+
+    local(t) = offset + (1 + drift_ppm * 1e-6) * t  [+ jitter on reads]
+
+    Attributes:
+        offset: initial offset from true time [s].
+        drift_ppm: frequency error in parts per million.
+        jitter_std: standard deviation of per-read timestamp jitter [s].
+    """
+
+    offset: float = 0.0
+    drift_ppm: float = 0.0
+    jitter_std: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.jitter_std < 0:
+            raise SynchronizationError(
+                f"jitter std must be >= 0, got {self.jitter_std}"
+            )
+        if abs(self.drift_ppm) > 1e6:
+            raise SynchronizationError(
+                f"drift of {self.drift_ppm} ppm is not a clock"
+            )
+
+    @property
+    def rate(self) -> float:
+        """Local seconds per true second."""
+        return 1.0 + self.drift_ppm * 1e-6
+
+    def local_time(self, true_time: float) -> float:
+        """Deterministic local reading at a true time (no jitter)."""
+        return self.offset + self.rate * true_time
+
+    def read(
+        self, true_time: float, rng: "np.random.Generator | int | None" = None
+    ) -> float:
+        """Local reading with timestamp jitter applied."""
+        value = self.local_time(true_time)
+        if self.jitter_std > 0:
+            generator = np.random.default_rng(rng)
+            value += float(generator.normal(0.0, self.jitter_std))
+        return value
+
+    def true_time(self, local_time: float) -> float:
+        """Invert :meth:`local_time` (no jitter)."""
+        return (local_time - self.offset) / self.rate
+
+    def offset_against(self, other: "ClockModel", true_time: float) -> float:
+        """Instantaneous offset between two clocks at a true time [s]."""
+        return self.local_time(true_time) - other.local_time(true_time)
+
+
+def random_clock(
+    rng: "np.random.Generator | int | None" = None,
+    max_offset: float = 1.0,
+    drift_ppm_std: float = 20.0,
+    jitter_std: float = 1e-6,
+) -> ClockModel:
+    """A plausible unsynchronized embedded-board clock.
+
+    Crystal oscillators on boards like the BeagleBone drift by tens of
+    ppm; unsynchronized offsets are arbitrary (up to *max_offset*).
+    """
+    generator = np.random.default_rng(rng)
+    return ClockModel(
+        offset=float(generator.uniform(-max_offset, max_offset)),
+        drift_ppm=float(generator.normal(0.0, drift_ppm_std)),
+        jitter_std=jitter_std,
+    )

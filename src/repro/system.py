@@ -1,0 +1,185 @@
+"""System-level node and scene types tying geometry to device models.
+
+A :class:`Scene` is the static description every higher layer consumes:
+the room, the placed transmitters (position + orientation + LED model) and
+the placed receivers (position + orientation + photodiode model).  The two
+factory functions build the paper's simulation setup (Sec. 4) and hardware
+testbed setup (Sec. 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from . import constants
+from .errors import ConfigurationError, GeometryError
+from .geometry import (
+    DOWN,
+    UP,
+    GridLayout,
+    Room,
+    as_point,
+    experimental_room,
+    normalize,
+    paper_grid,
+    simulation_room,
+)
+from .optics import LEDModel, Photodiode, cree_xte, s5971
+
+
+@dataclass(frozen=True)
+class TransmitterNode:
+    """One LED transmitter: grid index, pose and LED model."""
+
+    index: int
+    position: np.ndarray
+    orientation: np.ndarray = field(default_factory=lambda: DOWN.copy())
+    led: LEDModel = field(default_factory=cree_xte)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "position", as_point(self.position))
+        object.__setattr__(self, "orientation", normalize(self.orientation))
+        if self.index < 0:
+            raise ConfigurationError(f"TX index must be >= 0, got {self.index}")
+
+    @property
+    def label(self) -> str:
+        """1-based human-readable label, e.g. ``'TX8'``."""
+        return f"TX{self.index + 1}"
+
+
+@dataclass(frozen=True)
+class ReceiverNode:
+    """One photodiode receiver: index, pose and front-end model."""
+
+    index: int
+    position: np.ndarray
+    orientation: np.ndarray = field(default_factory=lambda: UP.copy())
+    photodiode: Photodiode = field(default_factory=s5971)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "position", as_point(self.position))
+        object.__setattr__(self, "orientation", normalize(self.orientation))
+        if self.index < 0:
+            raise ConfigurationError(f"RX index must be >= 0, got {self.index}")
+
+    @property
+    def label(self) -> str:
+        """1-based human-readable label, e.g. ``'RX1'``."""
+        return f"RX{self.index + 1}"
+
+    def moved_to(self, x: float, y: float) -> "ReceiverNode":
+        """A copy of this receiver relocated to (x, y) at the same height."""
+        new_position = np.array([x, y, self.position[2]])
+        return replace(self, position=new_position)
+
+
+@dataclass(frozen=True)
+class Scene:
+    """The full static deployment: room + transmitters + receivers."""
+
+    room: Room
+    transmitters: Tuple[TransmitterNode, ...]
+    receivers: Tuple[ReceiverNode, ...]
+    grid: Optional[GridLayout] = None
+
+    def __post_init__(self) -> None:
+        if not self.transmitters:
+            raise ConfigurationError("a scene needs at least one transmitter")
+        object.__setattr__(self, "transmitters", tuple(self.transmitters))
+        object.__setattr__(self, "receivers", tuple(self.receivers))
+        for tx in self.transmitters:
+            if not self.room.contains_xy(tx.position[0], tx.position[1]):
+                raise GeometryError(f"{tx.label} lies outside the room footprint")
+        for rx in self.receivers:
+            if not self.room.contains_xy(rx.position[0], rx.position[1]):
+                raise GeometryError(f"{rx.label} lies outside the room footprint")
+
+    @property
+    def num_transmitters(self) -> int:
+        return len(self.transmitters)
+
+    @property
+    def num_receivers(self) -> int:
+        return len(self.receivers)
+
+    @property
+    def led(self) -> LEDModel:
+        """The LED model shared by the grid (paper: identical TXs)."""
+        return self.transmitters[0].led
+
+    def tx_positions(self) -> np.ndarray:
+        """All TX positions as an (N, 3) array in index order."""
+        return np.array([tx.position for tx in self.transmitters])
+
+    def rx_positions(self) -> np.ndarray:
+        """All RX positions as an (M, 3) array in index order."""
+        return np.array([rx.position for rx in self.receivers])
+
+    def with_receivers_at(self, positions_xy: Sequence[Tuple[float, float]]) -> "Scene":
+        """A copy of the scene with receivers moved to new XY positions.
+
+        The number of positions must match the number of receivers; heights
+        and photodiode models are preserved.
+        """
+        if len(positions_xy) != self.num_receivers:
+            raise ConfigurationError(
+                f"expected {self.num_receivers} positions, got {len(positions_xy)}"
+            )
+        moved = tuple(
+            rx.moved_to(float(x), float(y))
+            for rx, (x, y) in zip(self.receivers, positions_xy)
+        )
+        return replace(self, receivers=moved)
+
+
+def _build_scene(
+    room: Room,
+    rx_positions_xy: Sequence[Tuple[float, float]],
+    led: Optional[LEDModel],
+    photodiode: Optional[Photodiode],
+    grid: Optional[GridLayout],
+) -> Scene:
+    layout = grid if grid is not None else paper_grid()
+    led_model = led if led is not None else cree_xte()
+    pd_model = photodiode if photodiode is not None else s5971()
+    transmitters = tuple(
+        TransmitterNode(
+            index=i,
+            position=room.tx_point(*layout.xy(i)),
+            led=led_model,
+        )
+        for i in range(layout.count)
+    )
+    receivers = tuple(
+        ReceiverNode(
+            index=m,
+            position=room.rx_point(float(x), float(y)),
+            photodiode=pd_model,
+        )
+        for m, (x, y) in enumerate(rx_positions_xy)
+    )
+    return Scene(room=room, transmitters=transmitters, receivers=receivers, grid=layout)
+
+
+def simulation_scene(
+    rx_positions_xy: Sequence[Tuple[float, float]],
+    led: Optional[LEDModel] = None,
+    photodiode: Optional[Photodiode] = None,
+    grid: Optional[GridLayout] = None,
+) -> Scene:
+    """The Sec. 4 simulation deployment: 6x6 grid at 2.8 m, RXs at 0.8 m."""
+    return _build_scene(simulation_room(), rx_positions_xy, led, photodiode, grid)
+
+
+def experimental_scene(
+    rx_positions_xy: Sequence[Tuple[float, float]],
+    led: Optional[LEDModel] = None,
+    photodiode: Optional[Photodiode] = None,
+    grid: Optional[GridLayout] = None,
+) -> Scene:
+    """The Sec. 8 testbed deployment: 6x6 grid at 2 m, RXs on the floor."""
+    return _build_scene(experimental_room(), rx_positions_xy, led, photodiode, grid)

@@ -1,0 +1,72 @@
+"""Shared fixtures for the DenseVLC test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.channel import AWGNNoise, channel_matrix
+from repro.core import AllocationProblem
+from repro.geometry import FIG7_RX_POSITIONS, GridLayout, paper_grid
+from repro.optics import cree_xte, s5971
+from repro.system import Scene, experimental_scene, simulation_scene
+
+
+@pytest.fixture(scope="session")
+def led():
+    """The Table 1 CREE XT-E model."""
+    return cree_xte()
+
+
+@pytest.fixture(scope="session")
+def photodiode():
+    """The Table 1 S5971 front-end."""
+    return s5971()
+
+
+@pytest.fixture(scope="session")
+def noise():
+    """The Table 1 AWGN model."""
+    return AWGNNoise()
+
+
+@pytest.fixture(scope="session")
+def grid():
+    """The 6x6 paper grid."""
+    return paper_grid()
+
+
+@pytest.fixture(scope="session")
+def fig7_scene():
+    """The Sec. 4 simulation scene with the Fig. 7 receivers."""
+    return simulation_scene(FIG7_RX_POSITIONS)
+
+
+@pytest.fixture(scope="session")
+def exp_scene():
+    """The Sec. 8 experimental scene with the Fig. 7 receivers."""
+    return experimental_scene(FIG7_RX_POSITIONS)
+
+
+@pytest.fixture(scope="session")
+def fig7_channel(fig7_scene):
+    """LOS gain matrix of the Fig. 7 scene."""
+    return channel_matrix(fig7_scene)
+
+
+@pytest.fixture(scope="session")
+def fig7_problem(fig7_scene, fig7_channel, led, photodiode, noise):
+    """An allocation problem on the Fig. 7 scene with a mid-range budget."""
+    return AllocationProblem(
+        channel=fig7_channel,
+        power_budget=1.2,
+        led=led,
+        photodiode=photodiode,
+        noise=noise,
+    )
+
+
+@pytest.fixture()
+def rng():
+    """A fresh deterministic RNG per test."""
+    return np.random.default_rng(12345)

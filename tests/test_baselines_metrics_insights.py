@@ -1,0 +1,189 @@
+"""Unit tests for repro.core.baselines, .metrics and .insights."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    RankingHeuristic,
+    assignment_order,
+    binary_projection,
+    crossover_budget,
+    dmiso_allocation,
+    dmiso_assignments,
+    empirical_cdf,
+    insight_report,
+    intermediate_fraction,
+    jain_fairness,
+    normalized,
+    power_efficiency,
+    siso_allocation,
+    siso_assignments,
+    swing_trajectories,
+    throughput_loss,
+    utility_gap,
+)
+from repro.errors import AllocationError
+
+
+class TestSISO:
+    def test_one_tx_per_rx(self, fig7_scene):
+        assignments = siso_assignments(fig7_scene)
+        assert len(assignments) == 4
+        assert len({tx for tx, _ in assignments}) == 4
+
+    def test_nearest_assignments(self, fig7_scene):
+        assignments = dict(siso_assignments(fig7_scene))
+        assert assignments[7] == 0   # TX8 -> RX1
+        assert assignments[9] == 1   # TX10 -> RX2
+
+    def test_power_is_four_tx(self, fig7_scene, fig7_problem):
+        allocation = siso_allocation(fig7_problem, fig7_scene)
+        assert allocation.total_power == pytest.approx(
+            4 * fig7_problem.full_swing_power
+        )
+
+    def test_conflict_resolution(self, fig7_scene, fig7_problem):
+        # Two RXs near the same TX: the TX goes to the closer one.
+        crowded = fig7_scene.with_receivers_at(
+            [(0.74, 0.75), (0.80, 0.75), (2.0, 2.0), (1.0, 2.0)]
+        )
+        assignments = dict(siso_assignments(crowded))
+        assert assignments[7] == 0  # RX1 is closer to TX8
+
+
+class TestDMISO:
+    def test_all_txs_assigned(self, fig7_scene):
+        assignments = dmiso_assignments(fig7_scene)
+        assert len(assignments) == 36
+
+    def test_power_is_full_grid(self, fig7_scene, fig7_problem):
+        allocation = dmiso_allocation(fig7_problem, fig7_scene)
+        assert allocation.total_power == pytest.approx(
+            36 * fig7_problem.full_swing_power
+        )
+
+    def test_neighborhood_variant(self, fig7_scene):
+        assignments = dmiso_assignments(fig7_scene, neighborhood=9)
+        # With overlapping neighborhoods fewer than 36 TXs are active.
+        assert 9 <= len(assignments) <= 36
+
+    def test_assigned_to_nearest_rx(self, fig7_scene):
+        assignments = dict(dmiso_assignments(fig7_scene))
+        assert assignments[7] == 0
+        assert assignments[9] == 1
+
+    def test_dmiso_throughput_below_heuristic_peak(
+        self, fig7_scene, fig7_problem
+    ):
+        # D-MISO wastes power on interference-generating TXs, so the
+        # budget-matched heuristic does at least as well (Sec. 8.3).
+        dmiso = dmiso_allocation(fig7_problem, fig7_scene)
+        matched = RankingHeuristic(kappa=1.3).solve(
+            fig7_problem.with_budget(dmiso.total_power)
+        )
+        assert matched.system_throughput >= 0.95 * dmiso.system_throughput
+
+
+class TestMetrics:
+    def test_power_efficiency(self):
+        assert power_efficiency(1e6, 0.5) == pytest.approx(2e6)
+        assert power_efficiency(0.0, 0.0) == 0.0
+        assert power_efficiency(1.0, 0.0) == float("inf")
+
+    def test_power_efficiency_validation(self):
+        with pytest.raises(AllocationError):
+            power_efficiency(-1.0, 1.0)
+
+    def test_jain_bounds(self):
+        assert jain_fairness([1.0, 1.0, 1.0]) == pytest.approx(1.0)
+        assert jain_fairness([1.0, 0.0, 0.0]) == pytest.approx(1 / 3)
+        assert jain_fairness([0.0, 0.0]) == 1.0
+
+    def test_jain_validation(self):
+        with pytest.raises(AllocationError):
+            jain_fairness([])
+        with pytest.raises(AllocationError):
+            jain_fairness([-1.0, 1.0])
+
+    def test_normalized(self):
+        values = normalized([1.0, 2.0], 2.0)
+        assert np.allclose(values, [0.5, 1.0])
+        with pytest.raises(AllocationError):
+            normalized([1.0], 0.0)
+
+    def test_throughput_loss(self):
+        assert throughput_loss(90.0, 100.0) == pytest.approx(-0.1)
+        with pytest.raises(AllocationError):
+            throughput_loss(1.0, 0.0)
+
+    def test_crossover_interpolates(self):
+        budgets = [0.0, 1.0, 2.0]
+        series = [0.0, 10.0, 20.0]
+        assert crossover_budget(budgets, series, 15.0) == pytest.approx(1.5)
+
+    def test_crossover_never_reached(self):
+        assert math.isnan(crossover_budget([0, 1], [0, 1], 5.0))
+
+    def test_crossover_at_first_point(self):
+        assert crossover_budget([0.5, 1.0], [10.0, 20.0], 5.0) == 0.5
+
+    def test_crossover_validation(self):
+        with pytest.raises(AllocationError):
+            crossover_budget([], [], 1.0)
+        with pytest.raises(AllocationError):
+            crossover_budget([1.0], [1.0, 2.0], 1.0)
+
+
+class TestInsights:
+    @pytest.fixture(scope="class")
+    def sweep(self, fig7_problem):
+        budgets = [0.2, 0.6, 1.2]
+        return RankingHeuristic().sweep(fig7_problem, budgets)
+
+    def test_trajectories_shape(self, sweep):
+        trajectories = swing_trajectories(sweep, 0)
+        assert trajectories.shape == (36, 3)
+
+    def test_trajectories_monotone_for_heuristic(self, sweep):
+        trajectories = swing_trajectories(sweep, 0)
+        assert np.all(np.diff(trajectories, axis=1) >= -1e-12)
+
+    def test_assignment_order_starts_with_best(self, sweep, fig7_channel):
+        order = assignment_order(sweep, 0)
+        assert order[0] == int(np.argmax(fig7_channel[:, 0]))
+
+    def test_intermediate_fraction_zero_for_binary(self, sweep):
+        for allocation in sweep:
+            assert intermediate_fraction(allocation) == 0.0
+
+    def test_intermediate_fraction_validation(self, sweep):
+        with pytest.raises(AllocationError):
+            intermediate_fraction(sweep[0], tolerance=0.6)
+
+    def test_empirical_cdf(self):
+        values, probabilities = empirical_cdf([3.0, 1.0, 2.0])
+        assert np.allclose(values, [1.0, 2.0, 3.0])
+        assert np.allclose(probabilities, [1 / 3, 2 / 3, 1.0])
+        with pytest.raises(AllocationError):
+            empirical_cdf([])
+
+    def test_binary_projection_of_binary_is_same_throughput(self, sweep):
+        allocation = sweep[-1]
+        projected = binary_projection(allocation)
+        assert projected.system_throughput == pytest.approx(
+            allocation.system_throughput, rel=1e-9
+        )
+
+    def test_utility_gap_zero_for_identical(self, sweep):
+        assert utility_gap(sweep[0], sweep[0]) == pytest.approx(0.0)
+
+    def test_insight_report_on_binary_sweep(self, sweep):
+        report = insight_report(sweep)
+        assert report.mean_intermediate_fraction == 0.0
+        assert abs(report.mean_binary_gap) < 1e-6
+
+    def test_insight_report_empty_raises(self):
+        with pytest.raises(AllocationError):
+            insight_report([])

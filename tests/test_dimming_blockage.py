@@ -1,0 +1,134 @@
+"""Unit tests for repro.illumination.dimming and repro.channel.blockage."""
+
+import numpy as np
+import pytest
+
+from repro.channel import (
+    CylinderBlocker,
+    blockage_mask,
+    blocked_channel_matrix,
+    channel_matrix,
+)
+from repro.errors import ConfigurationError, GeometryError
+from repro.illumination import (
+    XTE_MAX_CURRENT,
+    dimmed_led,
+    dimming_sweep,
+    max_swing_for_bias,
+)
+from repro.optics import cree_xte
+from repro.system import experimental_scene
+
+
+class TestMaxSwing:
+    def test_table1_operating_point(self):
+        # At I_b = 450 mA the hardware limit (900 mA) binds exactly:
+        # 2 * I_b = 900 mA too.
+        assert max_swing_for_bias(0.45) == pytest.approx(0.9)
+
+    def test_low_bias_binds_on_zero_floor(self):
+        assert max_swing_for_bias(0.2) == pytest.approx(0.4)
+
+    def test_high_bias_binds_on_device_max(self):
+        assert max_swing_for_bias(1.2) == pytest.approx(
+            2 * (XTE_MAX_CURRENT - 1.2)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            max_swing_for_bias(0.0)
+        with pytest.raises(ConfigurationError):
+            max_swing_for_bias(2.0)
+
+
+class TestDimmedLed:
+    def test_full_brightness_is_identity(self):
+        base = cree_xte()
+        led = dimmed_led(1.0, base=base)
+        assert led.bias_current == pytest.approx(base.bias_current)
+        assert led.max_swing == pytest.approx(base.max_swing)
+        assert led.luminous_flux_at_bias == pytest.approx(
+            base.luminous_flux_at_bias
+        )
+
+    def test_half_brightness(self):
+        led = dimmed_led(0.5)
+        assert led.bias_current == pytest.approx(0.225)
+        assert led.max_swing == pytest.approx(0.45)  # 2 * I_b binds
+
+    def test_comm_power_shrinks_with_dimming(self):
+        bright = dimmed_led(1.0)
+        dim = dimmed_led(0.5)
+        assert dim.full_swing_power < bright.full_swing_power
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            dimmed_led(0.0)
+        with pytest.raises(ConfigurationError):
+            dimmed_led(1.5)
+
+    def test_sweep_monotone_lux(self):
+        points = dimming_sweep(levels=(1.0, 0.5))
+        assert points[0].average_lux > points[1].average_lux
+        assert points[0].max_swing > points[1].max_swing
+
+
+class TestCylinderBlocker:
+    def test_blocks_link_through_center(self):
+        blocker = CylinderBlocker(x=1.0, y=1.0, radius=0.2, height=1.7)
+        tx = np.array([1.0, 1.0, 2.0])
+        rx = np.array([1.0, 1.0, 0.0])
+        # Vertical link straight through the cylinder.
+        assert blocker.blocks(tx, rx)
+
+    def test_misses_distant_link(self):
+        blocker = CylinderBlocker(x=2.5, y=2.5, radius=0.2)
+        tx = np.array([0.5, 0.5, 2.0])
+        rx = np.array([0.5, 0.5, 0.0])
+        assert not blocker.blocks(tx, rx)
+
+    def test_link_above_blocker_clears(self):
+        # An oblique link whose low end is beyond the cylinder passes
+        # over a short blocker.
+        blocker = CylinderBlocker(x=1.0, y=0.5, radius=0.1, height=0.4)
+        tx = np.array([0.0, 0.5, 2.0])
+        rx = np.array([2.0, 0.5, 1.0])
+        assert not blocker.blocks(tx, rx)
+
+    def test_oblique_interception(self):
+        blocker = CylinderBlocker(x=0.5, y=0.5, radius=0.25, height=1.7)
+        tx = np.array([1.5, 0.5, 2.0])
+        rx = np.array([0.2, 0.5, 0.1])
+        assert blocker.blocks(tx, rx)
+
+    def test_validation(self):
+        with pytest.raises(GeometryError):
+            CylinderBlocker(x=0, y=0, radius=0.0)
+        with pytest.raises(GeometryError):
+            CylinderBlocker(x=0, y=0, height=-1.0)
+
+
+class TestBlockedChannel:
+    @pytest.fixture(scope="class")
+    def scene(self):
+        return experimental_scene([(0.75, 0.75), (2.25, 2.25)])
+
+    def test_no_blockers_is_identity(self, scene):
+        assert np.array_equal(
+            blocked_channel_matrix(scene, []), channel_matrix(scene)
+        )
+
+    def test_blocker_zeroes_some_links(self, scene):
+        blocker = CylinderBlocker(x=0.75, y=0.75, radius=0.3, height=1.9)
+        blocked = blocked_channel_matrix(scene, [blocker])
+        clear = channel_matrix(scene)
+        mask = blockage_mask(scene, [blocker])
+        assert mask.any()
+        assert np.all(blocked[mask] == 0.0)
+        assert np.array_equal(blocked[~mask], clear[~mask])
+
+    def test_far_blocker_changes_nothing(self, scene):
+        blocker = CylinderBlocker(x=2.9, y=0.1, radius=0.05, height=0.3)
+        assert np.array_equal(
+            blocked_channel_matrix(scene, [blocker]), channel_matrix(scene)
+        )

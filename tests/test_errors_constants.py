@@ -1,0 +1,92 @@
+"""Tests for the error hierarchy and the Table 1 constants."""
+
+import math
+
+import pytest
+
+from repro import constants, errors
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_base(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                if obj is errors.DenseVLCError:
+                    continue
+                assert issubclass(obj, errors.DenseVLCError), name
+
+    def test_decoding_is_coding(self):
+        assert issubclass(errors.DecodingError, errors.CodingError)
+
+    def test_optimization_is_allocation(self):
+        assert issubclass(errors.OptimizationError, errors.AllocationError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(errors.DenseVLCError):
+            raise errors.SynchronizationError("x")
+
+
+class TestTable1Constants:
+    def test_noise(self):
+        assert constants.NOISE_PSD == 7.02e-23
+        assert constants.BANDWIDTH == 1e6
+
+    def test_led(self):
+        assert constants.HALF_POWER_SEMI_ANGLE == pytest.approx(
+            math.radians(15)
+        )
+        assert constants.SATURATION_CURRENT == 1.44e-18
+        assert constants.IDEALITY_FACTOR == 2.68
+        assert constants.SERIES_RESISTANCE == 0.19
+        assert constants.BIAS_CURRENT == 0.450
+        assert constants.MAX_SWING_CURRENT == 0.900
+        assert constants.WALL_PLUG_EFFICIENCY == 0.40
+
+    def test_receiver(self):
+        assert constants.RECEIVER_FOV == pytest.approx(math.radians(90))
+        assert constants.PHOTODIODE_AREA == 1.1e-6
+        assert constants.RESPONSIVITY == 0.40
+
+    def test_geometry(self):
+        assert constants.ROOM_SIDE == 3.0
+        assert constants.SIM_CEILING_HEIGHT == 2.8
+        assert constants.SIM_RECEIVER_HEIGHT == 0.8
+        assert constants.EXP_TX_HEIGHT == 2.0
+        assert constants.NUM_TRANSMITTERS == 36
+        assert constants.TX_SPACING == 0.5
+
+    def test_paper_full_swing_power(self):
+        # Sec. 4.2: r * (I_sw,max / 2)^2 = 74.42 mW with the paper's r.
+        assert constants.PAPER_DYNAMIC_RESISTANCE * (
+            constants.MAX_SWING_CURRENT / 2
+        ) ** 2 == pytest.approx(74.42e-3)
+
+    def test_sync_rates(self):
+        assert constants.SYNC_SYMBOL_RATE == 100_000.0
+        assert constants.SYNC_SAMPLING_RATE == 1_000_000.0
+        assert constants.MAX_SYMBOL_OVERLAP_FRACTION == 0.10
+
+    def test_thermal_voltage(self):
+        assert constants.THERMAL_VOLTAGE_300K == pytest.approx(0.02585, rel=1e-3)
+
+    def test_iso_limits(self):
+        assert constants.ISO_MIN_AVERAGE_LUX == 500.0
+        assert constants.ISO_MIN_UNIFORMITY == 0.70
+
+    def test_heuristic_defaults(self):
+        assert constants.DEFAULT_KAPPA == 1.3
+        assert constants.PAPER_KAPPAS == (1.0, 1.2, 1.3, 1.5)
+
+
+class TestPackage:
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+    def test_top_level_exports(self):
+        import repro
+
+        assert hasattr(repro, "simulation_scene")
+        assert hasattr(repro, "Scene")

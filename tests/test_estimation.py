@@ -1,0 +1,76 @@
+"""Unit tests for repro.channel.estimation (M2M4 SNR estimator)."""
+
+import numpy as np
+import pytest
+
+from repro.channel import (
+    m2m4_snr,
+    path_loss_from_measurement,
+    received_swing_estimate,
+)
+from repro.errors import ChannelError
+
+
+def _antipodal(amplitude, noise_std, n, rng):
+    signs = rng.choice([-1.0, 1.0], size=n)
+    return amplitude * signs + rng.normal(0.0, noise_std, size=n)
+
+
+class TestM2M4:
+    def test_high_snr_estimate(self, rng):
+        samples = _antipodal(1.0, 0.1, 50000, rng)
+        estimate = m2m4_snr(samples)
+        assert estimate.snr_linear == pytest.approx(100.0, rel=0.15)
+
+    def test_moderate_snr_estimate(self, rng):
+        samples = _antipodal(1.0, 0.5, 100000, rng)
+        estimate = m2m4_snr(samples)
+        assert estimate.snr_linear == pytest.approx(4.0, rel=0.2)
+
+    def test_signal_power_recovery(self, rng):
+        samples = _antipodal(2.0, 0.2, 50000, rng)
+        assert m2m4_snr(samples).signal_power == pytest.approx(4.0, rel=0.1)
+
+    def test_pure_noise_clamps_to_zero_signal(self, rng):
+        samples = rng.normal(0.0, 1.0, 100000)
+        estimate = m2m4_snr(samples)
+        assert estimate.snr_linear < 0.3
+
+    def test_noise_free_reports_infinite(self, rng):
+        samples = np.where(rng.uniform(size=1000) > 0.5, 1.0, -1.0)
+        estimate = m2m4_snr(samples)
+        assert estimate.snr_linear == float("inf")
+        assert estimate.noise_power == 0.0
+
+    def test_snr_db(self, rng):
+        samples = _antipodal(1.0, 0.1, 50000, rng)
+        estimate = m2m4_snr(samples)
+        assert estimate.snr_db == pytest.approx(20.0, abs=1.0)
+
+    def test_zero_estimate_db_is_negative_infinity(self):
+        samples = np.zeros(100)
+        assert m2m4_snr(samples).snr_db == float("-inf")
+
+    def test_too_few_samples_raise(self):
+        with pytest.raises(ChannelError):
+            m2m4_snr(np.array([1.0, -1.0]))
+
+    def test_non_finite_raises(self):
+        with pytest.raises(ChannelError):
+            m2m4_snr(np.array([1.0, np.nan, 1.0, -1.0]))
+
+
+class TestSwingEstimation:
+    def test_received_swing(self, rng):
+        # Amplitude 0.5 -> peak-to-peak swing 1.0.
+        samples = _antipodal(0.5, 0.05, 50000, rng)
+        assert received_swing_estimate(samples) == pytest.approx(1.0, rel=0.05)
+
+    def test_path_loss_ratio(self):
+        assert path_loss_from_measurement(0.09, 0.9) == pytest.approx(0.1)
+
+    def test_path_loss_validation(self):
+        with pytest.raises(ChannelError):
+            path_loss_from_measurement(0.1, 0.0)
+        with pytest.raises(ChannelError):
+            path_loss_from_measurement(-0.1, 0.9)

@@ -1,0 +1,148 @@
+"""Tests for the fast experiment runners (Figs. 4, 5, 12; Tables 4, 6)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import (
+    ExperimentConfig,
+    default_config,
+    fig04_taylor,
+    fig05_illumination,
+    fig12_sync_delay,
+    fig6_instances,
+    fig7_instance,
+    scenario_positions,
+    table4_sync,
+)
+
+
+class TestConfig:
+    def test_default_budget_grid_spans_grid(self):
+        cfg = default_config()
+        assert len(cfg.budget_grid) == 36
+        assert cfg.budget_grid[0] == pytest.approx(cfg.led.full_swing_power)
+
+    def test_coarse_budgets_subset(self):
+        cfg = default_config()
+        coarse = cfg.coarse_budgets(8)
+        assert len(coarse) <= 8
+        assert set(coarse) <= set(cfg.budget_grid)
+
+    def test_scene_factories(self):
+        cfg = default_config()
+        sim = cfg.simulation_scene_at(fig7_instance())
+        exp = cfg.experimental_scene_at(fig7_instance())
+        assert sim.room.tx_height > exp.room.tx_height
+
+    def test_coarse_validation(self):
+        with pytest.raises(ConfigurationError):
+            default_config().coarse_budgets(0)
+
+
+class TestScenarios:
+    def test_three_scenarios(self):
+        for scenario in (1, 2, 3):
+            positions = scenario_positions(scenario)
+            assert len(positions) == 4
+
+    def test_scenario1_corners(self):
+        assert scenario_positions(1)[0] == (0.50, 0.50)
+
+    def test_scenario2_is_fig7(self):
+        assert scenario_positions(2) == fig7_instance()
+
+    def test_scenario3_under_txs(self, grid):
+        for x, y in scenario_positions(3):
+            tx = grid.nearest_tx(x, y)
+            assert grid.xy(tx) == pytest.approx((x, y))
+
+    def test_unknown_scenario(self):
+        with pytest.raises(ConfigurationError):
+            scenario_positions(4)
+
+    def test_fig6_instances_shape(self):
+        assert fig6_instances(instances=7, seed=0).shape == (7, 4, 2)
+
+
+class TestFig04:
+    def test_paper_error_at_max_swing(self):
+        result = fig04_taylor.run()
+        # Paper: 0.45% at 900 mA.
+        assert result.error_at_max_swing == pytest.approx(0.0045, abs=0.001)
+
+    def test_error_below_half_percent_everywhere(self):
+        result = fig04_taylor.run()
+        assert result.max_error < 0.006
+
+    def test_error_increases(self):
+        result = fig04_taylor.run(points=20)
+        assert result.relative_errors[-1] > result.relative_errors[1]
+
+    def test_point_validation(self):
+        with pytest.raises(ConfigurationError):
+            fig04_taylor.run(points=1)
+
+
+class TestFig05:
+    def test_paper_average(self):
+        result = fig05_illumination.run(resolution=0.05)
+        # Paper simulation: 564 lux average.
+        assert result.report.average_lux == pytest.approx(564.0, rel=0.02)
+
+    def test_paper_uniformity_range(self):
+        result = fig05_illumination.run(resolution=0.05)
+        # Paper: 74% (simulated), 81% (measured testbed).
+        assert 0.70 <= result.report.uniformity <= 0.85
+
+    def test_meets_iso(self):
+        assert fig05_illumination.run(resolution=0.1).meets_iso
+
+    def test_experimental_room_variant(self):
+        result = fig05_illumination.run(resolution=0.1, experimental=True)
+        assert result.report.average_lux > 300.0
+
+
+class TestFig12:
+    def test_curves_present(self):
+        result = fig12_sync_delay.run(measure=False)
+        assert set(result.delays) == {"no-sync", "ntp-ptp"}
+
+    def test_improvement_at_least_two(self):
+        result = fig12_sync_delay.run(measure=False)
+        assert np.all(result.improvement_factors() >= 2.0)
+
+    def test_max_rate_is_papers(self):
+        result = fig12_sync_delay.run(measure=False)
+        assert result.max_ntp_ptp_rate == pytest.approx(14_280.0, rel=0.01)
+
+    def test_measured_points_close(self):
+        result = fig12_sync_delay.run(measure=True)
+        assert result.measured_at_100k["no-sync"] == pytest.approx(
+            10.04e-6, rel=0.1
+        )
+        assert result.measured_at_100k["ntp-ptp"] == pytest.approx(
+            4.565e-6, rel=0.1
+        )
+
+    def test_rate_validation(self):
+        with pytest.raises(ConfigurationError):
+            fig12_sync_delay.run(symbol_rates=[])
+
+
+class TestTable4:
+    def test_paper_medians(self):
+        result = table4_sync.run(draws=3000)
+        micro = result.as_microseconds()
+        assert micro["no-sync"] == pytest.approx(10.040, rel=1e-6)
+        assert micro["ntp-ptp"] == pytest.approx(4.565, rel=1e-6)
+        # Paper: 0.575 us for NLOS VLC.
+        assert micro["nlos-vlc"] == pytest.approx(0.575, rel=0.1)
+
+    def test_order_of_magnitude_improvement(self):
+        result = table4_sync.run(draws=2000)
+        assert result.nlos_vs_ntp_factor > 5.0
+
+    def test_faster_adc_helps(self):
+        fast = table4_sync.run(draws=2000, sampling_rate=4e6)
+        assert fast.as_microseconds()["nlos-vlc"] < 0.4

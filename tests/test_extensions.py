@@ -1,0 +1,123 @@
+"""Tests for the Sec. 9 extension experiments (repro.experiments.extensions)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.extensions import (
+    blockage_effect,
+    dimming_tradeoff,
+    ofdm_comparison,
+    orientation_sweep,
+    uplink_check,
+)
+
+
+class TestBlockageEffect:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return blockage_effect()
+
+    def test_victim_not_hurt(self, result):
+        # Sec. 9: shielding an interferer should help (or at worst not
+        # hurt) the victim receiver.
+        assert result.victim_gain >= -0.05
+
+    def test_all_receivers_still_served(self, result):
+        assert np.all(result.blocked > 0)
+
+    def test_shapes_match(self, result):
+        assert result.unblocked.shape == result.blocked.shape
+
+
+class TestOrientationSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return orientation_sweep()
+
+    def test_upright_is_best(self, sweep):
+        assert sweep[0.0] == max(sweep.values())
+
+    def test_graceful_degradation(self, sweep):
+        tilts = sorted(sweep)
+        values = [sweep[t] for t in tilts]
+        # Monotone decrease with tilt away from the ceiling.
+        assert all(b <= a * 1.001 for a, b in zip(values, values[1:]))
+        # Still functional at 45 degrees (the heuristic is
+        # orientation-agnostic -- the paper's Sec. 9 claim).
+        assert sweep[45.0] > 0.4 * sweep[0.0]
+
+    def test_tilt_validation(self):
+        with pytest.raises(ConfigurationError):
+            orientation_sweep(tilts_deg=(95.0,))
+
+
+class TestDimmingTradeoff:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return dimming_tradeoff()
+
+    def test_throughput_falls_with_dimming(self, points):
+        throughputs = [p.system_throughput for p in points]
+        assert throughputs == sorted(throughputs, reverse=True)
+
+    def test_lux_falls_with_dimming(self, points):
+        luxes = [p.average_lux for p in points]
+        assert luxes == sorted(luxes, reverse=True)
+
+    def test_full_brightness_matches_paper_setup(self, points):
+        full = points[0]
+        assert full.dimming == 1.0
+        assert full.average_lux == pytest.approx(564.0, rel=0.03)
+        assert full.max_swing == pytest.approx(0.9)
+
+
+class TestOFDMComparison:
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        return ofdm_comparison(snrs_db=(12.0, 20.0), bits_per_point=6200)
+
+    def test_efficiency_gain(self, comparison):
+        # 16-QAM DCO-OFDM packs >3x the bits per sample of Manchester OOK.
+        assert comparison.efficiency_gain > 3.0
+
+    def test_ber_waterfall(self, comparison):
+        bers = comparison.ofdm_ber_by_snr_db
+        assert bers[20.0] <= bers[12.0]
+        assert bers[20.0] < 1e-2
+
+
+class TestUplinkCheck:
+    def test_paper_deployment(self):
+        budget = uplink_check()
+        assert not budget.congested
+
+
+class TestLensAblation:
+    def test_lens_is_load_bearing(self):
+        from repro.experiments.extensions import lens_ablation
+
+        result = lens_ablation(power_budget=0.6)
+        assert result.lens_gain > 3.0
+        assert result.lensed_throughput > result.bare_throughput
+
+
+class TestGreedyComparisonExperiment:
+    def test_ranking_competitive_at_fraction_of_cost(self):
+        from repro.experiments.extensions import greedy_comparison
+
+        result = greedy_comparison(power_budget=0.4)
+        assert result.slowdown > 10.0
+        assert result.throughput_advantage < 0.15
+        # Greedy optimizes utility directly, so it cannot lose in it.
+        assert result.greedy_utility >= result.ranking_utility - 0.3
+
+
+class TestDiffuseErrorExperiment:
+    def test_los_assumption_justified(self):
+        from repro.experiments.extensions import diffuse_error
+
+        result = diffuse_error(resolution=0.35)
+        assert result.aggregate_share < 0.10
+        assert result.dominant_link_share < 0.02
+        assert result.dominant_link_share < result.aggregate_share

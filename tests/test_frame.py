@@ -1,0 +1,129 @@
+"""Unit tests for repro.phy.frame (Table 3)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CodingError, DecodingError
+from repro.phy import (
+    SFD,
+    ControllerFrame,
+    MACFrame,
+    tx_mask_from_bytes,
+    tx_mask_to_bytes,
+)
+
+
+@pytest.fixture()
+def frame():
+    return MACFrame(destination=1, source=0, protocol=0x0800,
+                    payload=b"densevlc payload")
+
+
+class TestMACFrame:
+    def test_roundtrip(self, frame):
+        assert MACFrame.from_bytes(frame.to_bytes()) == frame
+
+    def test_sfd_first(self, frame):
+        assert frame.to_bytes()[0] == SFD
+
+    def test_length_field(self, frame):
+        data = frame.to_bytes()
+        assert int.from_bytes(data[1:3], "big") == len(frame.payload)
+
+    def test_rs_parity_appended(self, frame):
+        data = frame.to_bytes()
+        # header 9 + payload + ceil(x/200)*16 parity.
+        assert len(data) == 9 + len(frame.payload) + 16
+
+    def test_large_payload_parity(self):
+        frame = MACFrame(destination=1, source=0, protocol=0, payload=bytes(500))
+        assert len(frame.to_bytes()) == 9 + 500 + 3 * 16
+
+    def test_corrupted_payload_corrected(self, frame):
+        data = bytearray(frame.to_bytes())
+        data[12] ^= 0xFF
+        data[15] ^= 0x0F
+        assert MACFrame.from_bytes(bytes(data)) == frame
+
+    def test_bad_sfd_rejected(self, frame):
+        data = bytearray(frame.to_bytes())
+        data[0] = 0x00
+        with pytest.raises(DecodingError):
+            MACFrame.from_bytes(bytes(data))
+
+    def test_truncated_rejected(self, frame):
+        with pytest.raises(DecodingError):
+            MACFrame.from_bytes(frame.to_bytes()[:-5])
+
+    def test_validation(self):
+        with pytest.raises(CodingError):
+            MACFrame(destination=70000, source=0, protocol=0, payload=b"x")
+        with pytest.raises(CodingError):
+            MACFrame(destination=0, source=0, protocol=0, payload=b"")
+
+    def test_symbol_count_matches(self, frame):
+        symbols = frame.vlc_symbols()
+        assert symbols.size == frame.vlc_symbol_count()
+
+    def test_symbols_start_with_pilot(self, frame):
+        symbols = frame.vlc_symbols()
+        assert list(symbols[:4]) == [1, 0, 1, 0]
+
+    def test_decode_symbols_roundtrip(self, frame):
+        symbols = frame.vlc_symbols()
+        body = symbols[64:]  # skip pilot + preamble
+        assert MACFrame.decode_symbols(body) == frame
+
+
+class TestTXMask:
+    def test_roundtrip(self):
+        indices = {0, 7, 35, 63}
+        assert tx_mask_from_bytes(tx_mask_to_bytes(indices)) == frozenset(indices)
+
+    def test_empty(self):
+        assert tx_mask_from_bytes(tx_mask_to_bytes([])) == frozenset()
+
+    def test_eight_bytes(self):
+        assert len(tx_mask_to_bytes({1, 2, 3})) == 8
+
+    def test_out_of_range(self):
+        with pytest.raises(CodingError):
+            tx_mask_to_bytes({64})
+        with pytest.raises(CodingError):
+            tx_mask_to_bytes({-1})
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(DecodingError):
+            tx_mask_from_bytes(bytes(4))
+
+
+class TestControllerFrame:
+    def test_roundtrip(self, frame):
+        cf = ControllerFrame(tx_indices=frozenset({1, 2, 7, 8}), frame=frame)
+        parsed = ControllerFrame.from_bytes(cf.to_bytes())
+        assert parsed.tx_indices == cf.tx_indices
+        assert parsed.frame == frame
+
+    def test_default_leader_is_min(self, frame):
+        cf = ControllerFrame(tx_indices=frozenset({5, 3, 9}), frame=frame)
+        assert cf.leading_tx == 3
+
+    def test_explicit_leader(self, frame):
+        cf = ControllerFrame(
+            tx_indices=frozenset({5, 3, 9}), frame=frame, leading_tx=9
+        )
+        assert cf.leading_tx == 9
+
+    def test_leader_must_be_member(self, frame):
+        with pytest.raises(CodingError):
+            ControllerFrame(
+                tx_indices=frozenset({1, 2}), frame=frame, leading_tx=5
+            )
+
+    def test_needs_transmitters(self, frame):
+        with pytest.raises(CodingError):
+            ControllerFrame(tx_indices=frozenset(), frame=frame)
+
+    def test_short_data_rejected(self):
+        with pytest.raises(DecodingError):
+            ControllerFrame.from_bytes(bytes(4))

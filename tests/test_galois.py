@@ -1,0 +1,123 @@
+"""Unit tests for repro.phy.galois (GF(256) arithmetic)."""
+
+import pytest
+
+from repro.errors import CodingError
+from repro.phy import galois as gf
+
+
+class TestFieldAxioms:
+    def test_additive_identity(self):
+        for a in (0, 1, 77, 255):
+            assert gf.gf_add(a, 0) == a
+
+    def test_addition_is_involution(self):
+        for a, b in ((1, 2), (100, 200), (255, 255)):
+            assert gf.gf_add(gf.gf_add(a, b), b) == a
+
+    def test_add_equals_sub(self):
+        assert gf.gf_add(123, 45) == gf.gf_sub(123, 45)
+
+    def test_multiplicative_identity(self):
+        for a in (0, 1, 2, 128, 255):
+            assert gf.gf_mul(a, 1) == a
+
+    def test_zero_annihilates(self):
+        for a in (1, 99, 255):
+            assert gf.gf_mul(a, 0) == 0
+
+    def test_commutativity(self):
+        for a, b in ((3, 7), (120, 200), (255, 2)):
+            assert gf.gf_mul(a, b) == gf.gf_mul(b, a)
+
+    def test_associativity(self):
+        a, b, c = 17, 99, 201
+        assert gf.gf_mul(gf.gf_mul(a, b), c) == gf.gf_mul(a, gf.gf_mul(b, c))
+
+    def test_distributivity(self):
+        a, b, c = 5, 111, 222
+        left = gf.gf_mul(a, gf.gf_add(b, c))
+        right = gf.gf_add(gf.gf_mul(a, b), gf.gf_mul(a, c))
+        assert left == right
+
+    def test_inverse(self):
+        for a in range(1, 256):
+            assert gf.gf_mul(a, gf.gf_inverse(a)) == 1
+
+    def test_zero_has_no_inverse(self):
+        with pytest.raises(CodingError):
+            gf.gf_inverse(0)
+
+    def test_division(self):
+        for a, b in ((10, 3), (255, 254), (1, 255)):
+            quotient = gf.gf_div(a, b)
+            assert gf.gf_mul(quotient, b) == a
+
+    def test_division_by_zero(self):
+        with pytest.raises(CodingError):
+            gf.gf_div(1, 0)
+
+
+class TestPower:
+    def test_power_matches_repeated_mul(self):
+        value = 1
+        for k in range(10):
+            assert gf.gf_pow(3, k) == value
+            value = gf.gf_mul(value, 3)
+
+    def test_zero_powers(self):
+        assert gf.gf_pow(0, 0) == 1
+        assert gf.gf_pow(0, 5) == 0
+        with pytest.raises(CodingError):
+            gf.gf_pow(0, -1)
+
+    def test_negative_power_is_inverse(self):
+        assert gf.gf_pow(7, -1) == gf.gf_inverse(7)
+
+    def test_generator_cycles(self):
+        assert gf.generator_element(0) == 1
+        assert gf.generator_element(255) == gf.generator_element(0)
+        # The generator has full order 255.
+        seen = {gf.generator_element(k) for k in range(255)}
+        assert len(seen) == 255
+
+
+class TestPolynomials:
+    def test_eval_constant(self):
+        assert gf.poly_eval([7], 100) == 7
+
+    def test_eval_linear(self):
+        # p(x) = 2x + 3 at x = 5: 2*5 ^ 3.
+        assert gf.poly_eval([2, 3], 5) == gf.gf_add(gf.gf_mul(2, 5), 3)
+
+    def test_mul_by_one(self):
+        poly = [1, 2, 3]
+        assert gf.poly_mul(poly, [1]) == poly
+
+    def test_mul_degree(self):
+        product = gf.poly_mul([1, 0], [1, 0])
+        assert len(product) == 3  # x * x = x^2
+
+    def test_scale(self):
+        assert gf.poly_scale([1, 2], 3) == [3, gf.gf_mul(2, 3)]
+
+    def test_add_different_lengths(self):
+        result = gf.poly_add([1], [1, 0, 0])
+        assert result == [1, 0, 1]
+
+    def test_divmod_roundtrip(self):
+        dividend = [1, 5, 3, 200, 7]
+        divisor = [1, 9, 4]
+        quotient, remainder = gf.poly_divmod(dividend, divisor)
+        reconstructed = gf.poly_add(
+            gf.poly_mul(quotient, divisor), remainder
+        )
+        # Strip leading zeros for comparison.
+        while len(reconstructed) > len(dividend):
+            assert reconstructed[0] == 0
+            reconstructed = reconstructed[1:]
+        assert reconstructed == dividend
+
+    def test_divmod_by_zero(self):
+        with pytest.raises(CodingError):
+            gf.poly_divmod([1, 2, 3], [0])

@@ -1,0 +1,115 @@
+"""Unit tests for repro.illumination (Fig. 5 and the flux calibration)."""
+
+import numpy as np
+import pytest
+
+from repro import constants
+from repro.errors import ConfigurationError
+from repro.illumination import (
+    IlluminanceField,
+    area_of_interest_report,
+    calibrate_luminous_flux,
+    calibrated_led,
+    illuminance_at,
+    illuminance_field,
+    uniformity_of,
+)
+from repro.optics import cree_xte
+from repro.system import simulation_scene
+
+
+@pytest.fixture(scope="module")
+def empty_scene():
+    return simulation_scene([])
+
+
+class TestIlluminanceField:
+    def test_field_positive(self, empty_scene):
+        field = illuminance_field(empty_scene, resolution=0.1)
+        assert np.all(field.values > 0)
+
+    def test_point_matches_field(self, empty_scene):
+        field = illuminance_field(empty_scene, resolution=0.1)
+        x, y = float(field.xs[10]), float(field.ys[10])
+        assert illuminance_at(empty_scene, x, y) == pytest.approx(
+            field.values[10, 10]
+        )
+
+    def test_center_brighter_than_corner(self, empty_scene):
+        center = illuminance_at(empty_scene, 1.5, 1.5)
+        corner = illuminance_at(empty_scene, 0.05, 0.05)
+        assert center > corner
+
+    def test_symmetry(self, empty_scene):
+        a = illuminance_at(empty_scene, 1.0, 1.0)
+        b = illuminance_at(empty_scene, 2.0, 2.0)
+        assert a == pytest.approx(b, rel=1e-9)
+
+    def test_region_statistics(self, empty_scene):
+        field = illuminance_field(empty_scene, resolution=0.1)
+        region = field.region(0.4, 2.6, 0.4, 2.6)
+        assert region.average >= field.minimum
+        assert region.minimum >= field.minimum
+
+    def test_region_out_of_range(self, empty_scene):
+        field = illuminance_field(empty_scene, resolution=0.1)
+        with pytest.raises(ConfigurationError):
+            field.region(10.0, 11.0, 10.0, 11.0)
+
+    def test_bad_resolution(self, empty_scene):
+        with pytest.raises(ConfigurationError):
+            illuminance_field(empty_scene, resolution=0.0)
+
+
+class TestUniformity:
+    def test_paper_numbers(self, empty_scene):
+        # Sec. 4: 564 lux average, 74% uniformity in the 2.2 m square.
+        report = area_of_interest_report(empty_scene, resolution=0.05)
+        assert report.average_lux == pytest.approx(564.0, rel=0.02)
+        assert 0.70 <= report.uniformity <= 0.85
+
+    def test_meets_iso(self, empty_scene):
+        report = area_of_interest_report(empty_scene)
+        assert report.meets_iso_8995()
+
+    def test_fails_iso_when_dim(self):
+        dim_led = cree_xte(luminous_flux_at_bias=20.0)
+        scene = simulation_scene([], led=dim_led)
+        report = area_of_interest_report(scene)
+        assert not report.meets_iso_8995()
+
+    def test_uniformity_definition(self, empty_scene):
+        field = illuminance_field(empty_scene, resolution=0.1)
+        report = uniformity_of(field)
+        assert report.uniformity == pytest.approx(
+            report.minimum_lux / report.average_lux
+        )
+
+
+class TestCalibration:
+    def test_calibration_hits_target(self):
+        flux = calibrate_luminous_flux(target_average_lux=564.0)
+        led = cree_xte(luminous_flux_at_bias=flux)
+        scene = simulation_scene([], led=led)
+        report = area_of_interest_report(scene)
+        assert report.average_lux == pytest.approx(564.0, rel=1e-6)
+
+    def test_constant_matches_calibration(self):
+        # Guard: the recorded constant must track the illumination code.
+        flux = calibrate_luminous_flux(target_average_lux=564.0)
+        assert constants.CALIBRATED_LUMINOUS_FLUX == pytest.approx(flux, rel=0.005)
+
+    def test_calibrated_led_factory(self):
+        led = calibrated_led(target_average_lux=500.0)
+        scene = simulation_scene([], led=led)
+        report = area_of_interest_report(scene)
+        assert report.average_lux == pytest.approx(500.0, rel=1e-6)
+
+    def test_linearity(self):
+        f1 = calibrate_luminous_flux(target_average_lux=300.0)
+        f2 = calibrate_luminous_flux(target_average_lux=600.0)
+        assert f2 == pytest.approx(2.0 * f1)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            calibrate_luminous_flux(target_average_lux=0.0)

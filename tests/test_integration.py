@@ -1,0 +1,140 @@
+"""Integration tests: end-to-end flows across modules."""
+
+import numpy as np
+import pytest
+
+from repro.channel import channel_matrix
+from repro.core import (
+    RankingHeuristic,
+    problem_for_scene,
+    siso_allocation,
+)
+from repro.experiments import table5_iperf
+from repro.geometry import WaypointPath
+from repro.mac import BeamspotScheduler, DenseVLCController, beamspots_from_allocation
+from repro.phy import MACFrame, TransmissionPath, VLCPhyLink
+from repro.simulation import IperfConfig, NetworkSimulator
+from repro.system import experimental_scene, simulation_scene
+
+
+class TestAllocateScheduleTransmit:
+    """Controller decision -> beamspots -> sync -> waveform -> decode."""
+
+    def test_full_pipeline_delivers_frame(self):
+        scene = experimental_scene([(1.0, 0.5)])
+        controller = DenseVLCController(
+            scene, power_budget=0.3, measurement_noise=False
+        )
+        round_result = controller.run_round(rng=0)
+        plan = round_result.plans[0]
+        members = sorted(plan.active_members)
+        assert members
+
+        channel = channel_matrix(scene)
+        led = scene.led
+        pd = scene.receivers[0].photodiode
+        unit = led.optical_swing_amplitude(led.max_swing)
+        sample_rate = 1e6
+        paths = []
+        for tx in members:
+            offset = plan.offsets.get(tx, 0.0)
+            amplitude = pd.responsivity * channel[tx, 0] * unit
+            if amplitude > 0:
+                paths.append(
+                    TransmissionPath(
+                        amplitude=amplitude,
+                        delay_samples=int(round(offset * sample_rate)),
+                    )
+                )
+        link = VLCPhyLink(samples_per_symbol=10, noise_std=8.4e-9)
+        frame = MACFrame(
+            destination=1, source=0, protocol=0x0800, payload=b"end-to-end"
+        )
+        assert link.frame_trial(frame, paths, rng=0)
+
+
+class TestMobilityAdaptation:
+    """A moving receiver keeps being served by its local beamspot."""
+
+    def test_beamspot_follows_receiver(self):
+        scene = simulation_scene(
+            [(0.75, 0.75), (2.25, 2.25), (0.75, 2.25), (2.25, 0.75)]
+        )
+        path = WaypointPath([(0.75, 0.75), (1.75, 1.25)], speed=0.5)
+        controller = DenseVLCController(
+            scene, power_budget=0.6, measurement_noise=False
+        )
+        leaders = []
+        for t in (0.0, path.duration):
+            x, y = path.position_at(t)
+            positions = [(x, y), (2.25, 2.25), (0.75, 2.25), (2.25, 0.75)]
+            controller.scene = scene.with_receivers_at(positions)
+            controller.scheduler = BeamspotScheduler(controller.scene)
+            result = controller.run_round(rng=0)
+            spots = {p.beamspot.rx: p.beamspot for p in result.plans}
+            assert 0 in spots, "moving RX must stay served"
+            leaders.append(spots[0].leader)
+        # The leading TX tracks the motion across the room.
+        assert leaders[0] != leaders[1]
+
+    def test_throughput_stable_during_motion(self):
+        scene = simulation_scene(
+            [(0.75, 0.75), (2.25, 2.25), (0.75, 2.25), (2.25, 0.75)]
+        )
+        controller = DenseVLCController(
+            scene, power_budget=0.8, measurement_noise=False
+        )
+        snapshots = [
+            [(0.75 + 0.25 * k, 0.75), (2.25, 2.25), (0.75, 2.25), (2.25, 0.75)]
+            for k in range(5)
+        ]
+        rounds = controller.track(snapshots, rng=0)
+        rates = [r.allocation.throughput[0] for r in rounds]
+        assert min(rates) > 0.3 * max(rates)
+
+
+class TestBaselineComparison:
+    """DenseVLC vs SISO on the same physical scene, full stack."""
+
+    def test_densevlc_beats_siso_given_equal_throughput_target(self):
+        scene = experimental_scene(
+            [(0.75, 0.75), (1.75, 0.75), (0.75, 1.75), (1.75, 1.75)]
+        )
+        problem = problem_for_scene(scene, power_budget=1.0)
+        siso = siso_allocation(problem, scene)
+        densevlc = RankingHeuristic(kappa=1.3).solve(
+            problem.with_budget(siso.total_power)
+        )
+        # At the SISO power point, DenseVLC picks (at least) the same TXs.
+        assert densevlc.system_throughput >= 0.9 * siso.system_throughput
+
+
+class TestTable5Pipeline:
+    def test_reduced_table5(self):
+        result = table5_iperf.run(
+            iperf=IperfConfig(duration=100.0, payload_bytes=300, seed=2),
+            max_frames=8,
+        )
+        assert result.per_percent("4tx-no-sync") == 100.0
+        assert result.per_percent("2tx-same-board") <= 20.0
+        assert result.per_percent("4tx-nlos-sync") <= 20.0
+        assert result.goodput_kbps("4tx-nlos-sync") > 0.0
+
+
+class TestChannelMeasurementLoop:
+    """Measured channels steer the heuristic like true channels."""
+
+    def test_noisy_measurement_gives_similar_allocation(self):
+        scene = experimental_scene(
+            [(0.92, 0.92), (1.65, 0.65), (0.72, 1.93), (1.99, 1.69)]
+        )
+        truth = DenseVLCController(
+            scene, power_budget=0.6, measurement_noise=False
+        ).run_round(rng=0)
+        measured = DenseVLCController(
+            scene, power_budget=0.6, measurement_noise=True
+        ).run_round(rng=0)
+        true_txs = {tx for tx, _ in truth.allocation.assignments}
+        measured_txs = {tx for tx, _ in measured.allocation.assignments}
+        overlap = len(true_txs & measured_txs) / len(true_txs)
+        assert overlap >= 0.7

@@ -1,0 +1,95 @@
+"""Tests for result serialization (experiments.io) and the Fig. 10 runner."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import fig04_taylor, fig10_swing_cdf, io
+
+
+class TestToJsonable:
+    def test_primitives(self):
+        assert io.to_jsonable(1) == 1
+        assert io.to_jsonable("x") == "x"
+        assert io.to_jsonable(None) is None
+        assert io.to_jsonable(True) is True
+
+    def test_special_floats(self):
+        assert io.to_jsonable(float("inf")) == "inf"
+        assert io.to_jsonable(float("-inf")) == "-inf"
+        assert io.to_jsonable(float("nan")) == "nan"
+
+    def test_numpy(self):
+        assert io.to_jsonable(np.int64(7)) == 7
+        assert io.to_jsonable(np.float64(2.5)) == 2.5
+        assert io.to_jsonable(np.array([1.0, 2.0])) == [1.0, 2.0]
+        nested = io.to_jsonable(np.arange(6).reshape(2, 3))
+        assert nested == [[0, 1, 2], [3, 4, 5]]
+
+    def test_dataclass_tagged(self):
+        result = fig04_taylor.run(points=4)
+        data = io.to_jsonable(result)
+        assert data["__dataclass__"] == "TaylorErrorResult"
+        assert len(data["swings"]) == 4
+
+    def test_collections(self):
+        assert io.to_jsonable({"a": (1, 2)}) == {"a": [1, 2]}
+        assert sorted(io.to_jsonable(frozenset({3, 1}))) == [1, 3]
+
+    def test_unserializable_raises(self):
+        with pytest.raises(ConfigurationError):
+            io.to_jsonable(object())
+
+
+class TestRoundtrip:
+    def test_save_load(self, tmp_path):
+        result = fig04_taylor.run(points=5)
+        path = tmp_path / "fig04.json"
+        io.save_result(str(path), result)
+        loaded = io.load_result(str(path))
+        assert loaded["__dataclass__"] == "TaylorErrorResult"
+        assert loaded["relative_errors"][-1] == pytest.approx(
+            result.error_at_max_swing
+        )
+
+    def test_file_is_valid_json(self, tmp_path):
+        path = tmp_path / "out.json"
+        io.save_result(str(path), {"values": np.array([1.5, float("inf")])})
+        raw = json.loads(path.read_text())
+        assert raw["values"] == [1.5, "inf"]
+
+    def test_special_floats_roundtrip(self):
+        restored = io.from_jsonable(io.to_jsonable([float("nan"), 1.0]))
+        assert restored[0] != restored[0]
+        assert restored[1] == 1.0
+
+
+class TestFig10Runner:
+    @pytest.fixture(scope="class")
+    def result(self):
+        # Tiny configuration: the runner structure, not the statistics.
+        return fig10_swing_cdf.run(instances=2, budgets=[0.3, 0.9])
+
+    def test_cdfs_for_requested_txs(self, result):
+        assert set(result.cdfs) == {2, 4, 9, 14}
+
+    def test_cdf_well_formed(self, result):
+        for values, probabilities in result.cdfs.values():
+            assert values.shape == probabilities.shape
+            assert np.all(np.diff(values) >= 0)
+            assert probabilities[-1] == pytest.approx(1.0)
+
+    def test_sample_count(self, result):
+        # 2 instances x 2 budgets = 4 samples per CDF.
+        values, _ = result.cdfs[9]
+        assert values.size == 4
+
+    def test_tx10_dominates_tx15(self, result):
+        # Even on a tiny run, TX10 carries more swing mass than TX15.
+        assert result.cdfs[9][0].sum() >= result.cdfs[14][0].sum()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            fig10_swing_cdf.run(instances=0)

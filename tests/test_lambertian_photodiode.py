@@ -1,0 +1,131 @@
+"""Unit tests for repro.optics.lambertian and repro.optics.photodiode."""
+
+import math
+
+import pytest
+
+from repro import constants
+from repro.errors import ConfigurationError
+from repro.optics import (
+    CompoundParabolicConcentrator,
+    FlatConcentrator,
+    Photodiode,
+    half_power_semi_angle,
+    lambertian_order,
+    peak_intensity_factor,
+    radiation_pattern,
+    s5971,
+)
+
+
+class TestLambertianOrder:
+    def test_ideal_lambertian(self):
+        # phi_1/2 = 60 degrees -> m = 1.
+        assert lambertian_order(math.radians(60)) == pytest.approx(1.0)
+
+    def test_paper_lens(self):
+        assert lambertian_order(math.radians(15)) == pytest.approx(20.0, rel=0.01)
+
+    def test_roundtrip(self):
+        for angle in (math.radians(10), math.radians(30), math.radians(60)):
+            m = lambertian_order(angle)
+            assert half_power_semi_angle(m) == pytest.approx(angle)
+
+    def test_narrower_lens_higher_order(self):
+        assert lambertian_order(math.radians(10)) > lambertian_order(
+            math.radians(20)
+        )
+
+    def test_invalid_angles(self):
+        with pytest.raises(ConfigurationError):
+            lambertian_order(0.0)
+        with pytest.raises(ConfigurationError):
+            lambertian_order(math.pi / 2)
+
+    def test_invalid_order(self):
+        with pytest.raises(ConfigurationError):
+            half_power_semi_angle(0.0)
+
+
+class TestRadiationPattern:
+    def test_on_axis_is_one(self):
+        assert radiation_pattern(20.0, 0.0) == pytest.approx(1.0)
+
+    def test_half_power_at_semi_angle(self):
+        m = lambertian_order(math.radians(15))
+        assert radiation_pattern(m, math.radians(15)) == pytest.approx(0.5)
+
+    def test_no_back_emission(self):
+        assert radiation_pattern(1.0, math.pi / 2) == 0.0
+        assert radiation_pattern(1.0, math.pi * 0.75) == 0.0
+
+    def test_peak_intensity_factor(self):
+        assert peak_intensity_factor(1.0) == pytest.approx(1.0 / math.pi)
+        assert peak_intensity_factor(20.0) == pytest.approx(21.0 / (2 * math.pi))
+
+    def test_invalid_order(self):
+        with pytest.raises(ConfigurationError):
+            radiation_pattern(0.0, 0.1)
+
+
+class TestConcentrators:
+    def test_flat_inside_fov(self):
+        c = FlatConcentrator()
+        assert c.gain(0.0) == 1.0
+        assert c.gain(math.radians(89)) == 1.0
+
+    def test_flat_outside_fov(self):
+        c = FlatConcentrator(field_of_view=math.radians(45))
+        assert c.gain(math.radians(46)) == 0.0
+
+    def test_cpc_gain_formula(self):
+        c = CompoundParabolicConcentrator(
+            refractive_index=1.5, field_of_view=math.radians(30)
+        )
+        assert c.gain(0.1) == pytest.approx(1.5**2 / math.sin(math.radians(30)) ** 2)
+
+    def test_cpc_outside_fov(self):
+        c = CompoundParabolicConcentrator(field_of_view=math.radians(30))
+        assert c.gain(math.radians(31)) == 0.0
+
+    def test_cpc_validation(self):
+        with pytest.raises(ConfigurationError):
+            CompoundParabolicConcentrator(refractive_index=0.9)
+
+    def test_flat_validation(self):
+        with pytest.raises(ConfigurationError):
+            FlatConcentrator(value=0.0)
+
+
+class TestPhotodiode:
+    def test_table1_defaults(self, photodiode):
+        assert photodiode.area == pytest.approx(1.1e-6)
+        assert photodiode.responsivity == pytest.approx(0.40)
+        assert photodiode.field_of_view == pytest.approx(math.radians(90))
+
+    def test_accepts_within_fov(self, photodiode):
+        assert photodiode.accepts(0.0)
+        assert photodiode.accepts(math.radians(89.9))
+        assert not photodiode.accepts(-0.1)
+
+    def test_gain_outside_fov_zero(self):
+        pd = Photodiode(field_of_view=math.radians(45))
+        assert pd.gain(math.radians(50)) == 0.0
+
+    def test_photocurrent(self, photodiode):
+        assert photodiode.photocurrent(1e-6) == pytest.approx(0.4e-6)
+
+    def test_photocurrent_rejects_negative(self, photodiode):
+        with pytest.raises(ConfigurationError):
+            photodiode.photocurrent(-1.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Photodiode(area=0.0)
+        with pytest.raises(ConfigurationError):
+            Photodiode(responsivity=-0.1)
+        with pytest.raises(ConfigurationError):
+            Photodiode(field_of_view=2.0)
+
+    def test_factory(self):
+        assert s5971() == Photodiode()

@@ -1,0 +1,163 @@
+"""Unit tests for repro.optics.led (Eqs. 8-11, Fig. 4)."""
+
+import math
+
+import pytest
+
+from repro import constants
+from repro.errors import ConfigurationError
+from repro.optics import LEDModel, cree_xte, cree_xte_paper_power
+
+
+class TestElectricalModel:
+    def test_zero_current_zero_power(self, led):
+        assert led.power(0.0) == 0.0
+
+    def test_power_monotone(self, led):
+        powers = [led.power(i / 10.0) for i in range(1, 10)]
+        assert all(b > a for a, b in zip(powers, powers[1:]))
+
+    def test_forward_voltage_plausible(self, led):
+        # A white power LED at 450 mA runs around 2.5-3.5 V.
+        voltage = led.forward_voltage(constants.BIAS_CURRENT)
+        assert 2.0 < voltage < 4.0
+
+    def test_illumination_power_matches_bias(self, led):
+        assert led.illumination_power == pytest.approx(
+            led.power(constants.BIAS_CURRENT)
+        )
+
+    def test_paper_measured_illumination_power_order(self, led):
+        # The TX front-end draws 2.51 W in illumination mode (Sec. 7.1),
+        # which includes driver losses; the bare LED must draw less but
+        # the same order of magnitude.
+        assert 0.5 < led.illumination_power < 2.51
+
+    def test_taylor_matches_exact_at_bias(self, led):
+        assert led.power_taylor(constants.BIAS_CURRENT) == pytest.approx(
+            led.power(constants.BIAS_CURRENT)
+        )
+
+    def test_taylor_close_near_bias(self, led):
+        for current in (0.35, 0.40, 0.50, 0.55):
+            assert led.power_taylor(current) == pytest.approx(
+                led.power(current), rel=1e-3
+            )
+
+    def test_negative_current_raises(self, led):
+        with pytest.raises(ConfigurationError):
+            led.power(-0.1)
+
+
+class TestDynamicResistance:
+    def test_small_signal_formula(self, led):
+        expected = (
+            led.ideality * led.thermal_voltage / (2 * led.bias_current)
+            + led.series_resistance
+        )
+        assert led.dynamic_resistance == pytest.approx(expected)
+
+    def test_override(self):
+        led = cree_xte(dynamic_resistance_override=0.5)
+        assert led.dynamic_resistance == 0.5
+
+    def test_paper_power_variant(self):
+        led = cree_xte_paper_power()
+        assert led.full_swing_power == pytest.approx(74.42e-3, rel=1e-6)
+
+    def test_override_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            cree_xte(dynamic_resistance_override=-1.0)
+
+
+class TestCommunicationPower:
+    def test_zero_swing_zero_power(self, led):
+        assert led.communication_power(0.0) == 0.0
+        assert led.exact_communication_power(0.0) == pytest.approx(0.0, abs=1e-12)
+
+    def test_quadratic_in_swing(self, led):
+        p1 = led.communication_power(0.3)
+        p2 = led.communication_power(0.6)
+        assert p2 == pytest.approx(4.0 * p1)
+
+    def test_exact_close_to_taylor(self, led):
+        for swing in (0.1, 0.45, 0.9):
+            assert led.communication_power(swing) == pytest.approx(
+                led.exact_communication_power(swing), rel=0.2
+            )
+
+    def test_fig4_error_at_max_swing(self, led):
+        # Paper: ~0.45% relative error at I_sw = 900 mA.
+        error = led.approximation_error(constants.MAX_SWING_CURRENT)
+        assert 0.003 < error < 0.006
+
+    def test_fig4_error_small_everywhere(self, led):
+        for swing in (0.1, 0.3, 0.5, 0.7, 0.9):
+            assert led.approximation_error(swing) < 0.006
+
+    def test_error_grows_with_swing(self, led):
+        assert led.approximation_error(0.9) > led.approximation_error(0.3)
+
+    def test_symbol_currents(self, led):
+        high, low = led.symbol_currents(0.9)
+        assert high == pytest.approx(0.9)
+        assert low == pytest.approx(0.0)
+        assert (high + low) / 2 == pytest.approx(led.bias_current)
+
+    def test_swing_beyond_max_raises(self, led):
+        with pytest.raises(ConfigurationError):
+            led.communication_power(1.0)
+
+    def test_negative_swing_raises(self, led):
+        with pytest.raises(ConfigurationError):
+            led.communication_power(-0.1)
+
+
+class TestOpticalModel:
+    def test_lambertian_order_is_20(self, led):
+        # phi_1/2 = 15 degrees -> m ~= 20 (Sec. 2.2).
+        assert led.lambertian_order == pytest.approx(20.0, rel=0.01)
+
+    def test_optical_signal_power_scaling(self, led):
+        assert led.optical_signal_power(0.9) == pytest.approx(
+            led.wall_plug_efficiency * led.communication_power(0.9)
+        )
+
+    def test_swing_amplitude_zero_at_zero(self, led):
+        assert led.optical_swing_amplitude(0.0) == 0.0
+
+    def test_swing_amplitude_positive_and_larger_than_avg_power(self, led):
+        # The physical amplitude exceeds the average extra power measure.
+        assert led.optical_swing_amplitude(0.9) > led.optical_signal_power(0.9)
+
+    def test_luminous_flux_linear(self, led):
+        assert led.luminous_flux(led.bias_current) == pytest.approx(
+            led.luminous_flux_at_bias
+        )
+        assert led.luminous_flux(led.bias_current / 2) == pytest.approx(
+            led.luminous_flux_at_bias / 2
+        )
+
+
+class TestValidation:
+    def test_rejects_bad_ideality(self):
+        with pytest.raises(ConfigurationError):
+            LEDModel(ideality=0.0)
+
+    def test_rejects_bad_bias(self):
+        with pytest.raises(ConfigurationError):
+            LEDModel(bias_current=-0.1)
+
+    def test_rejects_swing_exceeding_twice_bias(self):
+        with pytest.raises(ConfigurationError):
+            LEDModel(bias_current=0.4, max_swing=0.9)
+
+    def test_rejects_bad_efficiency(self):
+        with pytest.raises(ConfigurationError):
+            LEDModel(wall_plug_efficiency=1.5)
+        with pytest.raises(ConfigurationError):
+            LEDModel(wall_plug_efficiency=0.0)
+
+    def test_rejects_bad_flux(self):
+        with pytest.raises(ConfigurationError):
+            LEDModel(luminous_flux_at_bias=0.0)

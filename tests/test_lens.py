@@ -1,0 +1,92 @@
+"""Unit tests for repro.optics.lens (the TINA FA10645 optics)."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.optics import (
+    BARE_LED_SEMI_ANGLE,
+    TINA_FA10645,
+    Lens,
+    bare,
+    cree_xte,
+    lensed,
+)
+
+
+class TestLens:
+    def test_tina_matches_table1(self):
+        assert TINA_FA10645.half_power_semi_angle == pytest.approx(
+            math.radians(15.0)
+        )
+        assert TINA_FA10645.lambertian_order == pytest.approx(20.0, rel=0.01)
+
+    def test_concentration_gain_substantial(self):
+        # Narrowing 60 -> 15 degrees buys roughly an order of magnitude
+        # of on-axis intensity.
+        gain = TINA_FA10645.concentration_gain()
+        assert 5.0 < gain < 15.0
+
+    def test_narrower_lens_higher_gain(self):
+        narrow = Lens(half_power_semi_angle=math.radians(10))
+        wide = Lens(half_power_semi_angle=math.radians(30))
+        assert narrow.concentration_gain() > wide.concentration_gain()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Lens(half_power_semi_angle=0.0)
+        with pytest.raises(ConfigurationError):
+            Lens(half_power_semi_angle=math.radians(15), transmission=0.0)
+        with pytest.raises(ConfigurationError):
+            Lens(half_power_semi_angle=math.radians(15), transmission=1.5)
+
+
+class TestLensedLed:
+    def test_bare_is_lambertian(self):
+        unlensed = bare(cree_xte())
+        assert unlensed.lambertian_order == pytest.approx(1.0)
+
+    def test_lensed_restores_paper_beam(self):
+        relensed = lensed(bare(cree_xte()))
+        assert relensed.lambertian_order == pytest.approx(20.0, rel=0.01)
+
+    def test_transmission_scales_output(self):
+        led = bare(cree_xte())
+        out = lensed(led, Lens(math.radians(15), transmission=0.8))
+        assert out.wall_plug_efficiency == pytest.approx(
+            led.wall_plug_efficiency * 0.8
+        )
+        assert out.luminous_flux_at_bias == pytest.approx(
+            led.luminous_flux_at_bias * 0.8
+        )
+
+    def test_electrical_model_untouched(self):
+        led = cree_xte()
+        out = lensed(bare(led))
+        assert out.bias_current == led.bias_current
+        assert out.dynamic_resistance == led.dynamic_resistance
+
+    def test_bare_semi_angle_constant(self):
+        assert BARE_LED_SEMI_ANGLE == pytest.approx(math.radians(60))
+
+
+class TestLensedChannelEffect:
+    def test_lens_concentrates_the_link(self):
+        """The lens is what makes beamspots possible: the on-axis LOS
+        gain rises by the concentration factor while off-axis leakage
+        (interference at other receivers) collapses."""
+        from repro.channel import vertical_los_gain
+        from repro.optics import s5971
+
+        pd = s5971()
+        led = cree_xte()
+        unlensed = bare(led)
+        on_axis_gain = vertical_los_gain(led, pd, 2.0, 0.0) / vertical_los_gain(
+            unlensed, pd, 2.0, 0.0
+        )
+        off_axis_gain = vertical_los_gain(led, pd, 2.0, 1.5) / vertical_los_gain(
+            unlensed, pd, 2.0, 1.5
+        )
+        assert on_axis_gain > 5.0
+        assert off_axis_gain < 1.0

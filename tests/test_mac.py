@@ -1,0 +1,198 @@
+"""Unit tests for repro.mac (pilots, scheduler, protocol)."""
+
+import numpy as np
+import pytest
+
+from repro.channel import channel_matrix
+from repro.core import RankingHeuristic, problem_for_scene
+from repro.errors import ConfigurationError
+from repro.mac import (
+    Beamspot,
+    BeamspotScheduler,
+    DenseVLCController,
+    PilotScheduler,
+    bbb_index,
+    beamspots_from_allocation,
+    measure_channel,
+    same_board,
+)
+
+
+class TestPilots:
+    def test_schedule_covers_all_txs(self, fig7_scene):
+        schedule = PilotScheduler().schedule(fig7_scene)
+        assert len(schedule.tx_order) == 36
+        assert schedule.round_duration > 0
+
+    def test_slot_lookup(self, fig7_scene):
+        schedule = PilotScheduler().schedule(fig7_scene)
+        assert schedule.slot_of(7) == 7
+        with pytest.raises(ConfigurationError):
+            schedule.slot_of(99)
+
+    def test_measured_channel_close_to_true(self, fig7_scene, fig7_channel):
+        measured = measure_channel(fig7_scene, rng=0)
+        # Strong links measured accurately.
+        strongest = np.unravel_index(np.argmax(fig7_channel), fig7_channel.shape)
+        assert measured[strongest] == pytest.approx(
+            fig7_channel[strongest], rel=0.05
+        )
+
+    def test_measured_channel_nonnegative(self, fig7_scene):
+        assert np.all(measure_channel(fig7_scene, rng=1) >= 0.0)
+
+    def test_measurement_deterministic_with_seed(self, fig7_scene):
+        a = measure_channel(fig7_scene, rng=42)
+        b = measure_channel(fig7_scene, rng=42)
+        assert np.array_equal(a, b)
+
+    def test_weak_links_noisier(self, fig7_scene, fig7_channel):
+        samples = np.stack(
+            [measure_channel(fig7_scene, rng=seed) for seed in range(30)]
+        )
+        rel_err = np.std(samples, axis=0) / np.maximum(fig7_channel, 1e-30)
+        strongest = np.unravel_index(np.argmax(fig7_channel), fig7_channel.shape)
+        weak_mask = (fig7_channel > 0) & (
+            fig7_channel < fig7_channel.max() / 100.0
+        )
+        if weak_mask.any():
+            assert rel_err[strongest] < np.mean(rel_err[weak_mask])
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PilotScheduler(pilot_symbols=0)
+
+
+class TestBBBGrouping:
+    def test_nine_boards(self, grid):
+        boards = {bbb_index(tx, grid) for tx in range(36)}
+        assert boards == set(range(9))
+
+    def test_four_txs_per_board(self, grid):
+        from collections import Counter
+
+        counts = Counter(bbb_index(tx, grid) for tx in range(36))
+        assert all(count == 4 for count in counts.values())
+
+    def test_paper_pairs(self, grid):
+        # Sec. 8.1: TX2 and TX8 share a BBB; TX3 and TX9 share another.
+        assert same_board(1, 7, grid)
+        assert same_board(2, 8, grid)
+        assert not same_board(1, 2, grid)
+
+    def test_odd_grid_rejected(self):
+        from repro.geometry import GridLayout
+
+        odd = GridLayout(columns=5, rows=5, spacing=0.5)
+        with pytest.raises(ConfigurationError):
+            bbb_index(0, odd)
+
+
+class TestBeamspots:
+    def test_from_allocation(self, fig7_scene, fig7_problem):
+        allocation = RankingHeuristic().solve(fig7_problem)
+        beamspots = beamspots_from_allocation(allocation)
+        assert 1 <= len(beamspots) <= 4
+        served = {spot.rx for spot in beamspots}
+        assert served <= {0, 1, 2, 3}
+
+    def test_leader_has_best_channel(self, fig7_problem):
+        allocation = RankingHeuristic().solve(fig7_problem)
+        for spot in beamspots_from_allocation(allocation):
+            gains = {tx: fig7_problem.channel[tx, spot.rx] for tx in spot.tx_indices}
+            assert gains[spot.leader] == max(gains.values())
+
+    def test_beamspot_validation(self):
+        with pytest.raises(ConfigurationError):
+            Beamspot(rx=0, tx_indices=frozenset(), leader=0)
+        with pytest.raises(ConfigurationError):
+            Beamspot(rx=0, tx_indices=frozenset({1, 2}), leader=5)
+
+    def test_followers(self):
+        spot = Beamspot(rx=0, tx_indices=frozenset({3, 4, 5}), leader=4)
+        assert spot.followers == frozenset({3, 5})
+        assert spot.size == 3
+
+
+class TestScheduler:
+    def test_plans_cover_beamspots(self, exp_scene):
+        problem = problem_for_scene(exp_scene, power_budget=0.6)
+        allocation = RankingHeuristic().solve(problem)
+        scheduler = BeamspotScheduler(exp_scene)
+        plans = scheduler.plan(allocation, rng=0)
+        assert len(plans) == len(beamspots_from_allocation(allocation))
+
+    def test_same_board_zero_offset(self, exp_scene):
+        problem = problem_for_scene(exp_scene, power_budget=1.2)
+        allocation = RankingHeuristic().solve(problem)
+        scheduler = BeamspotScheduler(exp_scene)
+        for plan in scheduler.plan(allocation, rng=0):
+            for follower, offset in plan.offsets.items():
+                if same_board(plan.beamspot.leader, follower, exp_scene.grid):
+                    assert offset == 0.0
+                else:
+                    assert offset > 0.0
+
+    def test_active_members_exclude_failed(self, exp_scene):
+        problem = problem_for_scene(exp_scene, power_budget=1.2)
+        allocation = RankingHeuristic().solve(problem)
+        scheduler = BeamspotScheduler(exp_scene)
+        for plan in scheduler.plan(allocation, rng=0):
+            assert plan.active_members <= plan.beamspot.tx_indices
+            assert plan.beamspot.leader in plan.active_members
+
+
+class TestController:
+    def test_round_produces_allocation(self, exp_scene):
+        controller = DenseVLCController(exp_scene, power_budget=0.6)
+        result = controller.run_round(rng=0)
+        assert result.allocation.is_feasible
+        assert result.served_receivers >= 1
+        assert result.active_transmitters >= 1
+
+    def test_noiseless_measurement_matches_channel(self, exp_scene):
+        controller = DenseVLCController(
+            exp_scene, power_budget=0.6, measurement_noise=False
+        )
+        assert np.allclose(controller.measure(), channel_matrix(exp_scene))
+
+    def test_track_moves_receivers(self, exp_scene):
+        controller = DenseVLCController(exp_scene, power_budget=0.6)
+        snapshots = [
+            [(0.75, 0.75), (1.75, 0.75), (0.75, 1.75), (1.75, 1.75)],
+            [(1.25, 0.75), (2.25, 0.75), (1.25, 1.75), (2.25, 1.75)],
+        ]
+        rounds = controller.track(snapshots, rng=0)
+        assert len(rounds) == 2
+        # The allocation follows the movement: the strongest TX for RX1
+        # differs between the two rounds.
+        first = rounds[0].allocation.served_transmitters(0)
+        second = rounds[1].allocation.served_transmitters(0)
+        assert first != second
+
+    def test_validation(self, exp_scene):
+        with pytest.raises(ConfigurationError):
+            DenseVLCController(exp_scene, power_budget=-1.0)
+
+
+class TestMeasurementOverhead:
+    def test_paper_scale_overhead_small(self, exp_scene):
+        from repro.mac import measurement_overhead
+
+        overhead = measurement_overhead(exp_scene)
+        # 36 slots x 40 symbols at 100 ksym/s over a 1 s period: ~1.4%.
+        assert 0.005 < overhead < 0.05
+
+    def test_scales_with_period(self, exp_scene):
+        from repro.mac import measurement_overhead
+
+        fast = measurement_overhead(exp_scene, measurement_period=0.5)
+        slow = measurement_overhead(exp_scene, measurement_period=2.0)
+        assert fast == pytest.approx(4.0 * slow)
+
+    def test_round_must_fit_period(self, exp_scene):
+        from repro.errors import ConfigurationError
+        from repro.mac import measurement_overhead
+
+        with pytest.raises(ConfigurationError):
+            measurement_overhead(exp_scene, measurement_period=0.01)

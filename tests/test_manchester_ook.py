@@ -1,0 +1,148 @@
+"""Unit tests for repro.phy.manchester and repro.phy.ook."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CodingError, DecodingError
+from repro.phy import (
+    OOKDemodulator,
+    OOKModulator,
+    bits_to_bytes,
+    bytes_to_bits,
+    dc_balance,
+    decode_symbols,
+    decode_to_bytes,
+    encode_bits,
+    encode_bytes,
+)
+
+
+class TestManchesterEncoding:
+    def test_paper_convention(self):
+        # Binary 0 -> LOW then HIGH; binary 1 -> HIGH then LOW (Sec. 3.3).
+        assert list(encode_bits([0])) == [0, 1]
+        assert list(encode_bits([1])) == [1, 0]
+
+    def test_doubles_length(self):
+        assert encode_bits([0, 1, 1, 0]).size == 8
+
+    def test_roundtrip(self, rng):
+        bits = rng.integers(0, 2, size=256)
+        assert np.array_equal(decode_symbols(encode_bits(bits)), bits)
+
+    def test_dc_balance_exact(self, rng):
+        bits = rng.integers(0, 2, size=1000)
+        assert dc_balance(encode_bits(bits)) == pytest.approx(0.5)
+
+    def test_strict_rejects_invalid_pair(self):
+        with pytest.raises(DecodingError):
+            decode_symbols([0, 0], strict=True)
+        with pytest.raises(DecodingError):
+            decode_symbols([1, 1], strict=True)
+
+    def test_lenient_uses_first_symbol(self):
+        assert list(decode_symbols([1, 1, 0, 0], strict=False)) == [1, 0]
+
+    def test_odd_length_rejected(self):
+        with pytest.raises(DecodingError):
+            decode_symbols([0, 1, 0])
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(CodingError):
+            encode_bits([0, 2])
+        with pytest.raises(DecodingError):
+            decode_symbols([0, 3])
+
+    def test_empty(self):
+        assert encode_bits([]).size == 0
+        assert decode_symbols([]).size == 0
+
+
+class TestByteConversion:
+    def test_msb_first(self):
+        assert list(bytes_to_bits(b"\x80")) == [1, 0, 0, 0, 0, 0, 0, 0]
+        assert list(bytes_to_bits(b"\x01")) == [0, 0, 0, 0, 0, 0, 0, 1]
+
+    def test_roundtrip(self, rng):
+        data = bytes(rng.integers(0, 256, size=100).astype(np.uint8))
+        assert bits_to_bytes(bytes_to_bits(data)) == data
+
+    def test_bytes_symbols_roundtrip(self, rng):
+        data = bytes(rng.integers(0, 256, size=64).astype(np.uint8))
+        assert decode_to_bytes(encode_bytes(data)) == data
+
+    def test_sixteen_symbols_per_byte(self):
+        assert encode_bytes(b"ab").size == 32
+
+    def test_non_multiple_of_8_rejected(self):
+        with pytest.raises(DecodingError):
+            bits_to_bytes([0, 1, 0])
+
+
+class TestOOKModulator:
+    def test_levels(self):
+        mod = OOKModulator(samples_per_symbol=4, bias=0.45, amplitude=0.45)
+        wave = mod.waveform([1, 0])
+        assert np.all(wave[:4] == pytest.approx(0.9))
+        assert np.all(wave[4:] == pytest.approx(0.0))
+
+    def test_ac_coupled_default(self):
+        mod = OOKModulator(samples_per_symbol=2)
+        wave = mod.waveform([1, 0])
+        assert np.allclose(wave, [1, 1, -1, -1])
+
+    def test_duration(self):
+        mod = OOKModulator(samples_per_symbol=10)
+        assert mod.duration_samples(7) == 70
+        assert mod.waveform([0] * 7).size == 70
+
+    def test_validation(self):
+        with pytest.raises(CodingError):
+            OOKModulator(samples_per_symbol=0)
+        with pytest.raises(CodingError):
+            OOKModulator(amplitude=0.0)
+        with pytest.raises(CodingError):
+            OOKModulator().waveform([0, 2])
+
+
+class TestOOKDemodulator:
+    def test_clean_roundtrip(self, rng):
+        symbols = rng.integers(0, 2, size=200).astype(np.int8)
+        mod = OOKModulator(samples_per_symbol=8)
+        dem = OOKDemodulator(samples_per_symbol=8)
+        assert np.array_equal(dem.symbols(mod.waveform(symbols)), symbols)
+
+    def test_noisy_roundtrip(self, rng):
+        symbols = rng.integers(0, 2, size=500).astype(np.int8)
+        mod = OOKModulator(samples_per_symbol=10)
+        wave = mod.waveform(symbols) + rng.normal(0, 0.5, symbols.size * 10)
+        dem = OOKDemodulator(samples_per_symbol=10)
+        recovered = dem.symbols(wave)
+        # Integrate-and-dump at per-sample SNR of 4 gives a per-symbol
+        # SNR of 40: errors should be very rare.
+        assert np.mean(recovered != symbols) < 0.01
+
+    def test_offset(self, rng):
+        symbols = rng.integers(0, 2, size=50).astype(np.int8)
+        mod = OOKModulator(samples_per_symbol=5)
+        wave = np.concatenate([np.zeros(13), mod.waveform(symbols)])
+        dem = OOKDemodulator(samples_per_symbol=5)
+        assert np.array_equal(dem.symbols(wave, offset=13), symbols)
+
+    def test_soft_values(self):
+        mod = OOKModulator(samples_per_symbol=4, amplitude=2.0)
+        dem = OOKDemodulator(samples_per_symbol=4)
+        soft = dem.soft_values(mod.waveform([1, 0]))
+        assert soft[0] == pytest.approx(2.0)
+        assert soft[1] == pytest.approx(-2.0)
+
+    def test_partial_symbol_dropped(self):
+        dem = OOKDemodulator(samples_per_symbol=10)
+        assert dem.symbols(np.ones(25)).size == 2
+
+    def test_bad_offset(self):
+        dem = OOKDemodulator(samples_per_symbol=10)
+        with pytest.raises(DecodingError):
+            dem.symbols(np.ones(20), offset=-1)
+        with pytest.raises(DecodingError):
+            dem.symbols(np.ones(20), offset=21)

@@ -1,0 +1,118 @@
+"""Unit tests for repro.geometry.mobility."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry import (
+    RandomWalkModel,
+    RandomWaypointModel,
+    WaypointPath,
+    simulation_room,
+)
+
+
+class TestWaypointPath:
+    def test_start_position(self):
+        path = WaypointPath([(0, 0), (1, 0)], speed=1.0)
+        assert path.position_at(0.0) == pytest.approx((0.0, 0.0))
+
+    def test_midpoint(self):
+        path = WaypointPath([(0, 0), (2, 0)], speed=1.0)
+        assert path.position_at(1.0) == pytest.approx((1.0, 0.0))
+
+    def test_end_clamps(self):
+        path = WaypointPath([(0, 0), (1, 0)], speed=1.0)
+        assert path.position_at(100.0) == pytest.approx((1.0, 0.0))
+
+    def test_duration(self):
+        path = WaypointPath([(0, 0), (3, 4)], speed=2.5)
+        assert path.duration == pytest.approx(2.0)
+
+    def test_loop_wraps(self):
+        path = WaypointPath([(0, 0), (1, 0)], speed=1.0, loop=True)
+        # Total loop length 2 (there and back); t=2 back at start.
+        assert path.position_at(2.0) == pytest.approx((0.0, 0.0))
+
+    def test_multi_segment(self):
+        path = WaypointPath([(0, 0), (1, 0), (1, 1)], speed=1.0)
+        assert path.position_at(1.5) == pytest.approx((1.0, 0.5))
+
+    def test_negative_time_raises(self):
+        path = WaypointPath([(0, 0), (1, 0)])
+        with pytest.raises(GeometryError):
+            path.position_at(-1.0)
+
+    def test_needs_two_waypoints(self):
+        with pytest.raises(GeometryError):
+            WaypointPath([(0, 0)])
+
+    def test_needs_positive_speed(self):
+        with pytest.raises(GeometryError):
+            WaypointPath([(0, 0), (1, 1)], speed=0.0)
+
+    def test_sample_shape(self):
+        path = WaypointPath([(0, 0), (1, 0)], speed=1.0)
+        samples = path.sample([0.0, 0.5, 1.0])
+        assert samples.shape == (3, 2)
+
+
+class TestRandomWaypoint:
+    def test_stays_in_room(self):
+        room = simulation_room()
+        model = RandomWaypointModel(room, speed=1.0, seed=3, margin=0.2)
+        for t in np.linspace(0, 60, 121):
+            x, y = model.position_at(float(t))
+            assert 0.2 - 1e-9 <= x <= room.width - 0.2 + 1e-9
+            assert 0.2 - 1e-9 <= y <= room.depth - 0.2 + 1e-9
+
+    def test_deterministic(self):
+        room = simulation_room()
+        a = RandomWaypointModel(room, seed=5)
+        b = RandomWaypointModel(room, seed=5)
+        assert a.position_at(13.0) == pytest.approx(b.position_at(13.0))
+
+    def test_continuous_motion(self):
+        room = simulation_room()
+        model = RandomWaypointModel(room, speed=0.5, seed=1)
+        times = np.linspace(0.0, 20, 101)
+        dt = float(times[1] - times[0])
+        previous = np.array(model.position_at(float(times[0])))
+        for t in times[1:]:
+            current = np.array(model.position_at(float(t)))
+            step = np.linalg.norm(current - previous)
+            # Can never move faster than the configured speed.
+            assert step <= 0.5 * dt + 1e-6
+            previous = current
+
+    def test_rejects_bad_speed(self):
+        with pytest.raises(GeometryError):
+            RandomWaypointModel(simulation_room(), speed=-1.0)
+
+
+class TestRandomWalk:
+    def test_stays_in_room(self):
+        room = simulation_room()
+        model = RandomWalkModel(room, speed=1.0, seed=9, margin=0.2)
+        for t in np.linspace(0, 30, 200):
+            x, y = model.position_at(float(t))
+            assert 0.0 <= x <= room.width
+            assert 0.0 <= y <= room.depth
+
+    def test_start_override(self):
+        model = RandomWalkModel(simulation_room(), seed=0, start=(1.5, 1.5))
+        assert model.position_at(0.0) == pytest.approx((1.5, 1.5))
+
+    def test_start_outside_raises(self):
+        with pytest.raises(GeometryError):
+            RandomWalkModel(simulation_room(), start=(5.0, 5.0))
+
+    def test_deterministic(self):
+        a = RandomWalkModel(simulation_room(), seed=11)
+        b = RandomWalkModel(simulation_room(), seed=11)
+        assert a.position_at(7.3) == pytest.approx(b.position_at(7.3))
+
+    def test_negative_time_raises(self):
+        model = RandomWalkModel(simulation_room(), seed=0)
+        with pytest.raises(GeometryError):
+            model.position_at(-0.5)

@@ -1,0 +1,112 @@
+"""Unit tests for repro.simulation.multiuser and repro.mac.uplink."""
+
+import numpy as np
+import pytest
+
+from repro.core import RankingHeuristic, problem_for_scene
+from repro.errors import ConfigurationError, SimulationError
+from repro.mac import BeamspotScheduler, WiFiUplink, uplink_budget
+from repro.simulation import IperfConfig, MultiUserSimulator
+from repro.system import experimental_scene
+
+
+@pytest.fixture(scope="module")
+def scene():
+    return experimental_scene(
+        [(0.50, 0.50), (2.50, 0.50), (0.50, 2.50), (2.50, 2.50)]
+    )
+
+
+@pytest.fixture(scope="module")
+def allocation(scene):
+    problem = problem_for_scene(scene, power_budget=0.45)
+    return RankingHeuristic(kappa=1.3).solve(problem)
+
+
+class TestMultiUser:
+    def test_all_receivers_served_concurrently(self, scene, allocation):
+        simulator = MultiUserSimulator(scene)
+        result = simulator.run(
+            allocation, frames=3, config=IperfConfig(payload_bytes=100), rng=0
+        )
+        for rx in result.frames_per_rx:
+            assert result.frames_per_rx[rx] == 3
+            assert result.packet_error_rate(rx) == 0.0
+            assert result.goodput(rx) > 0
+
+    def test_system_goodput_aggregates(self, scene, allocation):
+        simulator = MultiUserSimulator(scene)
+        result = simulator.run(
+            allocation, frames=2, config=IperfConfig(payload_bytes=100), rng=0
+        )
+        total = sum(result.goodput(rx) for rx in result.frames_per_rx)
+        assert result.system_goodput == pytest.approx(total)
+
+    def test_with_sync_plans(self, scene, allocation):
+        plans = BeamspotScheduler(scene).plan(allocation, rng=0)
+        simulator = MultiUserSimulator(scene)
+        result = simulator.run(
+            allocation,
+            frames=3,
+            config=IperfConfig(payload_bytes=100),
+            sync_plans=plans,
+            rng=0,
+        )
+        for rx in result.frames_per_rx:
+            assert result.packet_error_rate(rx) <= 1.0 / 3.0
+
+    def test_empty_allocation_rejected(self, scene):
+        problem = problem_for_scene(scene, power_budget=0.0)
+        empty = RankingHeuristic().solve(problem)
+        simulator = MultiUserSimulator(scene)
+        with pytest.raises(SimulationError):
+            simulator.run(empty, frames=1)
+
+    def test_frame_count_validation(self, scene, allocation):
+        simulator = MultiUserSimulator(scene)
+        with pytest.raises(ConfigurationError):
+            simulator.run(allocation, frames=0)
+
+    def test_per_requires_frames(self, scene, allocation):
+        simulator = MultiUserSimulator(scene)
+        result = simulator.run(
+            allocation, frames=1, config=IperfConfig(payload_bytes=100), rng=0
+        )
+        with pytest.raises(SimulationError):
+            result.packet_error_rate(99)
+
+
+class TestUplink:
+    def test_paper_deployment_uncongested(self):
+        # Sec. 7.2: "the WiFi link is not easily congested".
+        budget = uplink_budget(4, 36)
+        assert not budget.congested
+        assert budget.utilization < 0.01
+
+    def test_load_components_positive(self):
+        budget = uplink_budget(4, 36)
+        assert budget.ack_load > 0
+        assert budget.report_load > 0
+        assert budget.total_load == pytest.approx(
+            budget.ack_load + budget.report_load
+        )
+
+    def test_scales_with_receivers(self):
+        small = uplink_budget(1, 36)
+        large = uplink_budget(8, 36)
+        assert large.total_load == pytest.approx(8 * small.total_load)
+
+    def test_congestion_detectable(self):
+        tiny = WiFiUplink(capacity=1e3)
+        budget = uplink_budget(4, 36, uplink=tiny)
+        assert budget.congested
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            uplink_budget(0, 36)
+        with pytest.raises(ConfigurationError):
+            uplink_budget(4, 36, measurement_period=0.0)
+        with pytest.raises(ConfigurationError):
+            WiFiUplink(capacity=0.0)
+        with pytest.raises(ConfigurationError):
+            WiFiUplink().load_of(-1.0, 100.0)

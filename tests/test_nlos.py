@@ -1,0 +1,123 @@
+"""Unit tests for repro.channel.nlos (floor-reflection synchronization path)."""
+
+import numpy as np
+import pytest
+
+from repro.channel import floor_reflection_gain, reflected_pilot_current
+from repro.errors import ChannelError
+from repro.geometry import Room, experimental_room
+
+
+class TestFloorReflection:
+    def test_positive_gain_between_neighbors(self, led, photodiode):
+        room = experimental_room()
+        gain = floor_reflection_gain(
+            np.array([0.75, 0.25, 2.0]),
+            np.array([0.75, 0.75, 2.0]),
+            led,
+            photodiode,
+            room,
+        )
+        assert gain > 0.0
+
+    def test_gain_much_smaller_than_los(self, led, photodiode):
+        from repro.channel import vertical_los_gain
+
+        room = experimental_room()
+        nlos = floor_reflection_gain(
+            np.array([1.0, 1.0, 2.0]),
+            np.array([1.5, 1.0, 2.0]),
+            led,
+            photodiode,
+            room,
+        )
+        los = vertical_los_gain(led, photodiode, 2.0, 0.0)
+        assert nlos < los / 5.0
+
+    def test_decays_with_separation(self, led, photodiode):
+        room = experimental_room()
+        tx = np.array([0.75, 0.75, 2.0])
+        gains = [
+            floor_reflection_gain(
+                tx, np.array([0.75 + d, 0.75, 2.0]), led, photodiode, room
+            )
+            for d in (0.5, 1.0, 2.0)
+        ]
+        assert gains[0] > gains[1] > gains[2]
+
+    def test_scales_with_reflectivity(self, led, photodiode):
+        dark = Room(tx_height=2.0, rx_height=0.0, floor_reflectivity=0.2)
+        bright = Room(tx_height=2.0, rx_height=0.0, floor_reflectivity=0.8)
+        tx = np.array([1.0, 1.0, 2.0])
+        rx = np.array([1.5, 1.0, 2.0])
+        g_dark = floor_reflection_gain(tx, rx, led, photodiode, dark)
+        g_bright = floor_reflection_gain(tx, rx, led, photodiode, bright)
+        assert g_bright == pytest.approx(4.0 * g_dark, rel=1e-6)
+
+    def test_resolution_convergence(self, led, photodiode):
+        room = experimental_room()
+        tx = np.array([0.75, 0.75, 2.0])
+        rx = np.array([1.25, 0.75, 2.0])
+        coarse = floor_reflection_gain(tx, rx, led, photodiode, room, resolution=0.15)
+        fine = floor_reflection_gain(tx, rx, led, photodiode, room, resolution=0.04)
+        assert coarse == pytest.approx(fine, rel=0.05)
+
+    def test_upward_receiver_orientation(self, led, photodiode):
+        # A ground receiver facing up also sees the reflection (weakly).
+        room = experimental_room()
+        gain = floor_reflection_gain(
+            np.array([1.0, 1.0, 2.0]),
+            np.array([2.0, 1.0, 1.0]),
+            led,
+            photodiode,
+            room,
+            rx_orientation=np.array([0.0, 0.0, 1.0]),
+        )
+        assert gain == 0.0  # an up-facing PD cannot see the floor
+
+    def test_validation(self, led, photodiode):
+        room = experimental_room()
+        with pytest.raises(ChannelError):
+            floor_reflection_gain(
+                np.array([1.0, 1.0, 0.0]),
+                np.array([1.0, 2.0, 2.0]),
+                led,
+                photodiode,
+                room,
+            )
+        with pytest.raises(ChannelError):
+            floor_reflection_gain(
+                np.array([1.0, 1.0, 2.0]),
+                np.array([1.0, 2.0, 2.0]),
+                led,
+                photodiode,
+                room,
+                resolution=0.0,
+            )
+
+
+class TestReflectedPilot:
+    def test_detectable_after_correlation(self, led, photodiode, noise):
+        # Sec. 6.2/8.1: the reflected pilot of a neighboring leading TX is
+        # detectable.  The per-sample SNR is below unity but correlating
+        # over the 32-symbol pilot (320 samples at f_rx = 10 f_tx) brings
+        # it comfortably above the detection threshold.
+        room = experimental_room()
+        gain = floor_reflection_gain(
+            np.array([0.75, 0.25, 2.0]),
+            np.array([0.75, 0.75, 2.0]),
+            led,
+            photodiode,
+            room,
+        )
+        current = reflected_pilot_current(led.max_swing, gain, led, photodiode)
+        correlation_gain = 32 * 10
+        post_correlation_snr = (current / noise.current_std) ** 2 * correlation_gain
+        assert post_correlation_snr > 50.0
+
+    def test_zero_swing_no_pilot(self, led, photodiode):
+        assert reflected_pilot_current(0.0, 1e-7, led, photodiode) == 0.0
+
+    def test_negative_gain_raises(self, led, photodiode):
+        with pytest.raises(ChannelError):
+            reflected_pilot_current(0.9, -1.0, led, photodiode)

@@ -1,0 +1,124 @@
+"""Unit tests for repro.sync.nlos_sync and repro.sync.evaluation."""
+
+import numpy as np
+import pytest
+
+from repro import constants
+from repro.errors import SynchronizationError
+from repro.sync import (
+    NlosSyncConfig,
+    NlosSynchronizer,
+    improvement_factor,
+    table4_medians,
+)
+from repro.system import experimental_scene
+
+
+@pytest.fixture(scope="module")
+def synchronizer():
+    return NlosSynchronizer(experimental_scene([(1.0, 1.0)]))
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        config = NlosSyncConfig()
+        assert config.symbol_rate == pytest.approx(100_000.0)
+        assert config.sampling_rate == pytest.approx(1_000_000.0)
+        assert config.pilot_length == 32
+
+    def test_correlation_gain(self):
+        config = NlosSyncConfig()
+        assert config.correlation_gain == pytest.approx(320.0)
+
+    def test_validation(self):
+        with pytest.raises(SynchronizationError):
+            NlosSyncConfig(symbol_rate=0.0)
+        with pytest.raises(SynchronizationError):
+            NlosSyncConfig(sampling_rate=150_000.0)  # < 2 * f_tx
+        with pytest.raises(SynchronizationError):
+            NlosSyncConfig(pilot_length=1)
+        with pytest.raises(SynchronizationError):
+            NlosSyncConfig(detection_threshold=0.0)
+
+
+class TestPilotPhysics:
+    def test_neighbor_detectable(self, synchronizer):
+        # TX2 leading, TX3 following (the paper's pair).
+        assert synchronizer.can_synchronize(1, 2)
+
+    def test_far_tx_undetectable(self, synchronizer):
+        # TX1 to TX36 spans the room diagonal; the reflected pilot is
+        # buried in noise, so distant TXs cannot join a beamspot.
+        assert not synchronizer.can_synchronize(0, 35)
+
+    def test_snr_decays_with_distance(self, synchronizer):
+        near = synchronizer.pilot_snr(7, 8)    # 0.5 m
+        far = synchronizer.pilot_snr(7, 10)    # 1.5 m
+        assert near > far
+
+    def test_gain_cached(self, synchronizer):
+        first = synchronizer.pilot_gain(1, 2)
+        second = synchronizer.pilot_gain(1, 2)
+        assert first == second
+
+    def test_self_sync_rejected(self, synchronizer):
+        with pytest.raises(SynchronizationError):
+            synchronizer.pilot_gain(3, 3)
+
+    def test_propagation_delay_ns_scale(self, synchronizer):
+        delay = synchronizer.propagation_delay(1, 2)
+        assert 5e-9 < delay < 50e-9
+
+
+class TestTiming:
+    def test_error_bounds(self, synchronizer, rng):
+        for _ in range(50):
+            error = synchronizer.timing_error(1, 2, rng)
+            assert 0.0 <= error < 3e-6
+
+    def test_median_matches_table4(self, synchronizer):
+        median = synchronizer.median_pairwise_error(1, 2, draws=4000)
+        # Paper: 0.575 us.
+        assert median == pytest.approx(0.575e-6, rel=0.1)
+
+    def test_undetectable_raises(self, synchronizer, rng):
+        with pytest.raises(SynchronizationError):
+            synchronizer.timing_error(0, 35, rng)
+
+    def test_synchronize_group(self, synchronizer, rng):
+        offsets = synchronizer.synchronize(7, [6, 8, 13], rng)
+        assert set(offsets) == {6, 8, 13}
+        assert all(v >= 0 for v in offsets.values())
+
+    def test_faster_sampling_reduces_error(self):
+        scene = experimental_scene([(1.0, 1.0)])
+        slow = NlosSynchronizer(scene, NlosSyncConfig(sampling_rate=1e6))
+        fast = NlosSynchronizer(
+            scene,
+            NlosSyncConfig(sampling_rate=10e6, detection_jitter_std=0.0075e-6),
+        )
+        assert fast.median_pairwise_error(1, 2, draws=1500) < (
+            slow.median_pairwise_error(1, 2, draws=1500) / 3.0
+        )
+
+    def test_max_symbol_rate_beats_ntp(self, synchronizer):
+        # 10% / 0.575 us ~= 174 ksym/s, an order above NTP/PTP's 14.28k.
+        assert synchronizer.max_symbol_rate(1, 2, draws=1500) > 100_000.0
+
+
+class TestTable4:
+    def test_all_methods_present(self):
+        medians = table4_medians(draws=1500)
+        assert set(medians) == {"no-sync", "ntp-ptp", "nlos-vlc"}
+
+    def test_ordering(self):
+        medians = table4_medians(draws=1500)
+        assert medians["nlos-vlc"] < medians["ntp-ptp"] < medians["no-sync"]
+
+    def test_improvement_near_order_of_magnitude(self):
+        medians = table4_medians(draws=3000)
+        assert improvement_factor(medians) > 5.0
+
+    def test_improvement_validation(self):
+        with pytest.raises(SynchronizationError):
+            improvement_factor({"ntp-ptp": 1.0})

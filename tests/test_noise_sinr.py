@@ -1,0 +1,169 @@
+"""Unit tests for repro.channel.noise and repro.channel.sinr (Eq. 12)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import constants
+from repro.channel import (
+    AWGNNoise,
+    DetailedNoise,
+    received_amplitudes,
+    shannon_throughput,
+    sinr,
+    snr,
+    throughput,
+)
+from repro.errors import ChannelError, ConfigurationError
+
+
+class TestAWGNNoise:
+    def test_table1_power(self, noise):
+        assert noise.power == pytest.approx(7.02e-23 * 1e6)
+
+    def test_current_std(self, noise):
+        assert noise.current_std == pytest.approx(math.sqrt(noise.power))
+
+    def test_sampling_stats(self, noise, rng):
+        samples = noise.sample(20000, rng)
+        assert np.mean(samples) == pytest.approx(0.0, abs=5 * noise.current_std / 100)
+        assert np.std(samples) == pytest.approx(noise.current_std, rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            AWGNNoise(psd=0.0)
+        with pytest.raises(ConfigurationError):
+            AWGNNoise(bandwidth=-1.0)
+
+
+class TestDetailedNoise:
+    def test_components_positive(self):
+        model = DetailedNoise()
+        assert model.shot_psd > 0
+        assert model.thermal_psd > 0
+        assert model.psd == pytest.approx(model.shot_psd + model.thermal_psd)
+
+    def test_effective_is_awgn(self):
+        model = DetailedNoise()
+        effective = model.effective()
+        assert isinstance(effective, AWGNNoise)
+        assert effective.psd == pytest.approx(model.psd)
+
+    def test_shot_grows_with_signal(self):
+        low = DetailedNoise(signal_current=0.0)
+        high = DetailedNoise(signal_current=1e-3)
+        assert high.shot_psd > low.shot_psd
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DetailedNoise(background_current=-1.0)
+        with pytest.raises(ConfigurationError):
+            DetailedNoise(temperature=0.0)
+
+
+class TestReceivedAmplitudes:
+    def test_single_link(self, led, photodiode):
+        channel = np.array([[1e-6]])
+        swings = np.array([[0.9]])
+        amplitudes = received_amplitudes(channel, swings, led, photodiode)
+        expected = (
+            photodiode.responsivity
+            * led.wall_plug_efficiency
+            * led.dynamic_resistance
+            * 1e-6
+            * (0.45) ** 2
+        )
+        assert amplitudes[0, 0] == pytest.approx(expected)
+
+    def test_diagonal_is_signal(self, fig7_channel, led, photodiode):
+        swings = np.zeros_like(fig7_channel)
+        swings[7, 0] = 0.9
+        amplitudes = received_amplitudes(fig7_channel, swings, led, photodiode)
+        assert amplitudes[0, 0] > 0
+        # RX2 also hears TX8's beamspot as interference (column 0).
+        assert amplitudes[1, 0] >= 0
+
+    def test_shape_mismatch_raises(self, led, photodiode):
+        with pytest.raises(ChannelError):
+            received_amplitudes(
+                np.ones((3, 2)), np.ones((2, 3)), led, photodiode
+            )
+
+    def test_negative_swing_raises(self, led, photodiode):
+        with pytest.raises(ChannelError):
+            received_amplitudes(
+                np.ones((1, 1)), -np.ones((1, 1)), led, photodiode
+            )
+
+
+class TestSINR:
+    def test_zero_allocation_zero_sinr(self, fig7_channel, led, photodiode, noise):
+        values = sinr(fig7_channel, np.zeros_like(fig7_channel), led, photodiode, noise)
+        assert np.all(values == 0.0)
+
+    def test_single_beamspot_no_interference(self, fig7_channel, led, photodiode, noise):
+        swings = np.zeros_like(fig7_channel)
+        swings[7, 0] = 0.9
+        with_interference = sinr(fig7_channel, swings, led, photodiode, noise)
+        without = snr(fig7_channel, swings, led, photodiode, noise)
+        assert with_interference[0] == pytest.approx(without[0])
+
+    def test_interference_reduces_sinr(self, fig7_channel, led, photodiode, noise):
+        alone = np.zeros_like(fig7_channel)
+        alone[7, 0] = 0.9
+        contested = alone.copy()
+        contested[8, 1] = 0.9  # TX9 serves RX2, interfering with RX1
+        assert sinr(fig7_channel, contested, led, photodiode, noise)[0] < sinr(
+            fig7_channel, alone, led, photodiode, noise
+        )[0]
+
+    def test_more_power_more_sinr(self, fig7_channel, led, photodiode, noise):
+        half = np.zeros_like(fig7_channel)
+        half[7, 0] = 0.45
+        full = np.zeros_like(fig7_channel)
+        full[7, 0] = 0.9
+        assert sinr(fig7_channel, full, led, photodiode, noise)[0] > sinr(
+            fig7_channel, half, led, photodiode, noise
+        )[0]
+
+    def test_quartic_swing_scaling_without_noise_dominance(
+        self, led, photodiode
+    ):
+        # SINR ~ swing^4 (amplitude ~ swing^2, power ~ amplitude^2).
+        channel = np.array([[1e-6]])
+        quiet = AWGNNoise(psd=constants.NOISE_PSD, bandwidth=1e6)
+        s1 = sinr(channel, np.array([[0.45]]), led, photodiode, quiet)[0]
+        s2 = sinr(channel, np.array([[0.9]]), led, photodiode, quiet)[0]
+        assert s2 == pytest.approx(16.0 * s1, rel=1e-9)
+
+    def test_default_noise_model(self, fig7_channel, led, photodiode):
+        swings = np.zeros_like(fig7_channel)
+        swings[7, 0] = 0.9
+        assert sinr(fig7_channel, swings, led, photodiode)[0] > 0
+
+
+class TestThroughput:
+    def test_shannon_formula(self):
+        rates = shannon_throughput(np.array([1.0, 3.0]), 1e6)
+        assert rates[0] == pytest.approx(1e6)
+        assert rates[1] == pytest.approx(2e6)
+
+    def test_zero_sinr_zero_rate(self):
+        assert shannon_throughput(np.array([0.0]), 1e6)[0] == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ChannelError):
+            shannon_throughput(np.array([-0.1]), 1e6)
+        with pytest.raises(ChannelError):
+            shannon_throughput(np.array([1.0]), 0.0)
+
+    def test_full_chain_magnitude(self, fig7_channel, led, photodiode, noise):
+        # One full-swing TX per RX lands near 1 Mbit/s each (Fig. 8's
+        # low-budget regime).
+        swings = np.zeros_like(fig7_channel)
+        for m in range(4):
+            swings[int(np.argmax(fig7_channel[:, m])), m] = 0.9
+        rates = throughput(fig7_channel, swings, led, photodiode, noise)
+        assert np.all(rates > 0.2e6)
+        assert np.all(rates < 3e6)

@@ -1,0 +1,119 @@
+"""Unit tests for repro.phy.ofdm (the Sec. 9 DCO-OFDM extension)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CodingError, DecodingError
+from repro.phy import DCOOFDMConfig, DCOOFDMModem, qam_constellation
+
+
+class TestQAMConstellation:
+    @pytest.mark.parametrize("order", [4, 16, 64])
+    def test_unit_energy(self, order):
+        points = qam_constellation(order)
+        assert len(points) == order
+        assert float(np.mean(np.abs(points) ** 2)) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("order", [4, 16, 64])
+    def test_points_distinct(self, order):
+        points = qam_constellation(order)
+        assert len(set(np.round(points, 9))) == order
+
+    def test_gray_neighbors_differ_by_one_bit_axis(self):
+        # Along one axis, adjacent amplitude levels are Gray-adjacent.
+        points = qam_constellation(16)
+        # Group indices by real part and check imaginary ordering is
+        # consistent (constellation is a proper grid).
+        reals = sorted(set(np.round(points.real, 9)))
+        assert len(reals) == 4
+
+    def test_validation(self):
+        with pytest.raises(CodingError):
+            qam_constellation(8)   # not a square
+        with pytest.raises(CodingError):
+            qam_constellation(3)
+        with pytest.raises(CodingError):
+            qam_constellation(2)
+
+
+class TestConfig:
+    def test_defaults(self):
+        config = DCOOFDMConfig()
+        assert config.data_carriers == 31
+        assert config.bits_per_symbol == 124
+        assert config.samples_per_symbol == 72
+
+    def test_spectral_efficiency_beats_manchester(self):
+        assert DCOOFDMConfig().spectral_efficiency > 0.5
+
+    def test_validation(self):
+        with pytest.raises(CodingError):
+            DCOOFDMConfig(fft_size=20)
+        with pytest.raises(CodingError):
+            DCOOFDMConfig(cyclic_prefix=64)
+        with pytest.raises(CodingError):
+            DCOOFDMConfig(bias_sigma=0.0)
+
+
+class TestModem:
+    @pytest.fixture(scope="class")
+    def modem(self):
+        return DCOOFDMModem()
+
+    def test_clean_roundtrip(self, modem, rng):
+        bits = rng.integers(0, 2, size=modem.config.bits_per_symbol * 8)
+        waveform = modem.modulate(bits)
+        assert np.array_equal(modem.demodulate(waveform, bits.size), bits)
+
+    def test_waveform_nonnegative(self, modem, rng):
+        bits = rng.integers(0, 2, size=modem.config.bits_per_symbol * 4)
+        assert np.all(modem.modulate(bits) >= 0.0)
+
+    def test_waveform_length(self, modem, rng):
+        bits = rng.integers(0, 2, size=modem.config.bits_per_symbol * 3)
+        waveform = modem.modulate(bits)
+        assert waveform.size == 3 * modem.config.samples_per_symbol
+
+    def test_roundtrip_with_channel_gain(self, modem, rng):
+        bits = rng.integers(0, 2, size=modem.config.bits_per_symbol * 4)
+        waveform = 0.01 * modem.modulate(bits)
+        recovered = modem.demodulate(waveform, bits.size, channel_gain=0.01)
+        assert np.array_equal(recovered, bits)
+
+    def test_moderate_noise_roundtrip(self, modem, rng):
+        bits = rng.integers(0, 2, size=modem.config.bits_per_symbol * 8)
+        waveform = modem.modulate(bits)
+        noisy = waveform + rng.normal(0, 0.02 * waveform.std(), waveform.size)
+        recovered = modem.demodulate(noisy, bits.size)
+        assert np.mean(recovered != bits) < 0.01
+
+    def test_qpsk_more_robust_than_64qam(self):
+        qpsk = DCOOFDMModem(DCOOFDMConfig(qam_order=4))
+        qam64 = DCOOFDMModem(DCOOFDMConfig(qam_order=64))
+        snr = 14.0
+        assert qpsk.bit_error_rate(snr, num_bits=6200) <= qam64.bit_error_rate(
+            snr, num_bits=6200
+        )
+
+    def test_ber_waterfall(self, modem):
+        low = modem.bit_error_rate(8.0, num_bits=12_400)
+        high = modem.bit_error_rate(22.0, num_bits=12_400)
+        assert high < low
+        assert high < 1e-3
+
+    def test_bit_count_validation(self, modem):
+        with pytest.raises(CodingError):
+            modem.modulate(np.ones(7, dtype=int))
+        with pytest.raises(CodingError):
+            modem.modulate(np.zeros(0, dtype=int))
+        with pytest.raises(DecodingError):
+            modem.demodulate(np.zeros(720), 7)
+
+    def test_short_waveform_rejected(self, modem):
+        with pytest.raises(DecodingError):
+            modem.demodulate(np.zeros(10), modem.config.bits_per_symbol)
+
+    def test_non_binary_rejected(self, modem):
+        bits = np.full(modem.config.bits_per_symbol, 2)
+        with pytest.raises(CodingError):
+            modem.modulate(bits)

@@ -1,0 +1,124 @@
+"""Unit tests for repro.core.optimizer (the Eq. 5-7 solver)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AllocationProblem,
+    ContinuousOptimizer,
+    OptimizerOptions,
+    RankingHeuristic,
+    solve_optimal,
+)
+from repro.errors import OptimizationError
+
+
+@pytest.fixture(scope="module")
+def small_problem(fig7_channel, led, photodiode, noise):
+    """A reduced 12-TX problem for fast optimizer tests."""
+    return AllocationProblem(
+        channel=fig7_channel[:12],
+        power_budget=0.3,
+        led=led,
+        photodiode=photodiode,
+        noise=noise,
+    )
+
+
+class TestOptions:
+    def test_defaults_valid(self):
+        OptimizerOptions()
+
+    def test_validation(self):
+        with pytest.raises(OptimizationError):
+            OptimizerOptions(restarts=-1)
+        with pytest.raises(OptimizationError):
+            OptimizerOptions(max_iterations=0)
+        with pytest.raises(OptimizationError):
+            OptimizerOptions(utility_floor=0.0)
+        with pytest.raises(OptimizationError):
+            OptimizerOptions(budget_headroom=0.0)
+
+
+class TestSolve:
+    def test_feasible_solution(self, small_problem):
+        allocation = solve_optimal(
+            small_problem, OptimizerOptions(restarts=0)
+        )
+        assert allocation.is_feasible
+        assert allocation.solver == "slsqp"
+
+    def test_zero_budget_returns_zero(self, small_problem):
+        allocation = solve_optimal(small_problem.with_budget(0.0))
+        assert np.all(allocation.swings == 0.0)
+
+    def test_beats_or_matches_heuristic_utility(self, fig7_problem):
+        optimal = ContinuousOptimizer(OptimizerOptions(restarts=1)).solve(
+            fig7_problem
+        )
+        heuristic = RankingHeuristic().solve(fig7_problem)
+        # The optimum of Eq. 5 must (weakly) dominate any feasible point
+        # in utility, up to solver tolerance.
+        assert optimal.utility >= heuristic.utility - 0.5
+
+    def test_uses_most_of_budget(self, small_problem):
+        allocation = solve_optimal(small_problem)
+        assert allocation.total_power >= 0.5 * small_problem.power_budget
+
+    def test_heuristic_close_in_throughput(self, fig7_problem):
+        # Sec. 5: the heuristic sacrifices only ~2% system throughput.
+        optimal = ContinuousOptimizer(OptimizerOptions(restarts=1)).solve(
+            fig7_problem
+        )
+        heuristic = RankingHeuristic(kappa=1.3).solve(fig7_problem)
+        loss = (
+            optimal.system_throughput - heuristic.system_throughput
+        ) / optimal.system_throughput
+        assert loss < 0.10
+
+    def test_serves_all_receivers(self, fig7_problem):
+        allocation = ContinuousOptimizer(OptimizerOptions(restarts=0)).solve(
+            fig7_problem
+        )
+        assert np.all(allocation.throughput > 0.0)
+
+    def test_throughput_balanced(self, fig7_problem):
+        # Proportional fairness keeps per-RX rates within a small factor.
+        allocation = ContinuousOptimizer(OptimizerOptions(restarts=0)).solve(
+            fig7_problem
+        )
+        rates = allocation.throughput
+        assert rates.max() / rates.min() < 4.0
+
+
+class TestSweep:
+    def test_monotone_utility(self, small_problem):
+        budgets = [0.05, 0.15, 0.3]
+        sweep = ContinuousOptimizer(OptimizerOptions(restarts=0)).sweep(
+            small_problem, budgets
+        )
+        utilities = [a.utility for a in sweep]
+        assert utilities == sorted(utilities)
+
+    def test_monotone_throughput_roughly(self, small_problem):
+        budgets = [0.05, 0.15, 0.3]
+        sweep = ContinuousOptimizer(OptimizerOptions(restarts=0)).sweep(
+            small_problem, budgets
+        )
+        throughputs = [a.system_throughput for a in sweep]
+        assert throughputs[-1] > throughputs[0]
+
+    def test_budgets_respected(self, small_problem):
+        budgets = [0.05, 0.15, 0.3]
+        sweep = ContinuousOptimizer(OptimizerOptions(restarts=0)).sweep(
+            small_problem, budgets
+        )
+        for allocation, budget in zip(sweep, budgets):
+            assert allocation.total_power <= budget * (1 + 1e-6)
+
+    def test_zero_budget_in_sweep(self, small_problem):
+        sweep = ContinuousOptimizer(OptimizerOptions(restarts=0)).sweep(
+            small_problem, [0.0, 0.1]
+        )
+        assert np.all(sweep[0].swings == 0.0)
+        assert sweep[1].total_power > 0.0

@@ -1,0 +1,155 @@
+"""Unit tests for repro.geometry.placement."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry import (
+    FIG6_ANCHOR_TXS,
+    FIG7_RX_POSITIONS,
+    GridLayout,
+    paper_grid,
+    random_instances_around,
+    simulation_room,
+)
+
+
+class TestGridLayout:
+    def test_paper_grid_count(self, grid):
+        assert grid.count == 36
+
+    def test_tx1_corner(self, grid):
+        assert grid.xy(0) == pytest.approx((0.25, 0.25))
+
+    def test_tx36_corner(self, grid):
+        assert grid.xy(35) == pytest.approx((2.75, 2.75))
+
+    def test_tx8_matches_paper(self, grid):
+        # TX8 is RX1's preferred TX at (0.92, 0.92) in Fig. 7.
+        assert grid.xy(7) == pytest.approx((0.75, 0.75))
+
+    def test_tx10_matches_paper(self, grid):
+        assert grid.xy(9) == pytest.approx((1.75, 0.75))
+
+    def test_row_col_roundtrip(self, grid):
+        for index in range(grid.count):
+            row, col = grid.index_to_row_col(index)
+            assert row * grid.columns + col == index
+
+    def test_index_out_of_range(self, grid):
+        with pytest.raises(GeometryError):
+            grid.xy(36)
+        with pytest.raises(GeometryError):
+            grid.xy(-1)
+
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(GeometryError):
+            GridLayout(columns=0)
+        with pytest.raises(GeometryError):
+            GridLayout(spacing=-0.5)
+
+    def test_positions_shape(self, grid):
+        assert grid.positions_xy().shape == (36, 2)
+        assert grid.positions_3d(2.8).shape == (36, 3)
+        assert np.all(grid.positions_3d(2.8)[:, 2] == 2.8)
+
+    def test_fits_in_room(self, grid):
+        assert grid.fits_in(simulation_room())
+
+
+class TestLabels:
+    def test_label(self, grid):
+        assert grid.label(0) == "TX1"
+        assert grid.label(7) == "TX8"
+
+    def test_label_roundtrip(self, grid):
+        for index in (0, 7, 35):
+            assert grid.index_of_label(grid.label(index)) == index
+
+    def test_label_case_insensitive(self, grid):
+        assert grid.index_of_label("tx10") == 9
+
+    def test_bad_labels(self, grid):
+        with pytest.raises(GeometryError):
+            grid.index_of_label("RX1")
+        with pytest.raises(GeometryError):
+            grid.index_of_label("TXabc")
+        with pytest.raises(GeometryError):
+            grid.index_of_label("TX37")
+
+
+class TestNearest:
+    def test_nearest_under_tx(self, grid):
+        assert grid.nearest_tx(0.75, 0.75) == 7
+
+    def test_nearest_fig7_rx1(self, grid):
+        # RX1 at (0.92, 0.92) is nearest to TX8 (paper Sec. 4.2).
+        assert grid.nearest_tx(0.92, 0.92) == 7
+
+    def test_nearest_fig7_rx2(self, grid):
+        assert grid.nearest_tx(1.65, 0.65) == 9
+
+    def test_neighborhood_contains_nearest(self, grid):
+        hood = grid.neighborhood(0.92, 0.92, 9)
+        assert hood[0] == 7
+        assert len(hood) == 9
+        assert len(set(hood)) == 9
+
+    def test_neighborhood_k_bounds(self, grid):
+        with pytest.raises(GeometryError):
+            grid.neighborhood(1.0, 1.0, 0)
+        with pytest.raises(GeometryError):
+            grid.neighborhood(1.0, 1.0, 37)
+
+    def test_neighborhood_full_grid(self, grid):
+        assert sorted(grid.neighborhood(1.0, 1.0, 36)) == list(range(36))
+
+
+class TestRandomInstances:
+    def test_shape(self, grid):
+        room = simulation_room()
+        positions = random_instances_around(grid, room, instances=10, rng=0)
+        assert positions.shape == (10, len(FIG6_ANCHOR_TXS), 2)
+
+    def test_within_radius(self, grid):
+        room = simulation_room()
+        radius = 0.35
+        positions = random_instances_around(
+            grid, room, radius=radius, instances=50, rng=1
+        )
+        for m, anchor in enumerate(FIG6_ANCHOR_TXS):
+            ax, ay = grid.xy(anchor)
+            dists = np.hypot(
+                positions[:, m, 0] - ax, positions[:, m, 1] - ay
+            )
+            assert np.all(dists <= radius + 1e-9)
+
+    def test_inside_room(self, grid):
+        room = simulation_room()
+        positions = random_instances_around(grid, room, instances=30, rng=2)
+        assert np.all(positions >= 0.0)
+        assert np.all(positions <= 3.0)
+
+    def test_deterministic_with_seed(self, grid):
+        room = simulation_room()
+        a = random_instances_around(grid, room, instances=5, rng=7)
+        b = random_instances_around(grid, room, instances=5, rng=7)
+        assert np.array_equal(a, b)
+
+    def test_bad_parameters(self, grid):
+        room = simulation_room()
+        with pytest.raises(GeometryError):
+            random_instances_around(grid, room, radius=0.0)
+        with pytest.raises(GeometryError):
+            random_instances_around(grid, room, instances=0)
+
+
+class TestFig7Positions:
+    def test_four_receivers(self):
+        assert len(FIG7_RX_POSITIONS) == 4
+
+    def test_matches_table6_scenario2(self):
+        assert FIG7_RX_POSITIONS[0] == (0.92, 0.92)
+        assert FIG7_RX_POSITIONS[1] == (1.65, 0.65)
+        assert FIG7_RX_POSITIONS[2] == (0.72, 1.93)
+        assert FIG7_RX_POSITIONS[3] == (1.99, 1.69)

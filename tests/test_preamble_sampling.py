@@ -1,0 +1,136 @@
+"""Unit tests for repro.phy.preamble and repro.phy.sampling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, DecodingError, SynchronizationError
+from repro.phy import (
+    ADCModel,
+    OOKModulator,
+    correlate,
+    detect_sequence,
+    pilot_sequence,
+    preamble_sequence,
+)
+
+
+class TestSequences:
+    def test_pilot_alternates(self):
+        pilot = pilot_sequence(8)
+        assert list(pilot) == [1, 0, 1, 0, 1, 0, 1, 0]
+
+    def test_default_length_32(self):
+        assert pilot_sequence().size == 32
+        assert preamble_sequence().size == 32
+
+    def test_preamble_not_periodic(self):
+        preamble = preamble_sequence()
+        # Distinct from the pilot and from its own shifted self.
+        assert not np.array_equal(preamble, pilot_sequence())
+        shifted = np.roll(preamble, 2)
+        assert not np.array_equal(preamble, shifted)
+
+    def test_preamble_deterministic(self):
+        assert np.array_equal(preamble_sequence(), preamble_sequence())
+
+    def test_preamble_sharp_autocorrelation(self):
+        preamble = preamble_sequence()
+        bipolar = 2.0 * preamble - 1.0
+        signal = np.concatenate([np.zeros(50), bipolar, np.zeros(50)])
+        correlation = correlate(signal, preamble, samples_per_symbol=1)
+        peak = int(np.argmax(correlation))
+        assert peak == 50
+        sorted_values = np.sort(correlation)
+        assert sorted_values[-1] > 2.0 * sorted_values[-2]
+
+    def test_length_validation(self):
+        with pytest.raises(SynchronizationError):
+            pilot_sequence(1)
+        with pytest.raises(SynchronizationError):
+            preamble_sequence(0)
+
+
+class TestDetection:
+    def test_finds_offset(self, rng):
+        preamble = preamble_sequence()
+        mod = OOKModulator(samples_per_symbol=10)
+        wave = np.concatenate(
+            [rng.normal(0, 0.05, 137), mod.waveform(preamble),
+             rng.normal(0, 0.05, 200)]
+        )
+        result = detect_sequence(wave, preamble, 10, expected_amplitude=1.0)
+        assert result.detected
+        assert result.offset == 137
+
+    def test_noisy_detection(self, rng):
+        preamble = preamble_sequence()
+        mod = OOKModulator(samples_per_symbol=10, amplitude=0.5)
+        wave = np.concatenate([np.zeros(80), mod.waveform(preamble), np.zeros(40)])
+        wave += rng.normal(0, 0.5, wave.size)
+        result = detect_sequence(wave, preamble, 10, expected_amplitude=0.5)
+        assert result.detected
+        assert abs(result.offset - 80) <= 2
+
+    def test_absent_sequence_not_detected(self, rng):
+        preamble = preamble_sequence()
+        noise_only = rng.normal(0, 0.1, 1000)
+        result = detect_sequence(
+            noise_only, preamble, 10, expected_amplitude=1.0
+        )
+        assert not result.detected
+
+    def test_short_waveform_raises(self):
+        with pytest.raises(DecodingError):
+            correlate(np.zeros(10), preamble_sequence(), 10)
+
+    def test_threshold_validation(self):
+        with pytest.raises(DecodingError):
+            detect_sequence(np.zeros(400), preamble_sequence(), 1,
+                            threshold_fraction=0.0)
+
+    def test_amplitude_validation(self):
+        with pytest.raises(DecodingError):
+            detect_sequence(np.zeros(400), preamble_sequence(), 1,
+                            expected_amplitude=-1.0)
+
+
+class TestADC:
+    def test_defaults(self):
+        adc = ADCModel()
+        assert adc.sample_rate == pytest.approx(1e6)
+        assert adc.bits == 12
+        assert adc.levels == 4096
+
+    def test_quantization_error_bound(self, rng):
+        adc = ADCModel(bits=8, full_scale=1.0)
+        signal = rng.uniform(-1.0, 1.0 - adc.step, 1000)
+        quantized = adc.quantize(signal)
+        assert np.all(np.abs(quantized - signal) <= adc.step / 2 + 1e-12)
+
+    def test_clipping(self):
+        adc = ADCModel(bits=8, full_scale=1.0)
+        quantized = adc.quantize(np.array([5.0, -5.0]))
+        assert quantized[0] <= 1.0
+        assert quantized[1] >= -1.0
+
+    def test_timing_quantization(self):
+        adc = ADCModel(sample_rate=1e6)
+        # An edge at 3.2 us is seen at the 4 us sample.
+        assert adc.timing_quantization_error(3.2e-6) == pytest.approx(0.8e-6)
+        assert adc.timing_quantization_error(4e-6) == pytest.approx(0.0)
+
+    def test_timing_error_bounded_by_period(self, rng):
+        adc = ADCModel(sample_rate=1e6)
+        for t in rng.uniform(0, 1e-3, 100):
+            error = adc.timing_quantization_error(float(t))
+            assert 0.0 <= error < adc.sample_period + 1e-15
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ADCModel(sample_rate=0.0)
+        with pytest.raises(ConfigurationError):
+            ADCModel(bits=0)
+        with pytest.raises(ConfigurationError):
+            ADCModel(full_scale=-1.0)
+        with pytest.raises(ConfigurationError):
+            ADCModel().timing_quantization_error(-1.0)

@@ -1,0 +1,94 @@
+"""Property-based tests (hypothesis) for the channel substrate."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.channel import (
+    los_gain,
+    m2m4_snr,
+    shannon_throughput,
+    vertical_los_gain,
+)
+from repro.geometry import DOWN, UP
+from repro.optics import cree_xte, s5971
+
+_LED = cree_xte()
+_PD = s5971()
+
+positions_xy = st.floats(0.0, 3.0, allow_nan=False)
+heights = st.floats(0.5, 3.0, allow_nan=False)
+
+
+class TestLosProperties:
+    @given(positions_xy, positions_xy, positions_xy, positions_xy, heights)
+    @settings(max_examples=100, deadline=None)
+    def test_gain_nonnegative_and_finite(self, tx_x, tx_y, rx_x, rx_y, height):
+        assume((tx_x, tx_y) != (rx_x, rx_y) or height > 0)
+        gain = los_gain(
+            np.array([tx_x, tx_y, height + 0.8]),
+            DOWN,
+            _LED.lambertian_order,
+            np.array([rx_x, rx_y, 0.8]),
+            UP,
+            _PD,
+        )
+        assert gain >= 0.0
+        assert math.isfinite(gain)
+
+    @given(heights, st.floats(0.0, 3.0))
+    @settings(max_examples=100, deadline=None)
+    def test_vertical_gain_bounded_by_on_axis(self, height, offset):
+        on_axis = vertical_los_gain(_LED, _PD, height, 0.0)
+        off_axis = vertical_los_gain(_LED, _PD, height, offset)
+        assert off_axis <= on_axis + 1e-18
+
+    @given(heights, heights, st.floats(0.0, 1.5))
+    @settings(max_examples=100, deadline=None)
+    def test_gain_decreases_with_height(self, h1, h2, offset):
+        low, high = sorted((h1, h2))
+        assume(high > low * 1.01)
+        g_low = vertical_los_gain(_LED, _PD, low, offset * low)
+        g_high = vertical_los_gain(_LED, _PD, high, offset * high)
+        # At equal angular offset, the farther plane sees less gain.
+        assert g_high <= g_low * 1.0001
+
+
+class TestShannonProperties:
+    @given(st.lists(st.floats(0.0, 1e6), min_size=1, max_size=8))
+    def test_monotone_in_sinr(self, sinrs):
+        rates = shannon_throughput(np.array(sorted(sinrs)), 1e6)
+        assert np.all(np.diff(rates) >= -1e-9)
+
+    @given(st.floats(0.0, 1e9))
+    def test_rate_nonnegative(self, sinr):
+        assert shannon_throughput(np.array([sinr]), 1e6)[0] >= 0.0
+
+
+class TestM2M4Properties:
+    @given(
+        st.floats(0.1, 10.0),
+        st.floats(0.01, 0.3),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_estimate_positive_for_clear_signal(self, amplitude, rel_noise, seed):
+        rng = np.random.default_rng(seed)
+        noise_std = amplitude * rel_noise
+        samples = amplitude * rng.choice([-1.0, 1.0], 4000)
+        samples = samples + rng.normal(0.0, noise_std, 4000)
+        estimate = m2m4_snr(samples)
+        true_snr = (amplitude / noise_std) ** 2
+        assert estimate.snr_linear > true_snr / 10.0
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_estimate_never_negative(self, seed):
+        rng = np.random.default_rng(seed)
+        samples = rng.normal(0.0, 1.0, 1000)
+        estimate = m2m4_snr(samples)
+        assert estimate.snr_linear >= 0.0
+        assert estimate.noise_power >= 0.0

@@ -1,0 +1,115 @@
+"""Property-based tests (hypothesis) for the allocation core."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.channel import AWGNNoise
+from repro.core import (
+    AllocationProblem,
+    RankingHeuristic,
+    jain_fairness,
+    rank_transmitters,
+    sjr_matrix,
+)
+from repro.optics import cree_xte, s5971
+
+_LED = cree_xte()
+_PD = s5971()
+_NOISE = AWGNNoise()
+
+channels = arrays(
+    dtype=float,
+    shape=st.tuples(st.integers(2, 12), st.integers(1, 4)),
+    elements=st.floats(0.0, 1e-6, allow_nan=False, allow_infinity=False),
+)
+
+
+def _problem(channel, budget):
+    return AllocationProblem(
+        channel=channel,
+        power_budget=budget,
+        led=_LED,
+        photodiode=_PD,
+        noise=_NOISE,
+    )
+
+
+class TestRankingProperties:
+    @given(channels)
+    @settings(max_examples=50, deadline=None)
+    def test_ranking_is_permutation_of_txs(self, channel):
+        ranking = rank_transmitters(channel)
+        assert sorted(tx for tx, _ in ranking) == list(range(channel.shape[0]))
+
+    @given(channels, st.floats(0.5, 3.0))
+    @settings(max_examples=50, deadline=None)
+    def test_sjr_finite_and_nonnegative(self, channel, kappa):
+        sjr = sjr_matrix(channel, kappa)
+        assert np.all(np.isfinite(sjr))
+        assert np.all(sjr >= 0.0)
+
+    @given(channels, st.floats(0.0, 3.0))
+    @settings(max_examples=50, deadline=None)
+    def test_heuristic_always_feasible(self, channel, budget):
+        problem = _problem(channel, budget)
+        allocation = RankingHeuristic().solve(problem)
+        assert allocation.is_feasible
+        assert allocation.total_power <= budget + 1e-9
+
+    @given(channels)
+    @settings(max_examples=30, deadline=None)
+    def test_more_budget_never_fewer_assignments(self, channel):
+        problem = _problem(channel, 0.0)
+        heuristic = RankingHeuristic()
+        small = heuristic.solve(problem.with_budget(0.2))
+        large = heuristic.solve(problem.with_budget(1.0))
+        assert len(large.assignments) >= len(small.assignments)
+
+    @given(channels, st.floats(0.1, 2.0))
+    @settings(max_examples=30, deadline=None)
+    def test_throughput_nonnegative(self, channel, budget):
+        allocation = RankingHeuristic().solve(_problem(channel, budget))
+        assert np.all(allocation.throughput >= 0.0)
+        assert np.all(np.isfinite(allocation.sinr))
+
+
+class TestProblemProperties:
+    @given(channels, st.floats(0.0, 2.0))
+    @settings(max_examples=40, deadline=None)
+    def test_power_scaling_quadratic(self, channel, scale):
+        problem = _problem(channel, 10.0)
+        swings = np.full_like(channel, 0.4)
+        scaled = np.clip(swings * scale, 0.0, None)
+        assume(np.all(scaled.sum(axis=1) <= 2 * _LED.bias_current))
+        base = problem.total_power(swings)
+        assert problem.total_power(scaled) == pytest.approx(
+            base * scale**2, rel=1e-9, abs=1e-12
+        )
+
+    @given(channels)
+    @settings(max_examples=40, deadline=None)
+    def test_utility_monotone_in_single_swing(self, channel):
+        assume(channel.max() > 0)
+        problem = _problem(channel, 10.0)
+        tx, rx = np.unravel_index(np.argmax(channel), channel.shape)
+        low = problem.zero_allocation()
+        low[tx, rx] = 0.3
+        high = problem.zero_allocation()
+        high[tx, rx] = 0.9
+        assert problem.utility(high) >= problem.utility(low)
+
+
+class TestMetricProperties:
+    @given(st.lists(st.floats(0.0, 1e9), min_size=1, max_size=16))
+    def test_jain_in_unit_interval(self, rates):
+        value = jain_fairness(rates)
+        assert 0.0 < value <= 1.0 + 1e-12
+
+    @given(st.lists(st.floats(1e-3, 1e9), min_size=1, max_size=16))
+    def test_jain_scale_invariant(self, rates):
+        assert jain_fairness(rates) == pytest.approx(
+            jain_fairness([r * 7.0 for r in rates]), rel=1e-9
+        )

@@ -1,0 +1,97 @@
+"""Property-based tests for the extension modules (OFDM, blockage, dimming)."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.channel import CylinderBlocker
+from repro.illumination import dimmed_led, max_swing_for_bias
+from repro.phy import DCOOFDMConfig, DCOOFDMModem
+
+_MODEM = DCOOFDMModem(DCOOFDMConfig(fft_size=32, cyclic_prefix=4, qam_order=4))
+
+
+class TestOFDMProperties:
+    @given(st.integers(0, 2**31 - 1), st.integers(1, 6))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_any_bits(self, seed, symbols):
+        rng = np.random.default_rng(seed)
+        bits = rng.integers(0, 2, size=_MODEM.config.bits_per_symbol * symbols)
+        waveform = _MODEM.modulate(bits)
+        assert np.array_equal(_MODEM.demodulate(waveform, bits.size), bits)
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_waveform_always_nonnegative(self, seed):
+        rng = np.random.default_rng(seed)
+        bits = rng.integers(0, 2, size=_MODEM.config.bits_per_symbol * 2)
+        assert np.all(_MODEM.modulate(bits) >= 0.0)
+
+    @given(st.floats(0.01, 100.0))
+    @settings(max_examples=25, deadline=None)
+    def test_gain_invariance(self, gain):
+        rng = np.random.default_rng(7)
+        bits = rng.integers(0, 2, size=_MODEM.config.bits_per_symbol * 2)
+        waveform = gain * _MODEM.modulate(bits)
+        assert np.array_equal(
+            _MODEM.demodulate(waveform, bits.size, channel_gain=gain), bits
+        )
+
+
+class TestBlockageProperties:
+    positions = st.tuples(
+        st.floats(0.0, 3.0), st.floats(0.0, 3.0), st.floats(0.1, 2.8)
+    )
+
+    @given(positions, positions, st.floats(0.05, 0.5), st.floats(0.5, 2.5))
+    @settings(max_examples=60, deadline=None)
+    def test_blockage_symmetric(self, a, b, radius, height):
+        assume(a != b)
+        blocker = CylinderBlocker(x=1.5, y=1.5, radius=radius, height=height)
+        pa = np.array(a)
+        pb = np.array(b)
+        assert blocker.blocks(pa, pb) == blocker.blocks(pb, pa)
+
+    @given(positions, positions, st.floats(0.05, 0.3))
+    @settings(max_examples=60, deadline=None)
+    def test_bigger_blocker_blocks_superset(self, a, b, radius):
+        assume(a != b)
+        small = CylinderBlocker(x=1.5, y=1.5, radius=radius, height=1.7)
+        large = CylinderBlocker(x=1.5, y=1.5, radius=radius * 2, height=1.7)
+        pa, pb = np.array(a), np.array(b)
+        if small.blocks(pa, pb):
+            assert large.blocks(pa, pb)
+
+    @given(st.floats(0.0, 3.0), st.floats(0.0, 3.0))
+    @settings(max_examples=40, deadline=None)
+    def test_link_between_high_endpoints_clears_short_blocker(self, x1, x2):
+        blocker = CylinderBlocker(x=1.5, y=1.5, radius=0.3, height=1.0)
+        tx = np.array([x1, 1.5, 2.8])
+        rx = np.array([x2, 1.5, 1.5])  # both endpoints above the blocker
+        if abs(x1 - x2) > 1e-9:
+            assert not blocker.blocks(tx, rx)
+
+
+class TestDimmingProperties:
+    @given(st.floats(0.05, 1.0))
+    @settings(max_examples=50, deadline=None)
+    def test_dimmed_led_always_valid(self, level):
+        led = dimmed_led(level)
+        # The LED model's own invariants must hold at every dimming level.
+        assert led.max_swing <= 2 * led.bias_current + 1e-12
+        assert led.communication_power(led.max_swing) >= 0.0
+
+    @given(st.floats(0.05, 1.0), st.floats(0.05, 1.0))
+    @settings(max_examples=50, deadline=None)
+    def test_brighter_never_less_swing(self, a, b):
+        low, high = sorted((a, b))
+        assert dimmed_led(high).max_swing >= dimmed_led(low).max_swing - 1e-12
+
+    @given(st.floats(0.05, 1.45))
+    @settings(max_examples=50, deadline=None)
+    def test_max_swing_respects_all_bounds(self, bias):
+        swing = max_swing_for_bias(bias)
+        assert swing <= 0.9 + 1e-12
+        assert swing <= 2 * bias + 1e-12
+        assert swing <= 2 * (1.5 - bias) + 1e-12

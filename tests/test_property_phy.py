@@ -1,0 +1,113 @@
+"""Property-based tests (hypothesis) for the PHY coding stack."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.phy import (
+    BlockCoder,
+    MACFrame,
+    ReedSolomonCodec,
+    bits_to_bytes,
+    bytes_to_bits,
+    dc_balance,
+    decode_symbols,
+    decode_to_bytes,
+    encode_bits,
+    encode_bytes,
+    tx_mask_from_bytes,
+    tx_mask_to_bytes,
+)
+
+_CODEC = ReedSolomonCodec()
+_CODER = BlockCoder()
+
+
+class TestManchesterProperties:
+    @given(st.lists(st.integers(0, 1), max_size=512))
+    def test_roundtrip(self, bits):
+        assert list(decode_symbols(encode_bits(bits))) == bits
+
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=512))
+    def test_dc_balance_always_half(self, bits):
+        assert dc_balance(encode_bits(bits)) == pytest.approx(0.5)
+
+    @given(st.binary(min_size=0, max_size=256))
+    def test_bytes_roundtrip(self, data):
+        assert decode_to_bytes(encode_bytes(data)) == data
+
+    @given(st.binary(min_size=0, max_size=256))
+    def test_bit_expansion_roundtrip(self, data):
+        assert bits_to_bytes(bytes_to_bits(data)) == data
+
+    @given(st.lists(st.integers(0, 1), max_size=256))
+    def test_adjacent_pairs_always_differ(self, bits):
+        symbols = encode_bits(bits)
+        for i in range(0, symbols.size, 2):
+            assert symbols[i] != symbols[i + 1]
+
+
+class TestReedSolomonProperties:
+    @given(st.binary(min_size=1, max_size=239))
+    @settings(max_examples=40, deadline=None)
+    def test_clean_roundtrip(self, message):
+        assert _CODEC.decode(_CODEC.encode(message)) == message
+
+    @given(
+        st.binary(min_size=16, max_size=200),
+        st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_corrects_any_8_errors(self, message, data):
+        codeword = bytearray(_CODEC.encode(message))
+        count = data.draw(st.integers(0, 8))
+        positions = data.draw(
+            st.lists(
+                st.integers(0, len(codeword) - 1),
+                min_size=count,
+                max_size=count,
+                unique=True,
+            )
+        )
+        for position in positions:
+            flip = data.draw(st.integers(1, 255))
+            codeword[position] ^= flip
+        assert _CODEC.decode(bytes(codeword)) == message
+
+    @given(st.binary(min_size=1, max_size=1000))
+    @settings(max_examples=30, deadline=None)
+    def test_block_coder_roundtrip(self, payload):
+        encoded = _CODER.encode(payload)
+        assert len(encoded) == len(payload) + _CODER.parity_length(len(payload))
+        assert _CODER.decode(encoded, len(payload)) == payload
+
+    @given(st.integers(0, 10_000))
+    def test_parity_length_matches_paper_formula(self, length):
+        expected = -(-length // 200) * 16
+        assert _CODER.parity_length(length) == expected
+
+
+class TestFrameProperties:
+    @given(
+        st.integers(0, 0xFFFF),
+        st.integers(0, 0xFFFF),
+        st.integers(0, 0xFFFF),
+        st.binary(min_size=1, max_size=600),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_frame_roundtrip(self, dst, src, proto, payload):
+        frame = MACFrame(
+            destination=dst, source=src, protocol=proto, payload=payload
+        )
+        assert MACFrame.from_bytes(frame.to_bytes()) == frame
+
+    @given(st.sets(st.integers(0, 63), max_size=36))
+    def test_tx_mask_roundtrip(self, indices):
+        assert tx_mask_from_bytes(tx_mask_to_bytes(indices)) == frozenset(indices)
+
+    @given(st.binary(min_size=1, max_size=300))
+    @settings(max_examples=20, deadline=None)
+    def test_symbol_count_formula(self, payload):
+        frame = MACFrame(destination=0, source=0, protocol=0, payload=payload)
+        assert frame.vlc_symbols().size == frame.vlc_symbol_count()

@@ -1,0 +1,143 @@
+"""Unit tests for repro.phy.reed_solomon."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CodingError, DecodingError
+from repro.phy import BlockCoder, ReedSolomonCodec, rs_generator_poly
+from repro.phy import galois as gf
+
+
+@pytest.fixture(scope="module")
+def codec():
+    return ReedSolomonCodec()
+
+
+class TestGeneratorPoly:
+    def test_degree(self):
+        assert len(rs_generator_poly(16)) == 17
+
+    def test_roots(self):
+        poly = rs_generator_poly(8)
+        for i in range(8):
+            assert gf.poly_eval(poly, gf.generator_element(i)) == 0
+
+    def test_monic(self):
+        assert rs_generator_poly(16)[0] == 1
+
+    def test_validation(self):
+        with pytest.raises(CodingError):
+            rs_generator_poly(0)
+
+
+class TestEncode:
+    def test_systematic(self, codec):
+        message = bytes(range(50))
+        codeword = codec.encode(message)
+        assert codeword[:50] == message
+        assert len(codeword) == 50 + 16
+
+    def test_codeword_syndromes_zero(self, codec):
+        codeword = codec.encode(b"densevlc")
+        assert codec.detect_only(codeword)
+
+    def test_empty_message_rejected(self, codec):
+        with pytest.raises(CodingError):
+            codec.encode(b"")
+
+    def test_oversized_rejected(self, codec):
+        with pytest.raises(CodingError):
+            codec.encode(bytes(240))
+
+    def test_max_length_ok(self, codec):
+        codeword = codec.encode(bytes(codec.max_message_length()))
+        assert len(codeword) == 255
+
+
+class TestDecode:
+    def test_clean_roundtrip(self, codec):
+        message = b"The quick brown fox jumps over the lazy dog"
+        assert codec.decode(codec.encode(message)) == message
+
+    @pytest.mark.parametrize("errors", [1, 2, 4, 8])
+    def test_corrects_up_to_t(self, codec, errors, rng):
+        message = bytes(rng.integers(0, 256, size=100).astype(np.uint8))
+        codeword = bytearray(codec.encode(message))
+        positions = rng.choice(len(codeword), size=errors, replace=False)
+        for position in positions:
+            codeword[position] ^= int(rng.integers(1, 256))
+        assert codec.decode(bytes(codeword)) == message
+
+    def test_errors_in_parity_corrected(self, codec):
+        message = b"payload"
+        codeword = bytearray(codec.encode(message))
+        codeword[-1] ^= 0xFF
+        codeword[-5] ^= 0x0F
+        assert codec.decode(bytes(codeword)) == message
+
+    def test_nine_errors_fail(self, codec, rng):
+        message = bytes(rng.integers(0, 256, size=100).astype(np.uint8))
+        codeword = bytearray(codec.encode(message))
+        positions = rng.choice(len(codeword), size=9, replace=False)
+        for position in positions:
+            codeword[position] ^= int(rng.integers(1, 256))
+        with pytest.raises(DecodingError):
+            codec.decode(bytes(codeword))
+
+    def test_short_codeword_rejected(self, codec):
+        with pytest.raises(DecodingError):
+            codec.decode(bytes(10))
+
+    def test_oversized_codeword_rejected(self, codec):
+        with pytest.raises(DecodingError):
+            codec.decode(bytes(256))
+
+    def test_correctable_errors_property(self, codec):
+        assert codec.correctable_errors == 8
+
+
+class TestBlockCoder:
+    def test_parity_length_formula(self):
+        coder = BlockCoder()
+        # ceil(x / 200) * 16 (Table 3).
+        assert coder.parity_length(0) == 0
+        assert coder.parity_length(1) == 16
+        assert coder.parity_length(200) == 16
+        assert coder.parity_length(201) == 32
+        assert coder.parity_length(1000) == 80
+
+    def test_payload_unmodified(self):
+        coder = BlockCoder()
+        payload = bytes(range(256)) * 2
+        encoded = coder.encode(payload)
+        assert encoded[: len(payload)] == payload
+
+    def test_roundtrip_multiblock(self, rng):
+        coder = BlockCoder()
+        payload = bytes(rng.integers(0, 256, size=777).astype(np.uint8))
+        assert coder.decode(coder.encode(payload), 777) == payload
+
+    def test_corrects_per_block(self, rng):
+        coder = BlockCoder()
+        payload = bytes(rng.integers(0, 256, size=400).astype(np.uint8))
+        encoded = bytearray(coder.encode(payload))
+        # 8 errors in block 1 and 8 errors in block 2: both correctable.
+        for position in list(range(0, 8)) + list(range(200, 208)):
+            encoded[position] ^= 0xAA
+        assert coder.decode(bytes(encoded), 400) == payload
+
+    def test_wrong_length_raises(self):
+        coder = BlockCoder()
+        with pytest.raises(DecodingError):
+            coder.decode(bytes(10), 100)
+
+    def test_empty_payload(self):
+        coder = BlockCoder()
+        assert coder.encode(b"") == b""
+        assert coder.decode(b"", 0) == b""
+
+    def test_block_size_validation(self):
+        with pytest.raises(CodingError):
+            BlockCoder(block_size=0)
+        with pytest.raises(CodingError):
+            BlockCoder(block_size=240)  # exceeds 255 - 16

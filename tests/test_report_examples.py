@@ -1,0 +1,78 @@
+"""Tests for the report CLI and smoke tests for the examples."""
+
+import runpy
+import sys
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import report
+
+
+class TestReportModule:
+    def test_rejects_bad_fidelity(self):
+        with pytest.raises(ConfigurationError):
+            report.generate_report(fidelity="bogus")
+
+    def test_fidelity_table_well_formed(self):
+        for level, knobs in report._FIDELITY.items():
+            assert "fig08_instances" in knobs
+            assert "fig11_instances" in knobs
+            assert "table5_frames" in knobs
+
+    def test_cli_writes_file(self, tmp_path, monkeypatch):
+        # Patch the generator so the CLI test stays fast.
+        monkeypatch.setattr(
+            report, "generate_report", lambda fidelity: f"# stub ({fidelity})\n"
+        )
+        out = tmp_path / "report.md"
+        code = report.main(["--fidelity", "fast", "--output", str(out)])
+        assert code == 0
+        assert out.read_text().startswith("# stub")
+
+    def test_cli_stdout(self, capsys, monkeypatch):
+        monkeypatch.setattr(
+            report, "generate_report", lambda fidelity: "# stub\n"
+        )
+        assert report.main(["--output", "-"]) == 0
+        assert "# stub" in capsys.readouterr().out
+
+
+class TestExamplesImportable:
+    """The examples must at least parse and expose a main()."""
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "quickstart",
+            "mobile_receiver",
+            "synchronization_demo",
+            "illumination_design",
+            "power_efficiency_study",
+            "future_extensions",
+        ],
+    )
+    def test_example_compiles(self, name):
+        import pathlib
+
+        path = (
+            pathlib.Path(__file__).parent.parent / "examples" / f"{name}.py"
+        )
+        source = path.read_text()
+        compiled = compile(source, str(path), "exec")
+        assert compiled is not None
+        assert "def main()" in source
+
+
+class TestQuickstartRuns:
+    def test_quickstart_main(self, capsys):
+        import pathlib
+
+        path = (
+            pathlib.Path(__file__).parent.parent / "examples" / "quickstart.py"
+        )
+        namespace = runpy.run_path(str(path))
+        namespace["main"]()
+        output = capsys.readouterr().out
+        assert "DenseVLC" in output
+        assert "system throughput" in output

@@ -1,0 +1,109 @@
+"""Unit tests for repro.geometry.room."""
+
+import pytest
+
+from repro import constants
+from repro.errors import GeometryError
+from repro.geometry import Room, experimental_room, simulation_room
+
+
+class TestRoomValidation:
+    def test_default_is_paper_simulation_footprint(self):
+        room = Room()
+        assert room.width == pytest.approx(3.0)
+        assert room.depth == pytest.approx(3.0)
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(GeometryError):
+            Room(width=0.0)
+
+    def test_rejects_negative_depth(self):
+        with pytest.raises(GeometryError):
+            Room(depth=-1.0)
+
+    def test_rejects_tx_below_rx(self):
+        with pytest.raises(GeometryError):
+            Room(tx_height=0.5, rx_height=0.8)
+
+    def test_rejects_negative_rx_height(self):
+        with pytest.raises(GeometryError):
+            Room(rx_height=-0.1)
+
+    def test_rejects_bad_reflectivity(self):
+        with pytest.raises(GeometryError):
+            Room(floor_reflectivity=1.5)
+        with pytest.raises(GeometryError):
+            Room(floor_reflectivity=-0.1)
+
+
+class TestRoomGeometry:
+    def test_vertical_separation_simulation(self):
+        assert simulation_room().vertical_separation == pytest.approx(2.0)
+
+    def test_vertical_separation_experiment(self):
+        assert experimental_room().vertical_separation == pytest.approx(2.0)
+
+    def test_contains_xy(self):
+        room = Room()
+        assert room.contains_xy(0.0, 0.0)
+        assert room.contains_xy(3.0, 3.0)
+        assert not room.contains_xy(3.01, 1.0)
+        assert not room.contains_xy(-0.01, 1.0)
+
+    def test_clamp_xy(self):
+        room = Room()
+        assert room.clamp_xy(-1.0, 5.0) == (0.0, 3.0)
+        assert room.clamp_xy(1.5, 1.5) == (1.5, 1.5)
+
+    def test_tx_point_height(self):
+        room = simulation_room()
+        point = room.tx_point(1.0, 2.0)
+        assert point[2] == pytest.approx(constants.SIM_CEILING_HEIGHT)
+
+    def test_rx_point_height(self):
+        room = simulation_room()
+        assert room.rx_point(1.0, 2.0)[2] == pytest.approx(
+            constants.SIM_RECEIVER_HEIGHT
+        )
+
+    def test_floor_point_is_zero_height(self):
+        assert Room().floor_point(1.0, 1.0)[2] == 0.0
+
+    def test_points_outside_raise(self):
+        room = Room()
+        with pytest.raises(GeometryError):
+            room.tx_point(4.0, 1.0)
+        with pytest.raises(GeometryError):
+            room.rx_point(1.0, -1.0)
+        with pytest.raises(GeometryError):
+            room.floor_point(9.0, 9.0)
+
+
+class TestAreaOfInterest:
+    def test_centered_bounds(self):
+        x0, x1, y0, y1 = Room().area_of_interest_bounds(2.2)
+        assert x0 == pytest.approx(0.4)
+        assert x1 == pytest.approx(2.6)
+        assert y0 == pytest.approx(0.4)
+        assert y1 == pytest.approx(2.6)
+
+    def test_full_side(self):
+        x0, x1, _, _ = Room().area_of_interest_bounds(3.0)
+        assert x0 == pytest.approx(0.0)
+        assert x1 == pytest.approx(3.0)
+
+    def test_oversized_raises(self):
+        with pytest.raises(GeometryError):
+            Room().area_of_interest_bounds(3.5)
+
+    def test_non_positive_raises(self):
+        with pytest.raises(GeometryError):
+            Room().area_of_interest_bounds(0.0)
+
+
+class TestFactories:
+    def test_experimental_room_rx_on_floor(self):
+        assert experimental_room().rx_height == 0.0
+
+    def test_experimental_tx_height(self):
+        assert experimental_room().tx_height == pytest.approx(2.0)

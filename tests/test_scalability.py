@@ -1,0 +1,117 @@
+"""Scalability smoke tests: beyond the paper's 36 TX x 4 RX scale.
+
+Cell-free massive MIMO is supposed to *scale*; these tests run the full
+allocation stack on larger grids and receiver populations and check both
+correctness invariants and that the heuristic's runtime stays in the
+"fast adaptation" class.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.channel import channel_matrix
+from repro.core import (
+    AllocationProblem,
+    RankingHeuristic,
+    jain_fairness,
+)
+from repro.geometry import GridLayout
+from repro.system import simulation_scene
+
+
+def _grid(side: int, room_side: float = 3.0) -> GridLayout:
+    spacing = room_side / side
+    return GridLayout(
+        columns=side, rows=side, spacing=spacing,
+        offset_x=spacing / 2, offset_y=spacing / 2,
+    )
+
+
+#: Eight well-separated receiver stations (>= 0.9 m apart).
+EIGHT_RXS = [
+    (0.6, 0.6), (1.5, 0.6), (2.4, 0.6),
+    (0.6, 1.5), (2.4, 1.5),
+    (0.6, 2.4), (1.5, 2.4), (2.4, 2.4),
+]
+
+
+@pytest.fixture(scope="module")
+def big_scene():
+    """A 10x10 grid (100 TXs) serving 8 receivers."""
+    return simulation_scene(EIGHT_RXS, grid=_grid(10))
+
+
+class TestLargeDeployment:
+    def test_channel_matrix_shape(self, big_scene):
+        channel = channel_matrix(big_scene)
+        assert channel.shape == (100, 8)
+        assert np.all(channel >= 0)
+
+    def test_heuristic_scales(self, big_scene):
+        problem = AllocationProblem(
+            channel=channel_matrix(big_scene), power_budget=1.5,
+            led=big_scene.led,
+        )
+        start = time.perf_counter()
+        allocation = RankingHeuristic(kappa=1.3).solve(problem)
+        elapsed = time.perf_counter() - start
+        assert allocation.is_feasible
+        # "Fast adaptation": well under one protocol round even at 100 TXs.
+        assert elapsed < 0.5
+
+    def test_all_receivers_served_at_scale(self, big_scene):
+        problem = AllocationProblem(
+            channel=channel_matrix(big_scene), power_budget=1.5,
+            led=big_scene.led,
+        )
+        allocation = RankingHeuristic(kappa=1.3).solve(problem)
+        assert np.all(allocation.throughput > 0)
+        assert jain_fairness(allocation.throughput) > 0.7
+
+    def test_denser_grid_beats_paper_grid(self, big_scene):
+        dense_problem = AllocationProblem(
+            channel=channel_matrix(big_scene), power_budget=1.2,
+            led=big_scene.led,
+        )
+        sparse_scene = simulation_scene(EIGHT_RXS, grid=_grid(6))
+        sparse_problem = AllocationProblem(
+            channel=channel_matrix(sparse_scene), power_budget=1.2,
+            led=sparse_scene.led,
+        )
+        heuristic = RankingHeuristic(kappa=1.3)
+        dense = heuristic.solve(dense_problem).system_throughput
+        sparse = heuristic.solve(sparse_problem).system_throughput
+        # More spatial degrees of freedom at the same budget (Sec. 9).
+        assert dense > sparse * 0.95
+
+
+class TestManyReceivers:
+    def test_sixteen_receivers(self):
+        rng = np.random.default_rng(7)
+        positions = [
+            (float(x), float(y))
+            for x, y in rng.uniform(0.3, 2.7, size=(16, 2))
+        ]
+        scene = simulation_scene(positions)
+        problem = AllocationProblem(
+            channel=channel_matrix(scene), power_budget=1.9, led=scene.led
+        )
+        allocation = RankingHeuristic(kappa=1.3).solve(problem)
+        assert allocation.is_feasible
+        served = int(np.count_nonzero(allocation.throughput > 0))
+        # With 36 TXs and 16 RXs the budget cannot cover everyone richly,
+        # but the majority must be served.
+        assert served >= 12
+
+    def test_single_receiver_degenerates_to_miso(self):
+        scene = simulation_scene([(1.5, 1.5)])
+        problem = AllocationProblem(
+            channel=channel_matrix(scene), power_budget=0.5, led=scene.led
+        )
+        allocation = RankingHeuristic(kappa=1.3).solve(problem)
+        # Without competing receivers the SJR ranking is pure channel
+        # order: the nearest TXs serve first.
+        first_tx = allocation.assignments[0][0]
+        assert first_tx == int(np.argmax(problem.channel[:, 0]))

@@ -1,0 +1,225 @@
+"""Unit tests for repro.simulation (events, entities, traffic, network)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.simulation import (
+    IperfConfig,
+    IperfResult,
+    NetworkSimulator,
+    ReceiverUnit,
+    Simulator,
+    build_transmitter_units,
+    make_board_clocks,
+)
+from repro.system import experimental_scene
+
+
+class TestSimulator:
+    def test_events_fire_in_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(2.0, order.append, "b")
+        sim.schedule(1.0, order.append, "a")
+        sim.schedule(3.0, order.append, "c")
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_fire_in_schedule_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(1.0, order.append, 1)
+        sim.schedule(1.0, order.append, 2)
+        sim.run()
+        assert order == [1, 2]
+
+    def test_now_advances(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(0.5, lambda: times.append(sim.now))
+        sim.schedule(1.5, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [0.5, 1.5]
+
+    def test_run_until_stops(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "early")
+        sim.schedule(5.0, fired.append, "late")
+        count = sim.run_until(2.0)
+        assert count == 1
+        assert fired == ["early"]
+        assert sim.now == 2.0
+
+    def test_callbacks_can_reschedule(self):
+        sim = Simulator()
+        ticks = []
+
+        def tick():
+            ticks.append(sim.now)
+            if len(ticks) < 5:
+                sim.schedule(1.0, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run()
+        assert len(ticks) == 5
+        assert ticks[-1] == pytest.approx(4.0)
+
+    def test_cancellation(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1.0, fired.append, "x")
+        handle.cancel()
+        sim.run()
+        assert fired == []
+        assert handle.cancelled
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-1.0, print)
+
+    def test_run_until_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run_until(2.0)
+        with pytest.raises(SimulationError):
+            sim.run_until(1.0)
+
+    def test_runaway_guard(self):
+        sim = Simulator()
+
+        def forever():
+            sim.schedule(0.0, forever)
+
+        sim.schedule(0.0, forever)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=100)
+
+
+class TestEntities:
+    def test_board_clocks(self):
+        scene = experimental_scene([(1.0, 1.0)])
+        clocks = make_board_clocks(scene, drift_ppm_std=8.0, rng=0)
+        assert set(clocks) == set(range(9))
+        drifts = [c.clock.drift_ppm for c in clocks.values()]
+        assert np.std(drifts) < 40.0
+
+    def test_relative_drift(self):
+        scene = experimental_scene([(1.0, 1.0)])
+        clocks = make_board_clocks(scene, rng=1)
+        a, b = clocks[0], clocks[1]
+        assert a.relative_drift_ppm(b) == pytest.approx(
+            -b.relative_drift_ppm(a)
+        )
+
+    def test_transmitter_units(self):
+        scene = experimental_scene([(1.0, 1.0)])
+        units = build_transmitter_units(scene)
+        assert len(units) == 36
+        assert not units[0].communicating
+        units[0].serving_rx = 0
+        assert units[0].communicating
+
+    def test_receiver_unit_counters(self):
+        rx = ReceiverUnit(index=0)
+        with pytest.raises(SimulationError):
+            rx.packet_error_rate
+        rx.frames_received = 9
+        rx.frames_failed = 1
+        assert rx.packet_error_rate == pytest.approx(0.1)
+
+
+class TestIperfConfig:
+    def test_frame_symbols_formula(self):
+        cfg = IperfConfig(payload_bytes=1000)
+        # 2*32 pilot/preamble + 16 * (9 + 1000 + 80) bytes.
+        assert cfg.frame_symbols() == 64 + 16 * 1089
+
+    def test_airtime(self):
+        cfg = IperfConfig(payload_bytes=1000, symbol_rate=100_000.0)
+        assert cfg.frame_airtime() == pytest.approx(cfg.frame_symbols() / 1e5)
+
+    def test_offered_goodput_near_paper(self):
+        # ~34 kbit/s at the paper's settings (Table 5's 33.9 kbit/s).
+        cfg = IperfConfig()
+        assert cfg.offered_goodput() == pytest.approx(33.9e3, rel=0.02)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            IperfConfig(duration=0.0)
+        with pytest.raises(ConfigurationError):
+            IperfConfig(payload_bytes=0)
+        with pytest.raises(ConfigurationError):
+            IperfConfig(ack_turnaround=-0.1)
+
+    def test_result_properties(self):
+        result = IperfResult(
+            duration=10.0,
+            frames_sent=10,
+            frames_received=9,
+            payload_bits_received=9 * 8000,
+        )
+        assert result.packet_error_rate == pytest.approx(0.1)
+        assert result.goodput == pytest.approx(7200.0)
+        assert result.frames_lost == 1
+
+    def test_result_validation(self):
+        with pytest.raises(SimulationError):
+            IperfResult(
+                duration=1.0,
+                frames_sent=1,
+                frames_received=2,
+                payload_bits_received=0,
+            )
+
+
+class TestNetworkSimulator:
+    @pytest.fixture(scope="class")
+    def scene(self):
+        # RX centered among TX2/TX3/TX8/TX9 (Table 5 setup).
+        return experimental_scene([(1.0, 0.5)])
+
+    @pytest.fixture(scope="class")
+    def fast_config(self):
+        return IperfConfig(duration=100.0, payload_bytes=200, seed=3)
+
+    def test_same_board_pair_succeeds(self, scene, fast_config):
+        sim = NetworkSimulator(scene, sync_mode="nlos")
+        result = sim.run_iperf([1, 7], 0, fast_config, max_frames=10)
+        assert result.packet_error_rate < 0.2
+        assert result.goodput > 0
+
+    def test_no_sync_across_boards_fails(self, scene, fast_config):
+        sim = NetworkSimulator(scene, sync_mode="none")
+        result = sim.run_iperf([1, 2, 7, 8], 0, fast_config, max_frames=10)
+        assert result.packet_error_rate == 1.0
+        assert result.goodput == 0.0
+
+    def test_nlos_sync_across_boards_succeeds(self, scene, fast_config):
+        sim = NetworkSimulator(scene, sync_mode="nlos")
+        result = sim.run_iperf([1, 2, 7, 8], 0, fast_config, max_frames=10)
+        assert result.packet_error_rate < 0.2
+
+    def test_perfect_mode(self, scene, fast_config):
+        sim = NetworkSimulator(
+            scene, sync_mode="perfect", glitch_probability=0.0
+        )
+        result = sim.run_iperf([1, 2, 7, 8], 0, fast_config, max_frames=8)
+        assert result.packet_error_rate == 0.0
+
+    def test_single_tx(self, scene, fast_config):
+        sim = NetworkSimulator(scene, sync_mode="nlos")
+        result = sim.run_iperf([7], 0, fast_config, max_frames=5)
+        assert result.frames_sent == 5
+
+    def test_validation(self, scene, fast_config):
+        with pytest.raises(ConfigurationError):
+            NetworkSimulator(scene, sync_mode="bogus")
+        sim = NetworkSimulator(scene)
+        with pytest.raises(ConfigurationError):
+            sim.run_iperf([], 0, fast_config)
+        with pytest.raises(ConfigurationError):
+            sim.run_iperf([1], 5, fast_config)
+        with pytest.raises(ConfigurationError):
+            sim.run_iperf([99], 0, fast_config)

@@ -1,0 +1,111 @@
+"""Unit tests for repro.sync.clocks and repro.sync.protocols."""
+
+import numpy as np
+import pytest
+
+from repro import constants
+from repro.errors import SynchronizationError
+from repro.sync import (
+    ClockModel,
+    measured_median_delay,
+    no_sync_model,
+    ntp_ptp_model,
+    random_clock,
+)
+
+
+class TestClockModel:
+    def test_perfect_clock(self):
+        clock = ClockModel()
+        assert clock.local_time(10.0) == 10.0
+        assert clock.rate == 1.0
+
+    def test_offset(self):
+        clock = ClockModel(offset=0.5)
+        assert clock.local_time(1.0) == pytest.approx(1.5)
+
+    def test_drift(self):
+        clock = ClockModel(drift_ppm=100.0)
+        assert clock.local_time(1.0) == pytest.approx(1.0001)
+
+    def test_inverse(self):
+        clock = ClockModel(offset=0.3, drift_ppm=50.0)
+        assert clock.true_time(clock.local_time(7.7)) == pytest.approx(7.7)
+
+    def test_offset_against(self):
+        a = ClockModel(offset=1.0)
+        b = ClockModel(offset=0.4)
+        assert a.offset_against(b, 0.0) == pytest.approx(0.6)
+
+    def test_drift_grows_offset(self):
+        a = ClockModel(drift_ppm=10.0)
+        b = ClockModel(drift_ppm=-10.0)
+        early = abs(a.offset_against(b, 1.0))
+        late = abs(a.offset_against(b, 100.0))
+        assert late > early
+
+    def test_jittered_read(self, rng):
+        clock = ClockModel(jitter_std=1e-6)
+        reads = [clock.read(1.0, rng) for _ in range(500)]
+        assert np.std(reads) == pytest.approx(1e-6, rel=0.2)
+
+    def test_validation(self):
+        with pytest.raises(SynchronizationError):
+            ClockModel(jitter_std=-1.0)
+        with pytest.raises(SynchronizationError):
+            ClockModel(drift_ppm=2e6)
+
+    def test_random_clock_plausible(self):
+        clock = random_clock(rng=0)
+        assert abs(clock.offset) <= 1.0
+        assert abs(clock.drift_ppm) < 200.0
+
+
+class TestTimestampModels:
+    def test_table4_anchors(self):
+        # Both Table 4 medians at 100 ksym/s must hold exactly.
+        assert no_sync_model().median_delay(100_000) == pytest.approx(
+            10.04e-6, rel=1e-9
+        )
+        assert ntp_ptp_model().median_delay(100_000) == pytest.approx(
+            4.565e-6, rel=1e-9
+        )
+
+    def test_max_rate_anchor(self):
+        # Sec. 6.1: 14.28 ksym/s at 10% overlap for NTP/PTP.
+        assert ntp_ptp_model().max_symbol_rate() == pytest.approx(
+            14_280.0, rel=0.01
+        )
+
+    def test_improvement_factor_at_least_two(self):
+        off = no_sync_model()
+        ptp = ntp_ptp_model()
+        for rate in (1_000, 10_000, 60_000, 100_000):
+            assert off.median_delay(rate) / ptp.median_delay(rate) >= 2.0
+
+    def test_delay_grows_at_low_rates(self):
+        model = no_sync_model()
+        assert model.median_delay(1_000) > model.median_delay(60_000)
+
+    def test_sampled_delays_nonnegative(self, rng):
+        model = ntp_ptp_model()
+        for _ in range(100):
+            assert model.sample_delay(100_000, rng) >= 0.0
+
+    def test_sample_median_matches_model(self, rng):
+        model = ntp_ptp_model()
+        samples = [model.sample_delay(100_000, rng) for _ in range(20000)]
+        assert np.median(samples) == pytest.approx(
+            model.median_delay(100_000), rel=0.05
+        )
+
+    def test_measured_procedure_close_to_model(self):
+        model = no_sync_model()
+        measured = measured_median_delay(model, rng=0)
+        assert measured == pytest.approx(model.median_delay(100_000), rel=0.1)
+
+    def test_validation(self):
+        with pytest.raises(SynchronizationError):
+            no_sync_model().median_delay(0.0)
+        with pytest.raises(SynchronizationError):
+            ntp_ptp_model().max_symbol_rate(overlap_fraction=1.5)

@@ -1,0 +1,112 @@
+"""Unit tests for repro.system (nodes and scenes)."""
+
+import numpy as np
+import pytest
+
+from repro import constants
+from repro.errors import ConfigurationError, GeometryError
+from repro.geometry import FIG7_RX_POSITIONS
+from repro.system import (
+    ReceiverNode,
+    Scene,
+    TransmitterNode,
+    experimental_scene,
+    simulation_scene,
+)
+
+
+class TestNodes:
+    def test_transmitter_label(self):
+        tx = TransmitterNode(index=7, position=[0.75, 0.75, 2.8])
+        assert tx.label == "TX8"
+
+    def test_transmitter_default_orientation_down(self):
+        tx = TransmitterNode(index=0, position=[0.25, 0.25, 2.8])
+        assert np.allclose(tx.orientation, [0, 0, -1])
+
+    def test_receiver_default_orientation_up(self):
+        rx = ReceiverNode(index=0, position=[1.0, 1.0, 0.8])
+        assert np.allclose(rx.orientation, [0, 0, 1])
+
+    def test_orientation_normalized(self):
+        tx = TransmitterNode(
+            index=0, position=[0.25, 0.25, 2.8], orientation=[0, 0, -5]
+        )
+        assert np.linalg.norm(tx.orientation) == pytest.approx(1.0)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TransmitterNode(index=-1, position=[0, 0, 2.8])
+
+    def test_receiver_moved_to(self):
+        rx = ReceiverNode(index=2, position=[1.0, 1.0, 0.8])
+        moved = rx.moved_to(2.0, 0.5)
+        assert moved.position[0] == 2.0
+        assert moved.position[2] == 0.8
+        assert moved.index == 2
+        assert rx.position[0] == 1.0  # original untouched
+
+    def test_receiver_label(self):
+        assert ReceiverNode(index=3, position=[1, 1, 0.8]).label == "RX4"
+
+
+class TestSceneConstruction:
+    def test_simulation_scene_counts(self, fig7_scene):
+        assert fig7_scene.num_transmitters == 36
+        assert fig7_scene.num_receivers == 4
+
+    def test_heights(self, fig7_scene, exp_scene):
+        assert np.all(
+            fig7_scene.tx_positions()[:, 2] == constants.SIM_CEILING_HEIGHT
+        )
+        assert np.all(
+            fig7_scene.rx_positions()[:, 2] == constants.SIM_RECEIVER_HEIGHT
+        )
+        assert np.all(exp_scene.tx_positions()[:, 2] == constants.EXP_TX_HEIGHT)
+        assert np.all(exp_scene.rx_positions()[:, 2] == 0.0)
+
+    def test_grid_attached(self, fig7_scene):
+        assert fig7_scene.grid is not None
+        assert fig7_scene.grid.count == 36
+
+    def test_shared_led(self, fig7_scene):
+        assert fig7_scene.led is fig7_scene.transmitters[0].led
+
+    def test_empty_receivers_allowed(self):
+        scene = simulation_scene([])
+        assert scene.num_receivers == 0
+
+    def test_needs_transmitters(self, fig7_scene):
+        with pytest.raises(ConfigurationError):
+            Scene(
+                room=fig7_scene.room,
+                transmitters=(),
+                receivers=fig7_scene.receivers,
+            )
+
+    def test_rx_outside_room_rejected(self):
+        with pytest.raises(GeometryError):
+            simulation_scene([(5.0, 5.0)])
+
+
+class TestSceneMutation:
+    def test_with_receivers_at(self, fig7_scene):
+        moved = fig7_scene.with_receivers_at(
+            [(0.5, 0.5), (1.0, 1.0), (1.5, 1.5), (2.0, 2.0)]
+        )
+        assert moved.rx_positions()[0][0] == pytest.approx(0.5)
+        # Height preserved.
+        assert moved.rx_positions()[0][2] == pytest.approx(
+            constants.SIM_RECEIVER_HEIGHT
+        )
+        # Original untouched.
+        assert fig7_scene.rx_positions()[0][0] == pytest.approx(0.92)
+
+    def test_with_receivers_wrong_count(self, fig7_scene):
+        with pytest.raises(ConfigurationError):
+            fig7_scene.with_receivers_at([(1.0, 1.0)])
+
+    def test_position_arrays_are_copies(self, fig7_scene):
+        positions = fig7_scene.tx_positions()
+        positions[0, 0] = 99.0
+        assert fig7_scene.transmitters[0].position[0] != 99.0

@@ -1,0 +1,129 @@
+"""Unit tests for repro.phy.transceiver (waveform-level link)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CodingError
+from repro.phy import MACFrame, TransmissionPath, VLCPhyLink
+
+
+@pytest.fixture()
+def frame():
+    return MACFrame(destination=1, source=0, protocol=0x0800,
+                    payload=b"0123456789" * 5)
+
+
+class TestTransmissionPath:
+    def test_validation(self):
+        with pytest.raises(CodingError):
+            TransmissionPath(amplitude=0.0)
+        with pytest.raises(CodingError):
+            TransmissionPath(amplitude=1.0, delay_samples=-1)
+
+
+class TestSinglePath:
+    def test_noiseless_roundtrip(self, frame):
+        link = VLCPhyLink(samples_per_symbol=10)
+        waveform = link.transmit(frame, [TransmissionPath(1.0)])
+        result = link.receive(waveform)
+        assert result.success
+        assert result.frame == frame
+
+    def test_preamble_offset_is_pilot_length(self, frame):
+        link = VLCPhyLink(samples_per_symbol=10)
+        waveform = link.transmit(frame, [TransmissionPath(1.0)])
+        result = link.receive(waveform)
+        assert result.preamble_offset == 32 * 10
+
+    def test_delayed_single_path(self, frame):
+        link = VLCPhyLink(samples_per_symbol=10)
+        waveform = link.transmit(frame, [TransmissionPath(1.0, 57)])
+        result = link.receive(waveform)
+        assert result.success
+        assert result.preamble_offset == 320 + 57
+
+    def test_noisy_roundtrip(self, frame):
+        link = VLCPhyLink(samples_per_symbol=10, noise_std=0.2)
+        assert link.frame_trial(frame, [TransmissionPath(1.0)], rng=0)
+
+    def test_heavy_noise_fails(self, frame):
+        link = VLCPhyLink(samples_per_symbol=10, noise_std=5.0)
+        failures = sum(
+            not link.frame_trial(frame, [TransmissionPath(0.1)], rng=seed)
+            for seed in range(5)
+        )
+        assert failures == 5
+
+    def test_search_window(self, frame):
+        link = VLCPhyLink(samples_per_symbol=10)
+        waveform = link.transmit(frame, [TransmissionPath(1.0)])
+        result = link.receive(waveform, search_window=700)
+        assert result.success
+
+    def test_needs_paths(self, frame):
+        link = VLCPhyLink()
+        with pytest.raises(CodingError):
+            link.transmit(frame, [])
+
+
+class TestMultiPath:
+    def test_synchronized_copies_help(self, frame):
+        link = VLCPhyLink(samples_per_symbol=10, noise_std=0.8)
+        weak = [TransmissionPath(0.5)]
+        strong = [TransmissionPath(0.5), TransmissionPath(0.5, 1)]
+        weak_failures = sum(
+            not link.frame_trial(frame, weak, rng=seed) for seed in range(8)
+        )
+        strong_failures = sum(
+            not link.frame_trial(frame, strong, rng=seed) for seed in range(8)
+        )
+        assert strong_failures <= weak_failures
+
+    def test_sub_symbol_offset_tolerated(self, frame):
+        # The DenseVLC sync residual (~0.6 us = 0.6 samples here) must
+        # not break decoding.
+        link = VLCPhyLink(samples_per_symbol=10, noise_std=0.05)
+        paths = [TransmissionPath(0.6), TransmissionPath(0.6, 1)]
+        assert link.frame_trial(frame, paths, rng=1)
+
+    def test_symbol_scale_offset_fails(self, frame):
+        # >= 1 symbol misalignment destroys the frame (Table 5 no-sync).
+        link = VLCPhyLink(samples_per_symbol=10, noise_std=0.05)
+        paths = [TransmissionPath(0.6), TransmissionPath(0.6, 10)]
+        assert not link.frame_trial(frame, paths, rng=1)
+
+    def test_gross_offset_fails(self, frame):
+        link = VLCPhyLink(samples_per_symbol=10, noise_std=0.05)
+        paths = [TransmissionPath(0.6), TransmissionPath(0.6, 500)]
+        assert not link.frame_trial(frame, paths, rng=1)
+
+
+class TestPacketErrorRate:
+    def test_clean_link_per_zero(self):
+        link = VLCPhyLink(samples_per_symbol=10, noise_std=0.05)
+        per = link.packet_error_rate(
+            [TransmissionPath(1.0)], trials=10, payload_length=40
+        )
+        assert per == 0.0
+
+    def test_broken_link_per_one(self):
+        link = VLCPhyLink(samples_per_symbol=10, noise_std=0.05)
+        per = link.packet_error_rate(
+            [TransmissionPath(0.5), TransmissionPath(0.5, 30)],
+            trials=10,
+            payload_length=40,
+        )
+        assert per == 1.0
+
+    def test_validation(self):
+        link = VLCPhyLink()
+        with pytest.raises(CodingError):
+            link.packet_error_rate([TransmissionPath(1.0)], trials=0)
+        with pytest.raises(CodingError):
+            link.packet_error_rate(
+                [TransmissionPath(1.0)], trials=1, payload_length=0
+            )
+        with pytest.raises(CodingError):
+            VLCPhyLink(samples_per_symbol=1)
+        with pytest.raises(CodingError):
+            VLCPhyLink(noise_std=-0.1)

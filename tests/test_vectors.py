@@ -1,0 +1,124 @@
+"""Unit tests for repro.geometry.vectors."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry import (
+    DOWN,
+    UP,
+    angle_between,
+    as_point,
+    centroid,
+    cos_angle_between,
+    distance,
+    horizontal_distance,
+    normalize,
+)
+
+
+class TestAsPoint:
+    def test_accepts_list(self):
+        point = as_point([1.0, 2.0, 3.0])
+        assert point.shape == (3,)
+        assert point.dtype == float
+
+    def test_accepts_tuple(self):
+        assert as_point((0, 0, 1))[2] == 1.0
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(GeometryError):
+            as_point([1.0, 2.0])
+
+    def test_rejects_nan(self):
+        with pytest.raises(GeometryError):
+            as_point([1.0, float("nan"), 0.0])
+
+    def test_rejects_inf(self):
+        with pytest.raises(GeometryError):
+            as_point([float("inf"), 0.0, 0.0])
+
+    def test_rejects_2d(self):
+        with pytest.raises(GeometryError):
+            as_point(np.zeros((3, 3)))
+
+
+class TestNormalize:
+    def test_unit_output(self):
+        vec = normalize([3.0, 4.0, 0.0])
+        assert np.linalg.norm(vec) == pytest.approx(1.0)
+
+    def test_preserves_direction(self):
+        vec = normalize([0.0, 0.0, 5.0])
+        assert np.allclose(vec, UP)
+
+    def test_rejects_zero(self):
+        with pytest.raises(GeometryError):
+            normalize([0.0, 0.0, 0.0])
+
+    def test_rejects_tiny(self):
+        with pytest.raises(GeometryError):
+            normalize([1e-15, 0.0, 0.0])
+
+
+class TestDistance:
+    def test_simple(self):
+        assert distance([0, 0, 0], [3, 4, 0]) == pytest.approx(5.0)
+
+    def test_zero(self):
+        assert distance([1, 2, 3], [1, 2, 3]) == 0.0
+
+    def test_symmetric(self):
+        a, b = [1, 2, 3], [4, 5, 6]
+        assert distance(a, b) == pytest.approx(distance(b, a))
+
+
+class TestAngles:
+    def test_orthogonal(self):
+        assert angle_between([1, 0, 0], [0, 1, 0]) == pytest.approx(math.pi / 2)
+
+    def test_parallel(self):
+        assert angle_between([1, 0, 0], [2, 0, 0]) == pytest.approx(0.0)
+
+    def test_antiparallel(self):
+        assert angle_between(UP, DOWN) == pytest.approx(math.pi)
+
+    def test_cosine_matches_angle(self):
+        u, v = [1, 2, 3], [3, 1, -2]
+        assert cos_angle_between(u, v) == pytest.approx(
+            math.cos(angle_between(u, v))
+        )
+
+    def test_clipping_is_safe(self):
+        # Nearly-identical vectors must not produce arccos domain errors.
+        u = [1.0, 1.0, 1.0]
+        assert angle_between(u, u) == pytest.approx(0.0, abs=1e-7)
+
+
+class TestHorizontalDistance:
+    def test_ignores_z(self):
+        assert horizontal_distance([0, 0, 10], [3, 4, -5]) == pytest.approx(5.0)
+
+
+class TestCentroid:
+    def test_mean(self):
+        c = centroid([[0, 0, 0], [2, 2, 2]])
+        assert np.allclose(c, [1, 1, 1])
+
+    def test_single_point(self):
+        assert np.allclose(centroid([[5, 6, 7]]), [5, 6, 7])
+
+    def test_empty_raises(self):
+        with pytest.raises(GeometryError):
+            centroid([])
+
+
+class TestConstants:
+    def test_down_up_are_unit(self):
+        assert np.linalg.norm(DOWN) == pytest.approx(1.0)
+        assert np.linalg.norm(UP) == pytest.approx(1.0)
+
+    def test_down_is_negative_up(self):
+        assert np.allclose(DOWN, -UP)
