@@ -12,6 +12,8 @@ package is organized bottom-up:
 - :mod:`repro.core` -- the power-allocation problem, the optimal solver,
   the ranking heuristic (Algorithm 1) and the SISO/D-MISO baselines;
 - :mod:`repro.simulation` -- the discrete-event network simulator;
+- :mod:`repro.runtime` -- the batched/cached/parallel allocation-serving
+  engine (``repro bench``);
 - :mod:`repro.experiments` -- one runner per paper table/figure.
 
 Quickstart::

@@ -21,6 +21,7 @@ from .los import (
     channel_matrix,
     channel_matrix_for_positions,
     los_gain,
+    los_gain_stack,
     node_gain,
     vertical_los_gain,
 )
@@ -49,6 +50,7 @@ __all__ = [
     "channel_matrix",
     "channel_matrix_for_positions",
     "los_gain",
+    "los_gain_stack",
     "node_gain",
     "vertical_los_gain",
     "floor_reflection_gain",

@@ -13,11 +13,11 @@ a :class:`~repro.system.Scene`.
 from __future__ import annotations
 
 import math
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
-from ..errors import ChannelError
+from ..errors import ChannelError, GeometryError
 from ..optics import LEDModel, Photodiode
 from ..system import ReceiverNode, Scene, TransmitterNode
 
@@ -62,7 +62,11 @@ def los_gain(
 
 
 def node_gain(tx: TransmitterNode, rx: ReceiverNode) -> float:
-    """LOS gain between two scene nodes."""
+    """LOS gain between two scene nodes.
+
+    Scalar reference implementation; :func:`channel_matrix` computes the
+    same quantity for all pairs at once via :func:`los_gain_stack`.
+    """
     return los_gain(
         tx.position,
         tx.orientation,
@@ -73,19 +77,87 @@ def node_gain(tx: TransmitterNode, rx: ReceiverNode) -> float:
     )
 
 
+def los_gain_stack(
+    tx_positions: np.ndarray,
+    tx_orientations: np.ndarray,
+    lambertian_orders: np.ndarray,
+    rx_positions: np.ndarray,
+    rx_orientations: np.ndarray,
+    photodiodes: "Sequence[Photodiode]",
+) -> np.ndarray:
+    """Eq. 2 broadcast over every TX/RX pair (and optional RX batches).
+
+    ``rx_positions`` may carry leading batch axes: shape ``(..., M, 3)``
+    yields a ``(..., N, M)`` gain stack in one NumPy broadcast, which is
+    how the runtime engine evaluates many receiver placements at once.
+    ``rx_orientations`` is ``(M, 3)`` (shared across the batch) or the
+    same shape as ``rx_positions``.
+    """
+    tx_pos = np.asarray(tx_positions, dtype=float)
+    tx_ori = np.asarray(tx_orientations, dtype=float)
+    orders = np.asarray(lambertian_orders, dtype=float)
+    rx_pos = np.asarray(rx_positions, dtype=float)
+    rx_ori = np.asarray(rx_orientations, dtype=float)
+
+    # delta[..., j, m, :] = rx_pos[..., m, :] - tx_pos[j, :]
+    delta = rx_pos[..., None, :, :] - tx_pos[:, None, :]
+    distance = np.linalg.norm(delta, axis=-1)
+    if np.any(distance <= 0.0):
+        raise ChannelError("TX and RX positions coincide; LOS gain undefined")
+    cos_phi = np.einsum("...jmc,jc->...jm", delta, tx_ori) / distance
+    cos_psi = -np.einsum("...jmc,...mc->...jm", delta, rx_ori) / distance
+    visible = (cos_phi > 0.0) & (cos_psi > 0.0)
+    cos_phi = np.where(visible, np.minimum(cos_phi, 1.0), 0.0)
+    cos_psi = np.where(visible, np.minimum(cos_psi, 1.0), 0.0)
+    incidence = np.arccos(np.clip(cos_psi, -1.0, 1.0))
+
+    first = photodiodes[0]
+    if all(pd is first or pd == first for pd in photodiodes):
+        concentrator = first.gain_array(incidence)
+        areas: "np.ndarray | float" = first.area
+    else:
+        concentrator = np.empty_like(incidence)
+        for m, pd in enumerate(photodiodes):
+            concentrator[..., m] = pd.gain_array(incidence[..., m])
+        areas = np.array([pd.area for pd in photodiodes])
+
+    orders_col = orders[:, None]
+    gains = (
+        (orders_col + 1.0)
+        * areas
+        / (2.0 * math.pi * distance**2)
+        * cos_phi**orders_col
+        * concentrator
+        * cos_psi
+    )
+    return np.where(visible, gains, 0.0)
+
+
+def _scene_tx_arrays(scene: Scene) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+    positions = scene.tx_positions()
+    orientations = np.array([tx.orientation for tx in scene.transmitters])
+    orders = np.array([tx.led.lambertian_order for tx in scene.transmitters])
+    return positions, orientations, orders
+
+
 def channel_matrix(scene: Scene) -> np.ndarray:
     """The (N, M) LOS gain matrix H for a scene.
 
     Entry ``H[j, m]`` is the gain from TX ``j`` to RX ``m``; this is the
-    ``H_{j,i}`` of the paper's Eqs. 3 and 12.
+    ``H_{j,i}`` of the paper's Eqs. 3 and 12.  Computed in one broadcast
+    over all pairs; :func:`node_gain` is the scalar reference.
     """
     if scene.num_receivers == 0:
         raise ChannelError("scene has no receivers; channel matrix is empty")
-    matrix = np.zeros((scene.num_transmitters, scene.num_receivers))
-    for j, tx in enumerate(scene.transmitters):
-        for m, rx in enumerate(scene.receivers):
-            matrix[j, m] = node_gain(tx, rx)
-    return matrix
+    tx_pos, tx_ori, orders = _scene_tx_arrays(scene)
+    return los_gain_stack(
+        tx_pos,
+        tx_ori,
+        orders,
+        scene.rx_positions(),
+        np.array([rx.orientation for rx in scene.receivers]),
+        [rx.photodiode for rx in scene.receivers],
+    )
 
 
 def channel_matrix_for_positions(
@@ -95,9 +167,34 @@ def channel_matrix_for_positions(
 
     Convenience for sweep workloads (Fig. 6 random instances): reuses the
     scene's TX grid and receiver hardware, only the positions change.
+    Receiver heights, orientations and photodiodes are preserved; no
+    intermediate :class:`~repro.system.Scene` is built.
     """
-    moved = scene.with_receivers_at([(float(x), float(y)) for x, y in rx_positions_xy])
-    return channel_matrix(moved)
+    xy = np.asarray(rx_positions_xy, dtype=float)
+    if xy.ndim != 2 or xy.shape[1] != 2:
+        raise ChannelError(
+            f"expected an (M, 2) array of XY positions, got shape {xy.shape}"
+        )
+    if xy.shape[0] != scene.num_receivers:
+        raise GeometryError(
+            f"expected {scene.num_receivers} positions, got {xy.shape[0]}"
+        )
+    for x, y in xy:
+        if not scene.room.contains_xy(float(x), float(y)):
+            raise GeometryError(
+                f"RX position ({x}, {y}) lies outside the room footprint"
+            )
+    heights = scene.rx_positions()[:, 2]
+    rx_pos = np.concatenate([xy, heights[:, None]], axis=1)
+    tx_pos, tx_ori, orders = _scene_tx_arrays(scene)
+    return los_gain_stack(
+        tx_pos,
+        tx_ori,
+        orders,
+        rx_pos,
+        np.array([rx.orientation for rx in scene.receivers]),
+        [rx.photodiode for rx in scene.receivers],
+    )
 
 
 def vertical_los_gain(

@@ -5,6 +5,7 @@
     python -m repro list                    # available experiments
     python -m repro run fig04               # one experiment, summary out
     python -m repro report --fidelity fast  # the consolidated report
+    python -m repro bench --requests 100    # allocation-engine benchmark
 """
 
 from __future__ import annotations
@@ -187,6 +188,41 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--fidelity", choices=("fast", "full"), default="fast"
     )
     report_parser.add_argument("--output", default="-")
+    bench_parser = subparsers.add_parser(
+        "bench", help="benchmark the allocation-serving runtime engine"
+    )
+    bench_parser.add_argument(
+        "--requests", type=int, default=100, help="number of requests to serve"
+    )
+    bench_parser.add_argument(
+        "--distinct",
+        type=int,
+        default=25,
+        help="distinct random placements the requests are drawn from",
+    )
+    bench_parser.add_argument(
+        "--solver",
+        default="heuristic",
+        choices=("binary", "greedy", "heuristic", "optimal"),
+        help="allocation solver",
+    )
+    bench_parser.add_argument(
+        "--budget", type=float, default=1.2, help="power budget [W]"
+    )
+    bench_parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="solver pool processes (0 = solve in-process)",
+    )
+    bench_parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=1,
+        help="requests per service batch (1 = one request at a time)",
+    )
+    bench_parser.add_argument("--cache-size", type=int, default=256)
+    bench_parser.add_argument("--seed", type=int, default=0)
 
     args = parser.parse_args(argv)
     if args.command == "list":
@@ -202,6 +238,27 @@ def main(argv: Optional[List[str]] = None) -> int:
         return report_module.main(
             ["--fidelity", args.fidelity, "--output", args.output]
         )
+    if args.command == "bench":
+        from .errors import DenseVLCError
+        from .runtime import run_benchmark
+
+        try:
+            report = run_benchmark(
+                requests=args.requests,
+                distinct_placements=args.distinct,
+                solver=args.solver,
+                power_budget=args.budget,
+                workers=args.workers,
+                cache_capacity=args.cache_size,
+                batch_size=args.batch_size,
+                seed=args.seed,
+            )
+        except DenseVLCError as exc:
+            print(f"repro bench: error: {exc}", file=sys.stderr)
+            return 2
+        for line in report.lines():
+            print(line)
+        return 0
     parser.print_help()
     return 1
 

@@ -46,3 +46,7 @@ class SynchronizationError(DenseVLCError):
 
 class SimulationError(DenseVLCError):
     """The discrete-event simulation reached an inconsistent state."""
+
+
+class RuntimeEngineError(DenseVLCError):
+    """The allocation-serving runtime (cache/pool/service) failed."""

@@ -18,7 +18,6 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..channel import channel_matrix
 from ..core import (
     AllocationProblem,
     ContinuousOptimizer,
@@ -26,6 +25,7 @@ from ..core import (
     RankingHeuristic,
 )
 from ..errors import ConfigurationError
+from ..runtime import channel_matrix_stack
 from .config import ExperimentConfig, default_config
 from .scenarios import fig6_instances
 
@@ -102,12 +102,12 @@ def run(
     per_rx = np.zeros((instances, len(budget_list), num_rx))
     optimizer = ContinuousOptimizer(OptimizerOptions(restarts=0, seed=seed))
     heuristic = RankingHeuristic()
+    # One batched broadcast for all instance channels (runtime engine)
+    # instead of rebuilding a Scene per instance.
+    channels = channel_matrix_stack(base_scene, placements)
     for t in range(instances):
-        scene = base_scene.with_receivers_at(
-            [(float(x), float(y)) for x, y in placements[t]]
-        )
         problem = AllocationProblem(
-            channel=channel_matrix(scene),
+            channel=channels[t],
             power_budget=budget_list[-1],
             led=cfg.led,
             photodiode=cfg.photodiode,

@@ -22,6 +22,7 @@ from ..core import (
     RankingHeuristic,
 )
 from ..errors import ConfigurationError
+from ..runtime import channel_matrix_stack
 from .config import ExperimentConfig, default_config
 from .scenarios import fig6_instances, fig7_instance
 
@@ -95,16 +96,16 @@ def run(
             [a.system_throughput for a in sweep]
         )
 
-    # Right panes: loss histograms over random instances.
+    # Right panes: loss histograms over random instances.  All instance
+    # channels come from one batched broadcast (runtime engine) instead
+    # of per-instance scene rebuilds.
     placements = fig6_instances(instances=instances, seed=seed)
     base_scene = cfg.simulation_scene_at(placements[0])
+    channels = channel_matrix_stack(base_scene, placements)
     losses: Dict[float, List[float]] = {kappa: [] for kappa in kappa_list}
     for t in range(instances):
-        inst_scene = base_scene.with_receivers_at(
-            [(float(x), float(y)) for x, y in placements[t]]
-        )
         inst_problem = AllocationProblem(
-            channel=channel_matrix(inst_scene),
+            channel=channels[t],
             power_budget=budget_list[-1],
             led=cfg.led,
             photodiode=cfg.photodiode,

@@ -19,6 +19,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from .. import constants
 from ..errors import ConfigurationError
 
@@ -29,6 +31,16 @@ class ConcentratorModel:
     def gain(self, incidence_angle: float) -> float:
         """Dimensionless optical gain at *incidence_angle* [rad]."""
         raise NotImplementedError
+
+    def gain_array(self, incidence_angles: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`gain` over an array of angles [rad].
+
+        Subclasses whose gain is constant inside the FOV override this
+        with a branch-free broadcast; the fallback evaluates elementwise
+        so custom models stay correct on the batched channel path.
+        """
+        angles = np.asarray(incidence_angles, dtype=float)
+        return np.vectorize(self.gain, otypes=[float])(angles)
 
 
 @dataclass(frozen=True)
@@ -50,6 +62,11 @@ class FlatConcentrator(ConcentratorModel):
         if not 0.0 <= incidence_angle <= self.field_of_view:
             return 0.0
         return self.value
+
+    def gain_array(self, incidence_angles: np.ndarray) -> np.ndarray:
+        angles = np.asarray(incidence_angles, dtype=float)
+        inside = (angles >= 0.0) & (angles <= self.field_of_view)
+        return np.where(inside, self.value, 0.0)
 
 
 @dataclass(frozen=True)
@@ -73,6 +90,12 @@ class CompoundParabolicConcentrator(ConcentratorModel):
         if not 0.0 <= incidence_angle <= self.field_of_view:
             return 0.0
         return self.refractive_index**2 / math.sin(self.field_of_view) ** 2
+
+    def gain_array(self, incidence_angles: np.ndarray) -> np.ndarray:
+        angles = np.asarray(incidence_angles, dtype=float)
+        inside = (angles >= 0.0) & (angles <= self.field_of_view)
+        value = self.refractive_index**2 / math.sin(self.field_of_view) ** 2
+        return np.where(inside, value, 0.0)
 
 
 @dataclass(frozen=True)
@@ -112,6 +135,12 @@ class Photodiode:
         if not self.accepts(incidence_angle):
             return 0.0
         return self.concentrator.gain(incidence_angle)
+
+    def gain_array(self, incidence_angles: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`gain` over an array of angles [rad]."""
+        angles = np.asarray(incidence_angles, dtype=float)
+        inside = (angles >= 0.0) & (angles <= self.field_of_view)
+        return np.where(inside, self.concentrator.gain_array(angles), 0.0)
 
     def photocurrent(self, optical_power: float) -> float:
         """Photocurrent [A] produced by *optical_power* [W]."""

@@ -1,0 +1,61 @@
+"""The allocation-serving runtime: batched, cached, parallel.
+
+Turns the per-call experiment code into a high-throughput engine:
+
+- :mod:`repro.runtime.cache` -- bounded LRU caches keyed by quantized
+  scene fingerprints;
+- :mod:`repro.runtime.batch` -- one-broadcast channel/SINR evaluation
+  for stacks of placements and allocations;
+- :mod:`repro.runtime.pool` -- deterministic process-pool fan-out of
+  allocation solves;
+- :mod:`repro.runtime.metrics` -- counters/gauges/histograms exported
+  as a dict snapshot;
+- :mod:`repro.runtime.service` -- the :class:`AllocationService`
+  facade routing requests through cache -> batch -> pool, wired into
+  the CLI as ``repro bench``.
+"""
+
+from .batch import (
+    channel_matrix_stack,
+    received_amplitude_stack,
+    sinr_stack,
+    system_throughput_stack,
+    throughput_stack,
+)
+from .cache import CacheStats, ChannelCache, LRUCache
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .pool import SOLVERS, PoolOptions, SolverPool, SolveTask, solve_task
+from .service import (
+    AllocationRequest,
+    AllocationResult,
+    AllocationService,
+    BenchmarkReport,
+    ServiceOptions,
+    run_benchmark,
+)
+
+__all__ = [
+    "channel_matrix_stack",
+    "received_amplitude_stack",
+    "sinr_stack",
+    "system_throughput_stack",
+    "throughput_stack",
+    "CacheStats",
+    "ChannelCache",
+    "LRUCache",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SOLVERS",
+    "PoolOptions",
+    "SolverPool",
+    "SolveTask",
+    "solve_task",
+    "AllocationRequest",
+    "AllocationResult",
+    "AllocationService",
+    "BenchmarkReport",
+    "ServiceOptions",
+    "run_benchmark",
+]

@@ -1,0 +1,139 @@
+"""Vectorized batch evaluation of channels and allocations.
+
+Sweep workloads (Fig. 6/8/11) evaluate the same TX grid against many
+receiver placements and many candidate allocations.  Done naively that
+is ``B`` scene rebuilds and ``B * N * M`` scalar Eq.-2 evaluations; here
+the whole batch collapses into a handful of NumPy broadcasts:
+
+- :func:`channel_matrix_stack` -- (B, N, M) LOS gains for B placements
+  in one call, no intermediate :class:`~repro.system.Scene` objects;
+- :func:`sinr_stack` / :func:`throughput_stack` -- Eq. 12 for stacks of
+  allocations at once (``einsum`` over the batch axis).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..channel import AWGNNoise, shannon_throughput
+from ..channel.los import _scene_tx_arrays, los_gain_stack
+from ..errors import ChannelError, GeometryError
+from ..optics import LEDModel, Photodiode
+from ..system import Scene
+
+
+def channel_matrix_stack(
+    scene: Scene, placements_xy: "np.ndarray | list"
+) -> np.ndarray:
+    """(B, N, M) LOS gain matrices for B receiver placements.
+
+    *placements_xy* has shape (B, M, 2); each placement moves the
+    scene's M receivers to new XY positions (heights, orientations and
+    photodiode models are taken from the scene).  The full stack is one
+    NumPy broadcast over all B * N * M links.
+    """
+    placements = np.asarray(placements_xy, dtype=float)
+    if placements.ndim != 3 or placements.shape[2] != 2:
+        raise ChannelError(
+            f"expected a (B, M, 2) placement array, got shape {placements.shape}"
+        )
+    if placements.shape[1] != scene.num_receivers:
+        raise GeometryError(
+            f"expected {scene.num_receivers} receivers per placement, "
+            f"got {placements.shape[1]}"
+        )
+    if not (
+        np.all(placements[..., 0] >= 0.0)
+        and np.all(placements[..., 0] <= scene.room.width)
+        and np.all(placements[..., 1] >= 0.0)
+        and np.all(placements[..., 1] <= scene.room.depth)
+    ):
+        raise GeometryError("placement outside the room footprint")
+    heights = scene.rx_positions()[:, 2]
+    rx_pos = np.concatenate(
+        [placements, np.broadcast_to(heights[:, None], placements.shape[:2] + (1,))],
+        axis=2,
+    )
+    tx_pos, tx_ori, orders = _scene_tx_arrays(scene)
+    return los_gain_stack(
+        tx_pos,
+        tx_ori,
+        orders,
+        rx_pos,
+        np.array([rx.orientation for rx in scene.receivers]),
+        [rx.photodiode for rx in scene.receivers],
+    )
+
+
+def received_amplitude_stack(
+    channels: np.ndarray,
+    swings: np.ndarray,
+    led: LEDModel,
+    photodiode: Photodiode,
+) -> np.ndarray:
+    """(..., M, M) received-amplitude stacks for allocation stacks.
+
+    Batched :func:`repro.channel.received_amplitudes`: *channels* is
+    (..., N, M) (or a single (N, M) matrix shared by the batch) and
+    *swings* is (..., N, M); leading axes broadcast.
+    """
+    channels = np.asarray(channels, dtype=float)
+    swings = np.asarray(swings, dtype=float)
+    if channels.ndim < 2 or swings.ndim < 2:
+        raise ChannelError("channel and swing stacks must be at least 2-D")
+    if channels.shape[-2:] != swings.shape[-2:]:
+        raise ChannelError(
+            f"channel stack {channels.shape} does not match swing stack "
+            f"{swings.shape}"
+        )
+    if np.any(channels < 0):
+        raise ChannelError("channel gains must be non-negative")
+    if np.any(swings < -1e-12):
+        raise ChannelError("swing currents must be non-negative")
+    scale = photodiode.responsivity * led.wall_plug_efficiency * led.dynamic_resistance
+    power_per_link = (np.clip(swings, 0.0, None) / 2.0) ** 2
+    # A[..., i, k] = scale * sum_j H[..., j, i] * power_per_link[..., j, k]
+    return scale * np.einsum("...ji,...jk->...ik", channels, power_per_link)
+
+
+def sinr_stack(
+    channels: np.ndarray,
+    swings: np.ndarray,
+    led: LEDModel,
+    photodiode: Photodiode,
+    noise: Optional[AWGNNoise] = None,
+) -> np.ndarray:
+    """(..., M) per-RX SINR (Eq. 12) for stacks of allocations."""
+    noise_model = noise if noise is not None else AWGNNoise()
+    amplitudes = received_amplitude_stack(channels, swings, led, photodiode)
+    signal = np.diagonal(amplitudes, axis1=-2, axis2=-1)
+    interference = amplitudes.sum(axis=-1) - signal
+    return signal**2 / (noise_model.power + interference**2)
+
+
+def throughput_stack(
+    channels: np.ndarray,
+    swings: np.ndarray,
+    led: LEDModel,
+    photodiode: Photodiode,
+    noise: Optional[AWGNNoise] = None,
+) -> np.ndarray:
+    """(..., M) per-RX Shannon throughput [bit/s] for allocation stacks."""
+    noise_model = noise if noise is not None else AWGNNoise()
+    return shannon_throughput(
+        sinr_stack(channels, swings, led, photodiode, noise_model),
+        noise_model.bandwidth,
+    )
+
+
+def system_throughput_stack(
+    channels: np.ndarray,
+    swings: np.ndarray,
+    led: LEDModel,
+    photodiode: Photodiode,
+    noise: Optional[AWGNNoise] = None,
+) -> np.ndarray:
+    """(...,) system throughput [bit/s] for allocation stacks."""
+    return throughput_stack(channels, swings, led, photodiode, noise).sum(axis=-1)

@@ -1,0 +1,139 @@
+"""Bounded LRU caches keyed by scene fingerprints.
+
+The allocation-serving engine sees the same scenes over and over: a
+mobility trace revisits quantized positions, a sweep re-evaluates one
+placement under many budgets, and concurrent users cluster around the
+same few spots.  :class:`LRUCache` is the generic bounded store (with
+hit/miss/eviction accounting); :class:`ChannelCache` specializes it for
+LOS channel matrices keyed by :meth:`repro.system.Scene.fingerprint`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from threading import Lock
+from typing import Any, Callable, Hashable, Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+_MISSING = object()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters for one cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0 when unused)."""
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class LRUCache:
+    """A bounded, thread-safe least-recently-used cache."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = Lock()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """The cached value (refreshing its recency) or *default*."""
+        with self._lock:
+            value = self._entries.get(key, _MISSING)
+            if value is _MISSING:
+                self.stats.misses += 1
+                return default
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert/refresh a value, evicting the oldest entry when full."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def get_or_create(self, key: Hashable, factory: Callable[[], Any]) -> Any:
+        """The cached value, computing and storing it on a miss."""
+        value = self.get(key, _MISSING)
+        if value is not _MISSING:
+            return value
+        value = factory()
+        self.put(key, value)
+        return value
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+
+class ChannelCache:
+    """LOS channel matrices keyed by quantized scene fingerprint.
+
+    Cached matrices are shared, not copied; callers must treat them as
+    read-only (``AllocationProblem`` already does).
+    """
+
+    def __init__(self, capacity: int = 256, quantum: Optional[float] = None) -> None:
+        from ..system import FINGERPRINT_QUANTUM
+
+        self.quantum = quantum if quantum is not None else FINGERPRINT_QUANTUM
+        self._cache = LRUCache(capacity)
+
+    @property
+    def stats(self) -> CacheStats:
+        return self._cache.stats
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def matrix_for(self, scene) -> np.ndarray:
+        """The scene's channel matrix, computed at most once per fingerprint."""
+        from ..channel import channel_matrix
+
+        key = scene.fingerprint(self.quantum)
+        return self._cache.get_or_create(key, lambda: channel_matrix(scene))
+
+    def get(self, key: Hashable) -> Optional[np.ndarray]:
+        return self._cache.get(key)
+
+    def put(self, key: Hashable, matrix: np.ndarray) -> None:
+        self._cache.put(key, matrix)
+
+    def clear(self) -> None:
+        self._cache.clear()

@@ -1,0 +1,152 @@
+"""A lightweight metrics registry for the allocation-serving engine.
+
+Counters (monotonic), gauges (last value) and timing histograms with a
+bounded reservoir, all exported as one plain-dict snapshot so the
+service can report operational state (requests served, cache hit-rate,
+latency percentiles) without any external dependency.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from contextlib import contextmanager
+from threading import Lock
+from typing import Deque, Dict, Iterator, Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    def __init__(self) -> None:
+        self._value = 0.0
+        self._lock = Lock()
+
+    def increment(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ConfigurationError(f"counter increments must be >= 0, got {amount}")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """A point-in-time value (e.g. current cache size)."""
+
+    def __init__(self) -> None:
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Streaming summary of observations with a bounded reservoir.
+
+    Count/sum/min/max are exact over the full stream; percentiles are
+    computed over the most recent *reservoir_size* observations.
+    """
+
+    def __init__(self, reservoir_size: int = 1024) -> None:
+        if reservoir_size < 1:
+            raise ConfigurationError(
+                f"reservoir size must be >= 1, got {reservoir_size}"
+            )
+        self._recent: Deque[float] = deque(maxlen=reservoir_size)
+        self._lock = Lock()
+        self.count = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self.count += 1
+            self.total += value
+            self.minimum = min(self.minimum, value)
+            self.maximum = max(self.maximum, value)
+            self._recent.append(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The *q*-th percentile (0-100) of the recent reservoir."""
+        if not 0.0 <= q <= 100.0:
+            raise ConfigurationError(f"percentile must be in [0, 100], got {q}")
+        with self._lock:
+            if not self._recent:
+                return 0.0
+            return float(np.percentile(np.fromiter(self._recent, dtype=float), q))
+
+    def as_dict(self) -> dict:
+        if self.count == 0:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.minimum,
+            "max": self.maximum,
+            "p50": self.percentile(50.0),
+            "p95": self.percentile(95.0),
+        }
+
+
+class MetricsRegistry:
+    """Named counters/gauges/histograms with a dict snapshot.
+
+    Instruments are created on first use, so call sites read as
+    ``registry.counter("requests").increment()``.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._lock = Lock()
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            return self._counters.setdefault(name, Counter())
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            return self._gauges.setdefault(name, Gauge())
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            return self._histograms.setdefault(name, Histogram())
+
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        """Time a block and record the seconds in histogram *name*."""
+        histogram = self.histogram(name)
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            histogram.observe(time.perf_counter() - start)
+
+    def snapshot(self) -> dict:
+        """All instruments as one JSON-serializable dict."""
+        with self._lock:
+            return {
+                "counters": {k: c.value for k, c in self._counters.items()},
+                "gauges": {k: g.value for k, g in self._gauges.items()},
+                "histograms": {
+                    k: h.as_dict() for k, h in self._histograms.items()
+                },
+            }

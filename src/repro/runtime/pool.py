@@ -1,0 +1,204 @@
+"""Process-pool fan-out for allocation solves.
+
+Allocation solves are embarrassingly parallel across requests: every
+task is a pure function of ``(channel, budget, solver, parameters)``.
+:class:`SolverPool` fans :class:`SolveTask` batches across a
+``ProcessPoolExecutor`` with a per-task timeout, a single serial retry
+when a worker crashes or times out, and results returned in submission
+order -- so parallel output is bit-identical to a serial run.
+
+Solvers are looked up by name in :data:`SOLVERS` (``"heuristic"``,
+``"greedy"``, ``"optimal"``, ``"binary"``) so tasks stay picklable.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .. import constants
+from ..channel import AWGNNoise
+from ..core import (
+    Allocation,
+    AllocationProblem,
+    GreedyMarginalHeuristic,
+    OptimizerOptions,
+    RankingHeuristic,
+    binary_projection,
+    solve_optimal,
+)
+from ..errors import RuntimeEngineError
+from ..optics import LEDModel, Photodiode, cree_xte_paper_power, s5971
+from .metrics import MetricsRegistry
+
+
+@dataclass(frozen=True)
+class SolveTask:
+    """One allocation solve: a problem instance plus solver selection.
+
+    Everything is a plain dataclass/ndarray so tasks cross process
+    boundaries without custom reducers.
+    """
+
+    channel: np.ndarray
+    power_budget: float
+    solver: str = "heuristic"
+    kappa: float = constants.DEFAULT_KAPPA
+    seed: int = 0
+    led: LEDModel = field(default_factory=cree_xte_paper_power)
+    photodiode: Photodiode = field(default_factory=s5971)
+    noise: AWGNNoise = field(default_factory=AWGNNoise)
+
+    def problem(self) -> AllocationProblem:
+        return AllocationProblem(
+            channel=self.channel,
+            power_budget=self.power_budget,
+            led=self.led,
+            photodiode=self.photodiode,
+            noise=self.noise,
+        )
+
+
+def _solve_heuristic(task: SolveTask) -> Allocation:
+    return RankingHeuristic(kappa=task.kappa).solve(task.problem())
+
+
+def _solve_greedy(task: SolveTask) -> Allocation:
+    return GreedyMarginalHeuristic().solve(task.problem())
+
+
+def _solve_optimal(task: SolveTask) -> Allocation:
+    options = OptimizerOptions(restarts=0, seed=task.seed)
+    return solve_optimal(task.problem(), options)
+
+
+def _solve_binary(task: SolveTask) -> Allocation:
+    options = OptimizerOptions(restarts=0, seed=task.seed)
+    return binary_projection(solve_optimal(task.problem(), options))
+
+
+#: Solver name -> callable; tasks reference solvers by name so they pickle.
+SOLVERS: Dict[str, Callable[[SolveTask], Allocation]] = {
+    "heuristic": _solve_heuristic,
+    "greedy": _solve_greedy,
+    "optimal": _solve_optimal,
+    "binary": _solve_binary,
+}
+
+
+def solve_task(task: SolveTask) -> np.ndarray:
+    """Execute one task, returning the solved swing matrix.
+
+    Module-level so worker processes can unpickle the reference.
+    """
+    try:
+        solver = SOLVERS[task.solver]
+    except KeyError:
+        raise RuntimeEngineError(
+            f"unknown solver {task.solver!r}; available: {sorted(SOLVERS)}"
+        ) from None
+    return solver(task).swings
+
+
+@dataclass(frozen=True)
+class PoolOptions:
+    """Knobs for :class:`SolverPool`.
+
+    Attributes:
+        max_workers: worker processes; 0 or 1 solves serially in-process
+            (the right choice on single-core hosts and for tiny batches).
+        task_timeout: per-task wall-clock limit [s] before the serial
+            retry kicks in.
+        min_parallel_tasks: batches smaller than this run serially (the
+            pool spawn cost would dominate).
+    """
+
+    max_workers: int = 0
+    task_timeout: float = 120.0
+    min_parallel_tasks: int = 2
+
+    def __post_init__(self) -> None:
+        if self.max_workers < 0:
+            raise RuntimeEngineError(
+                f"max_workers must be >= 0, got {self.max_workers}"
+            )
+        if self.task_timeout <= 0:
+            raise RuntimeEngineError(
+                f"task timeout must be positive, got {self.task_timeout}"
+            )
+        if self.min_parallel_tasks < 1:
+            raise RuntimeEngineError(
+                f"min_parallel_tasks must be >= 1, got {self.min_parallel_tasks}"
+            )
+
+
+class SolverPool:
+    """Deterministic fan-out of :class:`SolveTask` batches.
+
+    Results are ordered by task index regardless of completion order,
+    and every solver is a pure function of its task, so
+    ``SolverPool(PoolOptions(max_workers=k)).solve_many(tasks)`` returns
+    the same swing matrices for every ``k``.
+    """
+
+    def __init__(
+        self,
+        options: Optional[PoolOptions] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.options = options if options is not None else PoolOptions()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+
+    def solve_many(self, tasks: Sequence[SolveTask]) -> List[np.ndarray]:
+        """Solve every task, preserving submission order."""
+        tasks = list(tasks)
+        self.metrics.counter("pool.tasks").increment(len(tasks))
+        if (
+            self.options.max_workers <= 1
+            or len(tasks) < self.options.min_parallel_tasks
+        ):
+            return [self._solve_serial(task) for task in tasks]
+        return self._solve_parallel(tasks)
+
+    # ------------------------------------------------------------------
+
+    def _solve_serial(self, task: SolveTask) -> np.ndarray:
+        with self.metrics.timer("pool.solve_seconds"):
+            return solve_task(task)
+
+    def _solve_parallel(self, tasks: List[SolveTask]) -> List[np.ndarray]:
+        results: List[Optional[np.ndarray]] = [None] * len(tasks)
+        retry: List[int] = []
+        with self.metrics.timer("pool.batch_seconds"):
+            with ProcessPoolExecutor(
+                max_workers=self.options.max_workers
+            ) as executor:
+                futures = {
+                    index: executor.submit(solve_task, task)
+                    for index, task in enumerate(tasks)
+                }
+                for index, future in futures.items():
+                    try:
+                        results[index] = future.result(
+                            timeout=self.options.task_timeout
+                        )
+                    except (BrokenProcessPool, FutureTimeout, OSError):
+                        retry.append(index)
+        # Retry crashed/timed-out tasks once, serially in this process,
+        # which keeps the batch deterministic and always makes progress.
+        for index in retry:
+            self.metrics.counter("pool.retries").increment()
+            try:
+                results[index] = self._solve_serial(tasks[index])
+            except Exception as error:
+                self.metrics.counter("pool.failures").increment()
+                raise RuntimeEngineError(
+                    f"task {index} failed after serial retry: {error}"
+                ) from error
+        if any(result is None for result in results):
+            raise RuntimeEngineError("pool returned incomplete results")
+        return results  # type: ignore[return-value]

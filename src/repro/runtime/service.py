@@ -1,0 +1,423 @@
+"""The allocation-serving facade: cache -> batch -> pool.
+
+:class:`AllocationService` is the front door of the runtime engine.  A
+request names receiver positions, a power budget and a solver; the
+service quantizes the placement into a cache key, computes LOS channel
+matrices for all cache-missing placements in one batched broadcast,
+fans the allocation solves across the process pool, evaluates the
+resulting throughputs as one allocation stack, and reports everything
+through the metrics registry.  ``python -m repro bench`` drives it with
+a random-placement workload and prints latency percentiles.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import constants
+from ..channel import AWGNNoise
+from ..errors import RuntimeEngineError
+from ..system import FINGERPRINT_QUANTUM, Scene, simulation_scene
+from .batch import channel_matrix_stack, throughput_stack
+from .cache import LRUCache
+from .metrics import MetricsRegistry
+from .pool import SOLVERS, PoolOptions, SolverPool, SolveTask
+
+
+@dataclass(frozen=True)
+class AllocationRequest:
+    """One unit of allocation traffic.
+
+    Attributes:
+        rx_positions_xy: receiver XY positions [m], one per scene RX.
+        power_budget: communication power budget ``P_C,tot`` [W].
+        solver: one of :data:`repro.runtime.pool.SOLVERS`.
+        kappa: SJR exponent (used by the heuristic solver).
+        tag: optional caller-supplied request label.
+    """
+
+    rx_positions_xy: Tuple[Tuple[float, float], ...]
+    power_budget: float
+    solver: str = "heuristic"
+    kappa: float = constants.DEFAULT_KAPPA
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        positions = tuple(
+            (float(x), float(y)) for x, y in self.rx_positions_xy
+        )
+        object.__setattr__(self, "rx_positions_xy", positions)
+        if not positions:
+            raise RuntimeEngineError("a request needs at least one receiver")
+        if self.power_budget < 0:
+            raise RuntimeEngineError(
+                f"power budget must be >= 0, got {self.power_budget}"
+            )
+        if self.solver not in SOLVERS:
+            raise RuntimeEngineError(
+                f"unknown solver {self.solver!r}; available: {sorted(SOLVERS)}"
+            )
+
+
+@dataclass(frozen=True)
+class AllocationResult:
+    """A served request: the allocation plus its provenance.
+
+    Attributes:
+        request: the originating request.
+        fingerprint: the quantized placement cache key (hex digest part).
+        swings: (N, M) solved swing matrix [A].
+        per_rx_throughput: (M,) Shannon throughputs [bit/s].
+        system_throughput: total throughput [bit/s].
+        channel_cached: whether the channel matrix came from the cache.
+        allocation_cached: whether the solve itself was a cache hit.
+        latency_seconds: service time for this request (batch-averaged
+            when the request was served as part of a batch).
+    """
+
+    request: AllocationRequest
+    fingerprint: str
+    swings: np.ndarray
+    per_rx_throughput: np.ndarray
+    system_throughput: float
+    channel_cached: bool
+    allocation_cached: bool
+    latency_seconds: float
+
+
+@dataclass(frozen=True)
+class ServiceOptions:
+    """Knobs for :class:`AllocationService`."""
+
+    channel_cache_capacity: int = 256
+    allocation_cache_capacity: int = 1024
+    quantum: float = FINGERPRINT_QUANTUM
+    pool: PoolOptions = field(default_factory=PoolOptions)
+
+    def __post_init__(self) -> None:
+        if self.quantum <= 0:
+            raise RuntimeEngineError(
+                f"quantum must be positive, got {self.quantum}"
+            )
+
+
+class AllocationService:
+    """High-throughput allocation serving over one deployment scene.
+
+    The scene fixes the TX grid, receiver hardware and receiver count;
+    requests vary the receiver placement, budget and solver.  Channel
+    matrices and solved allocations are cached under position-quantized
+    keys, cache-missing channels are computed in one broadcast, and
+    solves fan out across the process pool.
+    """
+
+    def __init__(
+        self,
+        scene: Scene,
+        noise: Optional[AWGNNoise] = None,
+        options: Optional[ServiceOptions] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if scene.num_receivers == 0:
+            raise RuntimeEngineError("the service scene needs receivers")
+        self.scene = scene
+        self.noise = noise if noise is not None else AWGNNoise()
+        if not hasattr(self.noise, "power"):
+            raise RuntimeEngineError(
+                "noise must expose a .power attribute (see AWGNNoise); "
+                f"got {type(self.noise).__name__}"
+            )
+        self.options = options if options is not None else ServiceOptions()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._channel_cache = LRUCache(self.options.channel_cache_capacity)
+        self._allocation_cache = LRUCache(self.options.allocation_cache_capacity)
+        self._pool = SolverPool(self.options.pool, self.metrics)
+        self._base_fingerprint = scene.fingerprint(self.options.quantum)
+
+    # ------------------------------------------------------------------
+
+    def handle(self, request: AllocationRequest) -> AllocationResult:
+        """Serve one request (cache -> batch -> pool)."""
+        return self.handle_batch([request])[0]
+
+    def handle_batch(
+        self, requests: Sequence[AllocationRequest]
+    ) -> List[AllocationResult]:
+        """Serve a batch, amortizing channel computation across it.
+
+        All cache-missing placements become one ``(B, N, M)`` broadcast;
+        all cache-missing solves become one pool fan-out.  Results keep
+        request order.
+        """
+        requests = list(requests)
+        if not requests:
+            return []
+        start = time.perf_counter()
+        self.metrics.counter("service.requests").increment(len(requests))
+
+        channels, placement_keys, channel_hits = self._channel_stage(requests)
+        swings, allocation_hits = self._allocation_stage(
+            requests, placement_keys, channels
+        )
+
+        # One batched Eq.-12 evaluation for the whole response.
+        rates = throughput_stack(
+            np.stack(channels),
+            np.stack(swings),
+            self.scene.led,
+            self.scene.receivers[0].photodiode,
+            self.noise,
+        )
+        elapsed = time.perf_counter() - start
+        per_request = elapsed / len(requests)
+        latency_histogram = self.metrics.histogram("service.latency_seconds")
+        self._refresh_gauges()
+
+        results = []
+        for i, request in enumerate(requests):
+            latency_histogram.observe(per_request)
+            results.append(
+                AllocationResult(
+                    request=request,
+                    fingerprint=placement_keys[i],
+                    swings=swings[i],
+                    per_rx_throughput=rates[i],
+                    system_throughput=float(rates[i].sum()),
+                    channel_cached=channel_hits[i],
+                    allocation_cached=allocation_hits[i],
+                    latency_seconds=per_request,
+                )
+            )
+        return results
+
+    def metrics_snapshot(self) -> dict:
+        """Operational state: counters, cache stats, latency histograms."""
+        self._refresh_gauges()
+        snapshot = self.metrics.snapshot()
+        snapshot["caches"] = {
+            "channel": self._channel_cache.stats.as_dict(),
+            "allocation": self._allocation_cache.stats.as_dict(),
+        }
+        return snapshot
+
+    @property
+    def channel_hit_rate(self) -> float:
+        return self._channel_cache.stats.hit_rate
+
+    @property
+    def allocation_hit_rate(self) -> float:
+        return self._allocation_cache.stats.hit_rate
+
+    # ------------------------------------------------------------------
+
+    def _placement_key(self, positions: Tuple[Tuple[float, float], ...]) -> str:
+        quantized = tuple(
+            (int(round(x / self.options.quantum)), int(round(y / self.options.quantum)))
+            for x, y in positions
+        )
+        return f"{self._base_fingerprint}:{quantized}"
+
+    def _channel_stage(self, requests):
+        """Resolve every request's channel matrix, batching the misses."""
+        placement_keys = [
+            self._placement_key(r.rx_positions_xy) for r in requests
+        ]
+        channels: List[Optional[np.ndarray]] = [None] * len(requests)
+        channel_hits = [False] * len(requests)
+        miss_keys: Dict[str, List[int]] = {}
+        for i, key in enumerate(placement_keys):
+            cached = self._channel_cache.get(key)
+            if cached is not None:
+                channels[i] = cached
+                channel_hits[i] = True
+                self.metrics.counter("service.channel_hits").increment()
+            else:
+                miss_keys.setdefault(key, []).append(i)
+        if miss_keys:
+            self.metrics.counter("service.channel_misses").increment(len(miss_keys))
+            indices = [slots[0] for slots in miss_keys.values()]
+            placements = np.array(
+                [requests[i].rx_positions_xy for i in indices], dtype=float
+            )
+            with self.metrics.timer("service.channel_seconds"):
+                stack = channel_matrix_stack(self.scene, placements)
+            for matrix, (key, slots) in zip(stack, miss_keys.items()):
+                self._channel_cache.put(key, matrix)
+                for i in slots:
+                    channels[i] = matrix
+        return channels, placement_keys, channel_hits
+
+    def _allocation_stage(self, requests, placement_keys, channels):
+        """Resolve every request's allocation, fanning misses to the pool."""
+        swings: List[Optional[np.ndarray]] = [None] * len(requests)
+        allocation_hits = [False] * len(requests)
+        miss_slots: Dict[Tuple, List[int]] = {}
+        for i, request in enumerate(requests):
+            key = (
+                placement_keys[i],
+                float(request.power_budget),
+                request.solver,
+                float(request.kappa),
+            )
+            cached = self._allocation_cache.get(key)
+            if cached is not None:
+                swings[i] = cached
+                allocation_hits[i] = True
+                self.metrics.counter("service.allocation_hits").increment()
+            else:
+                miss_slots.setdefault(key, []).append(i)
+        if miss_slots:
+            self.metrics.counter("service.allocation_misses").increment(
+                len(miss_slots)
+            )
+            tasks = []
+            for key, slots in miss_slots.items():
+                request = requests[slots[0]]
+                tasks.append(
+                    SolveTask(
+                        channel=channels[slots[0]],
+                        power_budget=request.power_budget,
+                        solver=request.solver,
+                        kappa=request.kappa,
+                        led=self.scene.led,
+                        photodiode=self.scene.receivers[0].photodiode,
+                        noise=self.noise,
+                    )
+                )
+            with self.metrics.timer("service.solve_seconds"):
+                solved = self._pool.solve_many(tasks)
+            for matrix, (key, slots) in zip(solved, miss_slots.items()):
+                self._allocation_cache.put(key, matrix)
+                for i in slots:
+                    swings[i] = matrix
+        return swings, allocation_hits
+
+    def _refresh_gauges(self) -> None:
+        self.metrics.gauge("service.channel_cache_size").set(
+            len(self._channel_cache)
+        )
+        self.metrics.gauge("service.allocation_cache_size").set(
+            len(self._allocation_cache)
+        )
+        self.metrics.gauge("service.channel_hit_rate").set(
+            self._channel_cache.stats.hit_rate
+        )
+        self.metrics.gauge("service.allocation_hit_rate").set(
+            self._allocation_cache.stats.hit_rate
+        )
+
+
+# ----------------------------------------------------------------------
+# The `repro bench` workload
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BenchmarkReport:
+    """Latency/throughput summary of one ``repro bench`` run."""
+
+    requests: int
+    duration_seconds: float
+    requests_per_second: float
+    p50_latency_ms: float
+    p95_latency_ms: float
+    channel_hit_rate: float
+    allocation_hit_rate: float
+    solver: str
+    workers: int
+
+    def lines(self) -> List[str]:
+        return [
+            f"requests            {self.requests}",
+            f"solver              {self.solver}",
+            f"pool workers        {self.workers}",
+            f"total time          {self.duration_seconds * 1e3:.1f} ms",
+            f"throughput          {self.requests_per_second:.1f} req/s",
+            f"latency p50         {self.p50_latency_ms:.3f} ms",
+            f"latency p95         {self.p95_latency_ms:.3f} ms",
+            f"channel hit-rate    {100 * self.channel_hit_rate:.1f}%",
+            f"allocation hit-rate {100 * self.allocation_hit_rate:.1f}%",
+        ]
+
+
+def run_benchmark(
+    requests: int = 100,
+    distinct_placements: int = 25,
+    solver: str = "heuristic",
+    power_budget: float = 1.2,
+    workers: int = 0,
+    cache_capacity: int = 256,
+    batch_size: int = 1,
+    seed: int = 0,
+    scene: Optional[Scene] = None,
+    service: Optional[AllocationService] = None,
+) -> BenchmarkReport:
+    """Serve a Fig. 6-style random-placement workload and time it.
+
+    *requests* placements are drawn (with repetition) from
+    *distinct_placements* random Fig. 6 instances, so the steady-state
+    cache hit-rate is positive by construction -- exactly the locality a
+    mobility workload exhibits.
+    """
+    from ..experiments.scenarios import fig6_instances
+
+    if requests < 1:
+        raise RuntimeEngineError(f"need at least 1 request, got {requests}")
+    distinct = max(1, min(distinct_placements, requests))
+    placements = fig6_instances(instances=distinct, seed=seed)
+    if service is None:
+        if scene is None:
+            scene = simulation_scene(
+                [(float(x), float(y)) for x, y in placements[0]]
+            )
+        service = AllocationService(
+            scene,
+            options=ServiceOptions(
+                channel_cache_capacity=cache_capacity,
+                allocation_cache_capacity=4 * cache_capacity,
+                pool=PoolOptions(max_workers=workers),
+            ),
+        )
+    if distinct >= requests:
+        # One request per distinct placement: a fully cold workload.
+        order = np.arange(requests)
+    else:
+        rng = np.random.default_rng(seed)
+        order = rng.integers(0, distinct, size=requests)
+    batch: List[AllocationRequest] = []
+    start = time.perf_counter()
+    for n, index in enumerate(order):
+        request = AllocationRequest(
+            rx_positions_xy=tuple(
+                (float(x), float(y)) for x, y in placements[int(index)]
+            ),
+            power_budget=power_budget,
+            solver=solver,
+            tag=f"bench-{n}",
+        )
+        if batch_size <= 1:
+            service.handle(request)
+        else:
+            batch.append(request)
+            if len(batch) >= batch_size:
+                service.handle_batch(batch)
+                batch = []
+    if batch:
+        service.handle_batch(batch)
+    duration = time.perf_counter() - start
+    latency = service.metrics.histogram("service.latency_seconds")
+    return BenchmarkReport(
+        requests=requests,
+        duration_seconds=duration,
+        requests_per_second=requests / duration if duration > 0 else float("inf"),
+        p50_latency_ms=1e3 * latency.percentile(50.0),
+        p95_latency_ms=1e3 * latency.percentile(95.0),
+        channel_hit_rate=service.channel_hit_rate,
+        allocation_hit_rate=service.allocation_hit_rate,
+        solver=solver,
+        workers=workers,
+    )

@@ -9,8 +9,10 @@ testbed setup (Sec. 8).
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
 from dataclasses import dataclass, field, replace
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -28,6 +30,32 @@ from .geometry import (
     simulation_room,
 )
 from .optics import LEDModel, Photodiode, cree_xte, s5971
+
+#: Default position quantum [m] for :meth:`Scene.fingerprint`.  One
+#: millimeter is far below any distance at which the LOS channel changes
+#: appreciably, so nearby mobility steps map to the same fingerprint and
+#: hit the runtime caches.
+FINGERPRINT_QUANTUM: float = 1e-3
+
+#: Orientation quantum (unit-vector components) for fingerprints.
+_ORIENTATION_QUANTUM: float = 1e-6
+
+
+def _quantized(vector: np.ndarray, quantum: float) -> Tuple[int, ...]:
+    return tuple(int(v) for v in np.round(np.asarray(vector) / quantum))
+
+
+def _device_signature(model: Any, memo: Dict[int, Any]) -> Any:
+    """A stable, hashable token for a (possibly nested) device dataclass."""
+    if dataclasses.is_dataclass(model) and not isinstance(model, type):
+        key = id(model)
+        if key not in memo:
+            memo[key] = (type(model).__qualname__,) + tuple(
+                _device_signature(getattr(model, f.name), memo)
+                for f in dataclasses.fields(model)
+            )
+        return memo[key]
+    return model
 
 
 @dataclass(frozen=True)
@@ -118,6 +146,50 @@ class Scene:
     def rx_positions(self) -> np.ndarray:
         """All RX positions as an (M, 3) array in index order."""
         return np.array([rx.position for rx in self.receivers])
+
+    def fingerprint(self, quantum: float = FINGERPRINT_QUANTUM) -> str:
+        """A stable scene digest for keying the runtime caches.
+
+        Hashes the room geometry plus every node's pose and device
+        parameters.  Positions are quantized to *quantum* meters so
+        scenes that differ by less than the quantum (e.g. successive
+        mobility steps) share a fingerprint and hit the cache; any
+        device-parameter change produces a new fingerprint.
+        """
+        if quantum <= 0:
+            raise ConfigurationError(f"quantum must be positive, got {quantum}")
+        memo: Dict[int, Any] = {}
+        payload: List[Any] = [
+            (
+                "room",
+                self.room.width,
+                self.room.depth,
+                self.room.tx_height,
+                self.room.rx_height,
+                self.room.floor_reflectivity,
+            )
+        ]
+        for tx in self.transmitters:
+            payload.append(
+                (
+                    "tx",
+                    tx.index,
+                    _quantized(tx.position, quantum),
+                    _quantized(tx.orientation, _ORIENTATION_QUANTUM),
+                    _device_signature(tx.led, memo),
+                )
+            )
+        for rx in self.receivers:
+            payload.append(
+                (
+                    "rx",
+                    rx.index,
+                    _quantized(rx.position, quantum),
+                    _quantized(rx.orientation, _ORIENTATION_QUANTUM),
+                    _device_signature(rx.photodiode, memo),
+                )
+            )
+        return hashlib.sha256(repr(payload).encode("utf-8")).hexdigest()
 
     def with_receivers_at(self, positions_xy: Sequence[Tuple[float, float]]) -> "Scene":
         """A copy of the scene with receivers moved to new XY positions.

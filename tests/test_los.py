@@ -124,6 +124,23 @@ class TestChannelMatrix:
         with pytest.raises(ChannelError):
             channel_matrix(scene)
 
+    def test_vectorized_matches_scalar_reference(self, fig7_scene, fig7_channel):
+        # channel_matrix is one broadcast; node_gain is the per-pair
+        # scalar reference (Eq. 2).  They must agree on every link.
+        reference = np.array(
+            [
+                [node_gain(tx, rx) for rx in fig7_scene.receivers]
+                for tx in fig7_scene.transmitters
+            ]
+        )
+        np.testing.assert_allclose(fig7_channel, reference, rtol=1e-12, atol=0)
+
+    def test_positions_path_matches_moved_scene(self, fig7_scene):
+        xy = [(0.4, 0.6), (2.6, 2.4), (1.2, 1.8), (0.9, 2.1)]
+        direct = channel_matrix_for_positions(fig7_scene, xy)
+        rebuilt = channel_matrix(fig7_scene.with_receivers_at(xy))
+        np.testing.assert_allclose(direct, rebuilt, rtol=1e-12, atol=0)
+
     def test_vertical_helper_validation(self, led, photodiode):
         with pytest.raises(ChannelError):
             vertical_los_gain(led, photodiode, height=0.0, horizontal_offset=1.0)

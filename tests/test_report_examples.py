@@ -50,6 +50,7 @@ class TestExamplesImportable:
             "illumination_design",
             "power_efficiency_study",
             "future_extensions",
+            "batched_sweep",
         ],
     )
     def test_example_compiles(self, name):

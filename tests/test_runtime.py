@@ -1,0 +1,409 @@
+"""Tests for the allocation-serving runtime engine (repro.runtime)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.channel import channel_matrix
+from repro.cli import main as cli_main
+from repro.core import AllocationProblem, RankingHeuristic
+from repro.errors import RuntimeEngineError
+from repro.experiments.scenarios import fig6_instances
+from repro.runtime import (
+    AllocationRequest,
+    AllocationService,
+    ChannelCache,
+    LRUCache,
+    MetricsRegistry,
+    PoolOptions,
+    SOLVERS,
+    ServiceOptions,
+    SolverPool,
+    SolveTask,
+    channel_matrix_stack,
+    run_benchmark,
+    sinr_stack,
+    solve_task,
+    throughput_stack,
+)
+from repro.system import simulation_scene
+
+
+@pytest.fixture(scope="module")
+def placements():
+    return fig6_instances(instances=6, seed=3)
+
+
+@pytest.fixture(scope="module")
+def base_scene(placements):
+    return simulation_scene([(float(x), float(y)) for x, y in placements[0]])
+
+
+# ----------------------------------------------------------------------
+# cache.py
+# ----------------------------------------------------------------------
+
+
+class TestLRUCache:
+    def test_eviction_order(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh "a"; "b" is now oldest
+        cache.put("c", 3)
+        assert "b" not in cache
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert cache.stats.evictions == 1
+
+    def test_hit_rate(self):
+        cache = LRUCache(capacity=4)
+        cache.put("x", 1)
+        assert cache.get("x") == 1
+        assert cache.get("missing") is None
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+
+    def test_get_or_create_computes_once(self):
+        cache = LRUCache(capacity=4)
+        calls = []
+        for _ in range(3):
+            cache.get_or_create("k", lambda: calls.append(1) or "v")
+        assert cache.get("k") == "v"
+        assert len(calls) == 1
+
+    def test_invalid_capacity(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            LRUCache(capacity=0)
+
+    def test_channel_cache_shares_matrix(self, base_scene):
+        cache = ChannelCache(capacity=4)
+        first = cache.matrix_for(base_scene)
+        second = cache.matrix_for(base_scene)
+        assert first is second
+        assert cache.stats.hits == 1
+        np.testing.assert_allclose(first, channel_matrix(base_scene))
+
+
+# ----------------------------------------------------------------------
+# Scene.fingerprint
+# ----------------------------------------------------------------------
+
+
+class TestFingerprint:
+    def test_stable_across_rebuilds(self, placements):
+        xy = [(float(x), float(y)) for x, y in placements[0]]
+        assert (
+            simulation_scene(xy).fingerprint()
+            == simulation_scene(xy).fingerprint()
+        )
+
+    def test_perturbation_beyond_quantum_changes_key(self, base_scene):
+        moved = base_scene.with_receivers_at(
+            [(rx.position[0] + 0.01, rx.position[1]) for rx in base_scene.receivers]
+        )
+        assert moved.fingerprint() != base_scene.fingerprint()
+
+    def test_perturbation_below_quantum_hits(self, base_scene):
+        moved = base_scene.with_receivers_at(
+            [(rx.position[0] + 1e-5, rx.position[1]) for rx in base_scene.receivers]
+        )
+        assert moved.fingerprint() == base_scene.fingerprint()
+
+    def test_device_change_changes_key(self, placements):
+        from repro.optics import cree_xte_paper_power
+
+        xy = [(float(x), float(y)) for x, y in placements[0]]
+        assert (
+            simulation_scene(xy, led=cree_xte_paper_power()).fingerprint()
+            != simulation_scene(xy).fingerprint()
+        )
+
+    def test_invalid_quantum(self, base_scene):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            base_scene.fingerprint(quantum=0.0)
+
+
+# ----------------------------------------------------------------------
+# batch.py
+# ----------------------------------------------------------------------
+
+
+class TestBatchEvaluator:
+    def test_channel_stack_matches_per_scene_matrices(
+        self, base_scene, placements
+    ):
+        stack = channel_matrix_stack(base_scene, placements)
+        assert stack.shape == (
+            len(placements),
+            base_scene.num_transmitters,
+            base_scene.num_receivers,
+        )
+        for t in range(len(placements)):
+            moved = base_scene.with_receivers_at(
+                [(float(x), float(y)) for x, y in placements[t]]
+            )
+            np.testing.assert_allclose(
+                stack[t], channel_matrix(moved), rtol=1e-12, atol=0
+            )
+
+    def test_throughput_stack_matches_problem_evaluation(
+        self, base_scene, placements
+    ):
+        stack = channel_matrix_stack(base_scene, placements)
+        problems = [
+            AllocationProblem(channel=stack[t], power_budget=1.2)
+            for t in range(len(placements))
+        ]
+        allocations = [RankingHeuristic().solve(p) for p in problems]
+        swings = np.stack([a.swings for a in allocations])
+        reference = problems[0]
+        rates = throughput_stack(
+            stack, swings, reference.led, reference.photodiode, reference.noise
+        )
+        sinrs = sinr_stack(
+            stack, swings, reference.led, reference.photodiode, reference.noise
+        )
+        for t, allocation in enumerate(allocations):
+            np.testing.assert_allclose(rates[t], allocation.throughput, rtol=1e-12)
+            np.testing.assert_allclose(sinrs[t], allocation.sinr, rtol=1e-12)
+
+    def test_shared_channel_broadcasts_over_swings(self, base_scene):
+        channel = channel_matrix(base_scene)
+        problem = AllocationProblem(channel=channel, power_budget=1.2)
+        allocation = RankingHeuristic().solve(problem)
+        swings = np.stack([allocation.swings, problem.zero_allocation()])
+        rates = throughput_stack(
+            channel, swings, problem.led, problem.photodiode, problem.noise
+        )
+        np.testing.assert_allclose(rates[0], allocation.throughput, rtol=1e-12)
+        np.testing.assert_allclose(rates[1], 0.0)
+
+    def test_placement_outside_room_raises(self, base_scene):
+        from repro.errors import GeometryError
+
+        bad = np.full((1, base_scene.num_receivers, 2), -1.0)
+        with pytest.raises(GeometryError):
+            channel_matrix_stack(base_scene, bad)
+
+
+# ----------------------------------------------------------------------
+# pool.py
+# ----------------------------------------------------------------------
+
+
+class TestSolverPool:
+    @pytest.fixture(scope="class")
+    def tasks(self, placements, base_scene):
+        stack = channel_matrix_stack(base_scene, placements)
+        return [
+            SolveTask(channel=stack[t], power_budget=1.2, solver=solver)
+            for t in range(len(placements))
+            for solver in ("heuristic", "greedy")
+        ]
+
+    def test_serial_parallel_identical(self, tasks):
+        serial = SolverPool(PoolOptions(max_workers=0)).solve_many(tasks)
+        parallel = SolverPool(PoolOptions(max_workers=2)).solve_many(tasks)
+        assert len(serial) == len(parallel) == len(tasks)
+        for expected, actual in zip(serial, parallel):
+            np.testing.assert_allclose(actual, expected, atol=1e-9, rtol=0)
+
+    def test_solve_task_matches_direct_solver(self, tasks):
+        task = tasks[0]
+        direct = RankingHeuristic(kappa=task.kappa).solve(task.problem())
+        np.testing.assert_array_equal(solve_task(task), direct.swings)
+
+    def test_unknown_solver_rejected(self, tasks):
+        bad = SolveTask(channel=tasks[0].channel, power_budget=1.2, solver="nope")
+        with pytest.raises(RuntimeEngineError):
+            solve_task(bad)
+
+    def test_pool_metrics_counted(self, tasks):
+        metrics = MetricsRegistry()
+        SolverPool(PoolOptions(max_workers=0), metrics).solve_many(tasks[:3])
+        snapshot = metrics.snapshot()
+        assert snapshot["counters"]["pool.tasks"] == 3
+        assert snapshot["histograms"]["pool.solve_seconds"]["count"] == 3
+
+
+# ----------------------------------------------------------------------
+# metrics.py
+# ----------------------------------------------------------------------
+
+
+class TestMetrics:
+    def test_snapshot_contents(self):
+        registry = MetricsRegistry()
+        registry.counter("requests").increment(5)
+        registry.gauge("cache_size").set(7)
+        for value in (1.0, 2.0, 3.0, 4.0):
+            registry.histogram("latency").observe(value)
+        with registry.timer("timed"):
+            pass
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["requests"] == 5
+        assert snapshot["gauges"]["cache_size"] == 7
+        latency = snapshot["histograms"]["latency"]
+        assert latency["count"] == 4
+        assert latency["mean"] == pytest.approx(2.5)
+        assert latency["min"] == 1.0
+        assert latency["max"] == 4.0
+        assert latency["p50"] == pytest.approx(2.5)
+        assert snapshot["histograms"]["timed"]["count"] == 1
+
+    def test_histogram_percentiles(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h")
+        for value in range(1, 101):
+            histogram.observe(float(value))
+        assert histogram.percentile(50.0) == pytest.approx(50.5)
+        assert histogram.percentile(95.0) == pytest.approx(95.05)
+
+    def test_counter_rejects_negative(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            MetricsRegistry().counter("c").increment(-1)
+
+
+# ----------------------------------------------------------------------
+# service.py
+# ----------------------------------------------------------------------
+
+
+class TestAllocationService:
+    @pytest.fixture()
+    def service(self, base_scene):
+        return AllocationService(base_scene)
+
+    def _request(self, placements, index, **kwargs):
+        return AllocationRequest(
+            rx_positions_xy=tuple(
+                (float(x), float(y)) for x, y in placements[index]
+            ),
+            power_budget=kwargs.pop("power_budget", 1.2),
+            **kwargs,
+        )
+
+    def test_repeat_requests_hit_both_caches(self, service, placements):
+        first = service.handle(self._request(placements, 1))
+        second = service.handle(self._request(placements, 1))
+        assert not first.channel_cached and not first.allocation_cached
+        assert second.channel_cached and second.allocation_cached
+        np.testing.assert_array_equal(first.swings, second.swings)
+        assert service.channel_hit_rate > 0
+        assert service.allocation_hit_rate > 0
+
+    def test_cached_result_matches_direct_solve(self, service, placements):
+        result = service.handle(self._request(placements, 2))
+        moved = service.scene.with_receivers_at(
+            [(float(x), float(y)) for x, y in placements[2]]
+        )
+        problem = AllocationProblem(
+            channel=channel_matrix(moved),
+            power_budget=1.2,
+            led=service.scene.led,
+            photodiode=service.scene.receivers[0].photodiode,
+            noise=service.noise,
+        )
+        direct = RankingHeuristic().solve(problem)
+        np.testing.assert_allclose(result.swings, direct.swings, atol=1e-9)
+        np.testing.assert_allclose(
+            result.per_rx_throughput, direct.throughput, rtol=1e-9
+        )
+        assert result.system_throughput == pytest.approx(
+            direct.system_throughput, rel=1e-9
+        )
+
+    def test_budget_is_part_of_allocation_key(self, service, placements):
+        low = service.handle(self._request(placements, 0, power_budget=0.3))
+        high = service.handle(self._request(placements, 0, power_budget=1.8))
+        assert not high.allocation_cached  # same placement, new budget
+        assert high.channel_cached  # channel reused across budgets
+        assert np.count_nonzero(high.swings) >= np.count_nonzero(low.swings)
+
+    def test_batch_matches_singles(self, base_scene, placements):
+        singles = AllocationService(base_scene)
+        batched = AllocationService(base_scene)
+        requests = [self._request(placements, i % 3) for i in range(6)]
+        expected = [singles.handle(r) for r in requests]
+        actual = batched.handle_batch(requests)
+        for e, a in zip(expected, actual):
+            np.testing.assert_allclose(a.swings, e.swings, atol=1e-9)
+            assert a.system_throughput == pytest.approx(
+                e.system_throughput, rel=1e-9
+            )
+
+    def test_metrics_snapshot_shape(self, service, placements):
+        service.handle(self._request(placements, 0))
+        snapshot = service.metrics_snapshot()
+        assert snapshot["counters"]["service.requests"] == 1
+        assert "channel" in snapshot["caches"]
+        assert "allocation" in snapshot["caches"]
+        assert snapshot["histograms"]["service.latency_seconds"]["count"] == 1
+        assert snapshot["gauges"]["service.channel_cache_size"] == 1
+
+    def test_eviction_bounded_by_capacity(self, base_scene, placements):
+        options = ServiceOptions(
+            channel_cache_capacity=2, allocation_cache_capacity=2
+        )
+        service = AllocationService(base_scene, options=options)
+        for i in range(len(placements)):
+            service.handle(self._request(placements, i))
+        snapshot = service.metrics_snapshot()
+        assert snapshot["gauges"]["service.channel_cache_size"] <= 2
+        assert snapshot["caches"]["channel"]["evictions"] > 0
+
+    def test_invalid_request_rejected(self, placements):
+        with pytest.raises(RuntimeEngineError):
+            AllocationRequest(rx_positions_xy=(), power_budget=1.0)
+        with pytest.raises(RuntimeEngineError):
+            AllocationRequest(
+                rx_positions_xy=((1.0, 1.0),), power_budget=-1.0
+            )
+        with pytest.raises(RuntimeEngineError):
+            AllocationRequest(
+                rx_positions_xy=((1.0, 1.0),), power_budget=1.0, solver="nope"
+            )
+
+
+# ----------------------------------------------------------------------
+# bench entry point
+# ----------------------------------------------------------------------
+
+
+class TestBench:
+    def test_run_benchmark_reports_cache_hits(self):
+        report = run_benchmark(requests=12, distinct_placements=3, seed=1)
+        assert report.requests == 12
+        assert report.requests_per_second > 0
+        assert report.channel_hit_rate > 0
+        assert report.allocation_hit_rate > 0
+        assert report.p95_latency_ms >= report.p50_latency_ms
+        assert any("hit-rate" in line for line in report.lines())
+
+    def test_cli_bench_smoke(self, capsys):
+        exit_code = cli_main(
+            ["bench", "--requests", "8", "--distinct", "2", "--seed", "2"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "channel hit-rate" in captured.out
+
+    def test_cli_rejects_unknown_solver(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(["bench", "--solver", "bogus"])
+        assert excinfo.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_cli_solver_choices_match_registry(self):
+        # The argparse choices are a literal (cli keeps heavy imports
+        # lazy); this pins the literal to the actual solver registry.
+        assert set(SOLVERS) == {"binary", "greedy", "heuristic", "optimal"}
