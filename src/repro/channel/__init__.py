@@ -20,6 +20,7 @@ from .estimation import (
 from .los import (
     channel_matrix,
     channel_matrix_for_positions,
+    channel_matrix_update,
     los_gain,
     los_gain_stack,
     node_gain,
@@ -49,6 +50,7 @@ __all__ = [
     "received_swing_estimate",
     "channel_matrix",
     "channel_matrix_for_positions",
+    "channel_matrix_update",
     "los_gain",
     "los_gain_stack",
     "node_gain",

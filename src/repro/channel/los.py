@@ -134,10 +134,35 @@ def los_gain_stack(
 
 
 def _scene_tx_arrays(scene: Scene) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
-    positions = scene.tx_positions()
-    orientations = np.array([tx.orientation for tx in scene.transmitters])
-    orders = np.array([tx.led.lambertian_order for tx in scene.transmitters])
-    return positions, orientations, orders
+    """TX pose/order arrays for a scene, memoized on the scene instance.
+
+    Scenes are frozen (nodes never move in place; movement builds a new
+    scene), so the arrays are built once and reattached -- which makes
+    repeated channel evaluations on one scene (mobility steps, service
+    traffic, incremental column updates) skip the per-node Python loop.
+    """
+    cached = getattr(scene, "_los_tx_arrays", None)
+    if cached is None:
+        cached = (
+            scene.tx_positions(),
+            np.array([tx.orientation for tx in scene.transmitters]),
+            np.array([tx.led.lambertian_order for tx in scene.transmitters]),
+        )
+        object.__setattr__(scene, "_los_tx_arrays", cached)
+    return cached
+
+
+def _scene_rx_arrays(scene: Scene) -> "tuple[np.ndarray, np.ndarray, list]":
+    """RX position/orientation/photodiode arrays, memoized like the TX side."""
+    cached = getattr(scene, "_los_rx_arrays", None)
+    if cached is None:
+        cached = (
+            scene.rx_positions(),
+            np.array([rx.orientation for rx in scene.receivers]),
+            [rx.photodiode for rx in scene.receivers],
+        )
+        object.__setattr__(scene, "_los_rx_arrays", cached)
+    return cached
 
 
 def channel_matrix(scene: Scene) -> np.ndarray:
@@ -150,14 +175,8 @@ def channel_matrix(scene: Scene) -> np.ndarray:
     if scene.num_receivers == 0:
         raise ChannelError("scene has no receivers; channel matrix is empty")
     tx_pos, tx_ori, orders = _scene_tx_arrays(scene)
-    return los_gain_stack(
-        tx_pos,
-        tx_ori,
-        orders,
-        scene.rx_positions(),
-        np.array([rx.orientation for rx in scene.receivers]),
-        [rx.photodiode for rx in scene.receivers],
-    )
+    rx_pos, rx_ori, photodiodes = _scene_rx_arrays(scene)
+    return los_gain_stack(tx_pos, tx_ori, orders, rx_pos, rx_ori, photodiodes)
 
 
 def channel_matrix_for_positions(
@@ -184,17 +203,71 @@ def channel_matrix_for_positions(
             raise GeometryError(
                 f"RX position ({x}, {y}) lies outside the room footprint"
             )
-    heights = scene.rx_positions()[:, 2]
-    rx_pos = np.concatenate([xy, heights[:, None]], axis=1)
+    base_pos, rx_ori, photodiodes = _scene_rx_arrays(scene)
+    rx_pos = np.concatenate([xy, base_pos[:, 2:3]], axis=1)
     tx_pos, tx_ori, orders = _scene_tx_arrays(scene)
-    return los_gain_stack(
+    return los_gain_stack(tx_pos, tx_ori, orders, rx_pos, rx_ori, photodiodes)
+
+
+def channel_matrix_update(
+    scene: Scene,
+    matrix: np.ndarray,
+    moved_positions_xy: "np.ndarray | list",
+    moved_indices: "Sequence[int]",
+) -> np.ndarray:
+    """A channel matrix with only the moved receivers' columns recomputed.
+
+    When a subset of receivers moves between mobility steps (or between
+    service requests), only their columns of the (N, M) gain matrix
+    change -- TX geometry and the other receivers are untouched.  This
+    recomputes exactly those columns on top of *matrix* (which is not
+    modified) and returns the updated copy.  Each recomputed column runs
+    through the same :func:`los_gain_stack` arithmetic as a full rebuild,
+    so the result is bit-identical to ``channel_matrix`` on a scene with
+    the receivers at the new positions.
+
+    ``moved_positions_xy`` is (K, 2): the new XY position of each entry
+    of ``moved_indices``.  Heights, orientations and photodiode models
+    are preserved from the scene.
+    """
+    base = np.asarray(matrix, dtype=float)
+    if base.shape != (scene.num_transmitters, scene.num_receivers):
+        raise ChannelError(
+            f"matrix shape {base.shape} does not match the scene's "
+            f"({scene.num_transmitters}, {scene.num_receivers})"
+        )
+    moved = np.asarray(moved_indices, dtype=int)
+    if moved.ndim != 1 or moved.size == 0:
+        raise ChannelError("need at least one moved receiver index")
+    if np.unique(moved).size != moved.size:
+        raise ChannelError(f"duplicate moved receiver indices: {moved}")
+    if moved.min() < 0 or moved.max() >= scene.num_receivers:
+        raise GeometryError(f"moved receiver index out of range: {moved}")
+    xy = np.asarray(moved_positions_xy, dtype=float)
+    if xy.shape != (moved.size, 2):
+        raise ChannelError(
+            f"expected a ({moved.size}, 2) array of XY positions, "
+            f"got shape {xy.shape}"
+        )
+    for x, y in xy:
+        if not scene.room.contains_xy(float(x), float(y)):
+            raise GeometryError(
+                f"RX position ({x}, {y}) lies outside the room footprint"
+            )
+    base_pos, rx_ori, photodiodes = _scene_rx_arrays(scene)
+    rx_pos = np.concatenate([xy, base_pos[moved, 2:3]], axis=1)
+    tx_pos, tx_ori, orders = _scene_tx_arrays(scene)
+    columns = los_gain_stack(
         tx_pos,
         tx_ori,
         orders,
         rx_pos,
-        np.array([rx.orientation for rx in scene.receivers]),
-        [rx.photodiode for rx in scene.receivers],
+        rx_ori[moved],
+        [photodiodes[int(m)] for m in moved],
     )
+    updated = base.copy()
+    updated[:, moved] = columns
+    return updated
 
 
 def vertical_los_gain(

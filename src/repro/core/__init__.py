@@ -47,6 +47,7 @@ from .metrics import (
 )
 from .optimizer import ContinuousOptimizer, OptimizerOptions, solve_optimal
 from .problem import UTILITY_FLOOR, AllocationProblem, problem_for_scene
+from .reduction import ReductionPlan, plan_reduction
 
 __all__ = [
     "Allocation",
@@ -88,4 +89,6 @@ __all__ = [
     "UTILITY_FLOOR",
     "AllocationProblem",
     "problem_for_scene",
+    "ReductionPlan",
+    "plan_reduction",
 ]

@@ -47,14 +47,29 @@ def sjr_matrix(channel: np.ndarray, kappa: float = constants.DEFAULT_KAPPA) -> n
     return sjr
 
 
-def rank_transmitters(
+def _ranking_from_sjr(sjr: np.ndarray) -> List[Assignment]:
+    """Rank (tx, best rx) pairs by descending best-RX SJR, sort-based.
+
+    Removing a TX's row never changes another row's SJR, so Algorithm 1's
+    repeated masked argmax over the whole matrix is equivalent to taking
+    each TX's best RX once and sorting TXs by that value.  Ties break
+    toward the lower TX index (and the lower RX index within a row),
+    matching the flat-argmax order of the iterative formulation.
+    """
+    num_tx, _ = sjr.shape
+    best_rx = np.argmax(sjr, axis=1)  # first max -> lowest rx on ties
+    best_val = sjr[np.arange(num_tx), best_rx]
+    order = np.lexsort((np.arange(num_tx), -best_val))
+    return [(int(tx), int(best_rx[tx])) for tx in order]
+
+
+def _rank_transmitters_loop(
     channel: np.ndarray, kappa: float = constants.DEFAULT_KAPPA
 ) -> List[Assignment]:
-    """Algorithm 1: rank every TX with its intended RX by descending SJR.
+    """Reference O(N^2) implementation of Algorithm 1 (masked argmax).
 
-    Returns the ``RankedTX`` list: N (tx, rx) pairs, each TX exactly once.
-    Ties (including all-zero rows) break toward the lower TX index, which
-    keeps the ranking deterministic.
+    Kept as the ground truth for property tests of the sort-based
+    :func:`rank_transmitters`.
     """
     sjr = sjr_matrix(channel, kappa).copy()
     num_tx, num_rx = sjr.shape
@@ -67,6 +82,18 @@ def rank_transmitters(
         ranking.append((int(tx), int(rx)))
         remaining[tx] = False
     return ranking
+
+
+def rank_transmitters(
+    channel: np.ndarray, kappa: float = constants.DEFAULT_KAPPA
+) -> List[Assignment]:
+    """Algorithm 1: rank every TX with its intended RX by descending SJR.
+
+    Returns the ``RankedTX`` list: N (tx, rx) pairs, each TX exactly once.
+    Ties (including all-zero rows) break toward the lower TX index, which
+    keeps the ranking deterministic.
+    """
+    return _ranking_from_sjr(sjr_matrix(channel, kappa))
 
 
 @dataclass(frozen=True)
@@ -159,13 +186,4 @@ def personalized_kappa_ranking(
                 row_sums[:, 0] > 0.0, matrix[:, j] ** kappa / row_sums[:, 0], 0.0
             )
         sjr[:, j] = column
-    num_tx, num_rx = sjr.shape
-    ranking: List[Assignment] = []
-    remaining = np.ones(num_tx, dtype=bool)
-    for _ in range(num_tx):
-        masked = np.where(remaining[:, None], sjr, -np.inf)
-        flat_index = int(np.argmax(masked))
-        tx, rx = divmod(flat_index, num_rx)
-        ranking.append((int(tx), int(rx)))
-        remaining[tx] = False
-    return ranking
+    return _ranking_from_sjr(sjr)

@@ -10,13 +10,28 @@ perturb it randomly.  The best feasible local optimum wins.
 Variables are the scaled swings ``x[j, k] = I_sw[j, k] / I_sw,max`` in
 ``[0, 1]``; constraints are the per-TX total-swing bound (Eq. 6, linear)
 and the total-power budget (Eq. 7, quadratic).
+
+Acceleration layer (see :mod:`repro.core.reduction`): with
+``OptimizerOptions(reduce=True)`` the solver first prunes the variable
+set to the SJR-ranked prefix the budget can afford (Insight 1 says the
+rest end at zero anyway), solves the reduced ~K-variable program, and
+expands the solution back to (N, M).  A utility check against the
+ranking heuristic -- whose solution lies inside the reduced feasible set
+by construction -- guards the shortcut: if the reduced optimum fails it,
+the solver falls back to the full-dimension program.  Constraints use
+preallocated structured Jacobians (the per-TX bound is a constant
+segment-indicator matrix; the power gradient fills a reusable buffer)
+built once per solve, not per start.  Stage timings and fallback counts
+flow into an optional metrics registry
+(:class:`repro.runtime.metrics.MetricsRegistry`-compatible).
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from contextlib import nullcontext
+from dataclasses import dataclass, field, replace
+from typing import Any, List, Optional, Tuple
 
 import numpy as np
 from scipy import optimize
@@ -25,6 +40,7 @@ from ..errors import OptimizationError
 from .allocation import Allocation
 from .heuristic import RankingHeuristic
 from .problem import UTILITY_FLOOR, AllocationProblem
+from .reduction import ReductionPlan, plan_reduction
 
 
 @dataclass(frozen=True)
@@ -39,6 +55,17 @@ class OptimizerOptions:
         seed: RNG seed for the perturbed starts.
         budget_headroom: fraction of the budget the initial points use
             (starting strictly inside the power constraint helps SLSQP).
+        reduce: solve the SJR-pruned reduced program first, falling back
+            to the full program when its utility check fails.
+        reduction_margin: safety margin on the budget-affordable prefix
+            (K grows by this fraction; see :func:`plan_reduction`).
+        reduction_min_extra: minimum extra TXs kept beyond the prefix.
+        reduction_utility_slack: absolute utility slack below the
+            ranking-heuristic reference that triggers the fallback.
+        warm_start: optional (N, M) swing matrix [A] used as the first
+            initial point (scaled into the budget interior); this is how
+            the serving layer and mobility sweeps seed SLSQP from the
+            nearest cached allocation.
     """
 
     restarts: int = 2
@@ -47,6 +74,11 @@ class OptimizerOptions:
     utility_floor: float = UTILITY_FLOOR
     seed: Optional[int] = 0
     budget_headroom: float = 0.9
+    reduce: bool = False
+    reduction_margin: float = 0.5
+    reduction_min_extra: int = 2
+    reduction_utility_slack: float = 1e-6
+    warm_start: Optional[np.ndarray] = None
 
     def __post_init__(self) -> None:
         if self.restarts < 0:
@@ -63,13 +95,149 @@ class OptimizerOptions:
             raise OptimizationError(
                 f"budget headroom must be in (0, 1], got {self.budget_headroom}"
             )
+        if self.reduction_margin < 0:
+            raise OptimizationError(
+                f"reduction margin must be >= 0, got {self.reduction_margin}"
+            )
+        if self.reduction_min_extra < 0:
+            raise OptimizationError(
+                f"reduction_min_extra must be >= 0, got {self.reduction_min_extra}"
+            )
+        if self.warm_start is not None:
+            warm = np.asarray(self.warm_start, dtype=float)
+            if warm.ndim != 2:
+                raise OptimizationError(
+                    f"warm start must be an (N, M) swing matrix, got shape "
+                    f"{warm.shape}"
+                )
+            object.__setattr__(self, "warm_start", warm)
+
+
+class _Support:
+    """Precomputed structure shared by every start of one solve.
+
+    Holds the active-variable index maps, the constant per-TX constraint
+    Jacobian, reusable gradient buffers and the bounds list -- everything
+    that used to be rebuilt per start (and, for the per-TX bound, as a
+    dense (N, N*M) matmul per SLSQP iteration).
+
+    ``plan=None`` means the full program: all N*M variables in TX-major
+    order, so the same code path serves both solves.
+    """
+
+    def __init__(
+        self,
+        problem: AllocationProblem,
+        options: OptimizerOptions,
+        plan: Optional[ReductionPlan],
+    ) -> None:
+        num_tx = problem.num_transmitters
+        num_rx = problem.num_receivers
+        if plan is None:
+            self.tx_indices = np.repeat(np.arange(num_tx), num_rx)
+            self.rx_indices = np.tile(np.arange(num_rx), num_tx)
+            self.active_txs = np.arange(num_tx)
+        else:
+            self.tx_indices = plan.tx_indices
+            self.rx_indices = plan.rx_indices
+            self.active_txs = plan.active_txs
+        self.plan = plan
+        self.num_pairs = int(self.tx_indices.size)
+        self.num_active = int(self.active_txs.size)
+        # Variables are TX-major, so each active TX owns one contiguous
+        # segment; local_tx maps variable -> active-row, segment_starts
+        # feeds np.add.reduceat for per-TX sums.
+        self.local_tx = np.searchsorted(self.active_txs, self.tx_indices)
+        self.segment_starts = np.searchsorted(
+            self.local_tx, np.arange(self.num_active)
+        )
+        self.channel_active = np.ascontiguousarray(
+            problem.channel[self.active_txs]
+        )
+        self.bounds = [(0.0, 1.0)] * self.num_pairs
+
+        max_swing = problem.led.max_swing
+        resistance = problem.led.dynamic_resistance
+        budget = problem.power_budget
+
+        # Eq. 6: 1 - sum_k x[j, k] >= 0 per active TX.  The Jacobian is a
+        # constant segment-indicator matrix built once; the function is a
+        # segmented sum, not a dense matmul.
+        swing_jacobian = np.zeros((self.num_active, self.num_pairs))
+        swing_jacobian[self.local_tx, np.arange(self.num_pairs)] = -1.0
+        self._swing_jacobian = swing_jacobian
+        self._power_grad_buffer = np.empty(self.num_pairs)
+        power_coeff = resistance * max_swing * max_swing / 2.0
+
+        def per_tx_swing(x: np.ndarray) -> np.ndarray:
+            return np.add.reduceat(x, self.segment_starts)
+
+        def swing_constraint(x: np.ndarray) -> np.ndarray:
+            return 1.0 - per_tx_swing(x)
+
+        def power_constraint(x: np.ndarray) -> float:
+            totals = per_tx_swing(x) * max_swing
+            return budget - float(
+                np.sum(resistance * (totals / 2.0) ** 2)
+            )
+
+        def power_jacobian(x: np.ndarray) -> np.ndarray:
+            # d(budget - power)/dx[p] = -r * T_{tx(p)} * max_swing / 2,
+            # gathered into a preallocated buffer (no np.repeat).
+            totals = per_tx_swing(x)
+            np.take(
+                totals * (-power_coeff),
+                self.local_tx,
+                out=self._power_grad_buffer,
+            )
+            return self._power_grad_buffer
+
+        self.per_tx_swing = per_tx_swing
+        self.constraints = [
+            {"type": "ineq", "fun": power_constraint, "jac": power_jacobian},
+            {
+                "type": "ineq",
+                "fun": swing_constraint,
+                "jac": lambda x: self._swing_jacobian,
+            },
+        ]
+        # Scatter target for the (K, M) active swing matrix; entries off
+        # the support are structurally zero and never written.
+        self._swing_matrix = np.zeros((self.num_active, num_rx))
+
+    def active_swings(self, x: np.ndarray, max_swing: float) -> np.ndarray:
+        """The (K, M) swing matrix of a reduced point (shared buffer)."""
+        self._swing_matrix[self.local_tx, self.rx_indices] = x * max_swing
+        return self._swing_matrix
+
+    def expand(self, x: np.ndarray, num_tx: int, num_rx: int) -> np.ndarray:
+        """Scatter a reduced point to the full (N, M) matrix."""
+        full = np.zeros((num_tx, num_rx))
+        full[self.tx_indices, self.rx_indices] = x
+        return full
+
+    def restrict(self, matrix: np.ndarray) -> np.ndarray:
+        """Gather the reduced coordinates of a full (N, M) matrix."""
+        return np.asarray(matrix, dtype=float)[self.tx_indices, self.rx_indices]
 
 
 class ContinuousOptimizer:
-    """SLSQP solver for the Eq. 5-7 program with analytic gradients."""
+    """SLSQP solver for the Eq. 5-7 program with analytic gradients.
 
-    def __init__(self, options: Optional[OptimizerOptions] = None) -> None:
+    *metrics* is an optional :class:`repro.runtime.metrics.MetricsRegistry`
+    (or any object with the same ``timer``/``counter``/``gauge`` duck
+    type); when provided, per-stage timings (prune / reduced solve /
+    expand / full solve) and reduction/fallback counts are recorded under
+    ``optimizer.*`` names.
+    """
+
+    def __init__(
+        self,
+        options: Optional[OptimizerOptions] = None,
+        metrics: Optional[Any] = None,
+    ) -> None:
         self.options = options if options is not None else OptimizerOptions()
+        self.metrics = metrics
 
     # ------------------------------------------------------------------
 
@@ -81,22 +249,7 @@ class ContinuousOptimizer:
                 swings=problem.zero_allocation(),
                 solver="slsqp",
             )
-        starts = self._initial_points(problem)
-        best: Optional[np.ndarray] = None
-        best_utility = -math.inf
-        for x0 in starts:
-            swings = self._solve_from(problem, x0)
-            if swings is None:
-                continue
-            utility = problem.utility(swings)
-            if utility > best_utility:
-                best_utility = utility
-                best = swings
-        if best is None:
-            raise OptimizationError(
-                "SLSQP failed to produce a feasible allocation from any start"
-            )
-        return Allocation(problem=problem, swings=best, solver="slsqp")
+        return self._solve_instance(problem, self.options)
 
     def sweep(
         self, problem: AllocationProblem, budgets: "list[float]"
@@ -119,75 +272,165 @@ class ContinuousOptimizer:
                     )
                 )
                 continue
-            starts = self._initial_points(scoped)
-            if previous is not None:
-                warm = previous / scoped.led.max_swing
-                starts.insert(0, self._fit_budget(scoped, warm.ravel()))
-            best = None
-            best_utility = -math.inf
-            for x0 in starts:
-                swings = self._solve_from(scoped, x0)
-                if swings is None:
-                    continue
-                utility = scoped.utility(swings)
-                if utility > best_utility:
-                    best_utility = utility
-                    best = swings
-            if best is None:
+            options = (
+                replace(self.options, warm_start=previous)
+                if previous is not None
+                else self.options
+            )
+            try:
+                allocation = self._solve_instance(scoped, options)
+            except OptimizationError as error:
                 raise OptimizationError(
                     f"SLSQP failed at budget {budget} in the sweep"
-                )
-            allocations.append(Allocation(problem=scoped, swings=best, solver="slsqp"))
-            previous = best
+                ) from error
+            allocations.append(allocation)
+            previous = allocation.swings
         return allocations
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
 
-    def _initial_points(self, problem: AllocationProblem) -> List[np.ndarray]:
-        num_tx = problem.num_transmitters
-        num_rx = problem.num_receivers
-        size = num_tx * num_rx
-        rng = np.random.default_rng(self.options.seed)
+    def _timer(self, name: str):
+        return self.metrics.timer(name) if self.metrics is not None else nullcontext()
 
-        # Start 1: heuristic structure, scaled into the budget interior.
+    def _count(self, name: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name).increment()
+
+    def _solve_instance(
+        self, problem: AllocationProblem, options: OptimizerOptions
+    ) -> Allocation:
         heuristic = RankingHeuristic().solve(problem)
-        base = heuristic.swings / problem.led.max_swing
-        seeded = base.ravel() * 0.8 + 5e-3
-        points = [self._fit_budget(problem, seeded)]
+        if options.reduce:
+            with self._timer("optimizer.prune_seconds"):
+                plan = plan_reduction(
+                    problem,
+                    margin=options.reduction_margin,
+                    min_extra=options.reduction_min_extra,
+                )
+            if plan is not None:
+                self._count("optimizer.reduced_solves")
+                if self.metrics is not None:
+                    self.metrics.gauge("optimizer.reduced_variables").set(
+                        plan.num_pairs
+                    )
+                with self._timer("optimizer.reduced_solve_seconds"):
+                    best = self._best_over_starts(
+                        problem, options, heuristic, plan
+                    )
+                if best is not None and problem.utility(best) >= (
+                    heuristic.utility - options.reduction_utility_slack
+                ):
+                    return Allocation(
+                        problem=problem, swings=best, solver="slsqp-reduced"
+                    )
+                # The heuristic's solution lies inside the reduced
+                # feasible set, so landing below it means the reduced
+                # solve failed -- run the full program.
+                self._count("optimizer.fallbacks")
+        with self._timer("optimizer.full_solve_seconds"):
+            best = self._best_over_starts(problem, options, heuristic, None)
+        if best is None:
+            raise OptimizationError(
+                "SLSQP failed to produce a feasible allocation from any start"
+            )
+        return Allocation(problem=problem, swings=best, solver="slsqp")
+
+    def _best_over_starts(
+        self,
+        problem: AllocationProblem,
+        options: OptimizerOptions,
+        heuristic: Allocation,
+        plan: Optional[ReductionPlan],
+    ) -> Optional[np.ndarray]:
+        support = _Support(problem, options, plan)
+        starts = self._initial_points(problem, options, heuristic, support)
+        best: Optional[np.ndarray] = None
+        best_utility = -math.inf
+        for x0 in starts:
+            swings = self._solve_from(problem, x0, support, options)
+            if swings is None:
+                continue
+            utility = problem.utility(swings)
+            if utility > best_utility:
+                best_utility = utility
+                best = swings
+        return best
+
+    def _initial_points(
+        self,
+        problem: AllocationProblem,
+        options: OptimizerOptions,
+        heuristic: Allocation,
+        support: _Support,
+    ) -> List[np.ndarray]:
+        rng = np.random.default_rng(options.seed)
+        max_swing = problem.led.max_swing
+        points: List[np.ndarray] = []
+        if options.warm_start is not None:
+            warm = np.asarray(options.warm_start, dtype=float)
+            if warm.shape != problem.channel.shape:
+                raise OptimizationError(
+                    f"warm start shape {warm.shape} does not match problem "
+                    f"shape {problem.channel.shape}"
+                )
+            points.append(
+                self._fit_budget(
+                    problem, support.restrict(warm / max_swing), support, options
+                )
+            )
+
+        # Heuristic structure, scaled into the budget interior.
+        base = support.restrict(heuristic.swings / max_swing)
+        seeded = base * 0.8 + 5e-3
+        points.append(self._fit_budget(problem, seeded, support, options))
 
         # Perturbed restarts.
-        for _ in range(self.options.restarts):
-            noise = rng.uniform(0.0, 0.3, size=size)
+        for _ in range(options.restarts):
+            noise = rng.uniform(0.0, 0.3, size=support.num_pairs)
             candidate = np.clip(seeded + noise, 1e-4, 1.0)
-            points.append(self._fit_budget(problem, candidate))
+            points.append(self._fit_budget(problem, candidate, support, options))
         return points
 
-    def _fit_budget(self, problem: AllocationProblem, x: np.ndarray) -> np.ndarray:
+    def _fit_budget(
+        self,
+        problem: AllocationProblem,
+        x: np.ndarray,
+        support: _Support,
+        options: OptimizerOptions,
+    ) -> np.ndarray:
         """Scale a candidate so it strictly satisfies both constraints."""
-        num_rx = problem.num_receivers
         x = np.clip(np.asarray(x, dtype=float), 0.0, 1.0)
-        matrix = x.reshape(problem.num_transmitters, num_rx)
-        per_tx = matrix.sum(axis=1)
+        per_tx = support.per_tx_swing(x)
         overflow = per_tx.max(initial=0.0)
         if overflow > 1.0:
-            matrix = matrix / overflow
-        swings = matrix * problem.led.max_swing
-        power = problem.total_power(swings)
-        target = problem.power_budget * self.options.budget_headroom
+            x = x / overflow
+            per_tx = per_tx / overflow
+        max_swing = problem.led.max_swing
+        power = float(
+            np.sum(
+                problem.led.dynamic_resistance
+                * (per_tx * max_swing / 2.0) ** 2
+            )
+        )
+        target = problem.power_budget * options.budget_headroom
         if power > target > 0.0:
             # Power is quadratic in the swing scale.
-            matrix = matrix * math.sqrt(target / power)
-        return matrix.ravel()
+            x = x * math.sqrt(target / power)
+        return x
 
     def _solve_from(
-        self, problem: AllocationProblem, x0: np.ndarray
+        self,
+        problem: AllocationProblem,
+        x0: np.ndarray,
+        support: _Support,
+        options: OptimizerOptions,
     ) -> Optional[np.ndarray]:
         num_tx = problem.num_transmitters
         num_rx = problem.num_receivers
         max_swing = problem.led.max_swing
-        channel = problem.channel
+        channel = support.channel_active
         scale = (
             problem.photodiode.responsivity
             * problem.led.wall_plug_efficiency
@@ -195,12 +438,13 @@ class ContinuousOptimizer:
         )
         noise_power = problem.noise.power
         bandwidth = problem.noise.bandwidth
-        resistance = problem.led.dynamic_resistance
-        floor = self.options.utility_floor
+        floor = options.utility_floor
         ln2 = math.log(2.0)
+        local_tx = support.local_tx
+        rx_indices = support.rx_indices
 
         def objective(x: np.ndarray) -> Tuple[float, np.ndarray]:
-            swings = x.reshape(num_tx, num_rx) * max_swing
+            swings = support.active_swings(x, max_swing)
             quarter = (swings / 2.0) ** 2
             amplitudes = scale * channel.T @ quarter  # (M, M)
             signal = np.diag(amplitudes).copy()
@@ -216,52 +460,29 @@ class ContinuousOptimizer:
             dsinr_dint = -2.0 * signal**2 * interference / denom**2
             w_direct = g * dsinr_dsig
             w_interf = g * dsinr_dint
-            total_interf = channel @ w_interf  # (N,)
+            total_interf = channel @ w_interf  # (K,)
             grad_q = scale * (
                 channel * (w_direct - w_interf)[None, :]
                 + total_interf[:, None]
             )
             grad_swing = grad_q * (swings / 2.0)
-            gradient = grad_swing.ravel() * max_swing
+            gradient = grad_swing[local_tx, rx_indices] * max_swing
             return -value, -gradient
 
-        def power_constraint(x: np.ndarray) -> float:
-            swings = x.reshape(num_tx, num_rx) * max_swing
-            return problem.power_budget - problem.total_power(swings)
-
-        def power_jacobian(x: np.ndarray) -> np.ndarray:
-            matrix = x.reshape(num_tx, num_rx)
-            per_tx = matrix.sum(axis=1) * max_swing
-            # d(budget - power)/dx[j,k] = -r * T_j * max_swing / 2
-            grad = -resistance * per_tx * max_swing / 2.0
-            return np.repeat(grad, num_rx)
-
-        per_tx_a = np.zeros((num_tx, num_tx * num_rx))
-        for j in range(num_tx):
-            per_tx_a[j, j * num_rx : (j + 1) * num_rx] = 1.0
-
-        constraints = [
-            {"type": "ineq", "fun": power_constraint, "jac": power_jacobian},
-            {
-                "type": "ineq",
-                "fun": lambda x: 1.0 - per_tx_a @ x,
-                "jac": lambda x: -per_tx_a,
-            },
-        ]
-        bounds = [(0.0, 1.0)] * (num_tx * num_rx)
         result = optimize.minimize(
             objective,
             x0,
             jac=True,
             method="SLSQP",
-            bounds=bounds,
-            constraints=constraints,
+            bounds=support.bounds,
+            constraints=support.constraints,
             options={
-                "maxiter": self.options.max_iterations,
-                "ftol": self.options.tolerance,
+                "maxiter": options.max_iterations,
+                "ftol": options.tolerance,
             },
         )
-        candidate = np.clip(result.x, 0.0, 1.0).reshape(num_tx, num_rx) * max_swing
+        reduced = np.clip(result.x, 0.0, 1.0)
+        candidate = support.expand(reduced, num_tx, num_rx) * max_swing
         # SLSQP can end a hair outside the power budget; pull it back in.
         power = problem.total_power(candidate)
         if power > problem.power_budget > 0.0:
@@ -272,7 +493,9 @@ class ContinuousOptimizer:
 
 
 def solve_optimal(
-    problem: AllocationProblem, options: Optional[OptimizerOptions] = None
+    problem: AllocationProblem,
+    options: Optional[OptimizerOptions] = None,
+    metrics: Optional[Any] = None,
 ) -> Allocation:
     """One-call convenience wrapper around :class:`ContinuousOptimizer`."""
-    return ContinuousOptimizer(options).solve(problem)
+    return ContinuousOptimizer(options, metrics=metrics).solve(problem)

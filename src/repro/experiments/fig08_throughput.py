@@ -100,7 +100,11 @@ def run(
 
     system = np.zeros((instances, len(budget_list)))
     per_rx = np.zeros((instances, len(budget_list), num_rx))
-    optimizer = ContinuousOptimizer(OptimizerOptions(restarts=0, seed=seed))
+    # SJR-pruned reduced-variable solves (with full-dimension fallback)
+    # keep the optimal sweep's utility while cutting most of its cost.
+    optimizer = ContinuousOptimizer(
+        OptimizerOptions(restarts=0, seed=seed, reduce=True)
+    )
     heuristic = RankingHeuristic()
     # One batched broadcast for all instance channels (runtime engine)
     # instead of rebuilding a Scene per instance.

@@ -69,6 +69,10 @@ def run(
         photodiode=cfg.photodiode,
         noise=cfg.noise,
     )
+    # The budget sweep warm-starts each solve from the previous budget's
+    # solution.  SJR pruning stays off here: the waterfall's switch-on
+    # *order* distinguishes near-ties between TXs that the reduced
+    # program (equal in utility) may break differently at low budgets.
     optimizer = ContinuousOptimizer(OptimizerOptions(restarts=0, seed=cfg.seed))
     allocations = optimizer.sweep(problem, budget_list)
     trajectories = {

@@ -21,11 +21,15 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..channel import channel_matrix
-from ..core import AllocationProblem, RankingHeuristic
+from ..channel import channel_matrix, channel_matrix_update
+from ..core import (
+    AllocationProblem,
+    ContinuousOptimizer,
+    OptimizerOptions,
+    RankingHeuristic,
+)
 from ..errors import ConfigurationError
 from ..geometry import MobilityModel, WaypointPath
-from ..system import Scene
 from .config import ExperimentConfig, default_config
 
 #: Default stations for the three parked receivers.
@@ -78,10 +82,20 @@ def run(
     interval: float = 0.5,
     speed: float = 0.7,
     kappa: float = 1.3,
+    solver: str = "heuristic",
 ) -> MobilityTrace:
-    """Walk one receiver along *path* and compare the two policies."""
+    """Walk one receiver along *path* and compare the two policies.
+
+    ``solver`` selects the adaptive controller: ``"heuristic"`` is the
+    paper's fast Algorithm 1; ``"optimal"`` runs the SJR-pruned SLSQP
+    sweep, warm-starting every step from the previous step's allocation
+    (consecutive positions differ by at most ``speed * interval`` meters,
+    so the previous optimum is an excellent seed).
+    """
     if interval <= 0:
         raise ConfigurationError(f"interval must be positive, got {interval}")
+    if solver not in ("heuristic", "optimal"):
+        raise ConfigurationError(f"unknown solver {solver!r}")
     cfg = config if config is not None else default_config()
     trajectory = (
         path
@@ -96,10 +110,14 @@ def run(
         [trajectory.position_at(0.0)] + list(static_rxs)
     )
     heuristic = RankingHeuristic(kappa=kappa)
+    # Only the mover's channel column changes along the walk; the base
+    # matrix is built once and each step patches column 0 in place of a
+    # full Scene rebuild + channel recomputation.
+    base_channel = channel_matrix(scene)
 
-    def problem_at(current: Scene) -> AllocationProblem:
+    def problem_for(channel: np.ndarray) -> AllocationProblem:
         return AllocationProblem(
-            channel=channel_matrix(current),
+            channel=channel,
             power_budget=power_budget,
             led=cfg.led,
             photodiode=cfg.photodiode,
@@ -107,19 +125,28 @@ def run(
         )
 
     # The static policy: solved once at the start, swings frozen.
-    start_problem = problem_at(scene)
+    start_problem = problem_for(base_channel)
     frozen = heuristic.solve(start_problem)
 
     adaptive = []
     static = []
     positions = []
+    warm: Optional[np.ndarray] = None
     for t in times:
         x, y = trajectory.position_at(float(t))
         positions.append((x, y))
-        current = scene.with_receivers_at([(x, y)] + list(static_rxs))
-        problem = problem_at(current)
+        channel = channel_matrix_update(scene, base_channel, [(x, y)], [0])
+        problem = problem_for(channel)
         # Adaptive: fresh allocation on the fresh channel.
-        adaptive.append(heuristic.solve(problem).throughput[0])
+        if solver == "optimal":
+            options = OptimizerOptions(
+                restarts=0, seed=cfg.seed, reduce=True, warm_start=warm
+            )
+            allocation = ContinuousOptimizer(options).solve(problem)
+            warm = allocation.swings
+        else:
+            allocation = heuristic.solve(problem)
+        adaptive.append(allocation.throughput[0])
         # Static: the old swing matrix evaluated on the fresh channel.
         static.append(float(problem.throughput(frozen.swings)[0]))
     return MobilityTrace(

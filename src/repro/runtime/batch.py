@@ -18,7 +18,7 @@ from typing import Optional
 import numpy as np
 
 from ..channel import AWGNNoise, shannon_throughput
-from ..channel.los import _scene_tx_arrays, los_gain_stack
+from ..channel.los import _scene_rx_arrays, _scene_tx_arrays, los_gain_stack
 from ..errors import ChannelError, GeometryError
 from ..optics import LEDModel, Photodiode
 from ..system import Scene
@@ -51,20 +51,14 @@ def channel_matrix_stack(
         and np.all(placements[..., 1] <= scene.room.depth)
     ):
         raise GeometryError("placement outside the room footprint")
-    heights = scene.rx_positions()[:, 2]
+    base_pos, rx_ori, photodiodes = _scene_rx_arrays(scene)
+    heights = base_pos[:, 2]
     rx_pos = np.concatenate(
         [placements, np.broadcast_to(heights[:, None], placements.shape[:2] + (1,))],
         axis=2,
     )
     tx_pos, tx_ori, orders = _scene_tx_arrays(scene)
-    return los_gain_stack(
-        tx_pos,
-        tx_ori,
-        orders,
-        rx_pos,
-        np.array([rx.orientation for rx in scene.receivers]),
-        [rx.photodiode for rx in scene.receivers],
-    )
+    return los_gain_stack(tx_pos, tx_ori, orders, rx_pos, rx_ori, photodiodes)
 
 
 def received_amplitude_stack(

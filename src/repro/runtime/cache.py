@@ -78,6 +78,17 @@ class LRUCache:
             self.stats.hits += 1
             return value
 
+    def peek(self, key: Hashable, default: Any = None) -> Any:
+        """The cached value without touching recency or hit/miss stats.
+
+        Used by opportunistic consumers (e.g. the incremental-channel
+        path reading a neighbor placement's matrix) that should not
+        distort the cache's accounting.
+        """
+        with self._lock:
+            value = self._entries.get(key, _MISSING)
+            return default if value is _MISSING else value
+
     def put(self, key: Hashable, value: Any) -> None:
         """Insert/refresh a value, evicting the oldest entry when full."""
         with self._lock:

@@ -42,6 +42,12 @@ class SolveTask:
 
     Everything is a plain dataclass/ndarray so tasks cross process
     boundaries without custom reducers.
+
+    ``warm_start`` is an optional (N, M) swing matrix that seeds SLSQP
+    for the ``optimal``/``binary`` solvers -- the serving layer fills it
+    with the nearest cached allocation so mobility-style traffic skips
+    most of the solver iterations.  ``reduce`` enables the SJR-pruned
+    reduced-variable program (with automatic full-dimension fallback).
     """
 
     channel: np.ndarray
@@ -52,6 +58,8 @@ class SolveTask:
     led: LEDModel = field(default_factory=cree_xte_paper_power)
     photodiode: Photodiode = field(default_factory=s5971)
     noise: AWGNNoise = field(default_factory=AWGNNoise)
+    warm_start: Optional[np.ndarray] = None
+    reduce: bool = True
 
     def problem(self) -> AllocationProblem:
         return AllocationProblem(
@@ -62,27 +70,35 @@ class SolveTask:
             noise=self.noise,
         )
 
+    def optimizer_options(self) -> OptimizerOptions:
+        return OptimizerOptions(
+            restarts=0,
+            seed=self.seed,
+            reduce=self.reduce,
+            warm_start=self.warm_start,
+        )
 
-def _solve_heuristic(task: SolveTask) -> Allocation:
+
+def _solve_heuristic(task: SolveTask, metrics=None) -> Allocation:
     return RankingHeuristic(kappa=task.kappa).solve(task.problem())
 
 
-def _solve_greedy(task: SolveTask) -> Allocation:
+def _solve_greedy(task: SolveTask, metrics=None) -> Allocation:
     return GreedyMarginalHeuristic().solve(task.problem())
 
 
-def _solve_optimal(task: SolveTask) -> Allocation:
-    options = OptimizerOptions(restarts=0, seed=task.seed)
-    return solve_optimal(task.problem(), options)
+def _solve_optimal(task: SolveTask, metrics=None) -> Allocation:
+    return solve_optimal(task.problem(), task.optimizer_options(), metrics=metrics)
 
 
-def _solve_binary(task: SolveTask) -> Allocation:
-    options = OptimizerOptions(restarts=0, seed=task.seed)
-    return binary_projection(solve_optimal(task.problem(), options))
+def _solve_binary(task: SolveTask, metrics=None) -> Allocation:
+    return binary_projection(
+        solve_optimal(task.problem(), task.optimizer_options(), metrics=metrics)
+    )
 
 
 #: Solver name -> callable; tasks reference solvers by name so they pickle.
-SOLVERS: Dict[str, Callable[[SolveTask], Allocation]] = {
+SOLVERS: Dict[str, Callable[..., Allocation]] = {
     "heuristic": _solve_heuristic,
     "greedy": _solve_greedy,
     "optimal": _solve_optimal,
@@ -90,10 +106,13 @@ SOLVERS: Dict[str, Callable[[SolveTask], Allocation]] = {
 }
 
 
-def solve_task(task: SolveTask) -> np.ndarray:
+def solve_task(task: SolveTask, metrics=None) -> np.ndarray:
     """Execute one task, returning the solved swing matrix.
 
-    Module-level so worker processes can unpickle the reference.
+    Module-level so worker processes can unpickle the reference.  The
+    optional *metrics* registry receives the optimizer's per-stage
+    timings; it is only threaded through on the serial in-process path
+    (worker processes would record into a throwaway registry).
     """
     try:
         solver = SOLVERS[task.solver]
@@ -101,7 +120,7 @@ def solve_task(task: SolveTask) -> np.ndarray:
         raise RuntimeEngineError(
             f"unknown solver {task.solver!r}; available: {sorted(SOLVERS)}"
         ) from None
-    return solver(task).swings
+    return solver(task, metrics=metrics).swings
 
 
 @dataclass(frozen=True)
@@ -168,7 +187,7 @@ class SolverPool:
 
     def _solve_serial(self, task: SolveTask) -> np.ndarray:
         with self.metrics.timer("pool.solve_seconds"):
-            return solve_task(task)
+            return solve_task(task, metrics=self.metrics)
 
     def _solve_parallel(self, tasks: List[SolveTask]) -> List[np.ndarray]:
         results: List[Optional[np.ndarray]] = [None] * len(tasks)

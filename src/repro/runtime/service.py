@@ -13,13 +13,14 @@ a random-placement workload and prints latency percentiles.
 from __future__ import annotations
 
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .. import constants
-from ..channel import AWGNNoise
+from ..channel import AWGNNoise, channel_matrix_update
 from ..errors import RuntimeEngineError
 from ..system import FINGERPRINT_QUANTUM, Scene, simulation_scene
 from .batch import channel_matrix_stack, throughput_stack
@@ -91,17 +92,45 @@ class AllocationResult:
 
 @dataclass(frozen=True)
 class ServiceOptions:
-    """Knobs for :class:`AllocationService`."""
+    """Knobs for :class:`AllocationService`.
+
+    Attributes:
+        channel_cache_capacity / allocation_cache_capacity / quantum /
+            pool: as in PR 1.
+        warm_start: seed optimal-mode SLSQP solves from the nearest
+            previously solved placement (within ``warm_start_radius``)
+            instead of the cold heuristic seed.
+        warm_start_radius: maximum per-RX displacement [m] for a cached
+            allocation to qualify as a warm-start neighbor.
+        neighborhood_memory: recently served placements remembered for
+            warm-start and incremental-channel neighbor lookups.
+        incremental_channel: when a cache-missing placement differs from
+            a remembered one in only some receivers, recompute just those
+            columns of the channel matrix instead of the full rebuild.
+    """
 
     channel_cache_capacity: int = 256
     allocation_cache_capacity: int = 1024
     quantum: float = FINGERPRINT_QUANTUM
     pool: PoolOptions = field(default_factory=PoolOptions)
+    warm_start: bool = True
+    warm_start_radius: float = 1.5
+    neighborhood_memory: int = 64
+    incremental_channel: bool = True
 
     def __post_init__(self) -> None:
         if self.quantum <= 0:
             raise RuntimeEngineError(
                 f"quantum must be positive, got {self.quantum}"
+            )
+        if self.warm_start_radius < 0:
+            raise RuntimeEngineError(
+                f"warm-start radius must be >= 0, got {self.warm_start_radius}"
+            )
+        if self.neighborhood_memory < 1:
+            raise RuntimeEngineError(
+                f"neighborhood memory must be >= 1, got "
+                f"{self.neighborhood_memory}"
             )
 
 
@@ -137,6 +166,13 @@ class AllocationService:
         self._allocation_cache = LRUCache(self.options.allocation_cache_capacity)
         self._pool = SolverPool(self.options.pool, self.metrics)
         self._base_fingerprint = scene.fingerprint(self.options.quantum)
+        # Recently served placements: key -> (M, 2) positions, used to
+        # find incremental-channel and warm-start neighbors.
+        self._placement_memory: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        # Solved optimal-mode allocations: key -> (positions, swings).
+        self._warm_memory: "OrderedDict[Tuple, Tuple[np.ndarray, np.ndarray]]" = (
+            OrderedDict()
+        )
 
     # ------------------------------------------------------------------
 
@@ -221,8 +257,61 @@ class AllocationService:
         )
         return f"{self._base_fingerprint}:{quantized}"
 
+    def _remember_placement(self, key: str, positions: np.ndarray) -> None:
+        memory = self._placement_memory
+        if key in memory:
+            memory.move_to_end(key)
+        else:
+            memory[key] = positions
+            while len(memory) > self.options.neighborhood_memory:
+                memory.popitem(last=False)
+
+    def _incremental_channel(
+        self, key: str, positions: np.ndarray
+    ) -> Optional[np.ndarray]:
+        """Build this placement's matrix from a near neighbor's columns.
+
+        Scans the remembered placements for the one differing in the
+        fewest receivers; when some receivers are unchanged (and the
+        neighbor's matrix is still cached), only the moved columns are
+        recomputed.  Returns None when every neighbor moved wholesale.
+        """
+        best_key: Optional[str] = None
+        best_moved: Optional[np.ndarray] = None
+        num_rx = positions.shape[0]
+        for other_key, other_positions in reversed(self._placement_memory.items()):
+            if other_key == key:
+                continue
+            moved = np.nonzero(
+                np.any(other_positions != positions, axis=1)
+            )[0]
+            if moved.size == 0 or moved.size >= num_rx:
+                continue
+            if best_moved is None or moved.size < best_moved.size:
+                if self._channel_cache.peek(other_key) is None:
+                    continue
+                best_key, best_moved = other_key, moved
+                if moved.size == 1:
+                    break
+        if best_key is None:
+            return None
+        base = self._channel_cache.peek(best_key)
+        if base is None:
+            return None
+        with self.metrics.timer("service.channel_incremental_seconds"):
+            matrix = channel_matrix_update(
+                self.scene, base, positions[best_moved], best_moved
+            )
+        self.metrics.counter("service.channel_incremental").increment()
+        return matrix
+
     def _channel_stage(self, requests):
-        """Resolve every request's channel matrix, batching the misses."""
+        """Resolve every request's channel matrix, batching the misses.
+
+        Misses first try the incremental path (recompute only the moved
+        receivers' columns of a remembered neighbor placement); whatever
+        remains becomes one batched broadcast.
+        """
         placement_keys = [
             self._placement_key(r.rx_positions_xy) for r in requests
         ]
@@ -239,20 +328,91 @@ class AllocationService:
                 miss_keys.setdefault(key, []).append(i)
         if miss_keys:
             self.metrics.counter("service.channel_misses").increment(len(miss_keys))
-            indices = [slots[0] for slots in miss_keys.values()]
-            placements = np.array(
-                [requests[i].rx_positions_xy for i in indices], dtype=float
-            )
-            with self.metrics.timer("service.channel_seconds"):
-                stack = channel_matrix_stack(self.scene, placements)
-            for matrix, (key, slots) in zip(stack, miss_keys.items()):
+            batched: Dict[str, List[int]] = {}
+            for key, slots in miss_keys.items():
+                positions = np.array(
+                    requests[slots[0]].rx_positions_xy, dtype=float
+                )
+                matrix = (
+                    self._incremental_channel(key, positions)
+                    if self.options.incremental_channel
+                    else None
+                )
+                if matrix is None:
+                    batched[key] = slots
+                    continue
                 self._channel_cache.put(key, matrix)
+                self._remember_placement(key, positions)
                 for i in slots:
                     channels[i] = matrix
+            if batched:
+                indices = [slots[0] for slots in batched.values()]
+                placements = np.array(
+                    [requests[i].rx_positions_xy for i in indices], dtype=float
+                )
+                with self.metrics.timer("service.channel_seconds"):
+                    stack = channel_matrix_stack(self.scene, placements)
+                for matrix, (key, slots) in zip(stack, batched.items()):
+                    self._channel_cache.put(key, matrix)
+                    self._remember_placement(
+                        key,
+                        np.array(
+                            requests[slots[0]].rx_positions_xy, dtype=float
+                        ),
+                    )
+                    for i in slots:
+                        channels[i] = matrix
+        for i, key in enumerate(placement_keys):
+            if channel_hits[i]:
+                self._remember_placement(
+                    key, np.array(requests[i].rx_positions_xy, dtype=float)
+                )
         return channels, placement_keys, channel_hits
 
+    #: Solvers whose SLSQP solves benefit from a warm start.
+    _WARM_SOLVERS = ("optimal", "binary")
+
+    def _warm_start_for(
+        self, solver: str, positions: np.ndarray
+    ) -> Optional[np.ndarray]:
+        """The nearest cached allocation's swings, or None.
+
+        "Nearest" is the smallest worst-case receiver displacement across
+        the warm-start memory; entries farther than
+        ``warm_start_radius`` on any receiver do not qualify.
+        """
+        best: Optional[np.ndarray] = None
+        best_distance = self.options.warm_start_radius
+        for entry_key, (entry_positions, entry_swings) in reversed(
+            self._warm_memory.items()
+        ):
+            if entry_key[2] != solver:
+                continue
+            distance = float(
+                np.max(np.linalg.norm(entry_positions - positions, axis=1))
+            )
+            if distance <= best_distance:
+                best = entry_swings
+                best_distance = distance
+        return best
+
+    def _remember_allocation(
+        self, key: Tuple, positions: np.ndarray, swings: np.ndarray
+    ) -> None:
+        memory = self._warm_memory
+        if key in memory:
+            memory.move_to_end(key)
+        memory[key] = (positions, swings)
+        while len(memory) > self.options.neighborhood_memory:
+            memory.popitem(last=False)
+
     def _allocation_stage(self, requests, placement_keys, channels):
-        """Resolve every request's allocation, fanning misses to the pool."""
+        """Resolve every request's allocation, fanning misses to the pool.
+
+        Optimal-mode misses are seeded from the nearest previously solved
+        placement (the warm-start pipeline); results feed back into the
+        neighborhood memory for the next request.
+        """
         swings: List[Optional[np.ndarray]] = [None] * len(requests)
         allocation_hits = [False] * len(requests)
         miss_slots: Dict[Tuple, List[int]] = {}
@@ -275,8 +435,19 @@ class AllocationService:
                 len(miss_slots)
             )
             tasks = []
+            miss_positions: List[np.ndarray] = []
             for key, slots in miss_slots.items():
                 request = requests[slots[0]]
+                positions = np.array(request.rx_positions_xy, dtype=float)
+                miss_positions.append(positions)
+                warm = None
+                if (
+                    self.options.warm_start
+                    and request.solver in self._WARM_SOLVERS
+                ):
+                    warm = self._warm_start_for(request.solver, positions)
+                    if warm is not None:
+                        self.metrics.counter("service.warm_starts").increment()
                 tasks.append(
                     SolveTask(
                         channel=channels[slots[0]],
@@ -286,12 +457,17 @@ class AllocationService:
                         led=self.scene.led,
                         photodiode=self.scene.receivers[0].photodiode,
                         noise=self.noise,
+                        warm_start=warm,
                     )
                 )
             with self.metrics.timer("service.solve_seconds"):
                 solved = self._pool.solve_many(tasks)
-            for matrix, (key, slots) in zip(solved, miss_slots.items()):
+            for matrix, positions, (key, slots) in zip(
+                solved, miss_positions, miss_slots.items()
+            ):
                 self._allocation_cache.put(key, matrix)
+                if key[2] in self._WARM_SOLVERS:
+                    self._remember_allocation(key, positions, matrix)
                 for i in slots:
                     swings[i] = matrix
         return swings, allocation_hits
@@ -329,9 +505,11 @@ class BenchmarkReport:
     allocation_hit_rate: float
     solver: str
     workers: int
+    solver_stage_ms: Dict[str, float] = field(default_factory=dict)
+    solver_counters: Dict[str, float] = field(default_factory=dict)
 
     def lines(self) -> List[str]:
-        return [
+        lines = [
             f"requests            {self.requests}",
             f"solver              {self.solver}",
             f"pool workers        {self.workers}",
@@ -342,6 +520,30 @@ class BenchmarkReport:
             f"channel hit-rate    {100 * self.channel_hit_rate:.1f}%",
             f"allocation hit-rate {100 * self.allocation_hit_rate:.1f}%",
         ]
+        for stage, mean_ms in sorted(self.solver_stage_ms.items()):
+            label = stage.removeprefix("optimizer.").removesuffix("_seconds")
+            lines.append(f"stage {label:<13} {mean_ms:.3f} ms mean")
+        for name, value in sorted(self.solver_counters.items()):
+            label = name.removeprefix("optimizer.")
+            lines.append(f"solver {label:<12} {value:.0f}")
+        return lines
+
+
+def _solver_stage_summary(
+    snapshot: dict,
+) -> "tuple[Dict[str, float], Dict[str, float]]":
+    """Mean optimizer stage timings [ms] and counters from a snapshot."""
+    stages = {
+        name: 1e3 * data.get("mean", 0.0)
+        for name, data in snapshot.get("histograms", {}).items()
+        if name.startswith("optimizer.") and data.get("count", 0)
+    }
+    counters = {
+        name: value
+        for name, value in snapshot.get("counters", {}).items()
+        if name.startswith("optimizer.")
+    }
+    return stages, counters
 
 
 def run_benchmark(
@@ -410,6 +612,9 @@ def run_benchmark(
         service.handle_batch(batch)
     duration = time.perf_counter() - start
     latency = service.metrics.histogram("service.latency_seconds")
+    stage_ms, stage_counters = _solver_stage_summary(
+        service.metrics.snapshot()
+    )
     return BenchmarkReport(
         requests=requests,
         duration_seconds=duration,
@@ -420,4 +625,6 @@ def run_benchmark(
         allocation_hit_rate=service.allocation_hit_rate,
         solver=solver,
         workers=workers,
+        solver_stage_ms=stage_ms,
+        solver_counters=stage_counters,
     )

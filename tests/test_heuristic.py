@@ -152,3 +152,47 @@ class TestPersonalizedKappa:
     def test_bad_kappa_raises(self, fig7_channel):
         with pytest.raises(AllocationError):
             personalized_kappa_ranking(fig7_channel, [1.3, 1.3, -1.0, 1.3])
+
+
+class TestVectorizedRanking:
+    """The sort-based ranking must match the reference loop exactly.
+
+    Removing a TX's row never changes another row's SJR, so the
+    iterative masked-argmax of Algorithm 1 is equivalent to sorting the
+    per-TX best pairs -- including tie-breaking (lower TX index first,
+    then lower RX index).
+    """
+
+    def test_matches_loop_on_random_matrices(self, rng):
+        from repro.core.heuristic import _rank_transmitters_loop
+
+        for _ in range(20):
+            num_tx = int(rng.integers(2, 15))
+            num_rx = int(rng.integers(1, 6))
+            channel = rng.uniform(0.0, 1e-5, size=(num_tx, num_rx))
+            assert rank_transmitters(channel) == _rank_transmitters_loop(
+                channel
+            )
+
+    def test_matches_loop_with_forced_ties(self):
+        from repro.core.heuristic import _rank_transmitters_loop
+
+        # Identical rows -> every SJR value ties; order must fall back
+        # to TX index, then RX index, in both implementations.
+        channel = np.tile(np.array([[2e-6, 1e-6, 2e-6]]), (5, 1))
+        assert rank_transmitters(channel) == _rank_transmitters_loop(channel)
+
+    def test_matches_loop_with_zero_rows(self):
+        from repro.core.heuristic import _rank_transmitters_loop
+
+        channel = np.array(
+            [[0.0, 0.0], [1e-6, 2e-6], [0.0, 0.0], [3e-6, 1e-6]]
+        )
+        assert rank_transmitters(channel) == _rank_transmitters_loop(channel)
+
+    def test_matches_loop_on_paper_channel(self, fig7_channel):
+        from repro.core.heuristic import _rank_transmitters_loop
+
+        assert rank_transmitters(fig7_channel, kappa=1.3) == (
+            _rank_transmitters_loop(fig7_channel, kappa=1.3)
+        )
