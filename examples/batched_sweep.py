@@ -74,6 +74,14 @@ def main() -> None:
         f"p50 latency {1e3 * latency['p50']:.2f} ms"
     )
 
+    # --- 3. The fault-tolerance layer's view of the same service.
+    health = service.health()
+    print(
+        f"health {health['status']}, circuit {health['circuit']['state']}, "
+        f"degraded solves "
+        f"{health['resilience'].get('resilience.degraded_solves', 0):.0f}"
+    )
+
 
 if __name__ == "__main__":
     main()

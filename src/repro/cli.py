@@ -223,6 +223,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     bench_parser.add_argument("--cache-size", type=int, default=256)
     bench_parser.add_argument("--seed", type=int, default=0)
+    bench_parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="per-request latency budget [s]; expiring solves degrade "
+        "down the solver chain instead of blocking",
+    )
 
     args = parser.parse_args(argv)
     if args.command == "list":
@@ -252,6 +259,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 cache_capacity=args.cache_size,
                 batch_size=args.batch_size,
                 seed=args.seed,
+                deadline_seconds=args.deadline,
             )
         except DenseVLCError as exc:
             print(f"repro bench: error: {exc}", file=sys.stderr)

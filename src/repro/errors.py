@@ -50,3 +50,11 @@ class SimulationError(DenseVLCError):
 
 class RuntimeEngineError(DenseVLCError):
     """The allocation-serving runtime (cache/pool/service) failed."""
+
+
+class DeadlineExceeded(RuntimeEngineError):
+    """A request's deadline expired before its solve completed."""
+
+
+class CircuitOpenError(RuntimeEngineError):
+    """The resilience circuit breaker is open and fast-failing calls."""

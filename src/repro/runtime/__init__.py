@@ -10,6 +10,10 @@ Turns the per-call experiment code into a high-throughput engine:
   allocation solves;
 - :mod:`repro.runtime.metrics` -- counters/gauges/histograms exported
   as a dict snapshot;
+- :mod:`repro.runtime.resilience` -- deadlines, retry/backoff, the
+  circuit breaker and the solver degradation chain;
+- :mod:`repro.runtime.faults` -- the seedable fault-injection harness
+  driving the chaos tests;
 - :mod:`repro.runtime.service` -- the :class:`AllocationService`
   facade routing requests through cache -> batch -> pool, wired into
   the CLI as ``repro bench``.
@@ -23,8 +27,25 @@ from .batch import (
     throughput_stack,
 )
 from .cache import CacheStats, ChannelCache, LRUCache
+from .faults import FaultPlan
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
-from .pool import SOLVERS, PoolOptions, SolverPool, SolveTask, solve_task
+from .pool import (
+    SOLVERS,
+    PoolOptions,
+    SolveOutcome,
+    SolverPool,
+    SolveTask,
+    solve_task,
+)
+from .resilience import (
+    DEGRADATION_CHAIN,
+    CircuitBreaker,
+    Deadline,
+    ResilienceOptions,
+    ResiliencePolicy,
+    RetryPolicy,
+    degradation_fallbacks,
+)
 from .service import (
     AllocationRequest,
     AllocationResult,
@@ -49,9 +70,18 @@ __all__ = [
     "MetricsRegistry",
     "SOLVERS",
     "PoolOptions",
+    "SolveOutcome",
     "SolverPool",
     "SolveTask",
     "solve_task",
+    "FaultPlan",
+    "DEGRADATION_CHAIN",
+    "CircuitBreaker",
+    "Deadline",
+    "ResilienceOptions",
+    "ResiliencePolicy",
+    "RetryPolicy",
+    "degradation_fallbacks",
     "AllocationRequest",
     "AllocationResult",
     "AllocationService",

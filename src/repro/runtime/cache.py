@@ -13,13 +13,27 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass
 from threading import Lock
-from typing import Any, Callable, Hashable, Optional
+from typing import Any, Callable, Dict, Hashable, Optional
 
 import numpy as np
 
 from ..errors import ConfigurationError
 
 _MISSING = object()
+
+
+def _freeze_arrays(value: Any) -> Any:
+    """Mark cached ndarrays read-only so shared hits cannot be mutated.
+
+    Cached values are handed out by reference to every hit; a consumer
+    writing into one would silently corrupt every other consumer's view.
+    Freezing turns that bug into an immediate ``ValueError`` at the
+    mutation site.  Consumers that need a private copy (warm-start
+    seeding, incremental column updates) already copy before writing.
+    """
+    if isinstance(value, np.ndarray):
+        value.setflags(write=False)
+    return value
 
 
 @dataclass
@@ -59,6 +73,8 @@ class LRUCache:
         self.stats = CacheStats()
         self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
         self._lock = Lock()
+        # Per-key construction locks for single-flight get_or_create.
+        self._inflight: Dict[Hashable, Lock] = {}
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -91,6 +107,7 @@ class LRUCache:
 
     def put(self, key: Hashable, value: Any) -> None:
         """Insert/refresh a value, evicting the oldest entry when full."""
+        value = _freeze_arrays(value)
         with self._lock:
             if key in self._entries:
                 self._entries.move_to_end(key)
@@ -99,13 +116,45 @@ class LRUCache:
                 self._entries.popitem(last=False)
                 self.stats.evictions += 1
 
-    def get_or_create(self, key: Hashable, factory: Callable[[], Any]) -> Any:
-        """The cached value, computing and storing it on a miss."""
-        value = self.get(key, _MISSING)
-        if value is not _MISSING:
+    def _lookup(self, key: Hashable) -> Any:
+        """One locked hit-or-miss probe (returns ``_MISSING`` on a miss)."""
+        with self._lock:
+            value = self._entries.get(key, _MISSING)
+            if value is _MISSING:
+                self.stats.misses += 1
+            else:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
             return value
-        value = factory()
-        self.put(key, value)
+
+    def get_or_create(self, key: Hashable, factory: Callable[[], Any]) -> Any:
+        """The cached value, computing and storing it on a miss.
+
+        Single-flight: concurrent misses on the same key run *factory*
+        exactly once -- the first thread computes under a per-key lock
+        while the others block on it, then re-probe the cache and count
+        a hit.  Without this, two threads missing concurrently would
+        both build the (expensive) value and both count a miss.
+        """
+        with self._lock:
+            value = self._entries.get(key, _MISSING)
+            if value is not _MISSING:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return value
+            flight = self._inflight.get(key)
+            if flight is None:
+                flight = self._inflight[key] = Lock()
+        with flight:
+            value = self._lookup(key)
+            if value is not _MISSING:
+                return value
+            try:
+                value = factory()
+                self.put(key, value)
+            finally:
+                with self._lock:
+                    self._inflight.pop(key, None)
         return value
 
     def clear(self) -> None:

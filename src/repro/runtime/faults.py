@@ -1,0 +1,136 @@
+"""Seedable fault injection for the allocation-serving runtime.
+
+A deployed serving system meets failures the DenseVLC testbed never
+sees: solver workers die, a solve wedges, a channel matrix arrives
+corrupted.  :class:`FaultPlan` injects exactly those faults on demand --
+deterministically, from a seed -- so the chaos tests can drive the
+resilience layer through worker-crash, hung-solve and corrupted-channel
+scenarios and assert the service still returns a (possibly degraded)
+result for every request.
+
+Every decision is a pure hash of ``(seed, kind, key, attempt)``: the
+same plan against the same workload injects the same faults, in or out
+of worker processes, so chaos runs are reproducible bit-for-bit.  By
+default faults fire only on ``attempt`` numbers below
+``fault_attempts``, which models the most common real-world shape --
+transient failures that a retry or recompute clears.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass
+from typing import Hashable
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+def hash_unit(seed: int, kind: str, key: Hashable, attempt: int) -> float:
+    """A deterministic uniform draw in [0, 1) from a fault coordinate."""
+    digest = hashlib.blake2b(
+        f"{seed}:{kind}:{key!r}:{attempt}".encode(), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big") / 2**64
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Injectable runtime faults behind one seedable switchboard.
+
+    Attributes:
+        seed: root of every fault decision; same seed -> same faults.
+        worker_crash_probability: chance a pool worker hard-exits
+            mid-solve (surfaces as ``BrokenProcessPool`` in the parent).
+            Only fires inside worker processes -- in-process solves
+            ignore it, which is exactly how the circuit breaker's
+            serial fallback escapes the fault.
+        slow_solve_probability: chance a solve sleeps
+            ``slow_solve_seconds`` before running (models a wedged
+            SLSQP iteration; surfaces as a task timeout upstream).
+        slow_solve_seconds: the injected stall duration [s].
+        corrupt_channel_probability: chance a freshly computed channel
+            matrix gets a NaN burned into it (models a corrupted
+            estimate; the service detects and recomputes).
+        fault_attempts: faults fire only on attempts < this value, so
+            retries/recomputes (attempt >= 1 by default) run clean.
+    """
+
+    seed: int = 0
+    worker_crash_probability: float = 0.0
+    slow_solve_probability: float = 0.0
+    slow_solve_seconds: float = 0.2
+    corrupt_channel_probability: float = 0.0
+    fault_attempts: int = 1
+
+    def __post_init__(self) -> None:
+        for name in (
+            "worker_crash_probability",
+            "slow_solve_probability",
+            "corrupt_channel_probability",
+        ):
+            probability = getattr(self, name)
+            if not 0.0 <= probability <= 1.0:
+                raise ConfigurationError(
+                    f"{name} must be in [0, 1], got {probability}"
+                )
+        if self.slow_solve_seconds < 0:
+            raise ConfigurationError(
+                f"slow_solve_seconds must be >= 0, got {self.slow_solve_seconds}"
+            )
+        if self.fault_attempts < 0:
+            raise ConfigurationError(
+                f"fault_attempts must be >= 0, got {self.fault_attempts}"
+            )
+
+    # ------------------------------------------------------------------
+
+    def _fires(self, kind: str, key: Hashable, attempt: int, probability: float) -> bool:
+        if probability <= 0.0 or attempt >= self.fault_attempts:
+            return False
+        return hash_unit(self.seed, kind, key, attempt) < probability
+
+    def maybe_crash_worker(self, key: Hashable, attempt: int = 0) -> None:
+        """Hard-exit the current *worker* process if the plan says so.
+
+        A no-op in the main process: an in-process solve cannot
+        "crash a worker", and killing the interpreter would take the
+        service down with it.
+        """
+        if not self._fires("crash", key, attempt, self.worker_crash_probability):
+            return
+        if multiprocessing.current_process().name == "MainProcess":
+            return
+        os._exit(1)
+
+    def maybe_slow_solve(self, key: Hashable, attempt: int = 0) -> float:
+        """Sleep out an injected stall; returns the seconds slept."""
+        if not self._fires("slow", key, attempt, self.slow_solve_probability):
+            return 0.0
+        time.sleep(self.slow_solve_seconds)
+        return self.slow_solve_seconds
+
+    def maybe_corrupt_channel(
+        self, matrix: np.ndarray, key: Hashable, attempt: int = 0
+    ) -> np.ndarray:
+        """A corrupted copy of *matrix* (or *matrix* itself, untouched).
+
+        Corruption burns a NaN into one deterministically chosen entry,
+        which :class:`repro.core.AllocationProblem` would reject -- the
+        service's finite-check catches it first and recomputes.
+        """
+        if not self._fires(
+            "corrupt", key, attempt, self.corrupt_channel_probability
+        ):
+            return matrix
+        corrupted = np.array(matrix, dtype=float, copy=True)
+        flat = corrupted.reshape(-1)
+        position = int(
+            hash_unit(self.seed, "corrupt-where", key, attempt) * flat.size
+        )
+        flat[min(position, flat.size - 1)] = np.nan
+        return corrupted

@@ -34,7 +34,8 @@ class Counter:
 
     @property
     def value(self) -> float:
-        return self._value
+        with self._lock:
+            return self._value
 
 
 class Gauge:
@@ -42,13 +43,17 @@ class Gauge:
 
     def __init__(self) -> None:
         self._value = 0.0
+        self._lock = Lock()
 
     def set(self, value: float) -> None:
-        self._value = float(value)
+        value = float(value)
+        with self._lock:
+            self._value = value
 
     @property
     def value(self) -> float:
-        return self._value
+        with self._lock:
+            return self._value
 
 
 class Histogram:
@@ -81,28 +86,39 @@ class Histogram:
 
     @property
     def mean(self) -> float:
-        return self.total / self.count if self.count else 0.0
+        with self._lock:
+            return self.total / self.count if self.count else 0.0
+
+    def _percentile_locked(self, reservoir: np.ndarray, q: float) -> float:
+        if reservoir.size == 0:
+            return 0.0
+        return float(np.percentile(reservoir, q))
 
     def percentile(self, q: float) -> float:
         """The *q*-th percentile (0-100) of the recent reservoir."""
         if not 0.0 <= q <= 100.0:
             raise ConfigurationError(f"percentile must be in [0, 100], got {q}")
         with self._lock:
-            if not self._recent:
-                return 0.0
-            return float(np.percentile(np.fromiter(self._recent, dtype=float), q))
+            return self._percentile_locked(
+                np.fromiter(self._recent, dtype=float), q
+            )
 
     def as_dict(self) -> dict:
-        if self.count == 0:
-            return {"count": 0}
-        return {
-            "count": self.count,
-            "mean": self.mean,
-            "min": self.minimum,
-            "max": self.maximum,
-            "p50": self.percentile(50.0),
-            "p95": self.percentile(95.0),
-        }
+        # One lock acquisition for the whole snapshot: count/mean/min/max
+        # and both percentiles come from the same instant, so a snapshot
+        # taken mid-``observe`` never mixes pre- and post-update state.
+        with self._lock:
+            if self.count == 0:
+                return {"count": 0}
+            reservoir = np.fromiter(self._recent, dtype=float)
+            return {
+                "count": self.count,
+                "mean": self.total / self.count,
+                "min": self.minimum,
+                "max": self.maximum,
+                "p50": self._percentile_locked(reservoir, 50.0),
+                "p95": self._percentile_locked(reservoir, 95.0),
+            }
 
 
 class MetricsRegistry:

@@ -3,9 +3,17 @@
 Allocation solves are embarrassingly parallel across requests: every
 task is a pure function of ``(channel, budget, solver, parameters)``.
 :class:`SolverPool` fans :class:`SolveTask` batches across a
-``ProcessPoolExecutor`` with a per-task timeout, a single serial retry
-when a worker crashes or times out, and results returned in submission
-order -- so parallel output is bit-identical to a serial run.
+``ProcessPoolExecutor`` with a per-task timeout, bounded retries when a
+worker crashes or times out, and results returned in submission order
+-- so parallel output is bit-identical to a serial run.
+
+With a :class:`~repro.runtime.resilience.ResiliencePolicy` attached the
+pool additionally honors per-task deadlines, backs off between retries
+(deterministic jitter), routes whole batches to the in-process serial
+path while the circuit breaker is open, and falls down the solver
+degradation chain (``optimal -> binary -> greedy -> heuristic``) when a
+solve times out or fails to converge -- callers get the best cheaper
+allocation, flagged as degraded, instead of an exception.
 
 Solvers are looked up by name in :data:`SOLVERS` (``"heuristic"``,
 ``"greedy"``, ``"optimal"``, ``"binary"``) so tasks stay picklable.
@@ -13,10 +21,15 @@ Solvers are looked up by name in :data:`SOLVERS` (``"heuristic"``,
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
+import time
+from concurrent.futures import (
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    TimeoutError as FutureTimeout,
+)
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Hashable, List, Optional, Sequence
 
 import numpy as np
 
@@ -31,9 +44,11 @@ from ..core import (
     binary_projection,
     solve_optimal,
 )
-from ..errors import RuntimeEngineError
+from ..errors import DeadlineExceeded, OptimizationError, RuntimeEngineError
 from ..optics import LEDModel, Photodiode, cree_xte_paper_power, s5971
+from .faults import FaultPlan
 from .metrics import MetricsRegistry
+from .resilience import Deadline, ResiliencePolicy, degradation_fallbacks
 
 
 @dataclass(frozen=True)
@@ -48,6 +63,11 @@ class SolveTask:
     with the nearest cached allocation so mobility-style traffic skips
     most of the solver iterations.  ``reduce`` enables the SJR-pruned
     reduced-variable program (with automatic full-dimension fallback).
+
+    ``deadline`` is an absolute :func:`time.monotonic` timestamp (the
+    request's remaining budget, set by the service); it is enforced by
+    the submitting process, never by workers.  ``faults``/``fault_key``
+    hook the seedable chaos harness (:class:`FaultPlan`) into the solve.
     """
 
     channel: np.ndarray
@@ -60,6 +80,9 @@ class SolveTask:
     noise: AWGNNoise = field(default_factory=AWGNNoise)
     warm_start: Optional[np.ndarray] = None
     reduce: bool = True
+    deadline: Optional[float] = None
+    faults: Optional[FaultPlan] = None
+    fault_key: Hashable = 0
 
     def problem(self) -> AllocationProblem:
         return AllocationProblem(
@@ -77,6 +100,32 @@ class SolveTask:
             reduce=self.reduce,
             warm_start=self.warm_start,
         )
+
+    def deadline_object(self) -> Deadline:
+        return Deadline() if self.deadline is None else Deadline(self.deadline)
+
+
+@dataclass(frozen=True)
+class SolveOutcome:
+    """One solved task plus its resilience provenance.
+
+    Attributes:
+        swings: the solved (N, M) swing matrix [A].
+        solver: the solver that actually produced *swings*.
+        requested_solver: the solver the task asked for.
+        degraded: True when *solver* is a degradation-chain fallback.
+        retries: solve attempts beyond the first.
+        deadline_exceeded: the task's deadline expired along the way
+            (the result is the best allocation the remaining budget
+            could buy).
+    """
+
+    swings: np.ndarray
+    solver: str
+    requested_solver: str
+    degraded: bool = False
+    retries: int = 0
+    deadline_exceeded: bool = False
 
 
 def _solve_heuristic(task: SolveTask, metrics=None) -> Allocation:
@@ -106,13 +155,15 @@ SOLVERS: Dict[str, Callable[..., Allocation]] = {
 }
 
 
-def solve_task(task: SolveTask, metrics=None) -> np.ndarray:
+def solve_task(task: SolveTask, metrics=None, attempt: int = 0) -> np.ndarray:
     """Execute one task, returning the solved swing matrix.
 
     Module-level so worker processes can unpickle the reference.  The
     optional *metrics* registry receives the optimizer's per-stage
     timings; it is only threaded through on the serial in-process path
     (worker processes would record into a throwaway registry).
+    *attempt* numbers re-executions of the same task so the fault plan
+    can fire on first attempts and clear on retries.
     """
     try:
         solver = SOLVERS[task.solver]
@@ -120,6 +171,9 @@ def solve_task(task: SolveTask, metrics=None) -> np.ndarray:
         raise RuntimeEngineError(
             f"unknown solver {task.solver!r}; available: {sorted(SOLVERS)}"
         ) from None
+    if task.faults is not None:
+        task.faults.maybe_crash_worker(task.fault_key, attempt)
+        task.faults.maybe_slow_solve(task.fault_key, attempt)
     return solver(task, metrics=metrics).swings
 
 
@@ -130,8 +184,8 @@ class PoolOptions:
     Attributes:
         max_workers: worker processes; 0 or 1 solves serially in-process
             (the right choice on single-core hosts and for tiny batches).
-        task_timeout: per-task wall-clock limit [s] before the serial
-            retry kicks in.
+        task_timeout: per-task wall-clock limit [s] before the bounded
+            retry/degradation path kicks in.
         min_parallel_tasks: batches smaller than this run serially (the
             pool spawn cost would dominate).
     """
@@ -168,56 +222,277 @@ class SolverPool:
         self,
         options: Optional[PoolOptions] = None,
         metrics: Optional[MetricsRegistry] = None,
+        resilience: Optional[ResiliencePolicy] = None,
     ) -> None:
         self.options = options if options is not None else PoolOptions()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.resilience = resilience
 
     def solve_many(self, tasks: Sequence[SolveTask]) -> List[np.ndarray]:
         """Solve every task, preserving submission order."""
+        return [outcome.swings for outcome in self.solve_outcomes(tasks)]
+
+    def solve_outcomes(self, tasks: Sequence[SolveTask]) -> List[SolveOutcome]:
+        """Solve every task, returning swings plus resilience provenance."""
         tasks = list(tasks)
         self.metrics.counter("pool.tasks").increment(len(tasks))
+        use_pool = (
+            self.options.max_workers > 1
+            and len(tasks) >= self.options.min_parallel_tasks
+        )
         if (
-            self.options.max_workers <= 1
-            or len(tasks) < self.options.min_parallel_tasks
+            use_pool
+            and self.resilience is not None
+            and not self.resilience.breaker.allow()
         ):
-            return [self._solve_serial(task) for task in tasks]
-        return self._solve_parallel(tasks)
+            # Circuit open: fall back to the in-process path instead of
+            # feeding more batches into a broken pool.
+            self.resilience.count("circuit_short_circuits")
+            use_pool = False
+        if not use_pool:
+            return [self._serial_outcome(task) for task in tasks]
+        return self._parallel_outcomes(tasks)
 
     # ------------------------------------------------------------------
 
-    def _solve_serial(self, task: SolveTask) -> np.ndarray:
-        with self.metrics.timer("pool.solve_seconds"):
-            return solve_task(task, metrics=self.metrics)
+    def _call_bounded(
+        self, task: SolveTask, timeout: Optional[float], attempt: int
+    ) -> np.ndarray:
+        """Run one solve, bounded by *timeout* seconds when finite.
 
-    def _solve_parallel(self, tasks: List[SolveTask]) -> List[np.ndarray]:
+        The bounded path runs the solve on a helper thread and abandons
+        it on expiry (raising :class:`DeadlineExceeded`); a genuinely
+        wedged solve leaks its thread -- the price of preemption-free
+        Python -- but the batch keeps making progress.
+        """
+        if timeout is None or timeout == float("inf"):
+            with self.metrics.timer("pool.solve_seconds"):
+                return solve_task(task, metrics=self.metrics, attempt=attempt)
+        if timeout <= 0:
+            raise DeadlineExceeded(
+                f"no time left for solver {task.solver!r} (attempt {attempt})"
+            )
+        executor = ThreadPoolExecutor(max_workers=1)
+        future = executor.submit(solve_task, task, self.metrics, attempt)
+        try:
+            with self.metrics.timer("pool.solve_seconds"):
+                return future.result(timeout=timeout)
+        except FutureTimeout:
+            raise DeadlineExceeded(
+                f"solver {task.solver!r} exceeded {timeout:.3f}s "
+                f"(attempt {attempt})"
+            ) from None
+        finally:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+    def _degraded_outcome(
+        self,
+        task: SolveTask,
+        deadline: Deadline,
+        timed_out: bool,
+        retries: int,
+        first_attempt: int,
+        cause: Exception,
+    ) -> SolveOutcome:
+        """Fall down the degradation chain and return the best cheaper solve."""
+        policy = self.resilience
+        if policy is None or not policy.options.degrade:
+            raise cause
+        attempt = first_attempt
+        deadline_hit = timed_out and deadline.expired
+        fallbacks = degradation_fallbacks(task.solver, timed_out=timed_out)
+        for position, fallback in enumerate(fallbacks):
+            degraded_task = replace(task, solver=fallback, warm_start=None)
+            last = position == len(fallbacks) - 1
+            timeout = deadline.cap(self.options.task_timeout)
+            if timeout is not None and timeout <= 0 and not last:
+                attempt += 1
+                continue
+            if last and deadline.bounded:
+                # Last resort: the caller must get an answer even when
+                # the budget is spent (or nearly so) -- run the cheapest
+                # solver bounded by the task timeout alone and flag the
+                # overrun instead of enforcing it.
+                if timeout is not None and timeout <= 0:
+                    deadline_hit = True
+                timeout = self.options.task_timeout
+            try:
+                swings = self._call_bounded(degraded_task, timeout, attempt)
+            except (DeadlineExceeded, OptimizationError):
+                deadline_hit = deadline_hit or deadline.expired
+                attempt += 1
+                continue
+            policy.count("degraded_solves")
+            if deadline_hit or deadline.expired:
+                policy.count("deadline_expirations")
+            return SolveOutcome(
+                swings=swings,
+                solver=fallback,
+                requested_solver=task.solver,
+                degraded=True,
+                retries=retries,
+                deadline_exceeded=deadline_hit or deadline.expired,
+            )
+        policy.count("deadline_expirations")
+        raise DeadlineExceeded(
+            f"every fallback for solver {task.solver!r} failed within the "
+            f"deadline: {cause}"
+        ) from cause
+
+    def _serial_outcome(self, task: SolveTask) -> SolveOutcome:
+        deadline = task.deadline_object()
+        if deadline.expired:
+            # The budget was spent before the solve started: skip
+            # straight to the cheapest fallback so the caller still
+            # gets an allocation.
+            return self._degraded_outcome(
+                task,
+                deadline,
+                timed_out=True,
+                retries=0,
+                first_attempt=0,
+                cause=DeadlineExceeded("deadline expired before solve"),
+            )
+        # The first attempt is bounded only by the request deadline --
+        # without one, this is exactly the pre-resilience serial path.
+        timeout = deadline.cap(None)
+        try:
+            swings = self._call_bounded(task, timeout, attempt=0)
+        except DeadlineExceeded as error:
+            return self._degraded_outcome(
+                task, deadline, timed_out=True, retries=0,
+                first_attempt=1, cause=error,
+            )
+        except OptimizationError as error:
+            return self._degraded_outcome(
+                task, deadline, timed_out=False, retries=0,
+                first_attempt=1, cause=error,
+            )
+        return SolveOutcome(
+            swings=swings, solver=task.solver, requested_solver=task.solver
+        )
+
+    def _parallel_outcomes(self, tasks: List[SolveTask]) -> List[SolveOutcome]:
         results: List[Optional[np.ndarray]] = [None] * len(tasks)
-        retry: List[int] = []
+        retry: List[tuple] = []  # (index, timed_out)
         with self.metrics.timer("pool.batch_seconds"):
-            with ProcessPoolExecutor(
-                max_workers=self.options.max_workers
-            ) as executor:
+            executor = ProcessPoolExecutor(max_workers=self.options.max_workers)
+            try:
                 futures = {
-                    index: executor.submit(solve_task, task)
+                    index: executor.submit(solve_task, task, None, 0)
                     for index, task in enumerate(tasks)
                 }
                 for index, future in futures.items():
+                    timeout = tasks[index].deadline_object().cap(
+                        self.options.task_timeout
+                    )
                     try:
-                        results[index] = future.result(
-                            timeout=self.options.task_timeout
-                        )
-                    except (BrokenProcessPool, FutureTimeout, OSError):
-                        retry.append(index)
-        # Retry crashed/timed-out tasks once, serially in this process,
-        # which keeps the batch deterministic and always makes progress.
-        for index in retry:
+                        results[index] = future.result(timeout=timeout)
+                    except FutureTimeout:
+                        retry.append((index, True))
+                    except (BrokenProcessPool, OSError):
+                        retry.append((index, False))
+            finally:
+                # Do not block the batch on timed-out workers still
+                # chewing on abandoned tasks.
+                executor.shutdown(wait=False, cancel_futures=True)
+        if self.resilience is not None:
+            if retry:
+                for _ in retry:
+                    self.resilience.breaker.record_failure()
+                self.resilience.count("pool_failures", len(retry))
+            else:
+                self.resilience.breaker.record_success()
+        outcomes: List[Optional[SolveOutcome]] = [
+            None
+            if results[index] is None
+            else SolveOutcome(
+                swings=results[index],
+                solver=task.solver,
+                requested_solver=task.solver,
+            )
+            for index, task in enumerate(tasks)
+        ]
+        # Retry crashed/timed-out tasks in this process -- bounded by
+        # task_timeout (a hung solve must not block the batch forever)
+        # and by the task deadline, with backoff + degradation when a
+        # resilience policy is attached.  Serial re-execution keeps the
+        # batch deterministic and always makes progress.
+        for index, timed_out in retry:
             self.metrics.counter("pool.retries").increment()
+            outcomes[index] = self._retry_outcome(tasks[index], timed_out)
+        if any(outcome is None for outcome in outcomes):
+            raise RuntimeEngineError("pool returned incomplete results")
+        return outcomes  # type: ignore[return-value]
+
+    def _retry_outcome(self, task: SolveTask, timed_out: bool) -> SolveOutcome:
+        deadline = task.deadline_object()
+        policy = self.resilience
+        if timed_out:
+            # The same solver just burned a full task_timeout in a
+            # worker; re-running it serially would hang the batch again.
+            # Degrade (with a policy) or fail explicitly (without).
+            cause = DeadlineExceeded(
+                f"solver {task.solver!r} exceeded the "
+                f"{self.options.task_timeout:.3f}s task timeout in the pool"
+            )
+            if policy is not None and policy.options.degrade:
+                return self._degraded_outcome(
+                    task, deadline, timed_out=True, retries=1,
+                    first_attempt=1, cause=cause,
+                )
             try:
-                results[index] = self._solve_serial(tasks[index])
+                swings = self._call_bounded(
+                    task, deadline.cap(self.options.task_timeout), attempt=1
+                )
             except Exception as error:
                 self.metrics.counter("pool.failures").increment()
                 raise RuntimeEngineError(
-                    f"task {index} failed after serial retry: {error}"
+                    f"task failed after bounded serial retry: {error}"
                 ) from error
-        if any(result is None for result in results):
-            raise RuntimeEngineError("pool returned incomplete results")
-        return results  # type: ignore[return-value]
+            return SolveOutcome(
+                swings=swings, solver=task.solver,
+                requested_solver=task.solver, retries=1,
+            )
+        # Worker crash: the task itself is usually fine, so retry it
+        # serially -- with backoff between attempts under a policy.
+        attempts = 1 if policy is None else max(1, policy.retry.max_attempts)
+        last_error: Optional[Exception] = None
+        for attempt in range(1, attempts + 1):
+            if policy is not None and attempt > 1:
+                delay = deadline.cap(policy.retry.delay(task.fault_key, attempt - 2))
+                if delay and delay > 0 and delay != float("inf"):
+                    time.sleep(delay)
+            if policy is not None:
+                policy.count("retries")
+            try:
+                swings = self._call_bounded(
+                    task, deadline.cap(self.options.task_timeout), attempt
+                )
+            except (DeadlineExceeded, OptimizationError) as error:
+                last_error = error
+                if isinstance(error, DeadlineExceeded):
+                    break
+                continue
+            except Exception as error:
+                self.metrics.counter("pool.failures").increment()
+                raise RuntimeEngineError(
+                    f"task failed after serial retry: {error}"
+                ) from error
+            return SolveOutcome(
+                swings=swings, solver=task.solver,
+                requested_solver=task.solver, retries=attempt,
+            )
+        if policy is not None and policy.options.degrade:
+            return self._degraded_outcome(
+                task,
+                deadline,
+                timed_out=isinstance(last_error, DeadlineExceeded),
+                retries=attempts,
+                first_attempt=attempts + 1,
+                cause=last_error or RuntimeEngineError("retries exhausted"),
+            )
+        self.metrics.counter("pool.failures").increment()
+        raise RuntimeEngineError(
+            f"task failed after serial retry: {last_error}"
+        ) from last_error

@@ -21,12 +21,14 @@ import numpy as np
 
 from .. import constants
 from ..channel import AWGNNoise, channel_matrix_update
-from ..errors import RuntimeEngineError
+from ..errors import ChannelError, RuntimeEngineError
 from ..system import FINGERPRINT_QUANTUM, Scene, simulation_scene
 from .batch import channel_matrix_stack, throughput_stack
 from .cache import LRUCache
+from .faults import FaultPlan
 from .metrics import MetricsRegistry
-from .pool import SOLVERS, PoolOptions, SolverPool, SolveTask
+from .pool import SOLVERS, PoolOptions, SolveOutcome, SolverPool, SolveTask
+from .resilience import ResilienceOptions, ResiliencePolicy
 
 
 @dataclass(frozen=True)
@@ -39,6 +41,11 @@ class AllocationRequest:
         solver: one of :data:`repro.runtime.pool.SOLVERS`.
         kappa: SJR exponent (used by the heuristic solver).
         tag: optional caller-supplied request label.
+        deadline_seconds: optional per-request latency budget [s].  The
+            budget starts ticking when the batch is admitted and flows
+            through the allocation stage into the solver pool's task
+            timeouts; an expiring solve degrades down the solver chain
+            instead of blocking.
     """
 
     rx_positions_xy: Tuple[Tuple[float, float], ...]
@@ -46,6 +53,7 @@ class AllocationRequest:
     solver: str = "heuristic"
     kappa: float = constants.DEFAULT_KAPPA
     tag: str = ""
+    deadline_seconds: Optional[float] = None
 
     def __post_init__(self) -> None:
         positions = tuple(
@@ -61,6 +69,10 @@ class AllocationRequest:
         if self.solver not in SOLVERS:
             raise RuntimeEngineError(
                 f"unknown solver {self.solver!r}; available: {sorted(SOLVERS)}"
+            )
+        if self.deadline_seconds is not None and self.deadline_seconds <= 0:
+            raise RuntimeEngineError(
+                f"deadline must be positive, got {self.deadline_seconds}"
             )
 
 
@@ -78,6 +90,14 @@ class AllocationResult:
         allocation_cached: whether the solve itself was a cache hit.
         latency_seconds: service time for this request (batch-averaged
             when the request was served as part of a batch).
+        degraded: the allocation came from a degradation-chain fallback
+            (solver timeout, non-convergence or an expired deadline),
+            not the requested solver.  Degraded results are never
+            cached.
+        solver_used: the solver that actually produced ``swings``.
+        deadline_exceeded: the request's deadline expired while serving
+            it; ``swings`` is the best allocation the remaining budget
+            could buy.
     """
 
     request: AllocationRequest
@@ -88,6 +108,9 @@ class AllocationResult:
     channel_cached: bool
     allocation_cached: bool
     latency_seconds: float
+    degraded: bool = False
+    solver_used: str = ""
+    deadline_exceeded: bool = False
 
 
 @dataclass(frozen=True)
@@ -107,6 +130,12 @@ class ServiceOptions:
         incremental_channel: when a cache-missing placement differs from
             a remembered one in only some receivers, recompute just those
             columns of the channel matrix instead of the full rebuild.
+        resilience: fault-tolerance knobs (retry/backoff, circuit
+            breaker, degradation chain, default deadline); see
+            :class:`repro.runtime.resilience.ResilienceOptions`.
+        faults: optional seedable chaos plan
+            (:class:`repro.runtime.faults.FaultPlan`) injected into
+            channel computation and solver execution -- test-only.
     """
 
     channel_cache_capacity: int = 256
@@ -117,6 +146,8 @@ class ServiceOptions:
     warm_start_radius: float = 1.5
     neighborhood_memory: int = 64
     incremental_channel: bool = True
+    resilience: ResilienceOptions = field(default_factory=ResilienceOptions)
+    faults: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.quantum <= 0:
@@ -164,7 +195,10 @@ class AllocationService:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._channel_cache = LRUCache(self.options.channel_cache_capacity)
         self._allocation_cache = LRUCache(self.options.allocation_cache_capacity)
-        self._pool = SolverPool(self.options.pool, self.metrics)
+        self._resilience = ResiliencePolicy(self.options.resilience, self.metrics)
+        self._pool = SolverPool(
+            self.options.pool, self.metrics, resilience=self._resilience
+        )
         self._base_fingerprint = scene.fingerprint(self.options.quantum)
         # Recently served placements: key -> (M, 2) positions, used to
         # find incremental-channel and warm-start neighbors.
@@ -194,10 +228,15 @@ class AllocationService:
             return []
         start = time.perf_counter()
         self.metrics.counter("service.requests").increment(len(requests))
+        # Admission: each request's latency budget starts ticking now and
+        # flows through the allocation stage into pool task timeouts.
+        deadlines = [
+            self._resilience.deadline_for(r.deadline_seconds) for r in requests
+        ]
 
         channels, placement_keys, channel_hits = self._channel_stage(requests)
-        swings, allocation_hits = self._allocation_stage(
-            requests, placement_keys, channels
+        swings, allocation_hits, outcomes = self._allocation_stage(
+            requests, placement_keys, channels, deadlines
         )
 
         # One batched Eq.-12 evaluation for the whole response.
@@ -216,6 +255,7 @@ class AllocationService:
         results = []
         for i, request in enumerate(requests):
             latency_histogram.observe(per_request)
+            outcome = outcomes[i]
             results.append(
                 AllocationResult(
                     request=request,
@@ -226,6 +266,11 @@ class AllocationService:
                     channel_cached=channel_hits[i],
                     allocation_cached=allocation_hits[i],
                     latency_seconds=per_request,
+                    degraded=outcome.degraded if outcome else False,
+                    solver_used=outcome.solver if outcome else request.solver,
+                    deadline_exceeded=(
+                        outcome.deadline_exceeded if outcome else False
+                    ),
                 )
             )
         return results
@@ -239,6 +284,32 @@ class AllocationService:
             "allocation": self._allocation_cache.stats.as_dict(),
         }
         return snapshot
+
+    def health(self) -> dict:
+        """Degradation state at a glance: circuit, counters, caches.
+
+        ``status`` is ``"ok"`` while the circuit breaker is closed and
+        ``"degraded"`` otherwise (solves are being routed around a
+        broken pool).  The ``resilience`` block carries the cumulative
+        degraded-solve / deadline-expiration / retry counters so an
+        operator can tell *how* the service has been coping.
+        """
+        self._resilience.refresh_gauges()
+        snapshot = self._resilience.snapshot()
+        circuit = snapshot["circuit"]
+        return {
+            "status": "ok" if circuit["state"] == "closed" else "degraded",
+            "circuit": circuit,
+            "resilience": snapshot["counters"],
+            "pool": {
+                "workers": self.options.pool.max_workers,
+                "task_timeout": self.options.pool.task_timeout,
+            },
+            "caches": {
+                "channel": self._channel_cache.stats.as_dict(),
+                "allocation": self._allocation_cache.stats.as_dict(),
+            },
+        }
 
     @property
     def channel_hit_rate(self) -> float:
@@ -305,6 +376,31 @@ class AllocationService:
         self.metrics.counter("service.channel_incremental").increment()
         return matrix
 
+    def _screen_channel(
+        self, key: str, positions: np.ndarray, matrix: np.ndarray
+    ) -> np.ndarray:
+        """Detect (and repair) corrupted freshly computed channel matrices.
+
+        The chaos plan's corruption fault is applied first (attempt 0);
+        any non-finite matrix -- injected or genuine -- is then caught
+        before it can poison the cache, and recomputed from scratch.
+        """
+        plan = self.options.faults
+        if plan is not None:
+            matrix = plan.maybe_corrupt_channel(matrix, key, attempt=0)
+        if np.isfinite(matrix).all():
+            return matrix
+        self._resilience.count("channel_repairs")
+        with self.metrics.timer("service.channel_seconds"):
+            rebuilt = channel_matrix_stack(self.scene, positions[None, :, :])[0]
+        if plan is not None:
+            rebuilt = plan.maybe_corrupt_channel(rebuilt, key, attempt=1)
+        if not np.isfinite(rebuilt).all():
+            raise ChannelError(
+                f"channel matrix for {key} is non-finite after recompute"
+            )
+        return rebuilt
+
     def _channel_stage(self, requests):
         """Resolve every request's channel matrix, batching the misses.
 
@@ -341,6 +437,7 @@ class AllocationService:
                 if matrix is None:
                     batched[key] = slots
                     continue
+                matrix = self._screen_channel(key, positions, matrix)
                 self._channel_cache.put(key, matrix)
                 self._remember_placement(key, positions)
                 for i in slots:
@@ -353,13 +450,12 @@ class AllocationService:
                 with self.metrics.timer("service.channel_seconds"):
                     stack = channel_matrix_stack(self.scene, placements)
                 for matrix, (key, slots) in zip(stack, batched.items()):
-                    self._channel_cache.put(key, matrix)
-                    self._remember_placement(
-                        key,
-                        np.array(
-                            requests[slots[0]].rx_positions_xy, dtype=float
-                        ),
+                    positions = np.array(
+                        requests[slots[0]].rx_positions_xy, dtype=float
                     )
+                    matrix = self._screen_channel(key, positions, matrix)
+                    self._channel_cache.put(key, matrix)
+                    self._remember_placement(key, positions)
                     for i in slots:
                         channels[i] = matrix
         for i, key in enumerate(placement_keys):
@@ -406,15 +502,20 @@ class AllocationService:
         while len(memory) > self.options.neighborhood_memory:
             memory.popitem(last=False)
 
-    def _allocation_stage(self, requests, placement_keys, channels):
+    def _allocation_stage(self, requests, placement_keys, channels, deadlines):
         """Resolve every request's allocation, fanning misses to the pool.
 
         Optimal-mode misses are seeded from the nearest previously solved
         placement (the warm-start pipeline); results feed back into the
-        neighborhood memory for the next request.
+        neighborhood memory for the next request.  Each miss group's
+        solve carries the tightest deadline of its requests into the
+        pool; degraded outcomes (fallback solver, expired deadline) are
+        flagged on the results and kept out of the caches so a healthy
+        retry is never served a degraded allocation.
         """
         swings: List[Optional[np.ndarray]] = [None] * len(requests)
         allocation_hits = [False] * len(requests)
+        outcomes: List[Optional[SolveOutcome]] = [None] * len(requests)
         miss_slots: Dict[Tuple, List[int]] = {}
         for i, request in enumerate(requests):
             key = (
@@ -448,6 +549,10 @@ class AllocationService:
                     warm = self._warm_start_for(request.solver, positions)
                     if warm is not None:
                         self.metrics.counter("service.warm_starts").increment()
+                group_deadline = min(
+                    (deadlines[i] for i in slots),
+                    key=lambda d: d.expires_at,
+                )
                 tasks.append(
                     SolveTask(
                         channel=channels[slots[0]],
@@ -458,19 +563,32 @@ class AllocationService:
                         photodiode=self.scene.receivers[0].photodiode,
                         noise=self.noise,
                         warm_start=warm,
+                        deadline=(
+                            group_deadline.expires_at
+                            if group_deadline.bounded
+                            else None
+                        ),
+                        faults=self.options.faults,
+                        fault_key=key,
                     )
                 )
             with self.metrics.timer("service.solve_seconds"):
-                solved = self._pool.solve_many(tasks)
-            for matrix, positions, (key, slots) in zip(
+                solved = self._pool.solve_outcomes(tasks)
+            for outcome, positions, (key, slots) in zip(
                 solved, miss_positions, miss_slots.items()
             ):
-                self._allocation_cache.put(key, matrix)
-                if key[2] in self._WARM_SOLVERS:
-                    self._remember_allocation(key, positions, matrix)
+                matrix = outcome.swings
+                if not outcome.degraded:
+                    # Degraded results stay out of the caches: a later
+                    # healthy solve under the same key must not inherit
+                    # a timed-out fallback allocation.
+                    self._allocation_cache.put(key, matrix)
+                    if key[2] in self._WARM_SOLVERS:
+                        self._remember_allocation(key, positions, matrix)
                 for i in slots:
                     swings[i] = matrix
-        return swings, allocation_hits
+                    outcomes[i] = outcome
+        return swings, allocation_hits, outcomes
 
     def _refresh_gauges(self) -> None:
         self.metrics.gauge("service.channel_cache_size").set(
@@ -485,6 +603,7 @@ class AllocationService:
         self.metrics.gauge("service.allocation_hit_rate").set(
             self._allocation_cache.stats.hit_rate
         )
+        self._resilience.refresh_gauges()
 
 
 # ----------------------------------------------------------------------
@@ -507,6 +626,9 @@ class BenchmarkReport:
     workers: int
     solver_stage_ms: Dict[str, float] = field(default_factory=dict)
     solver_counters: Dict[str, float] = field(default_factory=dict)
+    health_status: str = "ok"
+    circuit_state: str = "closed"
+    resilience_counters: Dict[str, float] = field(default_factory=dict)
 
     def lines(self) -> List[str]:
         lines = [
@@ -519,6 +641,8 @@ class BenchmarkReport:
             f"latency p95         {self.p95_latency_ms:.3f} ms",
             f"channel hit-rate    {100 * self.channel_hit_rate:.1f}%",
             f"allocation hit-rate {100 * self.allocation_hit_rate:.1f}%",
+            f"health              {self.health_status} "
+            f"(circuit {self.circuit_state})",
         ]
         for stage, mean_ms in sorted(self.solver_stage_ms.items()):
             label = stage.removeprefix("optimizer.").removesuffix("_seconds")
@@ -526,6 +650,9 @@ class BenchmarkReport:
         for name, value in sorted(self.solver_counters.items()):
             label = name.removeprefix("optimizer.")
             lines.append(f"solver {label:<12} {value:.0f}")
+        for name, value in sorted(self.resilience_counters.items()):
+            label = name.removeprefix("resilience.")
+            lines.append(f"resilience {label:<17} {value:.0f}")
         return lines
 
 
@@ -557,6 +684,7 @@ def run_benchmark(
     seed: int = 0,
     scene: Optional[Scene] = None,
     service: Optional[AllocationService] = None,
+    deadline_seconds: Optional[float] = None,
 ) -> BenchmarkReport:
     """Serve a Fig. 6-style random-placement workload and time it.
 
@@ -600,6 +728,7 @@ def run_benchmark(
             power_budget=power_budget,
             solver=solver,
             tag=f"bench-{n}",
+            deadline_seconds=deadline_seconds,
         )
         if batch_size <= 1:
             service.handle(request)
@@ -615,6 +744,7 @@ def run_benchmark(
     stage_ms, stage_counters = _solver_stage_summary(
         service.metrics.snapshot()
     )
+    health = service.health()
     return BenchmarkReport(
         requests=requests,
         duration_seconds=duration,
@@ -627,4 +757,7 @@ def run_benchmark(
         workers=workers,
         solver_stage_ms=stage_ms,
         solver_counters=stage_counters,
+        health_status=health["status"],
+        circuit_state=health["circuit"]["state"],
+        resilience_counters=health["resilience"],
     )

@@ -170,3 +170,346 @@ class TestPathologicalAllocations:
                 channel=channel, power_budget=1.0, led=led,
                 photodiode=photodiode, noise=noise,
             )
+
+
+# ----------------------------------------------------------------------
+# Chaos tests: the runtime resilience layer under injected faults.
+#
+# Every scenario drives a seedable FaultPlan through
+# AllocationService.handle_batch and asserts the contract of the
+# fault-tolerance layer: every request gets a result, degradation is
+# explicit (flagged, counted), request order is preserved, runs are
+# deterministic, and with faults disabled the output is identical to a
+# fault-free service.
+# ----------------------------------------------------------------------
+
+
+class FakeClock:
+    """An advanceable monotonic clock for deterministic breaker tests."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture(scope="module")
+def chaos_placements():
+    from repro.experiments.scenarios import fig6_instances
+
+    return fig6_instances(instances=4, seed=11)
+
+
+@pytest.fixture(scope="module")
+def chaos_scene(chaos_placements):
+    from repro.system import simulation_scene as build_scene
+
+    return build_scene(
+        [(float(x), float(y)) for x, y in chaos_placements[0]]
+    )
+
+
+def _chaos_requests(placements, indices, **kwargs):
+    from repro.runtime import AllocationRequest
+
+    power_budget = kwargs.pop("power_budget", 1.2)
+    return [
+        AllocationRequest(
+            rx_positions_xy=tuple(
+                (float(x), float(y)) for x, y in placements[i]
+            ),
+            power_budget=power_budget,
+            tag=f"chaos-{n}",
+            **kwargs,
+        )
+        for n, i in enumerate(indices)
+    ]
+
+
+def _clear_faults(service):
+    # ServiceOptions is frozen; chaos tests flip the fault plan off
+    # mid-run to model a fault clearing.
+    object.__setattr__(service.options, "faults", None)
+
+
+class TestChaosWorkerCrash:
+    """Every pool worker dies mid-batch; the batch must still complete."""
+
+    def _service(self, scene, faults, workers=2, threshold=10):
+        from repro.runtime import (
+            AllocationService,
+            PoolOptions,
+            ResilienceOptions,
+            ServiceOptions,
+        )
+
+        return AllocationService(
+            scene,
+            options=ServiceOptions(
+                pool=PoolOptions(max_workers=workers),
+                resilience=ResilienceOptions(
+                    breaker_failure_threshold=threshold
+                ),
+                faults=faults,
+            ),
+        )
+
+    def test_crashed_batch_matches_faultless_run(
+        self, chaos_scene, chaos_placements
+    ):
+        from repro.runtime import FaultPlan
+
+        requests = _chaos_requests(chaos_placements, [0, 1, 2, 0, 1, 2])
+        reference = self._service(chaos_scene, faults=None, workers=0)
+        expected = reference.handle_batch(requests)
+
+        plan = FaultPlan(seed=1, worker_crash_probability=1.0)
+        service = self._service(chaos_scene, faults=plan)
+        results = service.handle_batch(requests)
+
+        assert len(results) == len(requests)
+        for request, expect, result in zip(requests, expected, results):
+            assert result.request.tag == request.tag  # order preserved
+            np.testing.assert_array_equal(result.swings, expect.swings)
+            # The crash is transient (fault_attempts=1): the serial
+            # retry solves the original task, so nothing is degraded.
+            assert not result.degraded
+            assert result.solver_used == request.solver
+        health = service.health()
+        assert health["status"] == "ok"
+        assert health["resilience"]["resilience.retries"] >= 3
+
+    def test_chaos_run_is_deterministic(self, chaos_scene, chaos_placements):
+        from repro.runtime import FaultPlan
+
+        requests = _chaos_requests(chaos_placements, [0, 1, 2])
+        runs = []
+        for _ in range(2):
+            plan = FaultPlan(seed=1, worker_crash_probability=1.0)
+            service = self._service(chaos_scene, faults=plan)
+            runs.append(service.handle_batch(requests))
+        for first, second in zip(*runs):
+            np.testing.assert_array_equal(first.swings, second.swings)
+            assert first.degraded == second.degraded
+
+
+class TestChaosDeadlineExpiry:
+    """A wedged solve blows the request deadline; the service degrades."""
+
+    def test_expired_deadline_served_by_fallback(
+        self, chaos_scene, chaos_placements
+    ):
+        from repro.runtime import (
+            AllocationService,
+            FaultPlan,
+            ServiceOptions,
+        )
+
+        plan = FaultPlan(
+            seed=0, slow_solve_probability=1.0, slow_solve_seconds=0.5
+        )
+        service = AllocationService(
+            chaos_scene, options=ServiceOptions(faults=plan)
+        )
+        requests = _chaos_requests(
+            chaos_placements, [0, 1],
+            solver="greedy", deadline_seconds=0.05,
+        )
+        results = service.handle_batch(requests)
+        assert len(results) == len(requests)
+        for request, result in zip(requests, results):
+            assert result.request.tag == request.tag
+            assert result.degraded
+            assert result.deadline_exceeded
+            assert result.solver_used == "heuristic"
+            assert np.isfinite(result.swings).all()
+            assert result.system_throughput >= 0.0
+        counters = service.health()["resilience"]
+        assert counters["resilience.degraded_solves"] == 2
+        assert counters["resilience.deadline_expirations"] == 2
+
+    def test_degraded_results_never_cached(
+        self, chaos_scene, chaos_placements
+    ):
+        from repro.core import AllocationProblem, GreedyMarginalHeuristic
+        from repro.runtime import (
+            AllocationService,
+            FaultPlan,
+            ServiceOptions,
+        )
+
+        plan = FaultPlan(
+            seed=0, slow_solve_probability=1.0, slow_solve_seconds=0.5
+        )
+        service = AllocationService(
+            chaos_scene, options=ServiceOptions(faults=plan)
+        )
+        [degraded] = service.handle_batch(
+            _chaos_requests(
+                chaos_placements, [0],
+                solver="greedy", deadline_seconds=0.05,
+            )
+        )
+        assert degraded.degraded
+
+        _clear_faults(service)
+        [healthy] = service.handle_batch(
+            _chaos_requests(chaos_placements, [0], solver="greedy")
+        )
+        # The degraded allocation must not have been cached under the
+        # (placement, budget, solver) key: the healthy retry re-solves.
+        assert not healthy.allocation_cached
+        assert not healthy.degraded
+        assert healthy.solver_used == "greedy"
+        channel = service._channel_cache.peek(healthy.fingerprint)
+        direct = GreedyMarginalHeuristic().solve(
+            AllocationProblem(
+                channel=channel,
+                power_budget=1.2,
+                led=chaos_scene.led,
+                photodiode=chaos_scene.receivers[0].photodiode,
+                noise=service.noise,
+            )
+        )
+        np.testing.assert_array_equal(healthy.swings, direct.swings)
+
+
+class TestChaosCircuitBreaker:
+    """Repeated pool failures open the circuit; a clean probe closes it."""
+
+    def test_open_half_open_close_cycle(self, chaos_scene, chaos_placements):
+        from repro.runtime import (
+            AllocationService,
+            FaultPlan,
+            PoolOptions,
+            ResilienceOptions,
+            ServiceOptions,
+        )
+
+        plan = FaultPlan(seed=2, worker_crash_probability=1.0)
+        service = AllocationService(
+            chaos_scene,
+            options=ServiceOptions(
+                pool=PoolOptions(max_workers=2),
+                resilience=ResilienceOptions(
+                    breaker_failure_threshold=2, breaker_reset_seconds=30.0
+                ),
+                faults=plan,
+            ),
+        )
+        clock = FakeClock()
+        service._resilience.breaker._clock = clock
+
+        # 1. Crashes trip the breaker -- but every request is answered.
+        first = service.handle_batch(
+            _chaos_requests(chaos_placements, [0, 1, 2])
+        )
+        assert all(np.isfinite(r.swings).all() for r in first)
+        assert service._resilience.breaker.state == "open"
+        assert service.health()["status"] == "degraded"
+
+        # 2. While open, batches short-circuit to the serial path, where
+        #    the worker-crash fault cannot fire -- clean, undegraded.
+        #    (A new power budget keeps the allocation keys cache-cold so
+        #    the misses actually reach the pool layer.)
+        second = service.handle_batch(
+            _chaos_requests(chaos_placements, [0, 1, 2], power_budget=0.8)
+        )
+        assert all(not r.degraded for r in second)
+        counters = service.health()["resilience"]
+        assert counters["resilience.circuit_short_circuits"] >= 1
+        assert service._resilience.breaker.state == "open"
+
+        # 3. After the cool-down the breaker half-opens; with the fault
+        #    cleared the probe batch succeeds and closes the circuit.
+        clock.advance(31.0)
+        assert service._resilience.breaker.state == "half-open"
+        _clear_faults(service)
+        third = service.handle_batch(
+            _chaos_requests(chaos_placements, [0, 1, 2], power_budget=0.5)
+        )
+        assert all(not r.degraded for r in third)
+        assert service._resilience.breaker.state == "closed"
+        assert service.health()["status"] == "ok"
+
+
+class TestChaosCorruptedChannel:
+    """Corrupted channel estimates are detected and recomputed."""
+
+    def test_results_identical_to_faultless_run(
+        self, chaos_scene, chaos_placements
+    ):
+        from repro.runtime import (
+            AllocationService,
+            FaultPlan,
+            ServiceOptions,
+        )
+
+        requests = _chaos_requests(chaos_placements, [0, 1, 2, 3])
+        reference = AllocationService(chaos_scene)
+        expected = reference.handle_batch(requests)
+
+        plan = FaultPlan(seed=3, corrupt_channel_probability=1.0)
+        service = AllocationService(
+            chaos_scene, options=ServiceOptions(faults=plan)
+        )
+        results = service.handle_batch(requests)
+        for expect, result in zip(expected, results):
+            np.testing.assert_array_equal(result.swings, expect.swings)
+            assert not result.degraded
+        counters = service.health()["resilience"]
+        assert counters["resilience.channel_repairs"] == 4
+
+    def test_unrepairable_channel_raises_typed_error(
+        self, chaos_scene, chaos_placements
+    ):
+        from repro.errors import ChannelError
+        from repro.runtime import (
+            AllocationService,
+            FaultPlan,
+            ServiceOptions,
+        )
+
+        # fault_attempts=2: the corruption also hits the recompute, so
+        # the screen must give up with a typed error, never cache NaNs.
+        plan = FaultPlan(
+            seed=3, corrupt_channel_probability=1.0, fault_attempts=2
+        )
+        service = AllocationService(
+            chaos_scene, options=ServiceOptions(faults=plan)
+        )
+        with pytest.raises(ChannelError):
+            service.handle_batch(_chaos_requests(chaos_placements, [0]))
+        assert len(service._channel_cache) == 0
+
+
+class TestChaosHarnessOff:
+    """A zero-probability plan must be indistinguishable from no plan."""
+
+    def test_disabled_faults_bit_identical(self, chaos_scene, chaos_placements):
+        from repro.runtime import (
+            AllocationService,
+            FaultPlan,
+            ServiceOptions,
+        )
+
+        requests = _chaos_requests(chaos_placements, [0, 1, 2, 0])
+        plain = AllocationService(chaos_scene)
+        armed = AllocationService(
+            chaos_scene, options=ServiceOptions(faults=FaultPlan(seed=9))
+        )
+        for expect, result in zip(
+            plain.handle_batch(requests), armed.handle_batch(requests)
+        ):
+            np.testing.assert_array_equal(result.swings, expect.swings)
+            np.testing.assert_array_equal(
+                result.per_rx_throughput, expect.per_rx_throughput
+            )
+            assert not result.degraded
+            assert not result.deadline_exceeded
+        assert armed.health()["status"] == "ok"
+        assert armed.health()["resilience"] == {}

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 import pytest
 
@@ -79,6 +81,56 @@ class TestLRUCache:
 
         with pytest.raises(ConfigurationError):
             LRUCache(capacity=0)
+
+    def test_get_or_create_single_flight(self):
+        """Concurrent misses on one key must run the factory exactly once.
+
+        Regression: get_or_create used to probe and populate in separate
+        lock regions, so a thundering herd solved the same allocation
+        N times.
+        """
+        from concurrent.futures import ThreadPoolExecutor
+        from threading import Barrier
+
+        cache = LRUCache(capacity=4)
+        workers = 8
+        barrier = Barrier(workers)
+        calls = []
+
+        def factory():
+            calls.append(1)
+            time.sleep(0.02)  # widen the race window
+            return "value"
+
+        def hammer():
+            barrier.wait()
+            return cache.get_or_create("key", factory)
+
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            results = [f.result() for f in [pool.submit(hammer) for _ in range(workers)]]
+
+        assert results == ["value"] * workers
+        assert len(calls) == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == workers - 1
+
+    def test_cached_arrays_are_read_only(self):
+        """Mutating a cache hit must raise, not poison every consumer."""
+        cache = LRUCache(capacity=4)
+        cache.put("m", np.ones((3, 2)))
+        hit = cache.get("m")
+        with pytest.raises(ValueError):
+            hit[0, 0] = 99.0
+        created = cache.get_or_create("n", lambda: np.zeros(4))
+        with pytest.raises(ValueError):
+            created[0] = 1.0
+        np.testing.assert_array_equal(cache.get("m"), np.ones((3, 2)))
+
+    def test_channel_cache_matrix_read_only(self, base_scene):
+        cache = ChannelCache(capacity=4)
+        matrix = cache.matrix_for(base_scene)
+        with pytest.raises(ValueError):
+            matrix *= 2.0
 
     def test_channel_cache_shares_matrix(self, base_scene):
         cache = ChannelCache(capacity=4)
@@ -271,6 +323,55 @@ class TestMetrics:
 
         with pytest.raises(ConfigurationError):
             MetricsRegistry().counter("c").increment(-1)
+
+    def test_snapshot_consistent_under_concurrent_writes(self):
+        """Snapshots must be internally consistent, not torn.
+
+        Regression: Gauge.set was unlocked and Histogram.as_dict took
+        the lock once per statistic, so a snapshot could mix values from
+        different instants (e.g. count from one write, mean from
+        another).  Writers here keep every histogram observation equal
+        to the gauge value; a torn read shows up as a histogram whose
+        min != max or a mean inconsistent with them.
+        """
+        from concurrent.futures import ThreadPoolExecutor
+
+        registry = MetricsRegistry()
+        stop = []
+
+        def writer(value):
+            while not stop:
+                registry.gauge("g").set(value)
+                # one histogram per writer: all observations identical,
+                # so any self-consistent snapshot has min == mean == max
+                registry.histogram(f"h{value}").observe(value)
+                registry.counter("writes").increment()
+
+        def reader():
+            problems = []
+            for _ in range(200):
+                snapshot = registry.snapshot()
+                for name, stats in snapshot["histograms"].items():
+                    if stats["count"] == 0:
+                        continue
+                    if not (
+                        stats["min"] == stats["max"] == pytest.approx(stats["mean"])
+                    ):
+                        problems.append((name, stats))
+            return problems
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            writers = [pool.submit(writer, float(v)) for v in (1.0, 2.0)]
+            readers = [pool.submit(reader) for _ in range(2)]
+            problems = [p for f in readers for p in f.result()]
+            stop.append(True)
+            for f in writers:
+                f.result()
+
+        assert problems == []
+        final = registry.snapshot()
+        assert final["gauges"]["g"] in (1.0, 2.0)
+        assert final["counters"]["writes"] > 0
 
 
 # ----------------------------------------------------------------------
