@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.channel import node_gain
 from repro.experiments.scenarios import fig6_instances
-from repro.runtime import channel_matrix_stack, run_benchmark
+from repro.runtime import Tracer, channel_matrix_stack, run_benchmark
 from repro.system import simulation_scene
 
 PLACEMENTS = 64
@@ -97,3 +97,43 @@ def test_bench_runtime(benchmark, record_rows):
     assert channel_speedup >= 5.0
     assert cached.allocation_hit_rate > 0.0
     assert serial.allocation_hit_rate == 0.0
+
+
+def test_bench_tracing_overhead(record_rows):
+    """A disabled tracer must leave the serving path effectively free.
+
+    The service always routes through the tracer facade; this guards the
+    "near-free when disabled" contract by benchmarking the same cached
+    workload with no tracer argument vs an explicitly disabled tracer.
+    Wall-clock on shared CI is noisy, so the tolerance is generous --
+    the regression being guarded is an accidental always-on span path,
+    which costs far more than 30%.
+    """
+    kwargs = dict(
+        requests=100, distinct_placements=20, solver="heuristic", seed=0
+    )
+    # Warm code paths, then interleave-measure best-of-3 to damp noise.
+    run_benchmark(requests=10, distinct_placements=5, solver="heuristic")
+    plain_rps, disabled_rps = 0.0, 0.0
+    for _ in range(3):
+        plain_rps = max(plain_rps, run_benchmark(**kwargs).requests_per_second)
+        disabled_rps = max(
+            disabled_rps,
+            run_benchmark(tracer=Tracer.disabled(), **kwargs).requests_per_second,
+        )
+    overhead = plain_rps / disabled_rps - 1.0
+
+    traced = run_benchmark(tracer=Tracer(), **kwargs)
+
+    rows = [
+        "# Tracing overhead: disabled tracer vs plain serving path",
+        f"  plain           {plain_rps:8.1f} req/s",
+        f"  tracer disabled {disabled_rps:8.1f} req/s",
+        f"  overhead        {100 * overhead:8.1f}%  (tolerance: <= 30%)",
+        f"  tracer enabled  {traced.requests_per_second:8.1f} req/s "
+        f"({traced.traced_spans} spans)",
+    ]
+    record_rows("tracing_overhead", rows)
+
+    assert overhead <= 0.30
+    assert traced.traced_spans > 0

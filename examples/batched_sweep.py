@@ -8,7 +8,9 @@ Evaluates a Fig. 6-style random-placement sweep two ways:
    stack;
 2. through the :class:`repro.runtime.AllocationService` facade, which
    adds fingerprint-keyed caching and reports hit-rates and latency
-   percentiles via its metrics snapshot.
+   percentiles via its metrics snapshot -- here with tracing enabled,
+   so the run also emits a Perfetto-loadable span trace and a
+   Prometheus metrics exposition.
 
 Run:  python examples/batched_sweep.py
 """
@@ -20,6 +22,8 @@ from repro.experiments.scenarios import fig6_instances
 from repro.runtime import (
     AllocationRequest,
     AllocationService,
+    Tracer,
+    TracingOptions,
     channel_matrix_stack,
     throughput_stack,
 )
@@ -54,8 +58,10 @@ def main() -> None:
         f"min {system.min() / 1e6:.1f}, max {system.max() / 1e6:.1f}"
     )
 
-    # --- 2. The serving facade: same workload with caching + metrics.
-    service = AllocationService(scene)
+    # --- 2. The serving facade: same workload with caching + metrics,
+    # traced end to end (deterministic span IDs under the fixed seed).
+    tracer = Tracer(TracingOptions(seed=0))
+    service = AllocationService(scene, tracer=tracer)
     for repeat in range(3):  # mobility-style revisits -> cache hits
         for placement in placements[:8]:
             service.handle(
@@ -81,6 +87,28 @@ def main() -> None:
         f"degraded solves "
         f"{health['resilience'].get('resilience.degraded_solves', 0):.0f}"
     )
+
+    # --- 4. Export the observability artifacts: a Chrome-trace file
+    # (open in https://ui.perfetto.dev) and Prometheus text metrics.
+    spans = tracer.finished_spans()
+    roots = [s for s in spans if s.parent_id is None]
+    solves = [s for s in spans if s.name == "solve"]
+    print(
+        f"traced {len(spans)} spans across {len(roots)} request traces "
+        f"({len(solves)} solver spans)"
+    )
+    document = tracer.export_chrome_trace("batched_sweep_trace.json")
+    print(
+        f"wrote batched_sweep_trace.json "
+        f"({len(document['traceEvents'])} events)"
+    )
+    prometheus = service.metrics.expose_prometheus(prefix="repro_")
+    sample = [
+        line
+        for line in prometheus.splitlines()
+        if line.startswith("repro_service_channel_outcomes_total")
+    ]
+    print("\n".join(sample))
 
 
 if __name__ == "__main__":

@@ -6,6 +6,8 @@
     python -m repro run fig04               # one experiment, summary out
     python -m repro report --fidelity fast  # the consolidated report
     python -m repro bench --requests 100    # allocation-engine benchmark
+    python -m repro bench --trace out.json  # ... with Perfetto span trees
+    python -m repro metrics                 # Prometheus metrics exposition
 """
 
 from __future__ import annotations
@@ -230,6 +232,68 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="per-request latency budget [s]; expiring solves degrade "
         "down the solver chain instead of blocking",
     )
+    bench_parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write a Chrome-trace/Perfetto JSON of every request's span "
+        "tree (load at https://ui.perfetto.dev)",
+    )
+    bench_parser.add_argument(
+        "--trace-events",
+        default=None,
+        metavar="PATH",
+        help="write the span buffer as JSON lines (one span per line)",
+    )
+    bench_parser.add_argument(
+        "--sample-rate",
+        type=float,
+        default=1.0,
+        help="fraction of request traces recorded (deterministic per "
+        "trace index; only meaningful with --trace/--trace-events)",
+    )
+    bench_parser.add_argument(
+        "--metrics-json",
+        default=None,
+        metavar="PATH",
+        help="write the metrics snapshot (labeled counters/gauges/"
+        "histograms) as JSON",
+    )
+    bench_parser.add_argument(
+        "--metrics-prom",
+        default=None,
+        metavar="PATH",
+        help="write the metrics in Prometheus text exposition format",
+    )
+    bench_parser.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="write the benchmark report (p50/p95, req/s, stage "
+        "breakdown) as JSON ('-' for stdout)",
+    )
+    metrics_parser = subparsers.add_parser(
+        "metrics",
+        help="serve a small workload and print the metrics exposition",
+    )
+    metrics_parser.add_argument(
+        "--requests", type=int, default=24, help="workload size"
+    )
+    metrics_parser.add_argument("--distinct", type=int, default=6)
+    metrics_parser.add_argument(
+        "--solver",
+        default="heuristic",
+        choices=("binary", "greedy", "heuristic", "optimal"),
+    )
+    metrics_parser.add_argument("--workers", type=int, default=0)
+    metrics_parser.add_argument("--seed", type=int, default=0)
+    metrics_parser.add_argument(
+        "--format",
+        choices=("prometheus", "json"),
+        default="prometheus",
+        help="exposition format (Prometheus text or the JSON snapshot)",
+    )
+    metrics_parser.add_argument("--output", default="-")
 
     args = parser.parse_args(argv)
     if args.command == "list":
@@ -246,10 +310,37 @@ def main(argv: Optional[List[str]] = None) -> int:
             ["--fidelity", args.fidelity, "--output", args.output]
         )
     if args.command == "bench":
-        from .errors import DenseVLCError
-        from .runtime import run_benchmark
+        import json
 
+        from .errors import DenseVLCError
+        from .runtime import (
+            Tracer,
+            TracingOptions,
+            benchmark_service,
+            run_benchmark,
+        )
+
+        tracing = args.trace is not None or args.trace_events is not None
+        exposing = args.metrics_json is not None or args.metrics_prom is not None
         try:
+            service = None
+            if tracing or exposing:
+                tracer = (
+                    Tracer(
+                        TracingOptions(
+                            sample_rate=args.sample_rate, seed=args.seed
+                        )
+                    )
+                    if tracing
+                    else None
+                )
+                service = benchmark_service(
+                    distinct_placements=args.distinct,
+                    cache_capacity=args.cache_size,
+                    workers=args.workers,
+                    seed=args.seed,
+                    tracer=tracer,
+                )
             report = run_benchmark(
                 requests=args.requests,
                 distinct_placements=args.distinct,
@@ -259,13 +350,72 @@ def main(argv: Optional[List[str]] = None) -> int:
                 cache_capacity=args.cache_size,
                 batch_size=args.batch_size,
                 seed=args.seed,
+                service=service,
                 deadline_seconds=args.deadline,
             )
         except DenseVLCError as exc:
             print(f"repro bench: error: {exc}", file=sys.stderr)
             return 2
+        if service is not None:
+            if args.trace is not None:
+                service.tracer.export_chrome_trace(args.trace)
+            if args.trace_events is not None:
+                service.tracer.export_events(args.trace_events)
+            if args.metrics_json is not None:
+                with open(args.metrics_json, "w", encoding="utf-8") as handle:
+                    json.dump(
+                        service.metrics_snapshot(), handle, indent=2,
+                        sort_keys=True,
+                    )
+            if args.metrics_prom is not None:
+                with open(args.metrics_prom, "w", encoding="utf-8") as handle:
+                    handle.write(
+                        service.metrics.expose_prometheus(prefix="repro_")
+                    )
+        if args.json is not None:
+            payload = json.dumps(report.as_dict(), indent=2, sort_keys=True)
+            if args.json == "-":
+                print(payload)
+            else:
+                with open(args.json, "w", encoding="utf-8") as handle:
+                    handle.write(payload + "\n")
         for line in report.lines():
             print(line)
+        return 0
+    if args.command == "metrics":
+        import json
+
+        from .errors import DenseVLCError
+        from .runtime import benchmark_service, run_benchmark
+
+        try:
+            service = benchmark_service(
+                distinct_placements=args.distinct,
+                workers=args.workers,
+                seed=args.seed,
+            )
+            run_benchmark(
+                requests=args.requests,
+                distinct_placements=args.distinct,
+                solver=args.solver,
+                workers=args.workers,
+                seed=args.seed,
+                service=service,
+            )
+        except DenseVLCError as exc:
+            print(f"repro metrics: error: {exc}", file=sys.stderr)
+            return 2
+        if args.format == "prometheus":
+            text = service.metrics.expose_prometheus(prefix="repro_")
+        else:
+            text = json.dumps(
+                service.metrics_snapshot(), indent=2, sort_keys=True
+            ) + "\n"
+        if args.output == "-":
+            sys.stdout.write(text)
+        else:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(text)
         return 0
     parser.print_help()
     return 1

@@ -37,6 +37,7 @@ import numpy as np
 from scipy import optimize
 
 from ..errors import OptimizationError
+from ..tracecontext import add_span_attributes, current_span
 from .allocation import Allocation
 from .heuristic import RankingHeuristic
 from .problem import UTILITY_FLOOR, AllocationProblem
@@ -311,9 +312,13 @@ class ContinuousOptimizer:
                 )
             if plan is not None:
                 self._count("optimizer.reduced_solves")
+                add_span_attributes(reduction_k=int(plan.num_pairs))
                 if self.metrics is not None:
                     self.metrics.gauge("optimizer.reduced_variables").set(
                         plan.num_pairs
+                    )
+                    self.metrics.histogram("optimizer.reduction_k").observe(
+                        float(plan.num_pairs)
                     )
                 with self._timer("optimizer.reduced_solve_seconds"):
                     best = self._best_over_starts(
@@ -442,6 +447,10 @@ class ContinuousOptimizer:
         ln2 = math.log(2.0)
         local_tx = support.local_tx
         rx_indices = support.rx_indices
+        # Objective trajectory only accrues when a trace span is active
+        # (the list append would be waste on the untraced hot path).
+        span = current_span()
+        trajectory: Optional[List[float]] = [] if span is not None else None
 
         def objective(x: np.ndarray) -> Tuple[float, np.ndarray]:
             swings = support.active_swings(x, max_swing)
@@ -453,6 +462,8 @@ class ContinuousOptimizer:
             sinr = signal**2 / denom
             rate = bandwidth * np.log2(1.0 + sinr)
             value = float(np.sum(np.log(rate + floor)))
+            if trajectory is not None:
+                trajectory.append(value)
 
             # dF/dSINR_i, dSINR/dsignal, dSINR/dinterference.
             g = (1.0 / (rate + floor)) * bandwidth / (ln2 * (1.0 + sinr))
@@ -481,6 +492,23 @@ class ContinuousOptimizer:
                 "ftol": options.tolerance,
             },
         )
+        iterations = int(getattr(result, "nit", 0))
+        if self.metrics is not None:
+            self.metrics.histogram("optimizer.slsqp_iterations").observe(
+                float(iterations)
+            )
+        if span is not None and trajectory is not None:
+            # Accumulate across the multi-start loop: total iteration
+            # count plus a downsampled (<= 32 points) objective
+            # trajectory over all evaluations in this solve.
+            total = int(span.attributes.get("slsqp_iterations", 0))
+            trace = list(span.attributes.get("objective_trajectory", ()))
+            step = max(1, -(-len(trajectory) // 16))
+            trace.extend(round(v, 6) for v in trajectory[::step])
+            add_span_attributes(
+                slsqp_iterations=total + iterations,
+                objective_trajectory=trace[-32:],
+            )
         reduced = np.clip(result.x, 0.0, 1.0)
         candidate = support.expand(reduced, num_tx, num_rx) * max_swing
         # SLSQP can end a hair outside the power budget; pull it back in.

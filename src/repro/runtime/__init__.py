@@ -8,8 +8,10 @@ Turns the per-call experiment code into a high-throughput engine:
   for stacks of placements and allocations;
 - :mod:`repro.runtime.pool` -- deterministic process-pool fan-out of
   allocation solves;
-- :mod:`repro.runtime.metrics` -- counters/gauges/histograms exported
-  as a dict snapshot;
+- :mod:`repro.runtime.metrics` -- labeled counters/gauges/histograms
+  exported as a dict snapshot or Prometheus text;
+- :mod:`repro.runtime.tracing` -- deterministic, sampling-aware request
+  span trees with Chrome-trace/Perfetto and JSON-lines export;
 - :mod:`repro.runtime.resilience` -- deadlines, retry/backoff, the
   circuit breaker and the solver degradation chain;
 - :mod:`repro.runtime.faults` -- the seedable fault-injection harness
@@ -52,8 +54,16 @@ from .service import (
     AllocationService,
     BenchmarkReport,
     ServiceOptions,
+    benchmark_service,
     run_benchmark,
 )
+from .tracing import (
+    SpanRecorder,
+    Tracer,
+    TracingOptions,
+    trace_context_for,
+)
+from ..tracecontext import Span, add_span_attributes, current_span
 
 __all__ = [
     "channel_matrix_stack",
@@ -87,5 +97,13 @@ __all__ = [
     "AllocationService",
     "BenchmarkReport",
     "ServiceOptions",
+    "benchmark_service",
     "run_benchmark",
+    "SpanRecorder",
+    "Tracer",
+    "TracingOptions",
+    "trace_context_for",
+    "Span",
+    "add_span_attributes",
+    "current_span",
 ]

@@ -18,6 +18,7 @@ from typing import Any, Callable, Dict, Hashable, Optional
 import numpy as np
 
 from ..errors import ConfigurationError
+from ..tracecontext import add_span_attributes
 
 _MISSING = object()
 
@@ -43,6 +44,9 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    #: Threads that blocked on another thread's in-flight computation
+    #: (single-flight coalescing) instead of running the factory.
+    single_flight_waits: int = 0
 
     @property
     def lookups(self) -> int:
@@ -59,6 +63,7 @@ class CacheStats:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "single_flight_waits": self.single_flight_waits,
             "hit_rate": self.hit_rate,
         }
 
@@ -148,6 +153,12 @@ class LRUCache:
         with flight:
             value = self._lookup(key)
             if value is not _MISSING:
+                # Another thread computed the value while we waited on
+                # its construction lock; surface the coalesced wait in
+                # the stats and on the active span (if any).
+                with self._lock:
+                    self.stats.single_flight_waits += 1
+                add_span_attributes(cache_single_flight_wait=True)
                 return value
             try:
                 value = factory()

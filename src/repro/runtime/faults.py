@@ -28,6 +28,7 @@ from typing import Hashable
 import numpy as np
 
 from ..errors import ConfigurationError
+from ..tracecontext import add_span_attributes
 
 
 def hash_unit(seed: int, kind: str, key: Hashable, attempt: int) -> float:
@@ -108,9 +109,17 @@ class FaultPlan:
         os._exit(1)
 
     def maybe_slow_solve(self, key: Hashable, attempt: int = 0) -> float:
-        """Sleep out an injected stall; returns the seconds slept."""
+        """Sleep out an injected stall; returns the seconds slept.
+
+        An injected stall is flagged on the active trace span (if any),
+        so traced chaos runs show *why* a solve span is long.
+        """
         if not self._fires("slow", key, attempt, self.slow_solve_probability):
             return 0.0
+        add_span_attributes(
+            fault_injected="slow_solve",
+            fault_stall_seconds=self.slow_solve_seconds,
+        )
         time.sleep(self.slow_solve_seconds)
         return self.slow_solve_seconds
 

@@ -1,22 +1,48 @@
 """A lightweight metrics registry for the allocation-serving engine.
 
 Counters (monotonic), gauges (last value) and timing histograms with a
-bounded reservoir, all exported as one plain-dict snapshot so the
-service can report operational state (requests served, cache hit-rate,
-latency percentiles) without any external dependency.
+bounded reservoir, all without any external dependency.  Instruments are
+created on first use and may carry **labels** (Prometheus-style
+key/value dimensions)::
+
+    registry.counter("solve", mode="optimal").increment()
+    registry.histogram("latency", reservoir_size=4096).observe(dt)
+
+Exposition comes in two formats: :meth:`MetricsRegistry.snapshot` (one
+plain JSON-serializable dict; labeled instruments render as
+``name{key="value"}`` keys) and
+:meth:`MetricsRegistry.expose_prometheus` (Prometheus text format v0;
+histograms with configured ``buckets`` expose cumulative ``_bucket``
+series, reservoir-only histograms expose quantile summaries).
 """
 
 from __future__ import annotations
 
 import time
+from bisect import bisect_left
 from collections import deque
 from contextlib import contextmanager
 from threading import Lock
-from typing import Deque, Dict, Iterator, Optional
+from typing import Any, Deque, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..errors import ConfigurationError
+
+#: A canonicalized label set: sorted (key, value-as-string) pairs.
+LabelSet = Tuple[Tuple[str, str], ...]
+
+
+def _label_set(labels: Dict[str, Any]) -> LabelSet:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _render_key(name: str, labels: LabelSet) -> str:
+    """``name`` or ``name{k="v",...}`` for snapshot/exposition keys."""
+    if not labels:
+        return name
+    rendered = ",".join(f'{k}="{v}"' for k, v in labels)
+    return f"{name}{{{rendered}}}"
 
 
 class Counter:
@@ -60,15 +86,37 @@ class Histogram:
     """Streaming summary of observations with a bounded reservoir.
 
     Count/sum/min/max are exact over the full stream; percentiles are
-    computed over the most recent *reservoir_size* observations.
+    computed over the most recent *reservoir_size* observations.  With
+    *buckets* (a sorted sequence of upper bounds) the histogram also
+    keeps exact cumulative bucket counts, which is what the Prometheus
+    exposition prefers over reservoir quantiles.
     """
 
-    def __init__(self, reservoir_size: int = 1024) -> None:
+    def __init__(
+        self,
+        reservoir_size: int = 1024,
+        buckets: Optional[Sequence[float]] = None,
+    ) -> None:
         if reservoir_size < 1:
             raise ConfigurationError(
                 f"reservoir size must be >= 1, got {reservoir_size}"
             )
-        self._recent: Deque[float] = deque(maxlen=reservoir_size)
+        self.reservoir_size = int(reservoir_size)
+        if buckets is not None:
+            bounds = tuple(float(b) for b in buckets)
+            if not bounds:
+                raise ConfigurationError("buckets must be non-empty when given")
+            if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+                raise ConfigurationError(
+                    f"buckets must be strictly increasing, got {bounds}"
+                )
+            self.buckets: Optional[Tuple[float, ...]] = bounds
+            # One slot per finite bound plus the +Inf overflow slot.
+            self._bucket_counts: Optional[List[int]] = [0] * (len(bounds) + 1)
+        else:
+            self.buckets = None
+            self._bucket_counts = None
+        self._recent: Deque[float] = deque(maxlen=self.reservoir_size)
         self._lock = Lock()
         self.count = 0
         self.total = 0.0
@@ -83,6 +131,8 @@ class Histogram:
             self.minimum = min(self.minimum, value)
             self.maximum = max(self.maximum, value)
             self._recent.append(value)
+            if self._bucket_counts is not None:
+                self._bucket_counts[bisect_left(self.buckets, value)] += 1
 
     @property
     def mean(self) -> float:
@@ -103,6 +153,18 @@ class Histogram:
                 np.fromiter(self._recent, dtype=float), q
             )
 
+    def bucket_counts(self) -> Optional[List[int]]:
+        """Cumulative counts per bucket bound (+Inf last), or None."""
+        with self._lock:
+            if self._bucket_counts is None:
+                return None
+            cumulative: List[int] = []
+            running = 0
+            for count in self._bucket_counts:
+                running += count
+                cumulative.append(running)
+            return cumulative
+
     def as_dict(self) -> dict:
         # One lock acquisition for the whole snapshot: count/mean/min/max
         # and both percentiles come from the same instant, so a snapshot
@@ -111,7 +173,7 @@ class Histogram:
             if self.count == 0:
                 return {"count": 0}
             reservoir = np.fromiter(self._recent, dtype=float)
-            return {
+            summary = {
                 "count": self.count,
                 "mean": self.total / self.count,
                 "min": self.minimum,
@@ -119,50 +181,266 @@ class Histogram:
                 "p50": self._percentile_locked(reservoir, 50.0),
                 "p95": self._percentile_locked(reservoir, 95.0),
             }
+            if self._bucket_counts is not None:
+                running = 0
+                cumulative = []
+                for count in self._bucket_counts:
+                    running += count
+                    cumulative.append(running)
+                summary["buckets"] = dict(
+                    zip(
+                        [*map(float, self.buckets or ()), float("inf")],
+                        cumulative,
+                    )
+                )
+            return summary
+
+
+#: Default latency buckets [s] for timer histograms exposed to Prometheus.
+DEFAULT_TIME_BUCKETS: Tuple[float, ...] = (
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+)
 
 
 class MetricsRegistry:
-    """Named counters/gauges/histograms with a dict snapshot.
+    """Named, optionally labeled counters/gauges/histograms.
 
     Instruments are created on first use, so call sites read as
-    ``registry.counter("requests").increment()``.
+    ``registry.counter("requests").increment()`` or, with labels,
+    ``registry.counter("solve", mode="optimal").increment()``.  Each
+    (name, label-set) pair is a distinct instrument; configuration
+    (histogram reservoir size, buckets) is fixed at first registration
+    and a later conflicting registration raises
+    :class:`ConfigurationError` instead of being silently ignored.
     """
 
     def __init__(self) -> None:
-        self._counters: Dict[str, Counter] = {}
-        self._gauges: Dict[str, Gauge] = {}
-        self._histograms: Dict[str, Histogram] = {}
+        self._counters: Dict[Tuple[str, LabelSet], Counter] = {}
+        self._gauges: Dict[Tuple[str, LabelSet], Gauge] = {}
+        self._histograms: Dict[Tuple[str, LabelSet], Histogram] = {}
         self._lock = Lock()
 
-    def counter(self, name: str) -> Counter:
+    def counter(self, name: str, **labels: Any) -> Counter:
+        key = (name, _label_set(labels))
         with self._lock:
-            return self._counters.setdefault(name, Counter())
+            return self._counters.setdefault(key, Counter())
 
-    def gauge(self, name: str) -> Gauge:
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        key = (name, _label_set(labels))
         with self._lock:
-            return self._gauges.setdefault(name, Gauge())
+            return self._gauges.setdefault(key, Gauge())
 
-    def histogram(self, name: str) -> Histogram:
+    def histogram(
+        self,
+        name: str,
+        reservoir_size: Optional[int] = None,
+        buckets: Optional[Sequence[float]] = None,
+        **labels: Any,
+    ) -> Histogram:
+        """The named histogram, created on first use.
+
+        ``reservoir_size`` and ``buckets`` configure the instrument at
+        first registration; passing a value that conflicts with the
+        existing instrument's configuration raises
+        :class:`ConfigurationError`.  Omitting them (None) accepts
+        whatever configuration the instrument already has.
+        """
+        key = (name, _label_set(labels))
+        requested_buckets = (
+            tuple(float(b) for b in buckets) if buckets is not None else None
+        )
         with self._lock:
-            return self._histograms.setdefault(name, Histogram())
+            histogram = self._histograms.get(key)
+            if histogram is None:
+                histogram = Histogram(
+                    reservoir_size=(
+                        reservoir_size if reservoir_size is not None else 1024
+                    ),
+                    buckets=requested_buckets,
+                )
+                self._histograms[key] = histogram
+                return histogram
+        if (
+            reservoir_size is not None
+            and reservoir_size != histogram.reservoir_size
+        ):
+            raise ConfigurationError(
+                f"histogram {_render_key(name, key[1])!r} is registered with "
+                f"reservoir_size={histogram.reservoir_size}; conflicting "
+                f"re-registration with reservoir_size={reservoir_size}"
+            )
+        if requested_buckets is not None and requested_buckets != histogram.buckets:
+            raise ConfigurationError(
+                f"histogram {_render_key(name, key[1])!r} is registered with "
+                f"buckets={histogram.buckets}; conflicting re-registration "
+                f"with buckets={requested_buckets}"
+            )
+        return histogram
 
     @contextmanager
-    def timer(self, name: str) -> Iterator[None]:
+    def timer(self, name: str, **labels: Any) -> Iterator[None]:
         """Time a block and record the seconds in histogram *name*."""
-        histogram = self.histogram(name)
+        histogram = self.histogram(name, **labels)
         start = time.perf_counter()
         try:
             yield
         finally:
             histogram.observe(time.perf_counter() - start)
 
-    def snapshot(self) -> dict:
-        """All instruments as one JSON-serializable dict."""
+    def _instruments(
+        self,
+    ) -> Tuple[
+        Dict[Tuple[str, LabelSet], Counter],
+        Dict[Tuple[str, LabelSet], Gauge],
+        Dict[Tuple[str, LabelSet], Histogram],
+    ]:
+        # Copy the instrument maps under the registry lock, then read
+        # values *outside* it: computing numpy percentiles for every
+        # histogram while holding the lock would block every
+        # counter()/gauge()/histogram() caller behind percentile math.
         with self._lock:
-            return {
-                "counters": {k: c.value for k, c in self._counters.items()},
-                "gauges": {k: g.value for k, g in self._gauges.items()},
-                "histograms": {
-                    k: h.as_dict() for k, h in self._histograms.items()
-                },
-            }
+            return (
+                dict(self._counters),
+                dict(self._gauges),
+                dict(self._histograms),
+            )
+
+    def snapshot(self) -> dict:
+        """All instruments as one JSON-serializable dict.
+
+        Unlabeled instruments keep their plain names; labeled ones
+        render as ``name{key="value",...}``.  Individual instruments
+        are internally consistent (each holds its own lock for the
+        read); the registry lock is held only to copy references.
+        """
+        counters, gauges, histograms = self._instruments()
+        return {
+            "counters": {
+                _render_key(name, labels): c.value
+                for (name, labels), c in counters.items()
+            },
+            "gauges": {
+                _render_key(name, labels): g.value
+                for (name, labels), g in gauges.items()
+            },
+            "histograms": {
+                _render_key(name, labels): h.as_dict()
+                for (name, labels), h in histograms.items()
+            },
+        }
+
+    # -- Prometheus text exposition -------------------------------------
+
+    def expose_prometheus(self, prefix: str = "") -> str:
+        """The registry in Prometheus text exposition format.
+
+        Metric names are sanitized (``.`` and other invalid characters
+        become ``_``) and optionally prefixed.  Counters expose
+        ``_total`` series, histograms with configured buckets expose
+        cumulative ``_bucket{le=...}`` series plus ``_sum``/``_count``,
+        and reservoir-only histograms expose ``{quantile=...}``
+        summaries.
+        """
+        counters, gauges, histograms = self._instruments()
+        lines: List[str] = []
+
+        for (name, labels), counter in sorted(counters.items()):
+            metric = _prom_name(prefix, name) + "_total"
+            _prom_header(lines, metric, "counter")
+            lines.append(f"{metric}{_prom_labels(labels)} {_prom_value(counter.value)}")
+
+        for (name, labels), gauge in sorted(gauges.items()):
+            metric = _prom_name(prefix, name)
+            _prom_header(lines, metric, "gauge")
+            lines.append(f"{metric}{_prom_labels(labels)} {_prom_value(gauge.value)}")
+
+        for (name, labels), histogram in sorted(histograms.items()):
+            metric = _prom_name(prefix, name)
+            stats = histogram.as_dict()
+            count = stats.get("count", 0)
+            total = count * stats.get("mean", 0.0) if count else 0.0
+            # Bucket counts come from the same locked as_dict() read as
+            # sum/count, so the exposed family is internally consistent.
+            bucket_counts = stats.get("buckets")
+            if bucket_counts is None and histogram.buckets is not None:
+                bucket_counts = dict(
+                    zip(
+                        [*map(float, histogram.buckets), float("inf")],
+                        histogram.bucket_counts() or [],
+                    )
+                )
+            if bucket_counts is not None:
+                _prom_header(lines, metric, "histogram")
+                for bound, cumulative in bucket_counts.items():
+                    le = "+Inf" if bound == float("inf") else _prom_value(bound)
+                    lines.append(
+                        f"{metric}_bucket"
+                        f"{_prom_labels(labels, ('le', le))} {cumulative}"
+                    )
+            else:
+                _prom_header(lines, metric, "summary")
+                for q, key in ((0.5, "p50"), (0.95, "p95")):
+                    lines.append(
+                        f"{metric}{_prom_labels(labels, ('quantile', str(q)))} "
+                        f"{_prom_value(stats.get(key, 0.0))}"
+                    )
+            lines.append(f"{metric}_sum{_prom_labels(labels)} {_prom_value(total)}")
+            lines.append(f"{metric}_count{_prom_labels(labels)} {count}")
+
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _prom_name(prefix: str, name: str) -> str:
+    """A Prometheus-legal metric name (invalid characters become _)."""
+    sanitized = "".join(
+        c if c.isalnum() or c == "_" else "_" for c in f"{prefix}{name}"
+    )
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _prom_labels(labels: LabelSet, *extra: Tuple[str, str]) -> str:
+    pairs = [*labels, *extra]
+    if not pairs:
+        return ""
+    rendered = ",".join(
+        f'{_prom_name("", k)}="{_prom_escape(v)}"' for k, v in pairs
+    )
+    return f"{{{rendered}}}"
+
+
+def _prom_escape(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _prom_value(value: float) -> str:
+    value = float(value)
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    rendered = repr(value)
+    return rendered
+
+
+_SEEN_HEADERS_SENTINEL = "# TYPE "
+
+
+def _prom_header(lines: List[str], metric: str, kind: str) -> None:
+    """Emit a TYPE header once per metric family."""
+    header = f"{_SEEN_HEADERS_SENTINEL}{metric} {kind}"
+    if header not in lines:
+        lines.append(header)

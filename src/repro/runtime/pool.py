@@ -49,6 +49,7 @@ from ..optics import LEDModel, Photodiode, cree_xte_paper_power, s5971
 from .faults import FaultPlan
 from .metrics import MetricsRegistry
 from .resilience import Deadline, ResiliencePolicy, degradation_fallbacks
+from .tracing import SpanRecorder, shift_payload
 
 
 @dataclass(frozen=True)
@@ -68,6 +69,12 @@ class SolveTask:
     request's remaining budget, set by the service); it is enforced by
     the submitting process, never by workers.  ``faults``/``fault_key``
     hook the seedable chaos harness (:class:`FaultPlan`) into the solve.
+
+    ``traced`` asks for a span payload: the solve runs inside a
+    :class:`~repro.runtime.tracing.SpanRecorder` span (in-process or in
+    the worker), and :class:`SolveOutcome.spans` carries the captured
+    spans back so the service can attach them to the request trace.
+    Untraced tasks take exactly the pre-tracing code path.
     """
 
     channel: np.ndarray
@@ -83,6 +90,7 @@ class SolveTask:
     deadline: Optional[float] = None
     faults: Optional[FaultPlan] = None
     fault_key: Hashable = 0
+    traced: bool = False
 
     def problem(self) -> AllocationProblem:
         return AllocationProblem(
@@ -118,6 +126,11 @@ class SolveOutcome:
         deadline_exceeded: the task's deadline expired along the way
             (the result is the best allocation the remaining budget
             could buy).
+        circuit_open: the batch was routed to the in-process serial
+            path because the circuit breaker refused the pool.
+        spans: span payload dicts captured around every solve attempt
+            (only for ``traced`` tasks; times are on the submitting
+            process's ``perf_counter`` clock).
     """
 
     swings: np.ndarray
@@ -126,6 +139,8 @@ class SolveOutcome:
     degraded: bool = False
     retries: int = 0
     deadline_exceeded: bool = False
+    circuit_open: bool = False
+    spans: "tuple[dict, ...]" = ()
 
 
 def _solve_heuristic(task: SolveTask, metrics=None) -> Allocation:
@@ -175,6 +190,27 @@ def solve_task(task: SolveTask, metrics=None, attempt: int = 0) -> np.ndarray:
         task.faults.maybe_crash_worker(task.fault_key, attempt)
         task.faults.maybe_slow_solve(task.fault_key, attempt)
     return solver(task, metrics=metrics).swings
+
+
+def solve_task_traced(
+    task: SolveTask, metrics=None, attempt: int = 0
+) -> "tuple[np.ndarray, list]":
+    """Execute one task inside a recorded span; returns (swings, payload).
+
+    Module-level so worker processes can unpickle the reference.  The
+    payload is a list of plain span dicts with times relative to this
+    call (see :class:`~repro.runtime.tracing.SpanRecorder`); the
+    submitting process shifts them onto its own clock.  Running inside
+    the recorder's span also routes optimizer introspection
+    (:func:`repro.tracecontext.add_span_attributes`) into the payload.
+    """
+    recorder = SpanRecorder()
+    with recorder.span(
+        "solve", solver=task.solver, attempt=attempt, reduce=task.reduce,
+        warm_started=task.warm_start is not None,
+    ):
+        swings = solve_task(task, metrics=metrics, attempt=attempt)
+    return swings, recorder.payload()
 
 
 @dataclass(frozen=True)
@@ -236,10 +272,13 @@ class SolverPool:
         """Solve every task, returning swings plus resilience provenance."""
         tasks = list(tasks)
         self.metrics.counter("pool.tasks").increment(len(tasks))
+        for task in tasks:
+            self.metrics.counter("pool.solves", solver=task.solver).increment()
         use_pool = (
             self.options.max_workers > 1
             and len(tasks) >= self.options.min_parallel_tasks
         )
+        short_circuited = False
         if (
             use_pool
             and self.resilience is not None
@@ -249,14 +288,24 @@ class SolverPool:
             # feeding more batches into a broken pool.
             self.resilience.count("circuit_short_circuits")
             use_pool = False
+            short_circuited = True
         if not use_pool:
-            return [self._serial_outcome(task) for task in tasks]
+            outcomes = [self._serial_outcome(task) for task in tasks]
+            if short_circuited:
+                outcomes = [
+                    replace(outcome, circuit_open=True) for outcome in outcomes
+                ]
+            return outcomes
         return self._parallel_outcomes(tasks)
 
     # ------------------------------------------------------------------
 
     def _call_bounded(
-        self, task: SolveTask, timeout: Optional[float], attempt: int
+        self,
+        task: SolveTask,
+        timeout: Optional[float],
+        attempt: int,
+        spans: Optional[List[dict]] = None,
     ) -> np.ndarray:
         """Run one solve, bounded by *timeout* seconds when finite.
 
@@ -264,20 +313,52 @@ class SolverPool:
         it on expiry (raising :class:`DeadlineExceeded`); a genuinely
         wedged solve leaks its thread -- the price of preemption-free
         Python -- but the batch keeps making progress.
+
+        For traced tasks each attempt's span payload is shifted onto
+        this process's clock and collected into *spans*; a timed-out
+        attempt contributes a synthetic span flagged ``timed_out``
+        (the real one is stranded on the abandoned thread).
         """
+        traced = task.traced and spans is not None
+        call_start = time.perf_counter()
+
+        def _run() -> np.ndarray:
+            if traced:
+                swings, payload = solve_task_traced(
+                    task, metrics=self.metrics, attempt=attempt
+                )
+                spans.extend(shift_payload(payload, call_start))
+                return swings
+            return solve_task(task, metrics=self.metrics, attempt=attempt)
+
         if timeout is None or timeout == float("inf"):
             with self.metrics.timer("pool.solve_seconds"):
-                return solve_task(task, metrics=self.metrics, attempt=attempt)
+                return _run()
         if timeout <= 0:
             raise DeadlineExceeded(
                 f"no time left for solver {task.solver!r} (attempt {attempt})"
             )
         executor = ThreadPoolExecutor(max_workers=1)
-        future = executor.submit(solve_task, task, self.metrics, attempt)
+        future = executor.submit(_run)
         try:
             with self.metrics.timer("pool.solve_seconds"):
                 return future.result(timeout=timeout)
         except FutureTimeout:
+            if traced:
+                spans.append(
+                    {
+                        "name": "solve",
+                        "span_id": "",
+                        "parent_id": None,
+                        "start": call_start,
+                        "end": call_start + timeout,
+                        "attributes": {
+                            "solver": task.solver,
+                            "attempt": attempt,
+                            "timed_out": True,
+                        },
+                    }
+                )
             raise DeadlineExceeded(
                 f"solver {task.solver!r} exceeded {timeout:.3f}s "
                 f"(attempt {attempt})"
@@ -293,6 +374,7 @@ class SolverPool:
         retries: int,
         first_attempt: int,
         cause: Exception,
+        spans: Optional[List[dict]] = None,
     ) -> SolveOutcome:
         """Fall down the degradation chain and return the best cheaper solve."""
         policy = self.resilience
@@ -317,12 +399,17 @@ class SolverPool:
                     deadline_hit = True
                 timeout = self.options.task_timeout
             try:
-                swings = self._call_bounded(degraded_task, timeout, attempt)
+                swings = self._call_bounded(
+                    degraded_task, timeout, attempt, spans=spans
+                )
             except (DeadlineExceeded, OptimizationError):
                 deadline_hit = deadline_hit or deadline.expired
                 attempt += 1
                 continue
             policy.count("degraded_solves")
+            self.metrics.counter(
+                "pool.degraded", requested=task.solver, fallback=fallback
+            ).increment()
             if deadline_hit or deadline.expired:
                 policy.count("deadline_expirations")
             return SolveOutcome(
@@ -332,6 +419,7 @@ class SolverPool:
                 degraded=True,
                 retries=retries,
                 deadline_exceeded=deadline_hit or deadline.expired,
+                spans=tuple(spans) if spans else (),
             )
         policy.count("deadline_expirations")
         raise DeadlineExceeded(
@@ -341,6 +429,7 @@ class SolverPool:
 
     def _serial_outcome(self, task: SolveTask) -> SolveOutcome:
         deadline = task.deadline_object()
+        spans: Optional[List[dict]] = [] if task.traced else None
         if deadline.expired:
             # The budget was spent before the solve started: skip
             # straight to the cheapest fallback so the caller still
@@ -352,46 +441,68 @@ class SolverPool:
                 retries=0,
                 first_attempt=0,
                 cause=DeadlineExceeded("deadline expired before solve"),
+                spans=spans,
             )
         # The first attempt is bounded only by the request deadline --
         # without one, this is exactly the pre-resilience serial path.
         timeout = deadline.cap(None)
         try:
-            swings = self._call_bounded(task, timeout, attempt=0)
+            swings = self._call_bounded(task, timeout, attempt=0, spans=spans)
         except DeadlineExceeded as error:
             return self._degraded_outcome(
                 task, deadline, timed_out=True, retries=0,
-                first_attempt=1, cause=error,
+                first_attempt=1, cause=error, spans=spans,
             )
         except OptimizationError as error:
             return self._degraded_outcome(
                 task, deadline, timed_out=False, retries=0,
-                first_attempt=1, cause=error,
+                first_attempt=1, cause=error, spans=spans,
             )
         return SolveOutcome(
-            swings=swings, solver=task.solver, requested_solver=task.solver
+            swings=swings, solver=task.solver, requested_solver=task.solver,
+            spans=tuple(spans) if spans else (),
         )
 
     def _parallel_outcomes(self, tasks: List[SolveTask]) -> List[SolveOutcome]:
         results: List[Optional[np.ndarray]] = [None] * len(tasks)
+        payloads: List[Optional[List[dict]]] = [None] * len(tasks)
         retry: List[tuple] = []  # (index, timed_out)
         with self.metrics.timer("pool.batch_seconds"):
             executor = ProcessPoolExecutor(max_workers=self.options.max_workers)
             try:
-                futures = {
-                    index: executor.submit(solve_task, task, None, 0)
-                    for index, task in enumerate(tasks)
-                }
+                # Traced tasks ship through solve_task_traced so the
+                # worker records its solve span; payload times are
+                # relative to the worker's capture origin, re-based here
+                # on the submit timestamp (this process's clock).
+                submit_times: Dict[int, float] = {}
+                futures = {}
+                for index, task in enumerate(tasks):
+                    if task.traced:
+                        submit_times[index] = time.perf_counter()
+                        futures[index] = executor.submit(
+                            solve_task_traced, task, None, 0
+                        )
+                    else:
+                        futures[index] = executor.submit(solve_task, task, None, 0)
                 for index, future in futures.items():
                     timeout = tasks[index].deadline_object().cap(
                         self.options.task_timeout
                     )
                     try:
-                        results[index] = future.result(timeout=timeout)
+                        value = future.result(timeout=timeout)
                     except FutureTimeout:
                         retry.append((index, True))
                     except (BrokenProcessPool, OSError):
                         retry.append((index, False))
+                    else:
+                        if tasks[index].traced:
+                            swings, payload = value
+                            results[index] = swings
+                            payloads[index] = shift_payload(
+                                payload, submit_times[index]
+                            )
+                        else:
+                            results[index] = value
             finally:
                 # Do not block the batch on timed-out workers still
                 # chewing on abandoned tasks.
@@ -410,6 +521,7 @@ class SolverPool:
                 swings=results[index],
                 solver=task.solver,
                 requested_solver=task.solver,
+                spans=tuple(payloads[index]) if payloads[index] else (),
             )
             for index, task in enumerate(tasks)
         ]
@@ -428,6 +540,7 @@ class SolverPool:
     def _retry_outcome(self, task: SolveTask, timed_out: bool) -> SolveOutcome:
         deadline = task.deadline_object()
         policy = self.resilience
+        spans: Optional[List[dict]] = [] if task.traced else None
         if timed_out:
             # The same solver just burned a full task_timeout in a
             # worker; re-running it serially would hang the batch again.
@@ -439,11 +552,12 @@ class SolverPool:
             if policy is not None and policy.options.degrade:
                 return self._degraded_outcome(
                     task, deadline, timed_out=True, retries=1,
-                    first_attempt=1, cause=cause,
+                    first_attempt=1, cause=cause, spans=spans,
                 )
             try:
                 swings = self._call_bounded(
-                    task, deadline.cap(self.options.task_timeout), attempt=1
+                    task, deadline.cap(self.options.task_timeout), attempt=1,
+                    spans=spans,
                 )
             except Exception as error:
                 self.metrics.counter("pool.failures").increment()
@@ -453,6 +567,7 @@ class SolverPool:
             return SolveOutcome(
                 swings=swings, solver=task.solver,
                 requested_solver=task.solver, retries=1,
+                spans=tuple(spans) if spans else (),
             )
         # Worker crash: the task itself is usually fine, so retry it
         # serially -- with backoff between attempts under a policy.
@@ -467,7 +582,8 @@ class SolverPool:
                 policy.count("retries")
             try:
                 swings = self._call_bounded(
-                    task, deadline.cap(self.options.task_timeout), attempt
+                    task, deadline.cap(self.options.task_timeout), attempt,
+                    spans=spans,
                 )
             except (DeadlineExceeded, OptimizationError) as error:
                 last_error = error
@@ -482,6 +598,7 @@ class SolverPool:
             return SolveOutcome(
                 swings=swings, solver=task.solver,
                 requested_solver=task.solver, retries=attempt,
+                spans=tuple(spans) if spans else (),
             )
         if policy is not None and policy.options.degrade:
             return self._degraded_outcome(
@@ -491,6 +608,7 @@ class SolverPool:
                 retries=attempts,
                 first_attempt=attempts + 1,
                 cause=last_error or RuntimeEngineError("retries exhausted"),
+                spans=spans,
             )
         self.metrics.counter("pool.failures").increment()
         raise RuntimeEngineError(

@@ -350,8 +350,13 @@ class ResiliencePolicy:
             seconds = self.options.default_deadline_seconds
         return Deadline.after(seconds)
 
-    def count(self, name: str, amount: float = 1.0) -> None:
-        self.metrics.counter(f"resilience.{name}").increment(amount)
+    def count(self, name: str, amount: float = 1.0, **labels: str) -> None:
+        """Bump ``resilience.<name>``, optionally with metric labels.
+
+        Labeled variants render as ``resilience.<name>{k="v"}`` and are
+        picked up by :meth:`snapshot` alongside the plain counters.
+        """
+        self.metrics.counter(f"resilience.{name}", **labels).increment(amount)
 
     def refresh_gauges(self) -> None:
         self.metrics.gauge("resilience.circuit_state").set(

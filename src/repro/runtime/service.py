@@ -23,12 +23,14 @@ from .. import constants
 from ..channel import AWGNNoise, channel_matrix_update
 from ..errors import ChannelError, RuntimeEngineError
 from ..system import FINGERPRINT_QUANTUM, Scene, simulation_scene
+from ..tracecontext import Span
 from .batch import channel_matrix_stack, throughput_stack
 from .cache import LRUCache
 from .faults import FaultPlan
-from .metrics import MetricsRegistry
+from .metrics import DEFAULT_TIME_BUCKETS, MetricsRegistry
 from .pool import SOLVERS, PoolOptions, SolveOutcome, SolverPool, SolveTask
 from .resilience import ResilienceOptions, ResiliencePolicy
+from .tracing import Tracer
 
 
 @dataclass(frozen=True)
@@ -181,11 +183,13 @@ class AllocationService:
         noise: Optional[AWGNNoise] = None,
         options: Optional[ServiceOptions] = None,
         metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if scene.num_receivers == 0:
             raise RuntimeEngineError("the service scene needs receivers")
         self.scene = scene
         self.noise = noise if noise is not None else AWGNNoise()
+        self.tracer = tracer if tracer is not None else Tracer.disabled()
         if not hasattr(self.noise, "power"):
             raise RuntimeEngineError(
                 "noise must expose a .power attribute (see AWGNNoise); "
@@ -193,6 +197,12 @@ class AllocationService:
             )
         self.options = options if options is not None else ServiceOptions()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        # Register the request-latency histogram with explicit buckets up
+        # front so Prometheus exposition gets cumulative `_bucket` series
+        # (later bucket-less lookups accept this configuration).
+        self.metrics.histogram(
+            "service.latency_seconds", buckets=DEFAULT_TIME_BUCKETS
+        )
         self._channel_cache = LRUCache(self.options.channel_cache_capacity)
         self._allocation_cache = LRUCache(self.options.allocation_cache_capacity)
         self._resilience = ResiliencePolicy(self.options.resilience, self.metrics)
@@ -222,24 +232,58 @@ class AllocationService:
         All cache-missing placements become one ``(B, N, M)`` broadcast;
         all cache-missing solves become one pool fan-out.  Results keep
         request order.
+
+        With a tracer attached, every (sampled) request gets its own
+        trace: a ``request`` root span with ``channel`` / ``allocation``
+        (cache lookup + re-attached solve spans) / ``throughput``
+        children.  Batched stages measure one shared window and bracket
+        it into every participating trace.
         """
         requests = list(requests)
         if not requests:
             return []
         start = time.perf_counter()
         self.metrics.counter("service.requests").increment(len(requests))
+        tracer = self.tracer
+        roots: List[Optional[Span]] = [None] * len(requests)
+        if tracer.enabled:
+            for i, request in enumerate(requests):
+                roots[i] = tracer.start_trace(
+                    "request",
+                    solver=request.solver,
+                    tag=request.tag,
+                    batch_size=len(requests),
+                )
+        traced = any(span is not None for span in roots)
         # Admission: each request's latency budget starts ticking now and
         # flows through the allocation stage into pool task timeouts.
         deadlines = [
             self._resilience.deadline_for(r.deadline_seconds) for r in requests
         ]
 
-        channels, placement_keys, channel_hits = self._channel_stage(requests)
+        stage_start = time.perf_counter() if traced else 0.0
+        channels, placement_keys, channel_hits, channel_meta = (
+            self._channel_stage(requests)
+        )
+        if traced:
+            stage_end = time.perf_counter()
+            for i, root in enumerate(roots):
+                if root is None:
+                    continue
+                root.set_attribute("fingerprint", placement_keys[i])
+                tracer.record_span(
+                    "channel",
+                    parent=root,
+                    start=stage_start,
+                    end=stage_end,
+                    **channel_meta[i],
+                )
         swings, allocation_hits, outcomes = self._allocation_stage(
-            requests, placement_keys, channels, deadlines
+            requests, placement_keys, channels, deadlines, roots
         )
 
         # One batched Eq.-12 evaluation for the whole response.
+        throughput_start = time.perf_counter() if traced else 0.0
         rates = throughput_stack(
             np.stack(channels),
             np.stack(swings),
@@ -247,6 +291,15 @@ class AllocationService:
             self.scene.receivers[0].photodiode,
             self.noise,
         )
+        if traced:
+            throughput_end = time.perf_counter()
+            for root in roots:
+                tracer.record_span(
+                    "throughput",
+                    parent=root,
+                    start=throughput_start,
+                    end=throughput_end,
+                )
         elapsed = time.perf_counter() - start
         per_request = elapsed / len(requests)
         latency_histogram = self.metrics.histogram("service.latency_seconds")
@@ -256,23 +309,32 @@ class AllocationService:
         for i, request in enumerate(requests):
             latency_histogram.observe(per_request)
             outcome = outcomes[i]
-            results.append(
-                AllocationResult(
-                    request=request,
-                    fingerprint=placement_keys[i],
-                    swings=swings[i],
-                    per_rx_throughput=rates[i],
-                    system_throughput=float(rates[i].sum()),
-                    channel_cached=channel_hits[i],
-                    allocation_cached=allocation_hits[i],
-                    latency_seconds=per_request,
-                    degraded=outcome.degraded if outcome else False,
-                    solver_used=outcome.solver if outcome else request.solver,
-                    deadline_exceeded=(
-                        outcome.deadline_exceeded if outcome else False
-                    ),
-                )
+            result = AllocationResult(
+                request=request,
+                fingerprint=placement_keys[i],
+                swings=swings[i],
+                per_rx_throughput=rates[i],
+                system_throughput=float(rates[i].sum()),
+                channel_cached=channel_hits[i],
+                allocation_cached=allocation_hits[i],
+                latency_seconds=per_request,
+                degraded=outcome.degraded if outcome else False,
+                solver_used=outcome.solver if outcome else request.solver,
+                deadline_exceeded=(
+                    outcome.deadline_exceeded if outcome else False
+                ),
             )
+            results.append(result)
+            root = roots[i]
+            if root is not None:
+                root.set_attribute("solver_used", result.solver_used)
+                root.set_attribute("degraded", result.degraded)
+                root.set_attribute("channel_cached", result.channel_cached)
+                root.set_attribute("allocation_cached", result.allocation_cached)
+                root.set_attribute(
+                    "system_throughput", result.system_throughput
+                )
+                tracer.finish(root)
         return results
 
     def metrics_snapshot(self) -> dict:
@@ -378,18 +440,19 @@ class AllocationService:
 
     def _screen_channel(
         self, key: str, positions: np.ndarray, matrix: np.ndarray
-    ) -> np.ndarray:
+    ) -> "tuple[np.ndarray, bool]":
         """Detect (and repair) corrupted freshly computed channel matrices.
 
         The chaos plan's corruption fault is applied first (attempt 0);
         any non-finite matrix -- injected or genuine -- is then caught
         before it can poison the cache, and recomputed from scratch.
+        Returns ``(matrix, repaired)``.
         """
         plan = self.options.faults
         if plan is not None:
             matrix = plan.maybe_corrupt_channel(matrix, key, attempt=0)
         if np.isfinite(matrix).all():
-            return matrix
+            return matrix, False
         self._resilience.count("channel_repairs")
         with self.metrics.timer("service.channel_seconds"):
             rebuilt = channel_matrix_stack(self.scene, positions[None, :, :])[0]
@@ -399,20 +462,26 @@ class AllocationService:
             raise ChannelError(
                 f"channel matrix for {key} is non-finite after recompute"
             )
-        return rebuilt
+        return rebuilt, True
 
     def _channel_stage(self, requests):
         """Resolve every request's channel matrix, batching the misses.
 
         Misses first try the incremental path (recompute only the moved
         receivers' columns of a remembered neighbor placement); whatever
-        remains becomes one batched broadcast.
+        remains becomes one batched broadcast.  The returned per-request
+        ``channel_meta`` dicts carry each request's cache outcome
+        (``hit`` / ``incremental`` / ``computed``) and repair flag for
+        the trace layer and labeled counters.
         """
         placement_keys = [
             self._placement_key(r.rx_positions_xy) for r in requests
         ]
         channels: List[Optional[np.ndarray]] = [None] * len(requests)
         channel_hits = [False] * len(requests)
+        channel_meta: List[dict] = [
+            {"outcome": "hit", "repaired": False} for _ in requests
+        ]
         miss_keys: Dict[str, List[int]] = {}
         for i, key in enumerate(placement_keys):
             cached = self._channel_cache.get(key)
@@ -437,11 +506,14 @@ class AllocationService:
                 if matrix is None:
                     batched[key] = slots
                     continue
-                matrix = self._screen_channel(key, positions, matrix)
+                matrix, repaired = self._screen_channel(key, positions, matrix)
                 self._channel_cache.put(key, matrix)
                 self._remember_placement(key, positions)
                 for i in slots:
                     channels[i] = matrix
+                    channel_meta[i] = {
+                        "outcome": "incremental", "repaired": repaired,
+                    }
             if batched:
                 indices = [slots[0] for slots in batched.values()]
                 placements = np.array(
@@ -453,17 +525,26 @@ class AllocationService:
                     positions = np.array(
                         requests[slots[0]].rx_positions_xy, dtype=float
                     )
-                    matrix = self._screen_channel(key, positions, matrix)
+                    matrix, repaired = self._screen_channel(
+                        key, positions, matrix
+                    )
                     self._channel_cache.put(key, matrix)
                     self._remember_placement(key, positions)
                     for i in slots:
                         channels[i] = matrix
+                        channel_meta[i] = {
+                            "outcome": "computed", "repaired": repaired,
+                        }
         for i, key in enumerate(placement_keys):
             if channel_hits[i]:
                 self._remember_placement(
                     key, np.array(requests[i].rx_positions_xy, dtype=float)
                 )
-        return channels, placement_keys, channel_hits
+        for meta in channel_meta:
+            self.metrics.counter(
+                "service.channel_outcomes", outcome=meta["outcome"]
+            ).increment()
+        return channels, placement_keys, channel_hits, channel_meta
 
     #: Solvers whose SLSQP solves benefit from a warm start.
     _WARM_SOLVERS = ("optimal", "binary")
@@ -502,7 +583,9 @@ class AllocationService:
         while len(memory) > self.options.neighborhood_memory:
             memory.popitem(last=False)
 
-    def _allocation_stage(self, requests, placement_keys, channels, deadlines):
+    def _allocation_stage(
+        self, requests, placement_keys, channels, deadlines, roots=None
+    ):
         """Resolve every request's allocation, fanning misses to the pool.
 
         Optimal-mode misses are seeded from the nearest previously solved
@@ -512,7 +595,18 @@ class AllocationService:
         pool; degraded outcomes (fallback solver, expired deadline) are
         flagged on the results and kept out of the caches so a healthy
         retry is never served a degraded allocation.
+
+        For traced requests (*roots* entries that are spans) the stage
+        opens an ``allocation`` span per request, nests the cache lookup
+        under it, marks miss-group tasks as traced so the pool records
+        worker-side solve spans, and re-attaches the returned payloads.
         """
+        tracer = self.tracer
+        if roots is None:
+            roots = [None] * len(requests)
+        traced = any(span is not None for span in roots)
+        stage_start = time.perf_counter() if traced else 0.0
+        alloc_spans: List[Optional[Span]] = [None] * len(requests)
         swings: List[Optional[np.ndarray]] = [None] * len(requests)
         allocation_hits = [False] * len(requests)
         outcomes: List[Optional[SolveOutcome]] = [None] * len(requests)
@@ -524,13 +618,38 @@ class AllocationService:
                 request.solver,
                 float(request.kappa),
             )
+            span = None
+            if roots[i] is not None:
+                span = tracer.start_span(
+                    "allocation", roots[i], start=stage_start,
+                    solver=request.solver,
+                )
+                alloc_spans[i] = span
+                lookup_start = time.perf_counter()
             cached = self._allocation_cache.get(key)
+            if span is not None:
+                outcome_label = "hit" if cached is not None else "miss"
+                tracer.record_span(
+                    "cache",
+                    parent=span,
+                    start=lookup_start,
+                    end=time.perf_counter(),
+                    kind="allocation",
+                    outcome=outcome_label,
+                )
+                span.set_attribute("cache_outcome", outcome_label)
             if cached is not None:
                 swings[i] = cached
                 allocation_hits[i] = True
                 self.metrics.counter("service.allocation_hits").increment()
+                self.metrics.counter(
+                    "service.allocation_outcomes", outcome="hit"
+                ).increment()
             else:
                 miss_slots.setdefault(key, []).append(i)
+                self.metrics.counter(
+                    "service.allocation_outcomes", outcome="miss"
+                ).increment()
         if miss_slots:
             self.metrics.counter("service.allocation_misses").increment(
                 len(miss_slots)
@@ -570,12 +689,13 @@ class AllocationService:
                         ),
                         faults=self.options.faults,
                         fault_key=key,
+                        traced=any(alloc_spans[i] is not None for i in slots),
                     )
                 )
             with self.metrics.timer("service.solve_seconds"):
                 solved = self._pool.solve_outcomes(tasks)
-            for outcome, positions, (key, slots) in zip(
-                solved, miss_positions, miss_slots.items()
+            for outcome, positions, task, (key, slots) in zip(
+                solved, miss_positions, tasks, miss_slots.items()
             ):
                 matrix = outcome.swings
                 if not outcome.degraded:
@@ -588,6 +708,23 @@ class AllocationService:
                 for i in slots:
                     swings[i] = matrix
                     outcomes[i] = outcome
+                    span = alloc_spans[i]
+                    if span is not None:
+                        span.attributes.update(
+                            solver_used=outcome.solver,
+                            degraded=outcome.degraded,
+                            retries=outcome.retries,
+                            circuit_open=outcome.circuit_open,
+                            deadline_exceeded=outcome.deadline_exceeded,
+                            warm_started=task.warm_start is not None,
+                            reduce=task.reduce,
+                        )
+                        # A shared group solve re-attaches into every
+                        # participating request's trace.
+                        tracer.attach_payload(outcome.spans, span)
+        if traced:
+            for span in alloc_spans:
+                tracer.finish(span)
         return swings, allocation_hits, outcomes
 
     def _refresh_gauges(self) -> None:
@@ -629,6 +766,8 @@ class BenchmarkReport:
     health_status: str = "ok"
     circuit_state: str = "closed"
     resilience_counters: Dict[str, float] = field(default_factory=dict)
+    stage_breakdown: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    traced_spans: int = 0
 
     def lines(self) -> List[str]:
         lines = [
@@ -644,6 +783,19 @@ class BenchmarkReport:
             f"health              {self.health_status} "
             f"(circuit {self.circuit_state})",
         ]
+        if self.stage_breakdown:
+            lines.append("")
+            lines.append(
+                f"{'stage':<22} {'count':>7} {'mean ms':>9} "
+                f"{'p95 ms':>9} {'total ms':>9}"
+            )
+            for stage, stats in sorted(self.stage_breakdown.items()):
+                lines.append(
+                    f"{stage:<22} {stats['count']:>7.0f} "
+                    f"{stats['mean_ms']:>9.3f} {stats['p95_ms']:>9.3f} "
+                    f"{stats['total_ms']:>9.1f}"
+                )
+            lines.append("")
         for stage, mean_ms in sorted(self.solver_stage_ms.items()):
             label = stage.removeprefix("optimizer.").removesuffix("_seconds")
             lines.append(f"stage {label:<13} {mean_ms:.3f} ms mean")
@@ -653,7 +805,33 @@ class BenchmarkReport:
         for name, value in sorted(self.resilience_counters.items()):
             label = name.removeprefix("resilience.")
             lines.append(f"resilience {label:<17} {value:.0f}")
+        if self.traced_spans:
+            lines.append(f"traced spans        {self.traced_spans}")
         return lines
+
+    def as_dict(self) -> dict:
+        """A machine-readable view (``benchmarks/results/bench_runtime.json``)."""
+        return {
+            "requests": self.requests,
+            "duration_seconds": self.duration_seconds,
+            "requests_per_second": self.requests_per_second,
+            "p50_latency_ms": self.p50_latency_ms,
+            "p95_latency_ms": self.p95_latency_ms,
+            "channel_hit_rate": self.channel_hit_rate,
+            "allocation_hit_rate": self.allocation_hit_rate,
+            "solver": self.solver,
+            "workers": self.workers,
+            "solver_stage_ms": dict(self.solver_stage_ms),
+            "solver_counters": dict(self.solver_counters),
+            "health_status": self.health_status,
+            "circuit_state": self.circuit_state,
+            "resilience_counters": dict(self.resilience_counters),
+            "stage_breakdown": {
+                stage: dict(stats)
+                for stage, stats in self.stage_breakdown.items()
+            },
+            "traced_spans": self.traced_spans,
+        }
 
 
 def _solver_stage_summary(
@@ -663,7 +841,9 @@ def _solver_stage_summary(
     stages = {
         name: 1e3 * data.get("mean", 0.0)
         for name, data in snapshot.get("histograms", {}).items()
-        if name.startswith("optimizer.") and data.get("count", 0)
+        if name.startswith("optimizer.")
+        and name.endswith("_seconds")
+        and data.get("count", 0)
     }
     counters = {
         name: value
@@ -671,6 +851,57 @@ def _solver_stage_summary(
         if name.startswith("optimizer.")
     }
     return stages, counters
+
+
+def _stage_breakdown(snapshot: dict) -> Dict[str, Dict[str, float]]:
+    """Per-stage latency summary from service/pool timing histograms."""
+    breakdown: Dict[str, Dict[str, float]] = {}
+    for name, data in snapshot.get("histograms", {}).items():
+        if not name.endswith("_seconds"):
+            continue
+        if not name.startswith(("service.", "pool.")):
+            continue
+        count = data.get("count", 0)
+        if not count:
+            continue
+        mean = data.get("mean", 0.0)
+        breakdown[name.removesuffix("_seconds")] = {
+            "count": float(count),
+            "mean_ms": 1e3 * mean,
+            "p95_ms": 1e3 * data.get("p95", 0.0),
+            "total_ms": 1e3 * mean * count,
+        }
+    return breakdown
+
+
+def benchmark_service(
+    distinct_placements: int = 25,
+    cache_capacity: int = 256,
+    workers: int = 0,
+    seed: int = 0,
+    tracer: Optional[Tracer] = None,
+) -> AllocationService:
+    """An :class:`AllocationService` over the ``repro bench`` scene.
+
+    The CLI uses this to hold onto the service (its metrics registry and
+    tracer) across a :func:`run_benchmark` call, so it can export the
+    trace and the Prometheus/JSON metric expositions afterwards.
+    """
+    from ..experiments.scenarios import fig6_instances
+
+    placements = fig6_instances(
+        instances=max(1, distinct_placements), seed=seed
+    )
+    scene = simulation_scene([(float(x), float(y)) for x, y in placements[0]])
+    return AllocationService(
+        scene,
+        options=ServiceOptions(
+            channel_cache_capacity=cache_capacity,
+            allocation_cache_capacity=4 * cache_capacity,
+            pool=PoolOptions(max_workers=workers),
+        ),
+        tracer=tracer,
+    )
 
 
 def run_benchmark(
@@ -685,6 +916,7 @@ def run_benchmark(
     scene: Optional[Scene] = None,
     service: Optional[AllocationService] = None,
     deadline_seconds: Optional[float] = None,
+    tracer: Optional[Tracer] = None,
 ) -> BenchmarkReport:
     """Serve a Fig. 6-style random-placement workload and time it.
 
@@ -692,6 +924,10 @@ def run_benchmark(
     *distinct_placements* random Fig. 6 instances, so the steady-state
     cache hit-rate is positive by construction -- exactly the locality a
     mobility workload exhibits.
+
+    A *tracer* (ignored when *service* is given -- the service already
+    owns one) captures every request's span tree; export it afterwards
+    with :meth:`~repro.runtime.tracing.Tracer.export_chrome_trace`.
     """
     from ..experiments.scenarios import fig6_instances
 
@@ -711,6 +947,7 @@ def run_benchmark(
                 allocation_cache_capacity=4 * cache_capacity,
                 pool=PoolOptions(max_workers=workers),
             ),
+            tracer=tracer,
         )
     if distinct >= requests:
         # One request per distinct placement: a fully cold workload.
@@ -741,9 +978,8 @@ def run_benchmark(
         service.handle_batch(batch)
     duration = time.perf_counter() - start
     latency = service.metrics.histogram("service.latency_seconds")
-    stage_ms, stage_counters = _solver_stage_summary(
-        service.metrics.snapshot()
-    )
+    snapshot = service.metrics.snapshot()
+    stage_ms, stage_counters = _solver_stage_summary(snapshot)
     health = service.health()
     return BenchmarkReport(
         requests=requests,
@@ -760,4 +996,6 @@ def run_benchmark(
         health_status=health["status"],
         circuit_state=health["circuit"]["state"],
         resilience_counters=health["resilience"],
+        stage_breakdown=_stage_breakdown(snapshot),
+        traced_spans=len(service.tracer.finished_spans()),
     )

@@ -324,6 +324,74 @@ class TestMetrics:
         with pytest.raises(ConfigurationError):
             MetricsRegistry().counter("c").increment(-1)
 
+    def test_labeled_instruments_are_distinct(self):
+        registry = MetricsRegistry()
+        registry.counter("solve", mode="optimal").increment(2)
+        registry.counter("solve", mode="heuristic").increment()
+        registry.counter("solve").increment(5)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]['solve{mode="optimal"}'] == 2
+        assert snapshot["counters"]['solve{mode="heuristic"}'] == 1
+        # unlabeled instruments keep their plain names
+        assert snapshot["counters"]["solve"] == 5
+        # same labels in any declaration order -> same instrument
+        registry.counter("multi", a="1", b="2").increment()
+        registry.counter("multi", b="2", a="1").increment()
+        assert registry.snapshot()["counters"]['multi{a="1",b="2"}'] == 2
+
+    def test_histogram_reservoir_size_conflict(self):
+        from repro.errors import ConfigurationError
+
+        registry = MetricsRegistry()
+        histogram = registry.histogram("latency", reservoir_size=8)
+        for value in range(100):
+            histogram.observe(float(value))
+        # the reservoir really is bounded at the configured size
+        assert histogram.percentile(0.0) == 92.0
+        # omitting the parameter accepts the existing configuration
+        assert registry.histogram("latency") is histogram
+        assert registry.histogram("latency", reservoir_size=8) is histogram
+        with pytest.raises(ConfigurationError):
+            registry.histogram("latency", reservoir_size=16)
+
+    def test_histogram_bucket_configuration(self):
+        from repro.errors import ConfigurationError
+
+        registry = MetricsRegistry()
+        histogram = registry.histogram("t", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 5.0, 50.0):
+            histogram.observe(value)
+        stats = histogram.as_dict()
+        assert stats["buckets"] == {
+            0.1: 1, 1.0: 2, 10.0: 3, float("inf"): 4,
+        }
+        with pytest.raises(ConfigurationError):
+            registry.histogram("t", buckets=(0.5, 1.0))
+        with pytest.raises(ConfigurationError):
+            registry.histogram("bad", buckets=(1.0, 1.0))
+
+    def test_prometheus_exposition(self):
+        registry = MetricsRegistry()
+        registry.counter("service.requests").increment(3)
+        registry.counter("solve", mode="optimal").increment()
+        registry.gauge("cache.size").set(4)
+        bucketed = registry.histogram("latency", buckets=(0.1, 1.0))
+        bucketed.observe(0.05)
+        bucketed.observe(0.5)
+        registry.histogram("plain").observe(2.0)
+        text = registry.expose_prometheus(prefix="repro_")
+        assert "# TYPE repro_service_requests_total counter" in text
+        assert "repro_service_requests_total 3.0" in text
+        assert 'repro_solve_total{mode="optimal"} 1.0' in text
+        assert "repro_cache_size 4.0" in text
+        assert 'repro_latency_bucket{le="0.1"} 1' in text
+        assert 'repro_latency_bucket{le="+Inf"} 2' in text
+        assert "repro_latency_count 2" in text
+        assert 'repro_plain{quantile="0.5"} 2.0' in text
+        # every line is either a comment or name{labels} value
+        for line in text.strip().splitlines():
+            assert line.startswith("#") or len(line.rsplit(" ", 1)) == 2
+
     def test_snapshot_consistent_under_concurrent_writes(self):
         """Snapshots must be internally consistent, not torn.
 
