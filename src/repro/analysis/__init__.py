@@ -1,0 +1,63 @@
+"""Invariant-aware analysis for the DenseVLC reproduction.
+
+Two complementary halves:
+
+- **Static** (:mod:`repro.analysis.rules` + :mod:`repro.analysis.engine`):
+  AST-based, repo-specific rules -- layering, lock discipline,
+  determinism, cached-array immutability, public-API typing -- surfaced
+  as the ``repro lint`` CLI subcommand and gated in CI.  Suppressions
+  are explicit ``# repro: allow[rule]`` pragmas, so every exception to
+  an invariant is visible at the call site.
+
+- **Dynamic** (:mod:`repro.analysis.lockgraph`): an opt-in lock-order
+  race detector.  Runtime locks are created through
+  :func:`monitored_lock` (plain ``threading.Lock`` when disabled --
+  zero cost, bit-identical behavior); with a monitor enabled
+  (``REPRO_LOCK_MONITOR=1`` or :func:`lock_order_monitor`), per-thread
+  acquisition edges build a lock graph whose cycles and held-lock
+  blocking calls fail the chaos suite.
+
+The static machinery is stdlib-only and the lockgraph is a leaf module
+(like :mod:`repro.tracecontext`), so importing this package from the
+runtime adds no heavy dependencies.
+"""
+
+from .engine import (
+    AnalysisReport,
+    analyze_paths,
+    iter_python_files,
+    load_module,
+    run_lint,
+)
+from .lockgraph import (
+    BlockingViolation,
+    InstrumentedLock,
+    LockOrderMonitor,
+    disable_lock_monitor,
+    enable_lock_monitor,
+    get_lock_monitor,
+    lock_order_monitor,
+    monitored_lock,
+)
+from .rules import ALL_RULES, ModuleInfo, Rule, Violation, rules_by_token
+
+__all__ = [
+    "ALL_RULES",
+    "AnalysisReport",
+    "BlockingViolation",
+    "InstrumentedLock",
+    "LockOrderMonitor",
+    "ModuleInfo",
+    "Rule",
+    "Violation",
+    "analyze_paths",
+    "disable_lock_monitor",
+    "enable_lock_monitor",
+    "get_lock_monitor",
+    "iter_python_files",
+    "load_module",
+    "lock_order_monitor",
+    "monitored_lock",
+    "run_lint",
+    "rules_by_token",
+]

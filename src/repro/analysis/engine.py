@@ -1,0 +1,270 @@
+"""File discovery, pragma handling and the ``repro lint`` entry point.
+
+The engine turns paths into :class:`~repro.analysis.rules.ModuleInfo`
+records, runs every (selected) rule over them, filters violations
+through ``# repro: allow[rule]`` pragmas, and renders the report::
+
+    repro lint src tests              # scan, text report, exit 1 on findings
+    repro lint src --format json      # machine-readable report
+    repro lint --list-rules           # rule catalog
+
+Pragmas suppress a rule on the line they sit on and on the line below,
+so both styles work::
+
+    digest = hashlib.sha256(payload)  # repro: allow[determinism]
+
+    # repro: allow[R3] -- seeded upstream, measured workload only
+    rng = np.random.default_rng()
+
+A ``# repro: module=repro.runtime.metrics`` directive (on a comment-only
+line) overrides the module name inferred from the path -- the rule
+fixtures under ``tests/fixtures/analysis`` use it to impersonate
+in-tree modules.
+Directories named ``fixtures`` are skipped during discovery (they
+contain deliberate violations); linting a fixture file explicitly still
+works.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import re
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import FrozenSet, Iterable, Iterator, List, Optional, Sequence, TextIO
+
+from .rules import ALL_RULES, ModuleInfo, Rule, Violation, rules_by_token
+
+__all__ = [
+    "AnalysisReport",
+    "analyze_paths",
+    "iter_python_files",
+    "load_module",
+    "run_lint",
+]
+
+_PRAGMA = re.compile(r"#\s*repro:\s*allow\[([^\]]+)\]")
+# Anchored to comment-only lines so source that merely *mentions* a
+# directive in a string literal (e.g. a test writing fixture content)
+# does not re-home itself.
+_MODULE_DIRECTIVE = re.compile(r"^\s*#\s*repro:\s*module=([A-Za-z0-9_.]+)")
+
+#: Directory names never descended into during discovery.
+_SKIP_DIRS = frozenset(
+    {
+        "__pycache__",
+        ".git",
+        ".venv",
+        "build",
+        "dist",
+        "fixtures",
+        "results",
+        ".mypy_cache",
+        ".pytest_cache",
+    }
+)
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[Path]:
+    """Yield every ``.py`` file under *paths*, deterministically.
+
+    Explicit file paths are always yielded (even inside skipped
+    directories); directories are walked recursively, pruning
+    :data:`_SKIP_DIRS`.
+    """
+    seen = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            if path not in seen:
+                seen.add(path)
+                yield path
+            continue
+        for candidate in sorted(path.rglob("*.py")):
+            if any(part in _SKIP_DIRS for part in candidate.parts):
+                continue
+            if candidate not in seen:
+                seen.add(candidate)
+                yield candidate
+
+
+def _infer_module(path: Path) -> "tuple[str, bool]":
+    """The dotted module name for *path* plus an is-package-init flag.
+
+    Files under a ``repro`` package directory get their real dotted
+    name (``src/repro/core/optimizer.py`` -> ``repro.core.optimizer``);
+    anything else (tests, examples, benchmarks) is treated as a
+    top-level module named after the file.
+    """
+    parts = list(path.parts)
+    is_init = path.name == "__init__.py"
+    if "repro" in parts:
+        anchor = len(parts) - 1 - parts[::-1].index("repro")
+        dotted = parts[anchor:]
+        dotted[-1] = path.stem
+        if is_init:
+            dotted = dotted[:-1]
+        return ".".join(dotted), is_init
+    return path.stem, is_init
+
+
+def load_module(path: Path) -> ModuleInfo:
+    """Parse one file into a :class:`ModuleInfo` (pragmas included)."""
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    module, is_init = _infer_module(path)
+    allows: dict = {}
+    for number, line in enumerate(source.splitlines(), start=1):
+        directive = _MODULE_DIRECTIVE.search(line)
+        if directive:
+            module = directive.group(1)
+            is_init = False
+        pragma = _PRAGMA.search(line)
+        if pragma:
+            tokens = frozenset(
+                token.strip().lower()
+                for token in pragma.group(1).split(",")
+                if token.strip()
+            )
+            # A pragma covers its own line and the statement below it.
+            for covered in (number, number + 1):
+                allows[covered] = allows.get(covered, frozenset()) | tokens
+    return ModuleInfo(
+        path=str(path),
+        module=module,
+        tree=tree,
+        is_package_init=is_init,
+        allows=allows,
+    )
+
+
+def _allowed(info: ModuleInfo, violation: Violation) -> bool:
+    tokens = info.allows.get(violation.line)
+    if not tokens:
+        return False
+    return bool(
+        tokens & {violation.rule.lower(), violation.name.lower(), "*"}
+    )
+
+
+@dataclass(frozen=True)
+class AnalysisReport:
+    """The outcome of one analysis run."""
+
+    violations: "tuple[Violation, ...]"
+    files_scanned: int
+    parse_errors: "tuple[str, ...]" = ()
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations and not self.parse_errors
+
+    def as_dict(self) -> dict:
+        return {
+            "files_scanned": self.files_scanned,
+            "violations": [v.as_dict() for v in self.violations],
+            "parse_errors": list(self.parse_errors),
+            "clean": self.clean,
+        }
+
+
+def analyze_paths(
+    paths: Sequence[str], rules: Optional[Sequence[Rule]] = None
+) -> AnalysisReport:
+    """Run *rules* (default: all) over every Python file under *paths*."""
+    active = tuple(rules) if rules is not None else ALL_RULES
+    violations: List[Violation] = []
+    parse_errors: List[str] = []
+    scanned = 0
+    for path in iter_python_files(paths):
+        scanned += 1
+        try:
+            info = load_module(path)
+        except SyntaxError as error:
+            parse_errors.append(f"{path}:{error.lineno or 0}: {error.msg}")
+            continue
+        for rule in active:
+            for violation in rule.check(info):
+                if not _allowed(info, violation):
+                    violations.append(violation)
+    violations.sort(key=lambda v: (v.path, v.line, v.rule, v.message))
+    return AnalysisReport(
+        violations=tuple(violations),
+        files_scanned=scanned,
+        parse_errors=tuple(parse_errors),
+    )
+
+
+def _render_text(report: AnalysisReport, stream: TextIO) -> None:
+    for error in report.parse_errors:
+        stream.write(f"{error} [parse-error]\n")
+    for violation in report.violations:
+        stream.write(violation.render() + "\n")
+    summary = (
+        f"{len(report.violations)} violation(s), "
+        f"{len(report.parse_errors)} parse error(s) across "
+        f"{report.files_scanned} file(s)"
+    )
+    stream.write(("" if report.clean else "\n") + summary + "\n")
+
+
+def run_lint(
+    argv: Optional[Sequence[str]] = None, stream: TextIO = sys.stdout
+) -> int:
+    """The ``repro lint`` subcommand; returns the process exit code.
+
+    Exit codes: 0 clean, 1 violations or parse errors found, 2 usage
+    errors (unknown rule, missing path).
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="invariant-aware static analysis (rules R1-R5)",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to scan (default: src)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format",
+    )
+    parser.add_argument(
+        "--rules", default=None,
+        help="comma-separated rule selection, by id or name "
+        "(e.g. R2,determinism); default: all rules",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            stream.write(f"{rule.id}  {rule.name}\n    {rule.description}\n")
+        return 0
+
+    try:
+        rules = (
+            rules_by_token(args.rules.split(",")) if args.rules else None
+        )
+    except ValueError as error:
+        print(f"repro lint: error: {error}", file=sys.stderr)
+        return 2
+    missing = [path for path in args.paths if not Path(path).exists()]
+    if missing:
+        print(
+            f"repro lint: error: no such path(s): {', '.join(missing)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    report = analyze_paths(args.paths, rules=rules)
+    if args.format == "json":
+        stream.write(json.dumps(report.as_dict(), indent=2, sort_keys=True) + "\n")
+    else:
+        _render_text(report, stream)
+    return 0 if report.clean else 1

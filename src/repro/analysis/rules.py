@@ -1,0 +1,543 @@
+"""The repo-specific invariant rules behind ``repro lint``.
+
+Each rule encodes an invariant that was previously enforced only by
+review lore -- and, in PRs 3/4, violated and hand-fixed.  Rules operate
+on :class:`ModuleInfo` (one parsed file plus its inferred dotted module
+name) and yield :class:`Violation` records; suppression happens in the
+engine via ``# repro: allow[rule]`` pragmas.
+
+===  ==================  ===================================================
+ID   name                invariant
+===  ==================  ===================================================
+R1   layering            ``repro.core``/``channel``/``optics``/
+                         ``illumination`` never import ``repro.runtime``
+                         (tracing crosses layers via ``repro.tracecontext``
+                         only)
+R2   lock-discipline     no numpy work, I/O or sleeps inside
+                         ``with self._lock:`` blocks of the runtime's
+                         metrics/cache/pool modules
+R3   determinism         no wall-clock ``time.time()`` or non-blake2b
+                         hashing in ``core``/``runtime``/``system`` decision
+                         paths; no unseeded or legacy-global numpy/stdlib
+                         RNG anywhere
+R4   cache-immutability  every value stored into an LRU cache's
+                         ``_entries`` passes through
+                         ``_freeze_arrays``/``setflags(write=False)``
+R5   api-typing          public functions/methods of ``repro.runtime`` and
+                         ``repro.core`` carry full parameter and return
+                         annotations (the mypy-strict surface)
+===  ==================  ===================================================
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "ALL_RULES",
+    "ModuleInfo",
+    "Rule",
+    "Violation",
+    "rules_by_token",
+]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule violation at a source location."""
+
+    rule: str
+    name: str
+    path: str
+    line: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule}[{self.name}] {self.message}"
+
+    def as_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "name": self.name,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+        }
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file as the rules see it.
+
+    ``module`` is the dotted module name inferred from the path (or
+    overridden by a ``# repro: module=...`` directive, which is how the
+    test fixtures impersonate in-tree modules).  ``allows`` maps line
+    numbers to the pragma tokens suppressing rules on that line.
+    """
+
+    path: str
+    module: str
+    tree: ast.AST
+    is_package_init: bool = False
+    allows: Dict[int, FrozenSet[str]] = field(default_factory=dict)
+
+    @property
+    def package(self) -> str:
+        """The package this module's relative imports resolve against."""
+        if self.is_package_init:
+            return self.module
+        return self.module.rpartition(".")[0]
+
+
+class Rule:
+    """Base class: an identified, named check over one module."""
+
+    id: str = ""
+    name: str = ""
+    description: str = ""
+
+    def check(self, info: ModuleInfo) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def _violation(self, info: ModuleInfo, line: int, message: str) -> Violation:
+        return Violation(
+            rule=self.id, name=self.name, path=info.path, line=line,
+            message=message,
+        )
+
+
+# ----------------------------------------------------------------------
+# helpers
+# ----------------------------------------------------------------------
+
+
+def _attribute_chain(node: ast.AST) -> Optional[Tuple[str, ...]]:
+    """``np.random.default_rng`` -> ("np", "random", "default_rng")."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None
+
+
+def _resolve_import_from(info: ModuleInfo, node: ast.ImportFrom) -> Optional[str]:
+    """The absolute module an ``ImportFrom`` targets, best effort."""
+    if node.level == 0:
+        return node.module
+    base = info.package.split(".") if info.package else []
+    hops = node.level - 1
+    if hops:
+        base = base[:-hops] if hops <= len(base) else []
+    if node.module:
+        base = base + node.module.split(".")
+    return ".".join(base) if base else None
+
+
+def _in_module(info: ModuleInfo, prefixes: Sequence[str]) -> bool:
+    return any(
+        info.module == prefix or info.module.startswith(prefix + ".")
+        for prefix in prefixes
+    )
+
+
+def _walk_skipping_functions(body: Sequence[ast.stmt]) -> Iterator[ast.AST]:
+    """Walk statements without descending into nested function bodies.
+
+    A closure defined under a lock usually runs *after* the lock is
+    released (e.g. a factory handed to an executor), so nested
+    ``def``/``lambda`` bodies are not "inside" the critical section.
+    """
+    pending: List[ast.AST] = list(body)
+    while pending:
+        node = pending.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        pending.extend(ast.iter_child_nodes(node))
+
+
+# ----------------------------------------------------------------------
+# R1 -- layering
+# ----------------------------------------------------------------------
+
+
+class LayeringRule(Rule):
+    id = "R1"
+    name = "layering"
+    description = (
+        "repro.core / repro.channel / repro.optics / repro.illumination "
+        "must never import repro.runtime; tracing crosses the boundary "
+        "via repro.tracecontext only"
+    )
+
+    PROTECTED = ("repro.core", "repro.channel", "repro.optics", "repro.illumination")
+    FORBIDDEN = "repro.runtime"
+
+    def _forbidden(self, target: Optional[str]) -> bool:
+        return target is not None and (
+            target == self.FORBIDDEN or target.startswith(self.FORBIDDEN + ".")
+        )
+
+    def check(self, info: ModuleInfo) -> Iterator[Violation]:
+        if not _in_module(info, self.PROTECTED):
+            return
+        for node in ast.walk(info.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if self._forbidden(alias.name):
+                        yield self._violation(
+                            info, node.lineno,
+                            f"layer {info.module!r} imports "
+                            f"{alias.name!r}; the runtime sits above this "
+                            "layer (use repro.tracecontext for span "
+                            "attributes)",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                target = _resolve_import_from(info, node)
+                if self._forbidden(target):
+                    yield self._violation(
+                        info, node.lineno,
+                        f"layer {info.module!r} imports {target!r}; the "
+                        "runtime sits above this layer (use "
+                        "repro.tracecontext for span attributes)",
+                    )
+
+
+# ----------------------------------------------------------------------
+# R2 -- lock discipline
+# ----------------------------------------------------------------------
+
+
+class LockDisciplineRule(Rule):
+    id = "R2"
+    name = "lock-discipline"
+    description = (
+        "no numpy calls, I/O or sleeps inside `with self._lock:` blocks "
+        "of repro.runtime.{metrics,cache,pool} -- compute outside, "
+        "copy under the lock"
+    )
+
+    MODULES = (
+        "repro.runtime.metrics",
+        "repro.runtime.cache",
+        "repro.runtime.pool",
+    )
+    _IO_NAMES = frozenset({"open", "print", "input"})
+
+    def _is_lock_guard(self, item: ast.withitem) -> bool:
+        expr = item.context_expr
+        if isinstance(expr, ast.Attribute) and expr.attr.endswith("_lock"):
+            return isinstance(expr.value, ast.Name)
+        if isinstance(expr, ast.Name) and expr.id.endswith("_lock"):
+            return True
+        return False
+
+    def _offending_call(self, call: ast.Call) -> Optional[str]:
+        func = call.func
+        if isinstance(func, ast.Name) and func.id in self._IO_NAMES:
+            return f"I/O call {func.id}()"
+        chain = _attribute_chain(func)
+        if chain is None:
+            return None
+        root = chain[0]
+        if root in ("np", "numpy"):
+            return f"numpy call {'.'.join(chain)}()"
+        if root == "time" and chain[-1] == "sleep":
+            return "blocking call time.sleep()"
+        if root == "json" and chain[-1] in ("dump", "load"):
+            return f"I/O call {'.'.join(chain)}()"
+        return None
+
+    def check(self, info: ModuleInfo) -> Iterator[Violation]:
+        if info.module not in self.MODULES:
+            return
+        for node in ast.walk(info.tree):
+            if not isinstance(node, (ast.With, ast.AsyncWith)):
+                continue
+            if not any(self._is_lock_guard(item) for item in node.items):
+                continue
+            for inner in _walk_skipping_functions(node.body):
+                if isinstance(inner, ast.Call):
+                    offense = self._offending_call(inner)
+                    if offense is not None:
+                        yield self._violation(
+                            info, inner.lineno,
+                            f"{offense} inside a `with ..._lock:` block; "
+                            "copy state under the lock and compute "
+                            "outside it",
+                        )
+
+
+# ----------------------------------------------------------------------
+# R3 -- determinism
+# ----------------------------------------------------------------------
+
+
+class DeterminismRule(Rule):
+    id = "R3"
+    name = "determinism"
+    description = (
+        "decision paths (repro.core, repro.runtime, repro.system) must "
+        "not read the wall clock (time.time) or hash with anything but "
+        "blake2b; unseeded np.random.default_rng() and legacy global "
+        "RNGs are banned everywhere"
+    )
+
+    DECISION_MODULES = ("repro.core", "repro.runtime", "repro.system")
+    _LEGACY_NP_RANDOM = frozenset(
+        {
+            "rand", "randn", "randint", "random", "random_sample", "seed",
+            "choice", "shuffle", "permutation", "uniform", "normal",
+            "standard_normal", "exponential", "poisson",
+        }
+    )
+    _STDLIB_RANDOM = frozenset(
+        {
+            "random", "randint", "randrange", "choice", "choices",
+            "shuffle", "sample", "uniform", "gauss", "seed", "betavariate",
+            "expovariate", "normalvariate",
+        }
+    )
+
+    def _imports_stdlib_random(self, info: ModuleInfo) -> bool:
+        for node in ast.walk(info.tree):
+            if isinstance(node, ast.Import):
+                if any(alias.name == "random" for alias in node.names):
+                    return True
+        return False
+
+    def check(self, info: ModuleInfo) -> Iterator[Violation]:
+        decision_path = _in_module(info, self.DECISION_MODULES)
+        stdlib_random = self._imports_stdlib_random(info)
+        for node in ast.walk(info.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _attribute_chain(node.func)
+            if chain is None:
+                continue
+            if decision_path and chain == ("time", "time"):
+                yield self._violation(
+                    info, node.lineno,
+                    "wall-clock time.time() in a decision path; use "
+                    "time.monotonic() / time.perf_counter() (or a "
+                    "Deadline) so replays and deadlines are stable",
+                )
+            elif (
+                decision_path
+                and len(chain) == 2
+                and chain[0] == "hashlib"
+                and chain[1] != "blake2b"
+            ):
+                yield self._violation(
+                    info, node.lineno,
+                    f"hashlib.{chain[1]}() in a decision path; fingerprints "
+                    "and jitter/sampling decisions standardize on "
+                    "hashlib.blake2b",
+                )
+            elif (
+                chain[-1] == "default_rng"
+                and chain[0] in ("np", "numpy", "default_rng")
+                and not node.args
+                and not node.keywords
+            ):
+                yield self._violation(
+                    info, node.lineno,
+                    "np.random.default_rng() without an explicit seed is "
+                    "nondeterministic; pass a seed (or thread one through)",
+                )
+            elif (
+                len(chain) == 3
+                and chain[0] in ("np", "numpy")
+                and chain[1] == "random"
+                and chain[2] in self._LEGACY_NP_RANDOM
+            ):
+                yield self._violation(
+                    info, node.lineno,
+                    f"legacy global RNG np.random.{chain[2]}(); use a "
+                    "seeded np.random.default_rng(seed) generator",
+                )
+            elif (
+                stdlib_random
+                and len(chain) == 2
+                and chain[0] == "random"
+                and chain[1] in self._STDLIB_RANDOM
+            ):
+                yield self._violation(
+                    info, node.lineno,
+                    f"stdlib global RNG random.{chain[1]}(); use a seeded "
+                    "np.random.default_rng(seed) generator",
+                )
+
+
+# ----------------------------------------------------------------------
+# R4 -- cached-array immutability
+# ----------------------------------------------------------------------
+
+
+class CacheImmutabilityRule(Rule):
+    id = "R4"
+    name = "cache-immutability"
+    description = (
+        "every value stored into an LRU cache's `_entries` must pass "
+        "through _freeze_arrays()/ndarray.setflags(write=False) so "
+        "shared cache hits cannot be mutated"
+    )
+
+    def _stores_entry(self, node: ast.AST) -> bool:
+        """True for ``self._entries[...] = ...`` (or ``cls``-rooted)."""
+        if not isinstance(node, ast.Assign):
+            return False
+        for target in node.targets:
+            if (
+                isinstance(target, ast.Subscript)
+                and isinstance(target.value, ast.Attribute)
+                and target.value.attr == "_entries"
+            ):
+                return True
+        return False
+
+    def _freezes(self, func: ast.AST) -> bool:
+        for node in ast.walk(func):
+            if isinstance(node, ast.Call):
+                if isinstance(node.func, ast.Name) and node.func.id == "_freeze_arrays":
+                    return True
+                if (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "setflags"
+                ):
+                    return True
+        return False
+
+    def check(self, info: ModuleInfo) -> Iterator[Violation]:
+        for node in ast.walk(info.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            stores = [
+                stmt for stmt in ast.walk(node) if self._stores_entry(stmt)
+            ]
+            if not stores or self._freezes(node):
+                continue
+            for store in stores:
+                yield self._violation(
+                    info, store.lineno,
+                    f"{node.name}() inserts into a cache's _entries "
+                    "without freezing; route the value through "
+                    "_freeze_arrays() / setflags(write=False) first",
+                )
+
+
+# ----------------------------------------------------------------------
+# R5 -- public-API typing
+# ----------------------------------------------------------------------
+
+
+class ApiTypingRule(Rule):
+    id = "R5"
+    name = "api-typing"
+    description = (
+        "public functions and public-class methods of repro.runtime and "
+        "repro.core need full parameter and return annotations (the "
+        "surface the mypy-strict gate checks)"
+    )
+
+    MODULES = ("repro.runtime", "repro.core")
+
+    def _check_signature(
+        self,
+        info: ModuleInfo,
+        func: "ast.FunctionDef | ast.AsyncFunctionDef",
+        owner: Optional[str],
+        skip_first: bool,
+    ) -> Iterator[Violation]:
+        label = f"{owner}.{func.name}" if owner else func.name
+        args = func.args
+        positional = list(args.posonlyargs) + list(args.args)
+        if skip_first and positional:
+            positional = positional[1:]
+        for arg in positional + list(args.kwonlyargs):
+            if arg.annotation is None:
+                yield self._violation(
+                    info, func.lineno,
+                    f"parameter {arg.arg!r} of public {label}() has no "
+                    "annotation",
+                )
+        for vararg in (args.vararg, args.kwarg):
+            if vararg is not None and vararg.annotation is None:
+                yield self._violation(
+                    info, func.lineno,
+                    f"parameter *{vararg.arg!r} of public {label}() has "
+                    "no annotation",
+                )
+        if func.returns is None:
+            yield self._violation(
+                info, func.lineno,
+                f"public {label}() has no return annotation",
+            )
+
+    def _is_static(self, func: ast.AST) -> bool:
+        return any(
+            isinstance(d, ast.Name) and d.id == "staticmethod"
+            for d in getattr(func, "decorator_list", [])
+        )
+
+    def check(self, info: ModuleInfo) -> Iterator[Violation]:
+        if not _in_module(info, self.MODULES) or info.is_package_init:
+            return
+        tree = info.tree
+        if not isinstance(tree, ast.Module):
+            return
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if node.name.startswith("_"):
+                    continue
+                yield from self._check_signature(
+                    info, node, owner=None, skip_first=False
+                )
+            elif isinstance(node, ast.ClassDef):
+                if node.name.startswith("_"):
+                    continue
+                for member in node.body:
+                    if not isinstance(
+                        member, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ):
+                        continue
+                    if member.name.startswith("_") and member.name != "__init__":
+                        continue
+                    yield from self._check_signature(
+                        info,
+                        member,
+                        owner=node.name,
+                        skip_first=not self._is_static(member),
+                    )
+
+
+#: Every rule, in report order.
+ALL_RULES: Tuple[Rule, ...] = (
+    LayeringRule(),
+    LockDisciplineRule(),
+    DeterminismRule(),
+    CacheImmutabilityRule(),
+    ApiTypingRule(),
+)
+
+
+def rules_by_token(tokens: Sequence[str]) -> Tuple[Rule, ...]:
+    """Resolve rule selectors (``R2`` / ``lock-discipline``) to rules."""
+    selected: List[Rule] = []
+    for token in tokens:
+        normalized = token.strip().lower()
+        matches = [
+            rule
+            for rule in ALL_RULES
+            if normalized in (rule.id.lower(), rule.name.lower())
+        ]
+        if not matches:
+            known = ", ".join(f"{r.id}/{r.name}" for r in ALL_RULES)
+            raise ValueError(f"unknown rule {token!r}; known rules: {known}")
+        selected.extend(m for m in matches if m not in selected)
+    return tuple(selected)

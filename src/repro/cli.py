@@ -8,6 +8,7 @@
     python -m repro bench --requests 100    # allocation-engine benchmark
     python -m repro bench --trace out.json  # ... with Perfetto span trees
     python -m repro metrics                 # Prometheus metrics exposition
+    python -m repro lint src tests          # invariant static analysis
 """
 
 from __future__ import annotations
@@ -294,6 +295,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="exposition format (Prometheus text or the JSON snapshot)",
     )
     metrics_parser.add_argument("--output", default="-")
+    lint_parser = subparsers.add_parser(
+        "lint",
+        help="run the invariant-aware static analysis suite (rules R1-R5)",
+        add_help=False,
+    )
+    lint_parser.add_argument("lint_args", nargs=argparse.REMAINDER)
+
+    if argv is None:
+        argv = sys.argv[1:]
+    argv = list(argv)
+    if argv and argv[0] == "lint":
+        # `repro lint` owns its own argument parser (paths, --format,
+        # --rules, --list-rules) so its --help stays self-contained.
+        from .analysis import run_lint
+
+        return run_lint(argv[1:])
 
     args = parser.parse_args(argv)
     if args.command == "list":

@@ -12,13 +12,16 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from threading import Lock
-from typing import Any, Callable, Dict, Hashable, Optional
+from typing import TYPE_CHECKING, Any, Callable, Dict, Hashable, Optional
 
 import numpy as np
 
+from ..analysis.lockgraph import monitored_lock
 from ..errors import ConfigurationError
 from ..tracecontext import add_span_attributes
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..system import Scene
 
 _MISSING = object()
 
@@ -77,9 +80,9 @@ class LRUCache:
         self.capacity = capacity
         self.stats = CacheStats()
         self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
-        self._lock = Lock()
+        self._lock = monitored_lock("cache.lru")
         # Per-key construction locks for single-flight get_or_create.
-        self._inflight: Dict[Hashable, Lock] = {}
+        self._inflight: Dict[Hashable, Any] = {}
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -149,7 +152,13 @@ class LRUCache:
                 return value
             flight = self._inflight.get(key)
             if flight is None:
-                flight = self._inflight[key] = Lock()
+                # expected_slow: this lock is *meant* to be held across
+                # the expensive factory call so same-key waiters
+                # coalesce; the race detector keeps its ordering edges
+                # but does not treat blocking under it as a violation.
+                flight = self._inflight[key] = monitored_lock(
+                    "cache.inflight", expected_slow=True
+                )
         with flight:
             value = self._lookup(key)
             if value is not _MISSING:
@@ -193,7 +202,7 @@ class ChannelCache:
     def __len__(self) -> int:
         return len(self._cache)
 
-    def matrix_for(self, scene) -> np.ndarray:
+    def matrix_for(self, scene: "Scene") -> np.ndarray:
         """The scene's channel matrix, computed at most once per fingerprint."""
         from ..channel import channel_matrix
 

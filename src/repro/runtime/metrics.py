@@ -22,11 +22,11 @@ import time
 from bisect import bisect_left
 from collections import deque
 from contextlib import contextmanager
-from threading import Lock
 from typing import Any, Deque, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..analysis.lockgraph import monitored_lock
 from ..errors import ConfigurationError
 
 #: A canonicalized label set: sorted (key, value-as-string) pairs.
@@ -50,7 +50,7 @@ class Counter:
 
     def __init__(self) -> None:
         self._value = 0.0
-        self._lock = Lock()
+        self._lock = monitored_lock("metrics.counter")
 
     def increment(self, amount: float = 1.0) -> None:
         if amount < 0:
@@ -69,7 +69,7 @@ class Gauge:
 
     def __init__(self) -> None:
         self._value = 0.0
-        self._lock = Lock()
+        self._lock = monitored_lock("metrics.gauge")
 
     def set(self, value: float) -> None:
         value = float(value)
@@ -117,7 +117,7 @@ class Histogram:
             self.buckets = None
             self._bucket_counts = None
         self._recent: Deque[float] = deque(maxlen=self.reservoir_size)
-        self._lock = Lock()
+        self._lock = monitored_lock("metrics.histogram")
         self.count = 0
         self.total = 0.0
         self.minimum = float("inf")
@@ -139,19 +139,22 @@ class Histogram:
         with self._lock:
             return self.total / self.count if self.count else 0.0
 
-    def _percentile_locked(self, reservoir: np.ndarray, q: float) -> float:
-        if reservoir.size == 0:
+    @staticmethod
+    def _percentile(reservoir: "List[float]", q: float) -> float:
+        if not reservoir:
             return 0.0
-        return float(np.percentile(reservoir, q))
+        return float(np.percentile(np.asarray(reservoir, dtype=float), q))
 
     def percentile(self, q: float) -> float:
         """The *q*-th percentile (0-100) of the recent reservoir."""
         if not 0.0 <= q <= 100.0:
             raise ConfigurationError(f"percentile must be in [0, 100], got {q}")
+        # Copy under the lock, compute outside it: numpy percentile math
+        # in the critical section would serialize every observe() caller
+        # behind it (rule R2 -- the PR 3 snapshot bug, one level down).
         with self._lock:
-            return self._percentile_locked(
-                np.fromiter(self._recent, dtype=float), q
-            )
+            recent = list(self._recent)
+        return self._percentile(recent, q)
 
     def bucket_counts(self) -> Optional[List[int]]:
         """Cumulative counts per bucket bound (+Inf last), or None."""
@@ -166,34 +169,46 @@ class Histogram:
             return cumulative
 
     def as_dict(self) -> dict:
-        # One lock acquisition for the whole snapshot: count/mean/min/max
-        # and both percentiles come from the same instant, so a snapshot
-        # taken mid-``observe`` never mixes pre- and post-update state.
+        # One lock acquisition copies the whole state -- count/mean/min/
+        # max, the reservoir and the bucket counts all come from the
+        # same instant, so a snapshot taken mid-``observe`` never mixes
+        # pre- and post-update state.  The numpy percentile math then
+        # runs on the copies *outside* the lock (rule R2): observe()
+        # callers never wait behind it.
         with self._lock:
-            if self.count == 0:
+            count = self.count
+            if count == 0:
                 return {"count": 0}
-            reservoir = np.fromiter(self._recent, dtype=float)
-            summary = {
-                "count": self.count,
-                "mean": self.total / self.count,
-                "min": self.minimum,
-                "max": self.maximum,
-                "p50": self._percentile_locked(reservoir, 50.0),
-                "p95": self._percentile_locked(reservoir, 95.0),
-            }
-            if self._bucket_counts is not None:
-                running = 0
-                cumulative = []
-                for count in self._bucket_counts:
-                    running += count
-                    cumulative.append(running)
-                summary["buckets"] = dict(
-                    zip(
-                        [*map(float, self.buckets or ()), float("inf")],
-                        cumulative,
-                    )
+            total = self.total
+            minimum = self.minimum
+            maximum = self.maximum
+            recent = list(self._recent)
+            bucket_counts = (
+                list(self._bucket_counts)
+                if self._bucket_counts is not None
+                else None
+            )
+        summary = {
+            "count": count,
+            "mean": total / count,
+            "min": minimum,
+            "max": maximum,
+            "p50": self._percentile(recent, 50.0),
+            "p95": self._percentile(recent, 95.0),
+        }
+        if bucket_counts is not None:
+            running = 0
+            cumulative = []
+            for bucket_count in bucket_counts:
+                running += bucket_count
+                cumulative.append(running)
+            summary["buckets"] = dict(
+                zip(
+                    [*map(float, self.buckets or ()), float("inf")],
+                    cumulative,
                 )
-            return summary
+            )
+        return summary
 
 
 #: Default latency buckets [s] for timer histograms exposed to Prometheus.
@@ -230,7 +245,7 @@ class MetricsRegistry:
         self._counters: Dict[Tuple[str, LabelSet], Counter] = {}
         self._gauges: Dict[Tuple[str, LabelSet], Gauge] = {}
         self._histograms: Dict[Tuple[str, LabelSet], Histogram] = {}
-        self._lock = Lock()
+        self._lock = monitored_lock("metrics.registry")
 
     def counter(self, name: str, **labels: Any) -> Counter:
         key = (name, _label_set(labels))

@@ -170,7 +170,11 @@ SOLVERS: Dict[str, Callable[..., Allocation]] = {
 }
 
 
-def solve_task(task: SolveTask, metrics=None, attempt: int = 0) -> np.ndarray:
+def solve_task(
+    task: SolveTask,
+    metrics: Optional[MetricsRegistry] = None,
+    attempt: int = 0,
+) -> np.ndarray:
     """Execute one task, returning the solved swing matrix.
 
     Module-level so worker processes can unpickle the reference.  The
@@ -193,7 +197,9 @@ def solve_task(task: SolveTask, metrics=None, attempt: int = 0) -> np.ndarray:
 
 
 def solve_task_traced(
-    task: SolveTask, metrics=None, attempt: int = 0
+    task: SolveTask,
+    metrics: Optional[MetricsRegistry] = None,
+    attempt: int = 0,
 ) -> "tuple[np.ndarray, list]":
     """Execute one task inside a recorded span; returns (swings, payload).
 

@@ -29,9 +29,9 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from threading import Lock
 from typing import Callable, Hashable, Optional, Tuple
 
+from ..analysis.lockgraph import monitored_lock
 from ..errors import CircuitOpenError, ConfigurationError, DeadlineExceeded
 from .faults import hash_unit
 from .metrics import MetricsRegistry
@@ -206,7 +206,7 @@ class CircuitBreaker:
         self.failure_threshold = failure_threshold
         self.reset_seconds = reset_seconds
         self._clock = clock
-        self._lock = Lock()
+        self._lock = monitored_lock("resilience.breaker")
         self._state = self.CLOSED
         self._failures = 0
         self._opened_at: Optional[float] = None

@@ -35,9 +35,9 @@ import time
 from collections import deque
 from contextlib import contextmanager
 from dataclasses import dataclass
-from threading import Lock
-from typing import Any, Deque, Dict, Iterator, List, Optional, Sequence
+from typing import Any, Callable, Deque, Dict, Iterator, List, Optional, Sequence
 
+from ..analysis.lockgraph import monitored_lock
 from ..errors import ConfigurationError
 from ..tracecontext import Span, activate_span, current_span
 
@@ -103,11 +103,11 @@ class Tracer:
     def __init__(
         self,
         options: Optional[TracingOptions] = None,
-        clock=time.perf_counter,
+        clock: Callable[[], float] = time.perf_counter,
     ) -> None:
         self.options = options if options is not None else TracingOptions()
         self._clock = clock
-        self._lock = Lock()
+        self._lock = monitored_lock("tracing.buffer")
         self._spans: Deque[Span] = deque(maxlen=self.options.max_spans)
         self._dropped = 0
         self._trace_count = 0
@@ -409,7 +409,7 @@ class SpanRecorder:
     identically in and out of workers.
     """
 
-    def __init__(self, clock=time.perf_counter) -> None:
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
         self._clock = clock
         self._origin = clock()
         self._count = 0

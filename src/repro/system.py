@@ -189,7 +189,12 @@ class Scene:
                     _device_signature(rx.photodiode, memo),
                 )
             )
-        return hashlib.sha256(repr(payload).encode("utf-8")).hexdigest()
+        # blake2b is the repo-wide hash for every deterministic decision
+        # (span ids, jitter, sampling, fingerprints -- rule R3); a
+        # 32-byte digest keeps the historical 64-hex-char key length.
+        return hashlib.blake2b(
+            repr(payload).encode("utf-8"), digest_size=32
+        ).hexdigest()
 
     def with_receivers_at(self, positions_xy: Sequence[Tuple[float, float]]) -> "Scene":
         """A copy of the scene with receivers moved to new XY positions.

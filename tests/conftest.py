@@ -70,3 +70,39 @@ def fig7_problem(fig7_scene, fig7_channel, led, photodiode, noise):
 def rng():
     """A fresh deterministic RNG per test."""
     return np.random.default_rng(12345)
+
+
+def pytest_terminal_summary(terminalreporter):
+    """With REPRO_LOCK_MONITOR=1, print the observed lock graph."""
+    from repro.analysis.lockgraph import get_lock_monitor
+
+    monitor = get_lock_monitor()
+    if monitor is None:
+        return
+    snapshot = monitor.snapshot()
+    terminalreporter.write_line(
+        f"lock-order monitor: {snapshot['acquisitions']} acquisitions, "
+        f"{len(snapshot['edges'])} edge(s), cycle={snapshot['cycle']}, "
+        f"{len(snapshot['blocking_violations'])} blocking violation(s)"
+    )
+    for edge, count in snapshot["edges"].items():
+        terminalreporter.write_line(f"  {edge} (x{count})")
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Fail the run if the session-wide lock graph went bad.
+
+    Only active when the detector is enabled (REPRO_LOCK_MONITOR=1, as
+    in the CI chaos job): a cycle or a blocking call under a runtime
+    lock turns a green run red.
+    """
+    from repro.analysis.lockgraph import get_lock_monitor
+
+    monitor = get_lock_monitor()
+    if monitor is None:
+        return
+    try:
+        monitor.assert_acyclic()
+    except AssertionError as error:
+        session.exitstatus = 3
+        raise pytest.UsageError(f"lock-order detector: {error}") from error

@@ -1,0 +1,9 @@
+"""R5 fixture: unannotated public surface in the typed layers.
+
+Two missing parameter annotations and a missing return annotation.
+"""
+# repro: module=repro.runtime.fixture_api_typing
+
+
+def solve_everything(problem, budget):
+    return problem, budget

@@ -1,0 +1,14 @@
+"""R4 fixture: cache insert without freezing the stored value.
+
+The immutability rule applies everywhere (no module directive needed):
+any function assigning into an ``_entries`` mapping must route the
+value through ``_freeze_arrays()`` / ``setflags(write=False)``.
+"""
+
+
+class _LeakyCache:
+    def __init__(self) -> None:
+        self._entries = {}
+
+    def insert(self, key, value) -> None:
+        self._entries[key] = value

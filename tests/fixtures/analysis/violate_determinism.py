@@ -1,0 +1,17 @@
+"""R3 fixture: wall clock, sha256 and an unseeded RNG in a decision path.
+
+Three determinism violations in one private helper; nothing else fires.
+"""
+# repro: module=repro.runtime.fixture_determinism
+
+import hashlib
+import time
+
+import numpy as np
+
+
+def _decide(payload: bytes) -> tuple:
+    stamp = time.time()
+    rng = np.random.default_rng()
+    digest = hashlib.sha256(payload).hexdigest()
+    return stamp, rng, digest

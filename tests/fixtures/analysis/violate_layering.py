@@ -1,0 +1,9 @@
+"""R1 fixture: a physics-layer module importing the serving runtime.
+
+Deliberately violates the layering rule; `repro lint` must flag the
+import below.  The directive makes the file impersonate a module inside
+the protected ``repro.core`` layer.
+"""
+# repro: module=repro.core.fixture_layering
+
+from repro.runtime import SolverPool  # noqa: F401  deliberate violation

@@ -1,0 +1,21 @@
+"""R2 fixture: numpy percentile math inside the critical section.
+
+This is the exact shape of the PR 4 histogram bug -- reservoir math
+executed while holding the lock.  The class is private so only the
+lock-discipline rule fires.
+"""
+# repro: module=repro.runtime.metrics
+
+import threading
+
+import numpy as np
+
+
+class _BadHistogram:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._recent = [1.0, 2.0, 3.0]
+
+    def percentile(self, q: float) -> float:
+        with self._lock:
+            return float(np.percentile(np.asarray(self._recent), q))

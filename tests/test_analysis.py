@@ -1,0 +1,263 @@
+"""Tests for the invariant-aware static analyzer (repro.analysis).
+
+Covers the `repro lint` exit-code contract, both report formats, pragma
+suppression, the module-impersonation directive, and -- via the fixture
+files under tests/fixtures/analysis -- that each rule R1-R5 fires on a
+deliberate violation while the real tree stays silent.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    ALL_RULES,
+    AnalysisReport,
+    analyze_paths,
+    load_module,
+    run_lint,
+    rules_by_token,
+)
+from repro.cli import main as cli_main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+FIXTURES = Path(__file__).resolve().parent / "fixtures" / "analysis"
+
+#: fixture file -> (rule id, rule name) it must trigger.
+FIXTURE_RULES = {
+    "violate_layering.py": ("R1", "layering"),
+    "violate_lock_discipline.py": ("R2", "lock-discipline"),
+    "violate_determinism.py": ("R3", "determinism"),
+    "violate_cache_immutability.py": ("R4", "cache-immutability"),
+    "violate_api_typing.py": ("R5", "api-typing"),
+}
+
+
+def lint(argv):
+    """Run the lint entry point, capturing stdout."""
+    stream = io.StringIO()
+    code = run_lint(argv, stream=stream)
+    return code, stream.getvalue()
+
+
+class TestCleanTree:
+    def test_src_is_clean(self):
+        code, output = lint([str(SRC)])
+        assert code == 0, output
+        assert "0 violation(s)" in output
+
+    def test_tests_dir_is_clean_fixtures_pruned(self):
+        # The fixtures directory holds deliberate violations; directory
+        # discovery must prune it so `repro lint src tests` (the CI
+        # invocation) stays green.
+        code, output = lint([str(REPO_ROOT / "tests")])
+        assert code == 0, output
+        for path in FIXTURE_RULES:
+            assert path not in output
+
+    def test_clean_report_object(self):
+        report = analyze_paths([str(SRC)])
+        assert isinstance(report, AnalysisReport)
+        assert report.clean
+        assert report.files_scanned > 50
+        assert report.parse_errors == ()
+
+
+class TestFixturesFire:
+    @pytest.mark.parametrize(
+        "filename,rule_id,rule_name",
+        [(f, r[0], r[1]) for f, r in sorted(FIXTURE_RULES.items())],
+    )
+    def test_fixture_trips_exactly_its_rule(self, filename, rule_id, rule_name):
+        code, output = lint([str(FIXTURES / filename)])
+        assert code == 1
+        assert f"{rule_id}[{rule_name}]" in output
+        # One fixture per rule: no *other* rule may fire on it.
+        for other in ALL_RULES:
+            if other.id != rule_id:
+                assert f"{other.id}[" not in output, output
+
+    def test_determinism_fixture_counts_each_offense(self):
+        report = analyze_paths([str(FIXTURES / "violate_determinism.py")])
+        offenses = {v.message.split(";")[0] for v in report.violations}
+        assert len(report.violations) == 3  # time.time, default_rng, sha256
+        assert any("time.time" in o for o in offenses)
+        assert any("default_rng" in o for o in offenses)
+        assert any("sha256" in o for o in offenses)
+
+    def test_module_directive_is_what_arms_the_rule(self, tmp_path):
+        # Same layering violation, but without the impersonation
+        # directive the file is a top-level module and R1 stays quiet.
+        disarmed = tmp_path / "no_directive.py"
+        disarmed.write_text("from repro.runtime import SolverPool\n")
+        code, output = lint([str(disarmed)])
+        assert code == 0, output
+
+
+class TestPragmas:
+    def test_allow_pragma_on_preceding_line(self, tmp_path):
+        path = tmp_path / "allowed.py"
+        path.write_text(
+            textwrap.dedent(
+                """\
+                import numpy as np
+
+                # repro: allow[determinism] -- measurement noise only
+                RNG = np.random.default_rng()
+                """
+            )
+        )
+        code, output = lint([str(path)])
+        assert code == 0, output
+
+    def test_allow_pragma_on_same_line(self, tmp_path):
+        path = tmp_path / "inline.py"
+        path.write_text(
+            "import numpy as np\n"
+            "RNG = np.random.default_rng()  # repro: allow[R3]\n"
+        )
+        code, output = lint([str(path)])
+        assert code == 0, output
+
+    def test_star_pragma_suppresses_everything(self, tmp_path):
+        path = tmp_path / "star.py"
+        path.write_text(
+            "import numpy as np\n"
+            "RNG = np.random.default_rng()  # repro: allow[*]\n"
+        )
+        code, _ = lint([str(path)])
+        assert code == 0
+
+    def test_wrong_rule_pragma_does_not_suppress(self, tmp_path):
+        path = tmp_path / "wrong.py"
+        path.write_text(
+            "import numpy as np\n"
+            "RNG = np.random.default_rng()  # repro: allow[layering]\n"
+        )
+        code, output = lint([str(path)])
+        assert code == 1
+        assert "R3[determinism]" in output
+
+
+class TestCliContract:
+    def test_json_format_schema(self):
+        code, output = lint(
+            [str(FIXTURES / "violate_layering.py"), "--format", "json"]
+        )
+        assert code == 1
+        payload = json.loads(output)
+        assert set(payload) == {
+            "clean", "files_scanned", "parse_errors", "violations",
+        }
+        assert payload["clean"] is False
+        assert payload["files_scanned"] == 1
+        (violation,) = payload["violations"]
+        assert violation["rule"] == "R1"
+        assert violation["name"] == "layering"
+        assert violation["line"] > 0
+        assert violation["path"].endswith("violate_layering.py")
+
+    def test_list_rules(self):
+        code, output = lint(["--list-rules"])
+        assert code == 0
+        for rule in ALL_RULES:
+            assert rule.id in output and rule.name in output
+
+    def test_rules_filter_disarms_other_rules(self):
+        code, output = lint(
+            [str(FIXTURES / "violate_layering.py"), "--rules", "determinism"]
+        )
+        assert code == 0, output
+
+    def test_unknown_rule_is_usage_error(self):
+        code, _ = lint([str(SRC), "--rules", "R99"])
+        assert code == 2
+
+    def test_missing_path_is_usage_error(self):
+        code, _ = lint([str(REPO_ROOT / "no_such_dir_anywhere")])
+        assert code == 2
+
+    def test_parse_error_reported_not_fatal(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def broken(:\n")
+        code, output = lint([str(bad)])
+        assert code == 1
+        assert "[parse-error]" in output
+
+    def test_rules_by_token_accepts_ids_and_names(self):
+        assert rules_by_token(["R2"]) == rules_by_token(["lock-discipline"])
+        with pytest.raises(ValueError):
+            rules_by_token(["nonsense"])
+
+    def test_cli_main_dispatches_lint(self):
+        assert cli_main(["lint", str(FIXTURES / "violate_layering.py")]) == 1
+        assert cli_main(["lint", str(SRC), "--rules", "R1"]) == 0
+
+    def test_module_entry_point(self):
+        result = subprocess.run(
+            [
+                sys.executable, "-m", "repro", "lint",
+                str(FIXTURES / "violate_api_typing.py"),
+            ],
+            capture_output=True,
+            text=True,
+            env={**os.environ, "PYTHONPATH": str(SRC)},
+            cwd=str(REPO_ROOT),
+        )
+        assert result.returncode == 1
+        assert "R5[api-typing]" in result.stdout
+
+
+class TestModuleInference:
+    def test_in_tree_module_name(self):
+        info = load_module(SRC / "repro" / "runtime" / "cache.py")
+        assert info.module == "repro.runtime.cache"
+        assert not info.is_package_init
+
+    def test_package_init(self):
+        info = load_module(SRC / "repro" / "runtime" / "__init__.py")
+        assert info.module == "repro.runtime"
+        assert info.is_package_init
+        assert info.package == "repro.runtime"
+
+    def test_relative_import_resolution_flags_runtime(self, tmp_path):
+        # `from ..runtime import x` inside repro.core must resolve to
+        # repro.runtime and trip R1 even without an absolute import.
+        path = tmp_path / "relative.py"
+        path.write_text(
+            "# repro: module=repro.core.fixture_relative\n"
+            "from ..runtime import SolverPool\n"
+        )
+        code, output = lint([str(path)])
+        assert code == 1
+        assert "R1[layering]" in output
+
+
+class TestMypyGate:
+    """The strict-typing half of R5; runs only where mypy is installed.
+
+    CI installs mypy in the lint job and runs it directly; locally the
+    toolchain may not ship it, so the gate degrades to a skip.
+    """
+
+    def test_strict_gate_on_runtime_and_core(self):
+        pytest.importorskip("mypy")
+        from mypy import api
+
+        stdout, stderr, status = api.run(
+            [
+                "--strict",
+                str(SRC / "repro" / "runtime"),
+                str(SRC / "repro" / "core"),
+            ]
+        )
+        assert status == 0, stdout + stderr
