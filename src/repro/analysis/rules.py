@@ -11,15 +11,15 @@ ID   name                invariant
 ===  ==================  ===================================================
 R1   layering            ``repro.core``/``channel``/``optics``/
                          ``illumination`` never import ``repro.runtime``
-                         (tracing crosses layers via ``repro.tracecontext``
-                         only)
+                         or ``repro.cluster`` (tracing crosses layers via
+                         ``repro.tracecontext`` only)
 R2   lock-discipline     no numpy work, I/O or sleeps inside
                          ``with self._lock:`` blocks of the runtime's
                          metrics/cache/pool modules
 R3   determinism         no wall-clock ``time.time()`` or non-blake2b
-                         hashing in ``core``/``runtime``/``system`` decision
-                         paths; no unseeded or legacy-global numpy/stdlib
-                         RNG anywhere
+                         hashing in ``core``/``runtime``/``system``/
+                         ``cluster`` decision paths; no unseeded or
+                         legacy-global numpy/stdlib RNG anywhere
 R4   cache-immutability  every value stored into an LRU cache's
                          ``_entries`` passes through
                          ``_freeze_arrays``/``setflags(write=False)``
@@ -171,16 +171,21 @@ class LayeringRule(Rule):
     name = "layering"
     description = (
         "repro.core / repro.channel / repro.optics / repro.illumination "
-        "must never import repro.runtime; tracing crosses the boundary "
-        "via repro.tracecontext only"
+        "must never import repro.runtime or repro.cluster; tracing "
+        "crosses the boundary via repro.tracecontext only.  The cluster "
+        "layer sits above the runtime, so repro.cluster may import "
+        "repro.runtime but never the reverse"
     )
 
     PROTECTED = ("repro.core", "repro.channel", "repro.optics", "repro.illumination")
-    FORBIDDEN = "repro.runtime"
+    FORBIDDEN = ("repro.runtime", "repro.cluster")
 
     def _forbidden(self, target: Optional[str]) -> bool:
-        return target is not None and (
-            target == self.FORBIDDEN or target.startswith(self.FORBIDDEN + ".")
+        if target is None:
+            return False
+        return any(
+            target == layer or target.startswith(layer + ".")
+            for layer in self.FORBIDDEN
         )
 
     def check(self, info: ModuleInfo) -> Iterator[Violation]:
@@ -193,9 +198,9 @@ class LayeringRule(Rule):
                         yield self._violation(
                             info, node.lineno,
                             f"layer {info.module!r} imports "
-                            f"{alias.name!r}; the runtime sits above this "
-                            "layer (use repro.tracecontext for span "
-                            "attributes)",
+                            f"{alias.name!r}; the serving layers "
+                            "(runtime/cluster) sit above this layer (use "
+                            "repro.tracecontext for span attributes)",
                         )
             elif isinstance(node, ast.ImportFrom):
                 target = _resolve_import_from(info, node)
@@ -203,8 +208,9 @@ class LayeringRule(Rule):
                     yield self._violation(
                         info, node.lineno,
                         f"layer {info.module!r} imports {target!r}; the "
-                        "runtime sits above this layer (use "
-                        "repro.tracecontext for span attributes)",
+                        "serving layers (runtime/cluster) sit above this "
+                        "layer (use repro.tracecontext for span "
+                        "attributes)",
                     )
 
 
@@ -282,13 +288,19 @@ class DeterminismRule(Rule):
     id = "R3"
     name = "determinism"
     description = (
-        "decision paths (repro.core, repro.runtime, repro.system) must "
-        "not read the wall clock (time.time) or hash with anything but "
-        "blake2b; unseeded np.random.default_rng() and legacy global "
-        "RNGs are banned everywhere"
+        "decision paths (repro.core, repro.runtime, repro.system, "
+        "repro.cluster) must not read the wall clock (time.time) or "
+        "hash with anything but blake2b; unseeded "
+        "np.random.default_rng() and legacy global RNGs are banned "
+        "everywhere"
     )
 
-    DECISION_MODULES = ("repro.core", "repro.runtime", "repro.system")
+    DECISION_MODULES = (
+        "repro.core",
+        "repro.runtime",
+        "repro.system",
+        "repro.cluster",
+    )
     _LEGACY_NP_RANDOM = frozenset(
         {
             "rand", "randn", "randint", "random", "random_sample", "seed",

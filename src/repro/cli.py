@@ -7,6 +7,7 @@
     python -m repro report --fidelity fast  # the consolidated report
     python -m repro bench --requests 100    # allocation-engine benchmark
     python -m repro bench --trace out.json  # ... with Perfetto span trees
+    python -m repro cluster-bench --shards 4  # sharded-cluster benchmark
     python -m repro metrics                 # Prometheus metrics exposition
     python -m repro lint src tests          # invariant static analysis
 """
@@ -273,6 +274,87 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="write the benchmark report (p50/p95, req/s, stage "
         "breakdown) as JSON ('-' for stdout)",
     )
+    cluster_parser = subparsers.add_parser(
+        "cluster-bench",
+        help="benchmark the sharded cluster against a single service",
+    )
+    cluster_parser.add_argument(
+        "--shards", type=int, default=4, help="number of service shards"
+    )
+    cluster_parser.add_argument(
+        "--rate",
+        type=float,
+        default=0.0,
+        help="offered request rate [req/s]; 0 = closed-loop (all "
+        "requests arrive at once)",
+    )
+    cluster_parser.add_argument(
+        "--requests", type=int, default=200, help="number of requests to serve"
+    )
+    cluster_parser.add_argument(
+        "--distinct",
+        type=int,
+        default=25,
+        help="distinct random placements the requests are drawn from",
+    )
+    cluster_parser.add_argument(
+        "--solver",
+        default="heuristic",
+        choices=("binary", "greedy", "heuristic", "optimal"),
+        help="allocation solver",
+    )
+    cluster_parser.add_argument(
+        "--budget", type=float, default=1.2, help="power budget [W]"
+    )
+    cluster_parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="per-request latency budget [s]; unmeetable requests are "
+        "shed at admission instead of served late",
+    )
+    cluster_parser.add_argument(
+        "--batch-max",
+        type=int,
+        default=16,
+        help="max requests a shard worker drains into one dispatch",
+    )
+    cluster_parser.add_argument(
+        "--hot-rooms",
+        type=int,
+        default=4,
+        help="placements receiving the hot share of the traffic",
+    )
+    cluster_parser.add_argument(
+        "--hot-fraction",
+        type=float,
+        default=0.5,
+        help="fraction of requests hitting the hot rooms",
+    )
+    cluster_parser.add_argument("--cache-size", type=int, default=256)
+    cluster_parser.add_argument("--seed", type=int, default=0)
+    cluster_parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="skip the sequential single-service comparison run",
+    )
+    cluster_parser.add_argument(
+        "--knee",
+        action="store_true",
+        help="sweep escalating offered rates to find the req/s knee",
+    )
+    cluster_parser.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="write the cluster benchmark report as JSON ('-' for stdout)",
+    )
+    cluster_parser.add_argument(
+        "--metrics-prom",
+        default=None,
+        metavar="PATH",
+        help="write the merged shard-labeled Prometheus exposition",
+    )
     metrics_parser = subparsers.add_parser(
         "metrics",
         help="serve a small workload and print the metrics exposition",
@@ -389,6 +471,74 @@ def main(argv: Optional[List[str]] = None) -> int:
                     handle.write(
                         service.metrics.expose_prometheus(prefix="repro_")
                     )
+        if args.json is not None:
+            payload = json.dumps(report.as_dict(), indent=2, sort_keys=True)
+            if args.json == "-":
+                print(payload)
+            else:
+                with open(args.json, "w", encoding="utf-8") as handle:
+                    handle.write(payload + "\n")
+        for line in report.lines():
+            print(line)
+        return 0
+    if args.command == "cluster-bench":
+        import json
+
+        from .cluster import (
+            ClusterController,
+            ClusterOptions,
+            cluster_workload,
+            run_cluster_benchmark,
+        )
+        from .cluster.bench import _shard_service_options
+        from .errors import DenseVLCError
+
+        try:
+            controller = None
+            if args.metrics_prom is not None:
+                # Pre-build the controller so its registries stay
+                # readable after the run; the workload is a pure
+                # function of the seed, so the scene matches.
+                scene, _ = cluster_workload(
+                    requests=args.requests,
+                    distinct_placements=args.distinct,
+                    hot_rooms=args.hot_rooms,
+                    hot_fraction=args.hot_fraction,
+                    solver=args.solver,
+                    power_budget=args.budget,
+                    deadline_seconds=args.deadline,
+                    seed=args.seed,
+                )
+                controller = ClusterController(
+                    scene,
+                    options=ClusterOptions(
+                        shards=args.shards,
+                        service=_shard_service_options(args.cache_size, 0),
+                    ),
+                )
+            report = run_cluster_benchmark(
+                requests=args.requests,
+                shards=args.shards,
+                distinct_placements=args.distinct,
+                solver=args.solver,
+                power_budget=args.budget,
+                rate=args.rate,
+                deadline_seconds=args.deadline,
+                batch_max=args.batch_max,
+                cache_capacity=args.cache_size,
+                hot_rooms=args.hot_rooms,
+                hot_fraction=args.hot_fraction,
+                seed=args.seed,
+                baseline=not args.no_baseline,
+                knee=args.knee,
+                controller=controller,
+            )
+        except DenseVLCError as exc:
+            print(f"repro cluster-bench: error: {exc}", file=sys.stderr)
+            return 2
+        if controller is not None and args.metrics_prom is not None:
+            with open(args.metrics_prom, "w", encoding="utf-8") as handle:
+                handle.write(controller.expose_prometheus(prefix="repro_"))
         if args.json is not None:
             payload = json.dumps(report.as_dict(), indent=2, sort_keys=True)
             if args.json == "-":

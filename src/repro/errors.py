@@ -52,6 +52,14 @@ class RuntimeEngineError(DenseVLCError):
     """The allocation-serving runtime (cache/pool/service) failed."""
 
 
+class ClusterError(RuntimeEngineError):
+    """The sharded cluster layer (ring/frontend/controller) failed."""
+
+
+class RequestShedError(ClusterError):
+    """Admission control dropped a request whose deadline cannot be met."""
+
+
 class DeadlineExceeded(RuntimeEngineError):
     """A request's deadline expired before its solve completed."""
 

@@ -30,7 +30,13 @@ from .batch import (
 )
 from .cache import CacheStats, ChannelCache, LRUCache
 from .faults import FaultPlan
-from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merged_prometheus,
+)
 from .pool import (
     SOLVERS,
     PoolOptions,
@@ -55,6 +61,7 @@ from .service import (
     BenchmarkReport,
     ServiceOptions,
     benchmark_service,
+    placement_fingerprint,
     run_benchmark,
 )
 from .tracing import (
@@ -78,6 +85,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "merged_prometheus",
     "SOLVERS",
     "PoolOptions",
     "SolveOutcome",
@@ -98,6 +106,7 @@ __all__ = [
     "BenchmarkReport",
     "ServiceOptions",
     "benchmark_service",
+    "placement_fingerprint",
     "run_benchmark",
     "SpanRecorder",
     "Tracer",

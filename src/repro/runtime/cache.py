@@ -70,6 +70,14 @@ class CacheStats:
             "hit_rate": self.hit_rate,
         }
 
+    def copy(self) -> "CacheStats":
+        return CacheStats(
+            hits=self.hits,
+            misses=self.misses,
+            evictions=self.evictions,
+            single_flight_waits=self.single_flight_waits,
+        )
+
 
 class LRUCache:
     """A bounded, thread-safe least-recently-used cache."""
@@ -176,6 +184,26 @@ class LRUCache:
                 with self._lock:
                     self._inflight.pop(key, None)
         return value
+
+    def snapshot(self) -> dict:
+        """Size, occupancy and hit/miss stats from one locked read.
+
+        ``stats.as_dict()`` reads the counters field-by-field without
+        the cache lock, so a concurrent reader polling while a request
+        is being served can observe a hit already counted whose lookup
+        is not -- a torn pair.  Every stats mutation happens under
+        ``_lock``, so copying under it yields one consistent instant;
+        the derived ``hit_rate``/``occupancy`` are computed from the
+        copy, outside the lock (rule R2).
+        """
+        with self._lock:
+            size = len(self._entries)
+            stats = self.stats.copy()
+        summary = stats.as_dict()
+        summary["size"] = size
+        summary["capacity"] = self.capacity
+        summary["occupancy"] = size / self.capacity
+        return summary
 
     def clear(self) -> None:
         with self._lock:

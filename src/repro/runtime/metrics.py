@@ -356,9 +356,28 @@ class MetricsRegistry:
             },
         }
 
+    def counters_with_prefix(self, prefix: str) -> Dict[str, float]:
+        """Counter values whose name starts with *prefix*, rendered keys.
+
+        A cheap read for health polling: it touches only the matching
+        counters (one lock each) and never computes histogram
+        percentiles, unlike :meth:`snapshot`.  The cluster controller
+        calls this from its event loop on every health rollup.
+        """
+        counters, _, _ = self._instruments()
+        return {
+            _render_key(name, labels): counter.value
+            for (name, labels), counter in counters.items()
+            if name.startswith(prefix)
+        }
+
     # -- Prometheus text exposition -------------------------------------
 
-    def expose_prometheus(self, prefix: str = "") -> str:
+    def expose_prometheus(
+        self,
+        prefix: str = "",
+        extra_labels: Optional[Dict[str, str]] = None,
+    ) -> str:
         """The registry in Prometheus text exposition format.
 
         Metric names are sanitized (``.`` and other invalid characters
@@ -366,55 +385,108 @@ class MetricsRegistry:
         ``_total`` series, histograms with configured buckets expose
         cumulative ``_bucket{le=...}`` series plus ``_sum``/``_count``,
         and reservoir-only histograms expose ``{quantile=...}``
-        summaries.
+        summaries.  *extra_labels* (e.g. ``{"shard": "shard-0"}``) are
+        merged into every series.
         """
         counters, gauges, histograms = self._instruments()
-        lines: List[str] = []
+        extra = _label_set(extra_labels or {})
+        return _render_exposition(
+            _with_extra_labels(counters, extra),
+            _with_extra_labels(gauges, extra),
+            _with_extra_labels(histograms, extra),
+            prefix,
+        )
 
-        for (name, labels), counter in sorted(counters.items()):
-            metric = _prom_name(prefix, name) + "_total"
-            _prom_header(lines, metric, "counter")
-            lines.append(f"{metric}{_prom_labels(labels)} {_prom_value(counter.value)}")
 
-        for (name, labels), gauge in sorted(gauges.items()):
-            metric = _prom_name(prefix, name)
-            _prom_header(lines, metric, "gauge")
-            lines.append(f"{metric}{_prom_labels(labels)} {_prom_value(gauge.value)}")
+def _with_extra_labels(
+    instruments: Dict[Tuple[str, LabelSet], Any], extra: LabelSet
+) -> Dict[Tuple[str, LabelSet], Any]:
+    """Instrument map re-keyed with *extra* merged into every label set."""
+    if not extra:
+        return instruments
+    return {
+        (name, tuple(sorted((*labels, *extra)))): instrument
+        for (name, labels), instrument in instruments.items()
+    }
 
-        for (name, labels), histogram in sorted(histograms.items()):
-            metric = _prom_name(prefix, name)
-            stats = histogram.as_dict()
-            count = stats.get("count", 0)
-            total = count * stats.get("mean", 0.0) if count else 0.0
-            # Bucket counts come from the same locked as_dict() read as
-            # sum/count, so the exposed family is internally consistent.
-            bucket_counts = stats.get("buckets")
-            if bucket_counts is None and histogram.buckets is not None:
-                bucket_counts = dict(
-                    zip(
-                        [*map(float, histogram.buckets), float("inf")],
-                        histogram.bucket_counts() or [],
-                    )
+
+def merged_prometheus(
+    registries: Dict[str, MetricsRegistry],
+    prefix: str = "",
+    label: str = "shard",
+) -> str:
+    """Several registries as one Prometheus exposition, labeled apart.
+
+    The cluster controller owns one :class:`MetricsRegistry` per shard
+    (plus its own); this merges them into a single exposition where
+    every series carries ``{label="<key>"}``, with each metric family
+    emitted as one contiguous group (interleaving families per shard
+    would violate the text-format grouping requirement).
+    """
+    counters: Dict[Tuple[str, LabelSet], Counter] = {}
+    gauges: Dict[Tuple[str, LabelSet], Gauge] = {}
+    histograms: Dict[Tuple[str, LabelSet], Histogram] = {}
+    for key, registry in registries.items():
+        extra = _label_set({label: key})
+        shard_counters, shard_gauges, shard_histograms = registry._instruments()
+        counters.update(_with_extra_labels(shard_counters, extra))
+        gauges.update(_with_extra_labels(shard_gauges, extra))
+        histograms.update(_with_extra_labels(shard_histograms, extra))
+    return _render_exposition(counters, gauges, histograms, prefix)
+
+
+def _render_exposition(
+    counters: Dict[Tuple[str, LabelSet], Counter],
+    gauges: Dict[Tuple[str, LabelSet], Gauge],
+    histograms: Dict[Tuple[str, LabelSet], Histogram],
+    prefix: str,
+) -> str:
+    lines: List[str] = []
+
+    for (name, labels), counter in sorted(counters.items()):
+        metric = _prom_name(prefix, name) + "_total"
+        _prom_header(lines, metric, "counter")
+        lines.append(f"{metric}{_prom_labels(labels)} {_prom_value(counter.value)}")
+
+    for (name, labels), gauge in sorted(gauges.items()):
+        metric = _prom_name(prefix, name)
+        _prom_header(lines, metric, "gauge")
+        lines.append(f"{metric}{_prom_labels(labels)} {_prom_value(gauge.value)}")
+
+    for (name, labels), histogram in sorted(histograms.items()):
+        metric = _prom_name(prefix, name)
+        stats = histogram.as_dict()
+        count = stats.get("count", 0)
+        total = count * stats.get("mean", 0.0) if count else 0.0
+        # Bucket counts come from the same locked as_dict() read as
+        # sum/count, so the exposed family is internally consistent.
+        bucket_counts = stats.get("buckets")
+        if bucket_counts is None and histogram.buckets is not None:
+            bucket_counts = dict(
+                zip(
+                    [*map(float, histogram.buckets), float("inf")],
+                    histogram.bucket_counts() or [],
                 )
-            if bucket_counts is not None:
-                _prom_header(lines, metric, "histogram")
-                for bound, cumulative in bucket_counts.items():
-                    le = "+Inf" if bound == float("inf") else _prom_value(bound)
-                    lines.append(
-                        f"{metric}_bucket"
-                        f"{_prom_labels(labels, ('le', le))} {cumulative}"
-                    )
-            else:
-                _prom_header(lines, metric, "summary")
-                for q, key in ((0.5, "p50"), (0.95, "p95")):
-                    lines.append(
-                        f"{metric}{_prom_labels(labels, ('quantile', str(q)))} "
-                        f"{_prom_value(stats.get(key, 0.0))}"
-                    )
-            lines.append(f"{metric}_sum{_prom_labels(labels)} {_prom_value(total)}")
-            lines.append(f"{metric}_count{_prom_labels(labels)} {count}")
+            )
+        if bucket_counts is not None:
+            _prom_header(lines, metric, "histogram")
+            for bound, cumulative in bucket_counts.items():
+                le = "+Inf" if bound == float("inf") else _prom_value(bound)
+                lines.append(
+                    f"{metric}_bucket"
+                    f"{_prom_labels(labels, ('le', le))} {cumulative}"
+                )
+        else:
+            _prom_header(lines, metric, "summary")
+            for q, key in ((0.5, "p50"), (0.95, "p95")):
+                lines.append(
+                    f"{metric}{_prom_labels(labels, ('quantile', str(q)))} "
+                    f"{_prom_value(stats.get(key, 0.0))}"
+                )
+        lines.append(f"{metric}_sum{_prom_labels(labels)} {_prom_value(total)}")
+        lines.append(f"{metric}_count{_prom_labels(labels)} {count}")
 
-        return "\n".join(lines) + ("\n" if lines else "")
+    return "\n".join(lines) + ("\n" if lines else "")
 
 
 def _prom_name(prefix: str, name: str) -> str:

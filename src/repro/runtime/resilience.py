@@ -235,6 +235,17 @@ class CircuitBreaker:
         with self._lock:
             return self._failures
 
+    @property
+    def available(self) -> bool:
+        """Whether dispatches may currently reach this breaker's pool.
+
+        ``closed`` and ``half-open`` both count as available (half-open
+        is probing its way back); only a fully ``open`` breaker is
+        unavailable.  The cluster shard router uses this to spill a
+        broken shard's keys to the next ring position.
+        """
+        return self.state != self.OPEN
+
     def allow(self) -> bool:
         """Whether a pool dispatch may proceed right now.
 
@@ -364,10 +375,12 @@ class ResiliencePolicy:
         )
 
     def snapshot(self) -> dict:
-        """Breaker state plus the resilience counters, one dict."""
-        counters = {
-            name: value
-            for name, value in self.metrics.snapshot()["counters"].items()
-            if name.startswith("resilience.")
-        }
+        """Breaker state plus the resilience counters, one dict.
+
+        Reads only the ``resilience.*`` counters (each an atomic locked
+        read) instead of a full registry snapshot -- a full snapshot
+        computes percentiles for every histogram, which is far too heavy
+        for the cluster controller's per-rollup health polling.
+        """
+        counters = self.metrics.counters_with_prefix("resilience.")
         return {"circuit": self.breaker.snapshot(), "counters": counters}

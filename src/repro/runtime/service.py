@@ -33,6 +33,25 @@ from .resilience import ResilienceOptions, ResiliencePolicy
 from .tracing import Tracer
 
 
+def placement_fingerprint(
+    base: str,
+    positions: Sequence[Tuple[float, float]],
+    quantum: float = FINGERPRINT_QUANTUM,
+) -> str:
+    """The quantized placement cache/routing key for one request.
+
+    ``base`` is the scene-level fingerprint (TX grid + hardware); the
+    receiver placement is quantized onto the same grid the channel
+    cache uses.  The cluster shard router hashes this exact string, so
+    routing and caching agree on what "the same scene" means.
+    """
+    quantized = tuple(
+        (int(round(x / quantum)), int(round(y / quantum)))
+        for x, y in positions
+    )
+    return f"{base}:{quantized}"
+
+
 @dataclass(frozen=True)
 class AllocationRequest:
     """One unit of allocation traffic.
@@ -225,7 +244,9 @@ class AllocationService:
         return self.handle_batch([request])[0]
 
     def handle_batch(
-        self, requests: Sequence[AllocationRequest]
+        self,
+        requests: Sequence[AllocationRequest],
+        trace_parents: Optional[Sequence[Optional[Span]]] = None,
     ) -> List[AllocationResult]:
         """Serve a batch, amortizing channel computation across it.
 
@@ -237,11 +258,20 @@ class AllocationService:
         trace: a ``request`` root span with ``channel`` / ``allocation``
         (cache lookup + re-attached solve spans) / ``throughput``
         children.  Batched stages measure one shared window and bracket
-        it into every participating trace.
+        it into every participating trace.  *trace_parents* (aligned
+        with *requests*) grafts each request span under an upstream
+        span instead -- the cluster front door passes its per-request
+        ingest spans here so ``queue -> route -> request -> solve``
+        share one trace.
         """
         requests = list(requests)
         if not requests:
             return []
+        if trace_parents is not None and len(trace_parents) != len(requests):
+            raise RuntimeEngineError(
+                f"trace_parents length {len(trace_parents)} does not match "
+                f"batch size {len(requests)}"
+            )
         start = time.perf_counter()
         self.metrics.counter("service.requests").increment(len(requests))
         tracer = self.tracer
@@ -250,6 +280,7 @@ class AllocationService:
             for i, request in enumerate(requests):
                 roots[i] = tracer.start_trace(
                     "request",
+                    parent=trace_parents[i] if trace_parents else None,
                     solver=request.solver,
                     tag=request.tag,
                     batch_size=len(requests),
@@ -355,6 +386,13 @@ class AllocationService:
         broken pool).  The ``resilience`` block carries the cumulative
         degraded-solve / deadline-expiration / retry counters so an
         operator can tell *how* the service has been coping.
+
+        Every component's block comes from one atomic read: the breaker
+        snapshot under the breaker lock, each cache's size + stats
+        (including occupancy) under that cache's lock.  The cluster
+        controller polls this concurrently from its event loop while
+        shard threads are serving, so a field-by-field read here would
+        hand the rollup torn hit/miss pairs.
         """
         self._resilience.refresh_gauges()
         snapshot = self._resilience.snapshot()
@@ -368,10 +406,24 @@ class AllocationService:
                 "task_timeout": self.options.pool.task_timeout,
             },
             "caches": {
-                "channel": self._channel_cache.stats.as_dict(),
-                "allocation": self._allocation_cache.stats.as_dict(),
+                "channel": self._channel_cache.snapshot(),
+                "allocation": self._allocation_cache.snapshot(),
             },
         }
+
+    @property
+    def resilience(self) -> ResiliencePolicy:
+        """The service's resilience policy (breaker + retry + counters).
+
+        Public so the cluster layer can consult the circuit breaker for
+        shard routing without reaching into privates.
+        """
+        return self._resilience
+
+    @property
+    def base_fingerprint(self) -> str:
+        """The scene-level fingerprint requests' placement keys extend."""
+        return self._base_fingerprint
 
     @property
     def channel_hit_rate(self) -> float:
@@ -384,11 +436,9 @@ class AllocationService:
     # ------------------------------------------------------------------
 
     def _placement_key(self, positions: Tuple[Tuple[float, float], ...]) -> str:
-        quantized = tuple(
-            (int(round(x / self.options.quantum)), int(round(y / self.options.quantum)))
-            for x, y in positions
+        return placement_fingerprint(
+            self._base_fingerprint, positions, self.options.quantum
         )
-        return f"{self._base_fingerprint}:{quantized}"
 
     def _remember_placement(self, key: str, positions: np.ndarray) -> None:
         memory = self._placement_memory

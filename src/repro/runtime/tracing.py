@@ -156,15 +156,25 @@ class Tracer:
             self._span_count += 1
         return _hash_id(self.options.seed, "span", index)
 
-    def start_trace(self, name: str, **attributes: Any) -> Optional[Span]:
+    def start_trace(
+        self, name: str, parent: Optional[Span] = None, **attributes: Any
+    ) -> Optional[Span]:
         """Open a root span for a new trace.
 
         Returns None when the tracer is disabled or the trace loses the
         sampling draw -- callers treat None as "do not trace this
         request" and skip every downstream span.
+
+        With a *parent* span (the cluster front door handing its ingest
+        span down to a shard service) no new trace is started: the span
+        joins the parent's trace as a child, inheriting its sampling
+        decision, so one request's ``frontdoor -> queue/route ->
+        request -> ... -> solve`` chain shares a single trace id.
         """
         if not self.options.enabled:
             return None
+        if parent is not None:
+            return self.start_span(name, parent, **attributes)
         with self._lock:
             trace_index = self._trace_count
             self._trace_count += 1

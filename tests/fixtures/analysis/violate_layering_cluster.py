@@ -1,0 +1,10 @@
+"""R1 fixture: a physics-layer module importing the cluster layer.
+
+Deliberately violates the layering rule's cluster edge; `repro lint`
+must flag the import below.  The directive makes the file impersonate a
+module inside the protected ``repro.channel`` layer -- the cluster
+(like the runtime it sits on) must only ever import *downward*.
+"""
+# repro: module=repro.channel.fixture_layering_cluster
+
+from repro.cluster import ConsistentHashRing  # noqa: F401  deliberate violation

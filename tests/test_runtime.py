@@ -544,6 +544,82 @@ class TestAllocationService:
 
 
 # ----------------------------------------------------------------------
+# health snapshots
+# ----------------------------------------------------------------------
+
+
+class TestHealthSnapshot:
+    def _request(self, placements, index, **kwargs):
+        return AllocationRequest(
+            rx_positions_xy=tuple(
+                (float(x), float(y)) for x, y in placements[index]
+            ),
+            power_budget=1.2,
+            **kwargs,
+        )
+
+    def test_health_reports_cache_occupancy_and_breaker(
+        self, base_scene, placements
+    ):
+        service = AllocationService(base_scene)
+        service.handle(self._request(placements, 0))
+        health = service.health()
+        assert health["status"] == "ok"
+        assert health["circuit"]["state"] == "closed"
+        for block in health["caches"].values():
+            assert block["size"] >= 0
+            assert block["capacity"] > 0
+            assert block["occupancy"] == pytest.approx(
+                block["size"] / block["capacity"]
+            )
+            assert block["hits"] + block["misses"] >= 0
+
+    def test_health_snapshot_is_atomic_under_concurrent_traffic(
+        self, base_scene, placements
+    ):
+        import threading
+
+        service = AllocationService(
+            base_scene,
+            options=ServiceOptions(
+                channel_cache_capacity=4, allocation_cache_capacity=8
+            ),
+        )
+        stop = threading.Event()
+        errors = []
+
+        def serve(worker):
+            index = worker
+            while not stop.is_set():
+                service.handle(self._request(placements, index % 6))
+                index += 1
+
+        def poll():
+            while not stop.is_set():
+                health = service.health()
+                for block in health["caches"].values():
+                    # size/occupancy come from one locked read: a torn
+                    # snapshot would let occupancy drift from size.
+                    if block["occupancy"] != block["size"] / block["capacity"]:
+                        errors.append(("torn occupancy", block))
+                    if block["size"] > block["capacity"]:
+                        errors.append(("overfull cache", block))
+                if health["status"] not in ("ok", "degraded"):
+                    errors.append(("bad status", health["status"]))
+
+        threads = [
+            threading.Thread(target=serve, args=(n,)) for n in range(2)
+        ] + [threading.Thread(target=poll) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.5)
+        stop.set()
+        for thread in threads:
+            thread.join()
+        assert not errors, errors[:3]
+
+
+# ----------------------------------------------------------------------
 # bench entry point
 # ----------------------------------------------------------------------
 
@@ -576,3 +652,32 @@ class TestBench:
         # The argparse choices are a literal (cli keeps heavy imports
         # lazy); this pins the literal to the actual solver registry.
         assert set(SOLVERS) == {"binary", "greedy", "heuristic", "optimal"}
+
+    def test_cli_metrics_prometheus_stdout(self, capsys):
+        code = cli_main(["metrics", "--requests", "6", "--distinct", "2"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "# TYPE repro_service_requests_total counter" in captured.out
+        assert "repro_service_latency_seconds" in captured.out
+
+    def test_cli_metrics_json_to_file(self, tmp_path):
+        import json
+
+        path = tmp_path / "metrics.json"
+        code = cli_main(
+            [
+                "metrics",
+                "--requests",
+                "6",
+                "--distinct",
+                "2",
+                "--format",
+                "json",
+                "--output",
+                str(path),
+            ]
+        )
+        assert code == 0
+        snapshot = json.loads(path.read_text())
+        assert snapshot["counters"]["service.requests"] == 6.0
+        assert "service.latency_seconds" in snapshot["histograms"]
