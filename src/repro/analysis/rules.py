@@ -289,8 +289,9 @@ class DeterminismRule(Rule):
     name = "determinism"
     description = (
         "decision paths (repro.core, repro.runtime, repro.system, "
-        "repro.cluster) must not read the wall clock (time.time) or "
-        "hash with anything but blake2b; unseeded "
+        "repro.cluster) must not read the wall clock (time.time), hash "
+        "with anything but blake2b, or call the builtin hash() (salted "
+        "per-process by PYTHONHASHSEED); unseeded "
         "np.random.default_rng() and legacy global RNGs are banned "
         "everywhere"
     )
@@ -350,6 +351,14 @@ class DeterminismRule(Rule):
                     f"hashlib.{chain[1]}() in a decision path; fingerprints "
                     "and jitter/sampling decisions standardize on "
                     "hashlib.blake2b",
+                )
+            elif decision_path and chain == ("hash",):
+                yield self._violation(
+                    info, node.lineno,
+                    "builtin hash() in a decision path; str/bytes hashes "
+                    "are salted per process (PYTHONHASHSEED), so "
+                    "tie-breaks and sampling built on them do not replay "
+                    "-- use hashlib.blake2b",
                 )
             elif (
                 chain[-1] == "default_rng"

@@ -35,6 +35,14 @@ from .sinr import (
     snr,
     throughput,
 )
+from .stacks import (
+    received_amplitude_stack,
+    sinr_from_amplitude_components,
+    sinr_stack,
+    system_throughput_stack,
+    throughput_stack,
+    utility_from_amplitude_components,
+)
 
 __all__ = [
     "CylinderBlocker",
@@ -64,4 +72,10 @@ __all__ = [
     "sinr",
     "snr",
     "throughput",
+    "received_amplitude_stack",
+    "sinr_from_amplitude_components",
+    "sinr_stack",
+    "system_throughput_stack",
+    "throughput_stack",
+    "utility_from_amplitude_components",
 ]

@@ -207,7 +207,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     bench_parser.add_argument(
         "--solver",
         default="heuristic",
-        choices=("binary", "greedy", "heuristic", "optimal"),
+        choices=("binary", "greedy", "heuristic", "optimal", "swing"),
         help="allocation solver",
     )
     bench_parser.add_argument(
@@ -300,7 +300,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     cluster_parser.add_argument(
         "--solver",
         default="heuristic",
-        choices=("binary", "greedy", "heuristic", "optimal"),
+        choices=("binary", "greedy", "heuristic", "optimal", "swing"),
         help="allocation solver",
     )
     cluster_parser.add_argument(
@@ -366,7 +366,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     metrics_parser.add_argument(
         "--solver",
         default="heuristic",
-        choices=("binary", "greedy", "heuristic", "optimal"),
+        choices=("binary", "greedy", "heuristic", "optimal", "swing"),
     )
     metrics_parser.add_argument("--workers", type=int, default=0)
     metrics_parser.add_argument("--seed", type=int, default=0)

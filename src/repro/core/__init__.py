@@ -48,6 +48,7 @@ from .metrics import (
 from .optimizer import ContinuousOptimizer, OptimizerOptions, solve_optimal
 from .problem import UTILITY_FLOOR, AllocationProblem, problem_for_scene
 from .reduction import ReductionPlan, plan_reduction
+from .swingsearch import SwingSearchOptions, SwingSearchSolver, solve_swing
 
 __all__ = [
     "Allocation",
@@ -91,4 +92,7 @@ __all__ = [
     "problem_for_scene",
     "ReductionPlan",
     "plan_reduction",
+    "SwingSearchOptions",
+    "SwingSearchSolver",
+    "solve_swing",
 ]

@@ -385,6 +385,17 @@ class ContinuousOptimizer:
                     problem, support.restrict(warm / max_swing), support, options
                 )
             )
+            if problem.utility(warm) >= heuristic.utility:
+                # The warm start already dominates the ranking anchor:
+                # every remaining start is the anchor or a perturbation
+                # of it, and each one costs a full SLSQP descent toward
+                # a solution the warm point starts at or above.
+                skipped = 1 + options.restarts
+                if self.metrics is not None:
+                    self.metrics.counter("optimizer.starts_skipped").increment(
+                        skipped
+                    )
+                return points
 
         # Heuristic structure, scaled into the budget interior.
         base = support.restrict(heuristic.swings / max_swing)

@@ -9,19 +9,38 @@ the whole batch collapses into a handful of NumPy broadcasts:
   in one call, no intermediate :class:`~repro.system.Scene` objects;
 - :func:`sinr_stack` / :func:`throughput_stack` -- Eq. 12 for stacks of
   allocations at once (``einsum`` over the batch axis).
+
+The allocation-stack evaluators live in :mod:`repro.channel.stacks`
+(the channel layer) so that :mod:`repro.core` solvers can evaluate
+candidate moves through the exact same arithmetic; they are re-exported
+here for the runtime's callers.
 """
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
-from ..channel import AWGNNoise, shannon_throughput
 from ..channel.los import _scene_rx_arrays, _scene_tx_arrays, los_gain_stack
+from ..channel.stacks import (
+    received_amplitude_stack,
+    sinr_from_amplitude_components,
+    sinr_stack,
+    system_throughput_stack,
+    throughput_stack,
+    utility_from_amplitude_components,
+)
 from ..errors import ChannelError, GeometryError
-from ..optics import LEDModel, Photodiode
 from ..system import Scene
+
+__all__ = [
+    "channel_matrix_stack",
+    "received_amplitude_stack",
+    "sinr_from_amplitude_components",
+    "sinr_stack",
+    "system_throughput_stack",
+    "throughput_stack",
+    "utility_from_amplitude_components",
+]
 
 
 def channel_matrix_stack(
@@ -59,75 +78,3 @@ def channel_matrix_stack(
     )
     tx_pos, tx_ori, orders = _scene_tx_arrays(scene)
     return los_gain_stack(tx_pos, tx_ori, orders, rx_pos, rx_ori, photodiodes)
-
-
-def received_amplitude_stack(
-    channels: np.ndarray,
-    swings: np.ndarray,
-    led: LEDModel,
-    photodiode: Photodiode,
-) -> np.ndarray:
-    """(..., M, M) received-amplitude stacks for allocation stacks.
-
-    Batched :func:`repro.channel.received_amplitudes`: *channels* is
-    (..., N, M) (or a single (N, M) matrix shared by the batch) and
-    *swings* is (..., N, M); leading axes broadcast.
-    """
-    channels = np.asarray(channels, dtype=float)
-    swings = np.asarray(swings, dtype=float)
-    if channels.ndim < 2 or swings.ndim < 2:
-        raise ChannelError("channel and swing stacks must be at least 2-D")
-    if channels.shape[-2:] != swings.shape[-2:]:
-        raise ChannelError(
-            f"channel stack {channels.shape} does not match swing stack "
-            f"{swings.shape}"
-        )
-    if np.any(channels < 0):
-        raise ChannelError("channel gains must be non-negative")
-    if np.any(swings < -1e-12):
-        raise ChannelError("swing currents must be non-negative")
-    scale = photodiode.responsivity * led.wall_plug_efficiency * led.dynamic_resistance
-    power_per_link = (np.clip(swings, 0.0, None) / 2.0) ** 2
-    # A[..., i, k] = scale * sum_j H[..., j, i] * power_per_link[..., j, k]
-    return scale * np.einsum("...ji,...jk->...ik", channels, power_per_link)
-
-
-def sinr_stack(
-    channels: np.ndarray,
-    swings: np.ndarray,
-    led: LEDModel,
-    photodiode: Photodiode,
-    noise: Optional[AWGNNoise] = None,
-) -> np.ndarray:
-    """(..., M) per-RX SINR (Eq. 12) for stacks of allocations."""
-    noise_model = noise if noise is not None else AWGNNoise()
-    amplitudes = received_amplitude_stack(channels, swings, led, photodiode)
-    signal = np.diagonal(amplitudes, axis1=-2, axis2=-1)
-    interference = amplitudes.sum(axis=-1) - signal
-    return signal**2 / (noise_model.power + interference**2)
-
-
-def throughput_stack(
-    channels: np.ndarray,
-    swings: np.ndarray,
-    led: LEDModel,
-    photodiode: Photodiode,
-    noise: Optional[AWGNNoise] = None,
-) -> np.ndarray:
-    """(..., M) per-RX Shannon throughput [bit/s] for allocation stacks."""
-    noise_model = noise if noise is not None else AWGNNoise()
-    return shannon_throughput(
-        sinr_stack(channels, swings, led, photodiode, noise_model),
-        noise_model.bandwidth,
-    )
-
-
-def system_throughput_stack(
-    channels: np.ndarray,
-    swings: np.ndarray,
-    led: LEDModel,
-    photodiode: Photodiode,
-    noise: Optional[AWGNNoise] = None,
-) -> np.ndarray:
-    """(...,) system throughput [bit/s] for allocation stacks."""
-    return throughput_stack(channels, swings, led, photodiode, noise).sum(axis=-1)

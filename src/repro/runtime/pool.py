@@ -11,12 +11,14 @@ With a :class:`~repro.runtime.resilience.ResiliencePolicy` attached the
 pool additionally honors per-task deadlines, backs off between retries
 (deterministic jitter), routes whole batches to the in-process serial
 path while the circuit breaker is open, and falls down the solver
-degradation chain (``optimal -> binary -> greedy -> heuristic``) when a
-solve times out or fails to converge -- callers get the best cheaper
-allocation, flagged as degraded, instead of an exception.
+degradation chain (``optimal -> swing -> binary -> greedy ->
+heuristic``) when a solve times out or fails to converge -- callers get
+the best cheaper allocation, flagged as degraded, instead of an
+exception.
 
 Solvers are looked up by name in :data:`SOLVERS` (``"heuristic"``,
-``"greedy"``, ``"optimal"``, ``"binary"``) so tasks stay picklable.
+``"greedy"``, ``"optimal"``, ``"swing"``, ``"binary"``) so tasks stay
+picklable.
 """
 
 from __future__ import annotations
@@ -41,8 +43,10 @@ from ..core import (
     GreedyMarginalHeuristic,
     OptimizerOptions,
     RankingHeuristic,
+    SwingSearchOptions,
     binary_projection,
     solve_optimal,
+    solve_swing,
 )
 from ..errors import DeadlineExceeded, OptimizationError, RuntimeEngineError
 from ..optics import LEDModel, Photodiode, cree_xte_paper_power, s5971
@@ -60,10 +64,13 @@ class SolveTask:
     boundaries without custom reducers.
 
     ``warm_start`` is an optional (N, M) swing matrix that seeds SLSQP
-    for the ``optimal``/``binary`` solvers -- the serving layer fills it
-    with the nearest cached allocation so mobility-style traffic skips
-    most of the solver iterations.  ``reduce`` enables the SJR-pruned
-    reduced-variable program (with automatic full-dimension fallback).
+    for the ``optimal``/``binary`` solvers and the combinatorial
+    ``swing`` search (where its binary projection competes with the
+    ranked seed) -- the serving layer fills it with the nearest cached
+    allocation so mobility-style traffic skips most of the solver
+    iterations.  ``reduce`` enables the SJR-pruned reduced-variable
+    program / candidate-pair pruning (with automatic full-dimension
+    fallback).
 
     ``deadline`` is an absolute :func:`time.monotonic` timestamp (the
     request's remaining budget, set by the service); it is enforced by
@@ -104,6 +111,14 @@ class SolveTask:
     def optimizer_options(self) -> OptimizerOptions:
         return OptimizerOptions(
             restarts=0,
+            seed=self.seed,
+            reduce=self.reduce,
+            warm_start=self.warm_start,
+        )
+
+    def swing_options(self) -> SwingSearchOptions:
+        return SwingSearchOptions(
+            kappa=self.kappa,
             seed=self.seed,
             reduce=self.reduce,
             warm_start=self.warm_start,
@@ -161,11 +176,16 @@ def _solve_binary(task: SolveTask, metrics=None) -> Allocation:
     )
 
 
+def _solve_swing(task: SolveTask, metrics=None) -> Allocation:
+    return solve_swing(task.problem(), task.swing_options(), metrics=metrics)
+
+
 #: Solver name -> callable; tasks reference solvers by name so they pickle.
 SOLVERS: Dict[str, Callable[..., Allocation]] = {
     "heuristic": _solve_heuristic,
     "greedy": _solve_greedy,
     "optimal": _solve_optimal,
+    "swing": _solve_swing,
     "binary": _solve_binary,
 }
 

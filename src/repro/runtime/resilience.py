@@ -16,9 +16,9 @@ degrade explicitly":
 - :class:`CircuitBreaker` -- trips after repeated pool failures
   (``BrokenProcessPool`` / timeouts) and routes traffic to the
   in-process serial path until a probe succeeds;
-- the degradation chain -- ``optimal -> binary -> greedy -> heuristic``:
-  a timed-out or non-converged solve falls down the chain and returns
-  the best cheaper allocation instead of raising.
+- the degradation chain -- ``optimal -> swing -> binary -> greedy ->
+  heuristic``: a timed-out or non-converged solve falls down the chain
+  and returns the best cheaper allocation instead of raising.
 
 Everything reports through ``resilience.*`` counters/gauges in the
 metrics registry; :meth:`AllocationService.health` summarizes the
@@ -37,7 +37,13 @@ from .faults import hash_unit
 from .metrics import MetricsRegistry
 
 #: Solver fallback order: each entry degrades to the ones after it.
-DEGRADATION_CHAIN: Tuple[str, ...] = ("optimal", "binary", "greedy", "heuristic")
+DEGRADATION_CHAIN: Tuple[str, ...] = (
+    "optimal",
+    "swing",
+    "binary",
+    "greedy",
+    "heuristic",
+)
 
 #: Chain members whose solve runs SLSQP (pointless to retry on timeout).
 _SLSQP_SOLVERS = frozenset({"optimal", "binary"})
@@ -51,6 +57,10 @@ def degradation_fallbacks(solver: str, timed_out: bool = False) -> Tuple[str, ..
     failure was a *timeout* the SLSQP-based chain members are skipped:
     ``binary`` is a projection of the same SLSQP solve that just timed
     out, so retrying it would burn the remaining budget for nothing.
+    The combinatorial ``swing`` search is not SLSQP-based and runs in
+    milliseconds, so it stays in the chain even after a timeout --
+    giving a timed-out ``optimal`` a near-optimal answer before the
+    heuristic floor.
     """
     try:
         position = DEGRADATION_CHAIN.index(solver)

@@ -596,8 +596,9 @@ class AllocationService:
             ).increment()
         return channels, placement_keys, channel_hits, channel_meta
 
-    #: Solvers whose SLSQP solves benefit from a warm start.
-    _WARM_SOLVERS = ("optimal", "binary")
+    #: Solvers that consume a warm start (SLSQP seeding for
+    #: optimal/binary; seed-candidate projection for the swing search).
+    _WARM_SOLVERS = ("optimal", "swing", "binary")
 
     def _warm_start_for(
         self, solver: str, positions: np.ndarray

@@ -1,6 +1,6 @@
-"""R3 fixture: wall clock, sha256 and an unseeded RNG in a decision path.
+"""R3 fixture: wall clock, sha256, builtin hash and an unseeded RNG.
 
-Three determinism violations in one private helper; nothing else fires.
+Four determinism violations in one private helper; nothing else fires.
 """
 # repro: module=repro.runtime.fixture_determinism
 
@@ -14,4 +14,5 @@ def _decide(payload: bytes) -> tuple:
     stamp = time.time()
     rng = np.random.default_rng()
     digest = hashlib.sha256(payload).hexdigest()
-    return stamp, rng, digest
+    bucket = hash(payload) % 16
+    return stamp, rng, digest, bucket

@@ -90,10 +90,34 @@ class TestFixturesFire:
     def test_determinism_fixture_counts_each_offense(self):
         report = analyze_paths([str(FIXTURES / "violate_determinism.py")])
         offenses = {v.message.split(";")[0] for v in report.violations}
-        assert len(report.violations) == 3  # time.time, default_rng, sha256
+        # time.time, default_rng, sha256, builtin hash
+        assert len(report.violations) == 4
         assert any("time.time" in o for o in offenses)
         assert any("default_rng" in o for o in offenses)
         assert any("sha256" in o for o in offenses)
+        assert any("builtin hash()" in o for o in offenses)
+
+    def test_builtin_hash_outside_decision_path_allowed(self, tmp_path):
+        # builtin hash() is only a replay hazard where decisions are
+        # made; plain top-level modules (no module directive) stay clean.
+        path = tmp_path / "free.py"
+        path.write_text("BUCKET = hash('x') % 4\n")
+        code, output = lint([str(path)])
+        assert code == 0, output
+
+    def test_builtin_hash_in_swingsearch_would_fire(self, tmp_path):
+        # The swing search's tie-break must stay on blake2b: the same
+        # digest built on hash() trips R3 under the core module name.
+        path = tmp_path / "tiebreak.py"
+        path.write_text(
+            "# repro: module=repro.core.swingsearch\n"
+            "def _tie_digest(seed, move):\n"
+            "    return hash((seed, move))\n"
+        )
+        code, output = lint([str(path)])
+        assert code == 1
+        assert "R3[determinism]" in output
+        assert "builtin hash()" in output
 
     def test_module_directive_is_what_arms_the_rule(self, tmp_path):
         # Same layering violation, but without the impersonation

@@ -513,3 +513,108 @@ class TestChaosHarnessOff:
             assert not result.deadline_exceeded
         assert armed.health()["status"] == "ok"
         assert armed.health()["resilience"] == {}
+
+
+class TestChaosSwingTier:
+    """The swing tier rides the degradation chain under injected faults."""
+
+    def test_timed_out_optimal_falls_to_swing(
+        self, chaos_scene, chaos_placements
+    ):
+        from repro.runtime import (
+            AllocationService,
+            FaultPlan,
+            PoolOptions,
+            ResilienceOptions,
+            ServiceOptions,
+        )
+
+        # Every worker wedges past the pool's task timeout on the first
+        # attempt; the serial retry finds the fault cleared but knows
+        # SLSQP just burned a full timeout, so it degrades.  The swing
+        # search is the first non-SLSQP chain member -- the caller gets
+        # a near-optimal answer, not the heuristic floor.
+        plan = FaultPlan(
+            seed=5, slow_solve_probability=1.0, slow_solve_seconds=1.5,
+            fault_attempts=1,
+        )
+        service = AllocationService(
+            chaos_scene,
+            options=ServiceOptions(
+                pool=PoolOptions(max_workers=2, task_timeout=0.5),
+                resilience=ResilienceOptions(breaker_failure_threshold=10),
+                faults=plan,
+            ),
+        )
+        requests = _chaos_requests(
+            chaos_placements, [0, 1, 2], solver="optimal"
+        )
+        results = service.handle_batch(requests)
+        assert len(results) == len(requests)
+        for request, result in zip(requests, results):
+            assert result.request.tag == request.tag
+            assert result.degraded
+            assert result.solver_used == "swing"
+            assert np.isfinite(result.swings).all()
+            assert result.system_throughput > 0.0
+        counters = service.health()["resilience"]
+        assert counters["resilience.degraded_solves"] == len(requests)
+
+    def test_swing_fallback_is_deterministic(
+        self, chaos_scene, chaos_placements
+    ):
+        from repro.runtime import (
+            AllocationService,
+            FaultPlan,
+            PoolOptions,
+            ResilienceOptions,
+            ServiceOptions,
+        )
+
+        requests = _chaos_requests(chaos_placements, [0, 1], solver="optimal")
+        runs = []
+        for _ in range(2):
+            plan = FaultPlan(
+                seed=5, slow_solve_probability=1.0, slow_solve_seconds=1.5,
+                fault_attempts=1,
+            )
+            service = AllocationService(
+                chaos_scene,
+                options=ServiceOptions(
+                    pool=PoolOptions(max_workers=2, task_timeout=0.5),
+                    resilience=ResilienceOptions(
+                        breaker_failure_threshold=10
+                    ),
+                    faults=plan,
+                ),
+            )
+            runs.append(service.handle_batch(requests))
+        for first, second in zip(*runs):
+            np.testing.assert_array_equal(first.swings, second.swings)
+            assert first.solver_used == second.solver_used == "swing"
+
+    def test_swing_request_degrades_past_expired_deadline(
+        self, chaos_scene, chaos_placements
+    ):
+        from repro.runtime import AllocationService, FaultPlan, ServiceOptions
+
+        # A wedged swing solve blows the request deadline: binary is
+        # SLSQP (skipped after a timeout) and the remaining chain gets
+        # no budget, so the last-resort heuristic answers, flagged.
+        plan = FaultPlan(
+            seed=0, slow_solve_probability=1.0, slow_solve_seconds=0.5
+        )
+        service = AllocationService(
+            chaos_scene, options=ServiceOptions(faults=plan)
+        )
+        requests = _chaos_requests(
+            chaos_placements, [0, 1],
+            solver="swing", deadline_seconds=0.05,
+        )
+        results = service.handle_batch(requests)
+        for request, result in zip(requests, results):
+            assert result.request.tag == request.tag
+            assert result.degraded
+            assert result.deadline_exceeded
+            assert result.solver_used == "heuristic"
+            assert np.isfinite(result.swings).all()

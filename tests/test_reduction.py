@@ -231,6 +231,40 @@ class TestWarmStart:
         assert warm.is_feasible
         assert warm.utility >= cold.utility - 1e-6
 
+    def test_dominating_warm_start_skips_redundant_starts(self, small_problem):
+        from repro.runtime import MetricsRegistry
+
+        cold = solve_optimal(small_problem, OptimizerOptions(restarts=0))
+        metrics = MetricsRegistry()
+        warm = ContinuousOptimizer(
+            OptimizerOptions(restarts=2, warm_start=cold.swings),
+            metrics=metrics,
+        ).solve(small_problem)
+        assert warm.utility >= cold.utility - 1e-6
+        # The warm start dominates the heuristic anchor, so the anchor
+        # and both perturbed restarts are skipped (one SLSQP descent
+        # each) rather than re-derived.
+        counters = metrics.snapshot()["counters"]
+        assert counters["optimizer.starts_skipped"] == 3
+
+    def test_dominated_warm_start_keeps_anchor(self, small_problem):
+        from repro.runtime import MetricsRegistry
+
+        # An all-zero warm start is worse than the heuristic anchor:
+        # nothing may be skipped, or a bad cache hint could pin the
+        # solver to a poor basin.
+        metrics = MetricsRegistry()
+        warm = ContinuousOptimizer(
+            OptimizerOptions(
+                restarts=0, warm_start=np.zeros_like(small_problem.channel)
+            ),
+            metrics=metrics,
+        ).solve(small_problem)
+        cold = solve_optimal(small_problem, OptimizerOptions(restarts=0))
+        assert warm.utility >= cold.utility - 1e-6
+        counters = metrics.snapshot()["counters"]
+        assert "optimizer.starts_skipped" not in counters
+
     def test_sweep_warm_starts_between_budgets(self, small_problem):
         optimizer = ContinuousOptimizer(OptimizerOptions(restarts=0))
         allocations = optimizer.sweep(small_problem, [0.1, 0.2, 0.3])

@@ -651,7 +651,13 @@ class TestBench:
     def test_cli_solver_choices_match_registry(self):
         # The argparse choices are a literal (cli keeps heavy imports
         # lazy); this pins the literal to the actual solver registry.
-        assert set(SOLVERS) == {"binary", "greedy", "heuristic", "optimal"}
+        assert set(SOLVERS) == {
+            "binary",
+            "greedy",
+            "heuristic",
+            "optimal",
+            "swing",
+        }
 
     def test_cli_metrics_prometheus_stdout(self, capsys):
         code = cli_main(["metrics", "--requests", "6", "--distinct", "2"])
