@@ -174,44 +174,64 @@ class LayeringRule(Rule):
         "must never import repro.runtime or repro.cluster; tracing "
         "crosses the boundary via repro.tracecontext only.  The cluster "
         "layer sits above the runtime, so repro.cluster may import "
-        "repro.runtime but never the reverse"
+        "repro.runtime but never the reverse.  repro.scenarios sits "
+        "above both serving layers: it may import runtime/cluster, but "
+        "nothing at or below the serving layers imports repro.scenarios"
     )
 
     PROTECTED = ("repro.core", "repro.channel", "repro.optics", "repro.illumination")
     FORBIDDEN = ("repro.runtime", "repro.cluster")
+    #: Layers at or below serving that must never reach up into the
+    #: scenario catalog (only the CLI and the scenarios package itself
+    #: may import it).
+    BELOW_SCENARIOS = PROTECTED + FORBIDDEN + (
+        "repro.geometry",
+        "repro.system",
+    )
+    SCENARIOS = "repro.scenarios"
 
-    def _forbidden(self, target: Optional[str]) -> bool:
+    def _matches(self, target: Optional[str], layers: Sequence[str]) -> bool:
         if target is None:
             return False
         return any(
             target == layer or target.startswith(layer + ".")
-            for layer in self.FORBIDDEN
+            for layer in layers
         )
 
+    def _check_target(
+        self, info: ModuleInfo, line: int, target: Optional[str]
+    ) -> Iterator[Violation]:
+        if _in_module(info, self.PROTECTED) and self._matches(
+            target, self.FORBIDDEN
+        ):
+            yield self._violation(
+                info, line,
+                f"layer {info.module!r} imports {target!r}; the "
+                "serving layers (runtime/cluster) sit above this "
+                "layer (use repro.tracecontext for span attributes)",
+            )
+        if _in_module(info, self.BELOW_SCENARIOS) and self._matches(
+            target, (self.SCENARIOS,)
+        ):
+            yield self._violation(
+                info, line,
+                f"layer {info.module!r} imports {target!r}; the "
+                "scenario catalog sits above the serving layers -- "
+                "hand workloads down as (scene, requests) instead",
+            )
+
     def check(self, info: ModuleInfo) -> Iterator[Violation]:
-        if not _in_module(info, self.PROTECTED):
+        if not _in_module(info, self.PROTECTED + self.BELOW_SCENARIOS):
             return
         for node in ast.walk(info.tree):
             if isinstance(node, ast.Import):
                 for alias in node.names:
-                    if self._forbidden(alias.name):
-                        yield self._violation(
-                            info, node.lineno,
-                            f"layer {info.module!r} imports "
-                            f"{alias.name!r}; the serving layers "
-                            "(runtime/cluster) sit above this layer (use "
-                            "repro.tracecontext for span attributes)",
-                        )
+                    yield from self._check_target(
+                        info, node.lineno, alias.name
+                    )
             elif isinstance(node, ast.ImportFrom):
                 target = _resolve_import_from(info, node)
-                if self._forbidden(target):
-                    yield self._violation(
-                        info, node.lineno,
-                        f"layer {info.module!r} imports {target!r}; the "
-                        "serving layers (runtime/cluster) sit above this "
-                        "layer (use repro.tracecontext for span "
-                        "attributes)",
-                    )
+                yield from self._check_target(info, node.lineno, target)
 
 
 # ----------------------------------------------------------------------

@@ -26,6 +26,12 @@ from .los import (
     node_gain,
     vertical_los_gain,
 )
+from .mirror import (
+    WallMirror,
+    mirror_augmented_channel_matrix,
+    mirror_channel_matrix,
+    mirror_gain,
+)
 from .nlos import floor_reflection_gain, reflected_pilot_current
 from .noise import AWGNNoise, DetailedNoise
 from .sinr import (
@@ -63,6 +69,10 @@ __all__ = [
     "los_gain_stack",
     "node_gain",
     "vertical_los_gain",
+    "WallMirror",
+    "mirror_augmented_channel_matrix",
+    "mirror_channel_matrix",
+    "mirror_gain",
     "floor_reflection_gain",
     "reflected_pilot_current",
     "AWGNNoise",

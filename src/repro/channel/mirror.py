@@ -1,0 +1,227 @@
+"""Mirror-augmented NLOS channel via specular wall reflections.
+
+MirrorVLC (arXiv:2012.01228) shows that a small wall mirror adds a
+strong *specular* NLOS path on top of the weak diffuse bounce: unlike a
+Lambertian wall patch, a mirror preserves the beam, so the reflected
+path behaves like a line-of-sight link from the transmitter's mirror
+*image*.  This module layers that option on the existing single-bounce
+machinery (:func:`repro.channel.nlos.floor_reflection_gain` stays the
+diffuse floor path; :func:`repro.channel.diffuse` the matte walls):
+
+- :class:`WallMirror` -- a rectangular mirror mounted flat on one of the
+  four walls;
+- :func:`mirror_gain` -- the image-method gain of one TX -> mirror -> RX
+  path (zero when the specular ray misses the mirror aperture);
+- :func:`mirror_channel_matrix` -- the (N, M) specular-only matrix;
+- :func:`mirror_augmented_channel_matrix` -- LOS plus every mirror path,
+  the drop-in H for coverage studies of mirror deployments.
+
+The image method: reflect the TX (position and orientation) across the
+mirror's wall plane, then evaluate the ordinary Eq. 2 LOS gain from the
+image to the RX, scaled by the mirror's reflectivity -- valid exactly
+when the image-to-RX ray crosses the wall plane inside the mirror
+rectangle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ChannelError, GeometryError
+from ..geometry import Room
+from ..optics import Photodiode
+from ..system import Scene
+from .los import los_gain
+
+__all__ = [
+    "WallMirror",
+    "mirror_gain",
+    "mirror_channel_matrix",
+    "mirror_augmented_channel_matrix",
+]
+
+#: Wall identifiers: plane x=0, x=width, y=0, y=depth.
+_WALLS = ("x0", "x1", "y0", "y1")
+
+
+@dataclass(frozen=True)
+class WallMirror:
+    """A rectangular specular mirror mounted flat on one wall.
+
+    Attributes:
+        wall: one of ``x0``/``x1``/``y0``/``y1`` (the plane the mirror
+            lies in: x=0, x=width, y=0, y=depth respectively).
+        center_along: center coordinate along the wall [m] (y for the
+            x-walls, x for the y-walls).
+        center_height: center height above the floor [m].
+        width: extent along the wall [m].
+        height: vertical extent [m].
+        reflectivity: specular reflectivity in (0, 1]; ~0.9-0.98 for a
+            household mirror.
+    """
+
+    wall: str
+    center_along: float
+    center_height: float
+    width: float
+    height: float
+    reflectivity: float = 0.95
+
+    def __post_init__(self) -> None:
+        if self.wall not in _WALLS:
+            raise GeometryError(
+                f"wall must be one of {_WALLS}, got {self.wall!r}"
+            )
+        if self.width <= 0 or self.height <= 0:
+            raise GeometryError(
+                f"mirror extent must be positive, got "
+                f"{self.width} x {self.height}"
+            )
+        if not 0.0 < self.reflectivity <= 1.0:
+            raise GeometryError(
+                f"reflectivity must be in (0, 1], got {self.reflectivity}"
+            )
+        if self.center_height - self.height / 2.0 < 0.0:
+            raise GeometryError("mirror extends below the floor")
+
+    def validate_in(self, room: Room) -> None:
+        """Raise :class:`GeometryError` if the mirror overhangs *room*."""
+        along_max = (
+            room.depth if self.wall in ("x0", "x1") else room.width
+        )
+        if (
+            self.center_along - self.width / 2.0 < 0.0
+            or self.center_along + self.width / 2.0 > along_max
+        ):
+            raise GeometryError(
+                f"mirror on wall {self.wall!r} overhangs the room "
+                f"(center {self.center_along}, width {self.width})"
+            )
+        if self.center_height + self.height / 2.0 > room.tx_height:
+            raise GeometryError("mirror extends above the ceiling plane")
+
+    # -- plane geometry --------------------------------------------------
+
+    def _plane(self, room: Room) -> Tuple[int, float]:
+        """(axis index, plane coordinate) of the mirror's wall plane."""
+        if self.wall == "x0":
+            return 0, 0.0
+        if self.wall == "x1":
+            return 0, room.width
+        if self.wall == "y0":
+            return 1, 0.0
+        return 1, room.depth
+
+    def image_of(
+        self, position: np.ndarray, room: Room
+    ) -> np.ndarray:
+        """The mirror image of a 3-D point across the wall plane."""
+        axis, plane = self._plane(room)
+        image = np.asarray(position, dtype=float).copy()
+        image[axis] = 2.0 * plane - image[axis]
+        return image
+
+    def image_orientation(
+        self, orientation: np.ndarray, room: Room
+    ) -> np.ndarray:
+        """A unit orientation reflected across the wall plane."""
+        axis, _ = self._plane(room)
+        mirrored = np.asarray(orientation, dtype=float).copy()
+        mirrored[axis] = -mirrored[axis]
+        return mirrored
+
+    def intercepts(
+        self, image: np.ndarray, rx_position: np.ndarray, room: Room
+    ) -> bool:
+        """Whether the image -> RX segment crosses inside the mirror."""
+        axis, plane = self._plane(room)
+        image = np.asarray(image, dtype=float)
+        rx = np.asarray(rx_position, dtype=float)
+        denominator = rx[axis] - image[axis]
+        if denominator == 0.0:
+            return False
+        t = (plane - image[axis]) / denominator
+        if not 0.0 < t < 1.0:
+            return False
+        hit = image + t * (rx - image)
+        along_axis = 1 - axis  # y for x-walls, x for y-walls
+        return (
+            abs(hit[along_axis] - self.center_along) <= self.width / 2.0
+            and abs(hit[2] - self.center_height) <= self.height / 2.0
+        )
+
+
+def mirror_gain(
+    tx_position: np.ndarray,
+    tx_orientation: np.ndarray,
+    lambertian_order: float,
+    rx_position: np.ndarray,
+    rx_orientation: np.ndarray,
+    photodiode: Photodiode,
+    mirror: WallMirror,
+    room: Room,
+) -> float:
+    """Specular TX -> mirror -> RX gain by the image method.
+
+    Zero when the specular ray misses the mirror rectangle, when either
+    endpoint is behind the reflected beam, or when the incidence falls
+    outside the photodiode FOV -- all of which :func:`los_gain` on the
+    image already enforces.
+    """
+    mirror.validate_in(room)
+    image = mirror.image_of(tx_position, room)
+    if not mirror.intercepts(image, rx_position, room):
+        return 0.0
+    gain = los_gain(
+        image,
+        mirror.image_orientation(tx_orientation, room),
+        lambertian_order,
+        np.asarray(rx_position, dtype=float),
+        np.asarray(rx_orientation, dtype=float),
+        photodiode,
+    )
+    return mirror.reflectivity * gain
+
+
+def mirror_channel_matrix(
+    scene: Scene, mirrors: Sequence[WallMirror]
+) -> np.ndarray:
+    """The (N, M) specular-only gain matrix summed over *mirrors*.
+
+    Entry ``[j, m]`` is the total mirror-path gain from TX ``j`` to RX
+    ``m``; add it to :func:`~repro.channel.los.channel_matrix` (or use
+    :func:`mirror_augmented_channel_matrix`) for the combined channel.
+    """
+    if not mirrors:
+        raise ChannelError("need at least one mirror")
+    for mirror in mirrors:
+        mirror.validate_in(scene.room)
+    matrix = np.zeros((scene.num_transmitters, scene.num_receivers))
+    for j, tx in enumerate(scene.transmitters):
+        for m, rx in enumerate(scene.receivers):
+            matrix[j, m] = sum(
+                mirror_gain(
+                    tx.position,
+                    tx.orientation,
+                    tx.led.lambertian_order,
+                    rx.position,
+                    rx.orientation,
+                    rx.photodiode,
+                    mirror,
+                    scene.room,
+                )
+                for mirror in mirrors
+            )
+    return matrix
+
+
+def mirror_augmented_channel_matrix(
+    scene: Scene, mirrors: Sequence[WallMirror]
+) -> np.ndarray:
+    """LOS plus specular mirror paths: the MirrorVLC channel."""
+    from .los import channel_matrix
+
+    return channel_matrix(scene) + mirror_channel_matrix(scene, mirrors)

@@ -196,6 +196,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         "bench", help="benchmark the allocation-serving runtime engine"
     )
     bench_parser.add_argument(
+        "--scenario",
+        default=None,
+        metavar="NAME",
+        help="serve a named repro.scenarios workload instead of the "
+        "random placement mix ('list' prints the registry); --seed picks "
+        "the scenario seed, workload flags are ignored",
+    )
+    bench_parser.add_argument(
         "--requests", type=int, default=100, help="number of requests to serve"
     )
     bench_parser.add_argument(
@@ -277,6 +285,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     cluster_parser = subparsers.add_parser(
         "cluster-bench",
         help="benchmark the sharded cluster against a single service",
+    )
+    cluster_parser.add_argument(
+        "--scenario",
+        default=None,
+        metavar="NAME",
+        help="serve a named repro.scenarios workload instead of the "
+        "mixed-room generator ('list' prints the registry); --seed picks "
+        "the scenario seed, workload flags are ignored",
     )
     cluster_parser.add_argument(
         "--shards", type=int, default=4, help="number of service shards"
@@ -419,6 +435,36 @@ def main(argv: Optional[List[str]] = None) -> int:
             run_benchmark,
         )
 
+        if args.scenario is not None:
+            from .scenarios import run_scenario_benchmark, scenario_names
+
+            if args.scenario == "list":
+                for name in scenario_names():
+                    print(name)
+                return 0
+            try:
+                scenario_report = run_scenario_benchmark(
+                    args.scenario,
+                    seed=args.seed,
+                    workers=args.workers,
+                    cache_capacity=args.cache_size,
+                )
+            except DenseVLCError as exc:
+                print(f"repro bench: error: {exc}", file=sys.stderr)
+                return 2
+            if args.json is not None:
+                payload = json.dumps(
+                    scenario_report.as_dict(), indent=2, sort_keys=True
+                )
+                if args.json == "-":
+                    print(payload)
+                else:
+                    with open(args.json, "w", encoding="utf-8") as handle:
+                        handle.write(payload + "\n")
+            for line in scenario_report.lines():
+                print(line)
+            return 0
+
         tracing = args.trace is not None or args.trace_events is not None
         exposing = args.metrics_json is not None or args.metrics_prom is not None
         try:
@@ -493,22 +539,44 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .cluster.bench import _shard_service_options
         from .errors import DenseVLCError
 
+        if args.scenario == "list":
+            from .scenarios import scenario_names
+
+            for name in scenario_names():
+                print(name)
+            return 0
         try:
+            scenario_scene = None
+            scenario_workload = None
+            if args.scenario is not None:
+                from .scenarios import scenario_cluster_workload
+
+                scenario_scene, scenario_workload, instance = (
+                    scenario_cluster_workload(args.scenario, seed=args.seed)
+                )
+                print(
+                    f"scenario            {instance.name} "
+                    f"(seed {instance.seed}, digest "
+                    f"{instance.workload_digest()})"
+                )
             controller = None
             if args.metrics_prom is not None:
                 # Pre-build the controller so its registries stay
                 # readable after the run; the workload is a pure
                 # function of the seed, so the scene matches.
-                scene, _ = cluster_workload(
-                    requests=args.requests,
-                    distinct_placements=args.distinct,
-                    hot_rooms=args.hot_rooms,
-                    hot_fraction=args.hot_fraction,
-                    solver=args.solver,
-                    power_budget=args.budget,
-                    deadline_seconds=args.deadline,
-                    seed=args.seed,
-                )
+                if scenario_scene is not None:
+                    scene = scenario_scene
+                else:
+                    scene, _ = cluster_workload(
+                        requests=args.requests,
+                        distinct_placements=args.distinct,
+                        hot_rooms=args.hot_rooms,
+                        hot_fraction=args.hot_fraction,
+                        solver=args.solver,
+                        power_budget=args.budget,
+                        deadline_seconds=args.deadline,
+                        seed=args.seed,
+                    )
                 controller = ClusterController(
                     scene,
                     options=ClusterOptions(
@@ -532,6 +600,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 baseline=not args.no_baseline,
                 knee=args.knee,
                 controller=controller,
+                scene=scenario_scene,
+                workload=scenario_workload,
             )
         except DenseVLCError as exc:
             print(f"repro cluster-bench: error: {exc}", file=sys.stderr)

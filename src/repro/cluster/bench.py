@@ -288,10 +288,13 @@ def _per_shard_stats(controller: ClusterController) -> Dict[str, Dict[str, float
     for shard in controller.shards():
         registry = shard.service.metrics
         sojourn = registry.histogram("frontend.sojourn_seconds")
+        # A shard may have served nothing (all its keys shed or routed
+        # around an open breaker); percentiles are undefined then.
+        served_any = sojourn.count > 0
         stats[shard.shard_id] = {
             "requests": registry.counter("service.requests").value,
-            "p50_latency_ms": 1e3 * sojourn.percentile(50.0),
-            "p95_latency_ms": 1e3 * sojourn.percentile(95.0),
+            "p50_latency_ms": 1e3 * sojourn.percentile(50.0) if served_any else 0.0,
+            "p95_latency_ms": 1e3 * sojourn.percentile(95.0) if served_any else 0.0,
             "channel_hit_rate": shard.service.channel_hit_rate,
             "allocation_hit_rate": shard.service.allocation_hit_rate,
         }
@@ -316,6 +319,8 @@ def run_cluster_benchmark(
     knee: bool = False,
     tracer: Optional[Tracer] = None,
     controller: Optional[ClusterController] = None,
+    scene: Optional[Scene] = None,
+    workload: Optional[Sequence[AllocationRequest]] = None,
 ) -> ClusterBenchReport:
     """Benchmark the cluster on a seeded mixed-room workload.
 
@@ -325,17 +330,37 @@ def run_cluster_benchmark(
     workload is also served sequentially by a single fresh
     :class:`AllocationService` for the speedup comparison; *knee* adds
     an escalating-rate sweep on a fresh cluster afterwards.
+
+    An explicit ``(scene, workload)`` pair -- e.g. a named
+    ``repro.scenarios`` trace handed down by the CLI -- replaces the
+    built-in mixed-room generator; both must be given together so the
+    requests match the scene's receiver count.
     """
-    scene, workload = cluster_workload(
-        requests=requests,
-        distinct_placements=distinct_placements,
-        hot_rooms=hot_rooms,
-        hot_fraction=hot_fraction,
-        solver=solver,
-        power_budget=power_budget,
-        deadline_seconds=deadline_seconds,
-        seed=seed,
-    )
+    if (scene is None) != (workload is None):
+        raise ClusterError(
+            "scene and workload must be provided together or not at all"
+        )
+    if scene is None or workload is None:
+        scene, generated = cluster_workload(
+            requests=requests,
+            distinct_placements=distinct_placements,
+            hot_rooms=hot_rooms,
+            hot_fraction=hot_fraction,
+            solver=solver,
+            power_budget=power_budget,
+            deadline_seconds=deadline_seconds,
+            seed=seed,
+        )
+        workload = generated
+    else:
+        if not workload:
+            raise ClusterError("an injected workload must be non-empty")
+        workload = list(workload)
+        requests = len(workload)
+        distinct_placements = len(
+            {request.rx_positions_xy for request in workload}
+        )
+        solver = workload[0].solver
     if controller is None:
         controller = ClusterController(
             scene,
@@ -386,7 +411,7 @@ def run_cluster_benchmark(
             coalesced / submitted if submitted > 0 else 0.0
         ),
         dispatches=int(dispatches),
-        mean_batch_size=batch_hist.mean,
+        mean_batch_size=batch_hist.mean if batch_hist.count else 0.0,
         shed_by_reason=shed_by_reason,
         per_shard=_per_shard_stats(controller),
     )

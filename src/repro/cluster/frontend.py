@@ -131,7 +131,7 @@ class ClusterFrontend:
         self.metrics = controller.metrics
         self.tracer = controller.tracer
         self._queues: Dict[str, "asyncio.Queue[_QueueItem]"] = {}
-        self._workers: List["asyncio.Task[None]"] = []
+        self._workers: Dict[str, "asyncio.Task[None]"] = {}
         self._inflight: Dict[CoalesceKey, "asyncio.Future[AllocationResult]"]
         self._inflight = {}
         self._ema: Dict[str, float] = {}
@@ -154,14 +154,13 @@ class ClusterFrontend:
         for shard in shards:
             queue: "asyncio.Queue[_QueueItem]" = asyncio.Queue()
             self._queues[shard.shard_id] = queue
-            self._ema.setdefault(
-                shard.shard_id, self.options.initial_service_seconds
-            )
-            self._workers.append(
-                loop.create_task(
-                    self._worker(shard, queue),
-                    name=f"cluster-frontend:{shard.shard_id}",
-                )
+            # A fresh start always seeds a fresh estimate: carrying an
+            # EMA across stop()/start() would let a re-added shard ID
+            # inherit another incarnation's service times.
+            self._ema[shard.shard_id] = self.options.initial_service_seconds
+            self._workers[shard.shard_id] = loop.create_task(
+                self._worker(shard, queue),
+                name=f"cluster-frontend:{shard.shard_id}",
             )
         self._started = True
 
@@ -171,14 +170,39 @@ class ClusterFrontend:
             return
         for queue in self._queues.values():
             queue.put_nowait(None)
-        await asyncio.gather(*self._workers)
+        await asyncio.gather(*self._workers.values())
         if self._executor is not None:
             self._executor.shutdown(wait=True)
         self._queues.clear()
         self._workers.clear()
         self._inflight.clear()
+        self._ema.clear()
         self._executor = None
         self._started = False
+
+    async def remove_shard(self, shard_id: str) -> None:
+        """Drain one shard and drop every piece of its frontend state.
+
+        The shard is retired from the controller's ring first (so new
+        submissions route elsewhere), its worker then finishes whatever
+        is already queued against it, and finally the per-shard queue,
+        worker and EMA entries are discarded -- a shard later re-added
+        under the same ID starts from a fresh service-time estimate
+        instead of inheriting the old incarnation's.
+
+        Raises :class:`ClusterError` for an unknown shard or when this
+        is the controller's last shard.
+        """
+        if not self._started:
+            raise ClusterError("frontend is not started")
+        self.controller.remove_shard(shard_id)
+        queue = self._queues.pop(shard_id, None)
+        worker = self._workers.pop(shard_id, None)
+        self._ema.pop(shard_id, None)
+        if queue is not None:
+            queue.put_nowait(None)
+        if worker is not None:
+            await worker
 
     async def __aenter__(self) -> "ClusterFrontend":
         await self.start()
@@ -279,13 +303,22 @@ class ClusterFrontend:
                     f"{estimate * 1e3:.2f} ms at depth {depth}"
                 )
 
-        loop = asyncio.get_running_loop()
-        future: "asyncio.Future[AllocationResult]" = loop.create_future()
         deadline = (
             Deadline.after(request.deadline_seconds)
             if request.deadline_seconds is not None
             else Deadline()
         )
+        if deadline.expired:
+            # A budget so small it is spent by admission time must never
+            # enter the queue only to be late-shed after a pointless wait.
+            self._count_shed("expired")
+            self._finish_shed_span(root, "expired")
+            raise RequestShedError(
+                f"deadline {request.deadline_seconds}s already spent "
+                "at admission"
+            )
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future[AllocationResult]" = loop.create_future()
         pending = _Pending(
             request=request,
             future=future,

@@ -1,6 +1,7 @@
 """Geometry substrate: vectors, rooms, TX grids and receiver mobility."""
 
 from .mobility import (
+    HotspotModel,
     MobilityModel,
     RandomWalkModel,
     RandomWaypointModel,
@@ -28,6 +29,7 @@ from .vectors import (
 )
 
 __all__ = [
+    "HotspotModel",
     "MobilityModel",
     "RandomWalkModel",
     "RandomWaypointModel",

@@ -10,6 +10,8 @@ for the mobility examples and the adaptation benchmarks:
 - :class:`RandomWaypointModel` -- the classic random-waypoint model inside
   the room footprint.
 - :class:`RandomWalkModel` -- a bounded Gauss-Markov-style random walk.
+- :class:`HotspotModel` -- dwell near attraction points (desks, exhibits),
+  hop between them; the clustered arrivals behind cache/coalescing wins.
 
 All models expose ``position_at(t)`` (a single RX) and ``sample(times)``.
 """
@@ -140,6 +142,92 @@ class RandomWaypointModel(MobilityModel):
         frac = 0.0 if t1 == t0 else (t - t0) / (t1 - t0)
         frac = min(max(frac, 0.0), 1.0)
         pos = self._waypoints[idx] + frac * (self._waypoints[idx + 1] - self._waypoints[idx])
+        return (float(pos[0]), float(pos[1]))
+
+
+@dataclass
+class HotspotModel(MobilityModel):
+    """Hotspot mobility: dwell near attraction points, hop between them.
+
+    Receivers spend ``dwell_seconds`` (exponentially jittered) parked at
+    a Gaussian offset around one of the *hotspots*, then walk at *speed*
+    to an offset around another hotspot.  Deterministic given the seed;
+    the lazily extended anchor schedule mirrors
+    :class:`RandomWaypointModel`.
+
+    Attributes:
+        room: the room footprint; anchors are clamped *margin* inside it.
+        hotspots: XY attraction centers [m]; at least one.
+        sigma: std-dev of the Gaussian offset around a hotspot [m].
+        dwell_seconds: mean dwell time at an anchor before hopping [s].
+        speed: hop movement speed [m/s].
+        seed: RNG seed (None -> nondeterministic; scenarios always set it).
+        margin: minimum distance kept from the walls [m].
+    """
+
+    room: Room
+    hotspots: Sequence[Tuple[float, float]]
+    sigma: float = 0.3
+    dwell_seconds: float = 4.0
+    speed: float = 0.8
+    seed: Optional[int] = None
+    margin: float = 0.2
+
+    def __post_init__(self) -> None:
+        if not self.hotspots:
+            raise GeometryError("a hotspot model needs at least one hotspot")
+        if self.sigma < 0:
+            raise GeometryError(f"sigma must be >= 0, got {self.sigma}")
+        if self.dwell_seconds <= 0 or self.speed <= 0:
+            raise GeometryError("dwell_seconds and speed must be positive")
+        for x, y in self.hotspots:
+            if not self.room.contains_xy(float(x), float(y)):
+                raise GeometryError(
+                    f"hotspot ({x}, {y}) outside the room footprint"
+                )
+        self._rng = np.random.default_rng(self.seed)
+        # Segments: (start_time, end_time, start_xy, end_xy); a dwell is
+        # a segment whose endpoints coincide.
+        first = self._draw_anchor()
+        self._anchors: List[np.ndarray] = [first]
+        self._times: List[float] = [0.0]
+        self._dwelling = True
+
+    def _draw_anchor(self) -> np.ndarray:
+        index = int(self._rng.integers(0, len(self.hotspots)))
+        center = np.asarray(self.hotspots[index], dtype=float)
+        offset = self._rng.normal(0.0, self.sigma, size=2)
+        x = float(np.clip(center[0] + offset[0], self.margin, self.room.width - self.margin))
+        y = float(np.clip(center[1] + offset[1], self.margin, self.room.depth - self.margin))
+        return np.array([x, y])
+
+    def _extend_until(self, t: float) -> None:
+        # Alternate dwell segments (anchor repeated) and travel segments.
+        while len(self._times) < 2 or self._times[-1] < t + 1e-12:
+            if self._dwelling:
+                dwell = float(self._rng.exponential(self.dwell_seconds))
+                self._anchors.append(self._anchors[-1])
+                self._times.append(self._times[-1] + max(dwell, 1e-6))
+                self._dwelling = False
+            else:
+                target = self._draw_anchor()
+                leg = float(np.linalg.norm(target - self._anchors[-1]))
+                if leg < 1e-9:
+                    continue  # same anchor drawn twice; redraw
+                self._anchors.append(target)
+                self._times.append(self._times[-1] + leg / self.speed)
+                self._dwelling = True
+
+    def position_at(self, t: float) -> Tuple[float, float]:
+        if t < 0:
+            raise GeometryError(f"time must be >= 0, got {t}")
+        self._extend_until(t)
+        idx = int(np.searchsorted(self._times, t, side="right")) - 1
+        idx = max(0, min(idx, len(self._times) - 2))
+        t0, t1 = self._times[idx], self._times[idx + 1]
+        frac = 0.0 if t1 == t0 else (t - t0) / (t1 - t0)
+        frac = min(max(frac, 0.0), 1.0)
+        pos = self._anchors[idx] + frac * (self._anchors[idx + 1] - self._anchors[idx])
         return (float(pos[0]), float(pos[1]))
 
 

@@ -136,17 +136,30 @@ class Histogram:
 
     @property
     def mean(self) -> float:
+        """The exact mean over the full stream.
+
+        Raises :class:`ConfigurationError` on an empty histogram -- the
+        mean of zero observations is undefined, and silently returning
+        0.0 hid empty-reservoir bugs in report code.
+        """
         with self._lock:
-            return self.total / self.count if self.count else 0.0
+            if not self.count:
+                raise ConfigurationError(
+                    "mean of an empty histogram is undefined"
+                )
+            return self.total / self.count
 
     @staticmethod
     def _percentile(reservoir: "List[float]", q: float) -> float:
-        if not reservoir:
-            return 0.0
         return float(np.percentile(np.asarray(reservoir, dtype=float), q))
 
     def percentile(self, q: float) -> float:
-        """The *q*-th percentile (0-100) of the recent reservoir."""
+        """The *q*-th percentile (0-100) of the recent reservoir.
+
+        Raises :class:`ConfigurationError` when the reservoir is empty:
+        a percentile over zero observations is undefined, and the old
+        0.0 sentinel was indistinguishable from a real zero latency.
+        """
         if not 0.0 <= q <= 100.0:
             raise ConfigurationError(f"percentile must be in [0, 100], got {q}")
         # Copy under the lock, compute outside it: numpy percentile math
@@ -154,6 +167,10 @@ class Histogram:
         # behind it (rule R2 -- the PR 3 snapshot bug, one level down).
         with self._lock:
             recent = list(self._recent)
+        if not recent:
+            raise ConfigurationError(
+                "percentile of an empty histogram is undefined"
+            )
         return self._percentile(recent, q)
 
     def bucket_counts(self) -> Optional[List[int]]:
@@ -350,9 +367,13 @@ class MetricsRegistry:
                 _render_key(name, labels): g.value
                 for (name, labels), g in gauges.items()
             },
+            # Histograms with zero observations are omitted: an empty
+            # reservoir has no percentiles and a `{"count": 0}` stub
+            # only invites NaN math downstream.
             "histograms": {
-                _render_key(name, labels): h.as_dict()
+                _render_key(name, labels): stats
                 for (name, labels), h in histograms.items()
+                if (stats := h.as_dict())["count"]
             },
         }
 
@@ -457,7 +478,11 @@ def _render_exposition(
         metric = _prom_name(prefix, name)
         stats = histogram.as_dict()
         count = stats.get("count", 0)
-        total = count * stats.get("mean", 0.0) if count else 0.0
+        if not count:
+            # Never-observed histograms expose no series at all: a
+            # zero-quantile summary reads as "p95 was 0 s", not "no data".
+            continue
+        total = count * stats.get("mean", 0.0)
         # Bucket counts come from the same locked as_dict() read as
         # sum/count, so the exposed family is internally consistent.
         bucket_counts = stats.get("buckets")

@@ -27,6 +27,7 @@ current state.
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Hashable, Optional, Tuple
@@ -85,34 +86,62 @@ class Deadline:
     unbounded).  Deadlines are enforced entirely in the parent process
     -- workers never read them -- so they need no cross-process clock
     agreement.
+
+    ``expired`` and :meth:`remaining` are two views of the same clock
+    read: ``expired`` is exactly ``remaining() == 0.0`` for a bounded
+    deadline, so callers can never observe a request that reports zero
+    budget while claiming not to be expired (or the reverse).  The clock
+    is injectable for boundary tests.
     """
 
     expires_at: float = float("inf")
+    clock: Callable[[], float] = field(
+        default=time.monotonic, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if math.isnan(self.expires_at):
+            raise ConfigurationError("deadline expires_at must not be NaN")
 
     @classmethod
-    def after(cls, seconds: Optional[float]) -> "Deadline":
-        """A deadline *seconds* from now (None -> unbounded)."""
+    def after(
+        cls,
+        seconds: Optional[float],
+        clock: Callable[[], float] = time.monotonic,
+    ) -> "Deadline":
+        """A deadline *seconds* from now (None -> unbounded).
+
+        The budget must be a positive, finite number: zero and negative
+        budgets are rejected here (a deadline born expired would enter
+        queues only to be shed at dispatch), and NaN/inf are rejected
+        rather than silently producing a deadline that never expires
+        but reports a NaN remaining budget.
+        """
         if seconds is None:
-            return cls()
-        if seconds <= 0:
+            return cls(clock=clock)
+        if not math.isfinite(seconds) or seconds <= 0:
             raise ConfigurationError(
-                f"deadline must be positive, got {seconds}"
+                f"deadline must be positive and finite, got {seconds}"
             )
-        return cls(expires_at=time.monotonic() + seconds)
+        return cls(expires_at=clock() + seconds, clock=clock)
 
     @property
     def bounded(self) -> bool:
         return self.expires_at != float("inf")
 
-    def remaining(self) -> float:
-        """Seconds left (clamped at 0; ``inf`` when unbounded)."""
+    def _left(self) -> float:
+        """Raw signed budget from one clock read (``inf`` if unbounded)."""
         if not self.bounded:
             return float("inf")
-        return max(0.0, self.expires_at - time.monotonic())
+        return self.expires_at - self.clock()
+
+    def remaining(self) -> float:
+        """Seconds left (clamped at 0; ``inf`` when unbounded)."""
+        return max(0.0, self._left())
 
     @property
     def expired(self) -> bool:
-        return self.bounded and time.monotonic() >= self.expires_at
+        return self._left() <= 0.0
 
     def require(self, what: str = "operation") -> None:
         """Raise :class:`DeadlineExceeded` if the budget is spent."""
@@ -120,7 +149,11 @@ class Deadline:
             raise DeadlineExceeded(f"deadline expired before {what}")
 
     def cap(self, timeout: Optional[float]) -> Optional[float]:
-        """*timeout* tightened by the remaining budget (None = no cap)."""
+        """*timeout* tightened by the remaining budget (None = no cap).
+
+        An expired deadline caps to exactly ``0.0``; callers treat that
+        as an immediate timeout, never as "no timeout".
+        """
         if not self.bounded:
             return timeout
         remaining = self.remaining()
@@ -337,12 +370,12 @@ class ResilienceOptions:
     default_deadline_seconds: Optional[float] = None
 
     def __post_init__(self) -> None:
-        if (
-            self.default_deadline_seconds is not None
-            and self.default_deadline_seconds <= 0
+        if self.default_deadline_seconds is not None and (
+            not math.isfinite(self.default_deadline_seconds)
+            or self.default_deadline_seconds <= 0
         ):
             raise ConfigurationError(
-                f"default deadline must be positive, got "
+                f"default deadline must be positive and finite, got "
                 f"{self.default_deadline_seconds}"
             )
 

@@ -12,6 +12,7 @@ a random-placement workload and prints latency percentiles.
 
 from __future__ import annotations
 
+import math
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -91,9 +92,13 @@ class AllocationRequest:
             raise RuntimeEngineError(
                 f"unknown solver {self.solver!r}; available: {sorted(SOLVERS)}"
             )
-        if self.deadline_seconds is not None and self.deadline_seconds <= 0:
+        if self.deadline_seconds is not None and (
+            not math.isfinite(self.deadline_seconds)
+            or self.deadline_seconds <= 0
+        ):
             raise RuntimeEngineError(
-                f"deadline must be positive, got {self.deadline_seconds}"
+                f"deadline must be positive and finite, got "
+                f"{self.deadline_seconds}"
             )
 
 
@@ -615,6 +620,11 @@ class AllocationService:
             self._warm_memory.items()
         ):
             if entry_key[2] != solver:
+                continue
+            if entry_positions.shape != positions.shape:
+                # A different receiver count must never qualify: the
+                # subtraction below would broadcast instead of erroring
+                # and could seed a wrong-shaped start into the solver.
                 continue
             distance = float(
                 np.max(np.linalg.norm(entry_positions - positions, axis=1))

@@ -1,0 +1,59 @@
+"""Named, seeded, benchmarkable workloads for the serving stack.
+
+``repro.scenarios`` sits *above* the serving layers: it imports
+``repro.runtime`` and may feed ``repro.cluster``, but nothing below it
+imports this package (rule R1).  Importing the package registers every
+built-in scenario; list them with :func:`scenario_names` and run them
+with ``repro bench --scenario <name>`` or ``repro cluster-bench
+--scenario <name>``.
+"""
+
+from .base import (
+    ScenarioInstance,
+    ScenarioSpec,
+    TimedRequest,
+    build_scenario,
+    derive_seed,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+)
+from .bench import (
+    ScenarioBenchReport,
+    run_scenario_benchmark,
+    scenario_cluster_workload,
+)
+
+# Importing these modules registers the built-in scenarios.
+from . import mobility as _mobility  # noqa: F401
+from . import outages as _outages  # noqa: F401
+from . import placement as _placement  # noqa: F401
+from .mobility import fleet_trace
+from .outages import (
+    OutageEvent,
+    OutageTimeline,
+    compile_fault_plan,
+    sample_timeline,
+)
+from .placement import nongrid_scene, optimized_led_layout
+
+__all__ = [
+    "ScenarioInstance",
+    "ScenarioSpec",
+    "TimedRequest",
+    "build_scenario",
+    "derive_seed",
+    "get_scenario",
+    "register_scenario",
+    "scenario_names",
+    "ScenarioBenchReport",
+    "run_scenario_benchmark",
+    "scenario_cluster_workload",
+    "fleet_trace",
+    "OutageEvent",
+    "OutageTimeline",
+    "compile_fault_plan",
+    "sample_timeline",
+    "nongrid_scene",
+    "optimized_led_layout",
+]

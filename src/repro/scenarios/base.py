@@ -1,0 +1,218 @@
+"""Scenario core: the instance type, the seeding contract, the registry.
+
+A *scenario* is a named, seeded, benchmarkable workload: a scene, a
+timestamped request trace to play against it, and optionally a
+:class:`~repro.runtime.faults.FaultPlan` compiled from physically
+meaningful events (LED outages, degraded luminaires).  Scenarios are the
+bridge between the paper's static figures and the serving stack's
+dynamic reality -- mobility fleets, failures, placement variants.
+
+The seeding contract: ``build_scenario(name, seed)`` is a pure function
+of ``(name, seed)``.  Every random draw inside a builder comes from an
+RNG seeded by :func:`derive_seed` (a blake2b hash of the scenario name,
+the root seed and a per-stream label), never from global state, so the
+same pair reproduces the same trace bit-for-bit on any platform --
+:meth:`ScenarioInstance.workload_digest` pins exactly that in
+``benchmarks/results/BENCH_scenarios.json``.
+
+Builders register through :func:`register_scenario`::
+
+    @register_scenario("waypoint-fleet", "24 RXs random-waypoint", seed=0)
+    def _build(seed: int) -> ScenarioInstance: ...
+
+and the CLI resolves ``repro bench --scenario waypoint-fleet`` through
+:func:`build_scenario`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Mapping, Optional, Tuple
+
+from ..errors import ConfigurationError
+from ..runtime.faults import FaultPlan
+from ..runtime.service import AllocationRequest
+from ..system import Scene
+
+__all__ = [
+    "TimedRequest",
+    "ScenarioInstance",
+    "ScenarioSpec",
+    "register_scenario",
+    "scenario_names",
+    "get_scenario",
+    "build_scenario",
+    "derive_seed",
+]
+
+
+def derive_seed(root_seed: int, *stream: object) -> int:
+    """A per-stream child seed: blake2b of the root seed and labels.
+
+    Independent streams (one per receiver, per timeline, per layout)
+    must never share an RNG or consume from a common sequence --
+    otherwise adding one receiver would reshuffle every other
+    receiver's trajectory.  Deriving each stream's seed by hash keeps
+    streams independent *and* stable under composition.
+    """
+    payload = ":".join(repr(part) for part in (root_seed, *stream))
+    digest = hashlib.blake2b(payload.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+@dataclass(frozen=True)
+class TimedRequest:
+    """One trace entry: an allocation request and its arrival time."""
+
+    arrival_seconds: float
+    request: AllocationRequest
+
+    def __post_init__(self) -> None:
+        if self.arrival_seconds < 0:
+            raise ConfigurationError(
+                f"arrival must be >= 0, got {self.arrival_seconds}"
+            )
+
+
+@dataclass(frozen=True)
+class ScenarioInstance:
+    """A fully built scenario: scene + trace (+ faults), ready to serve.
+
+    Attributes:
+        name: the registry name this instance was built from.
+        seed: the root seed it was built with.
+        scene: the deployment the trace plays in; its receiver count is
+            the per-request group size, not the fleet size.
+        trace: timestamped requests in non-decreasing arrival order.
+        fault_plan: optional seeded chaos compiled from the scenario's
+            physical fault timeline (None for fault-free scenarios).
+        metadata: scenario-specific facts worth reporting (fleet size,
+            outage fraction, layout uplift, ...); values must be
+            JSON-serializable.
+    """
+
+    name: str
+    seed: int
+    scene: Scene
+    trace: Tuple[TimedRequest, ...]
+    fault_plan: Optional[FaultPlan] = None
+    metadata: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.trace:
+            raise ConfigurationError(f"scenario {self.name!r} has an empty trace")
+        arrivals = [t.arrival_seconds for t in self.trace]
+        if any(b < a for a, b in zip(arrivals, arrivals[1:])):
+            raise ConfigurationError(
+                f"scenario {self.name!r} trace is not sorted by arrival"
+            )
+        group = self.scene.num_receivers
+        for timed in self.trace:
+            if len(timed.request.rx_positions_xy) != group:
+                raise ConfigurationError(
+                    f"scenario {self.name!r}: request with "
+                    f"{len(timed.request.rx_positions_xy)} receivers in a "
+                    f"{group}-receiver scene"
+                )
+
+    @property
+    def requests(self) -> int:
+        return len(self.trace)
+
+    def workload_digest(self) -> str:
+        """A blake2b digest pinning the generated workload bit-for-bit.
+
+        Covers the scene (via its fingerprint), every trace entry's
+        arrival time and request payload, and the fault plan.  Two runs
+        of the same ``(name, seed)`` must produce the same digest on any
+        platform; ``benchmarks/test_bench_scenarios.py`` asserts the
+        committed values.
+        """
+        payload: list = [
+            ("scenario", self.name, self.seed),
+            ("scene", self.scene.fingerprint()),
+        ]
+        for timed in self.trace:
+            request = timed.request
+            payload.append(
+                (
+                    round(timed.arrival_seconds, 9),
+                    request.rx_positions_xy,
+                    float(request.power_budget),
+                    request.solver,
+                    float(request.kappa),
+                    request.tag,
+                    request.deadline_seconds,
+                )
+            )
+        if self.fault_plan is not None:
+            payload.append(("faults",) + dataclasses.astuple(self.fault_plan))
+        return hashlib.blake2b(
+            repr(payload).encode("utf-8"), digest_size=16
+        ).hexdigest()
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A registered scenario: name, doc line, default seed, builder."""
+
+    name: str
+    description: str
+    default_seed: int
+    builder: Callable[[int], ScenarioInstance]
+
+    def build(self, seed: Optional[int] = None) -> ScenarioInstance:
+        instance = self.builder(
+            self.default_seed if seed is None else int(seed)
+        )
+        if instance.name != self.name:
+            raise ConfigurationError(
+                f"builder for {self.name!r} returned an instance named "
+                f"{instance.name!r}"
+            )
+        return instance
+
+
+_REGISTRY: Dict[str, ScenarioSpec] = {}
+
+
+def register_scenario(
+    name: str, description: str, seed: int = 0
+) -> Callable[[Callable[[int], ScenarioInstance]], Callable[[int], ScenarioInstance]]:
+    """Class the decorated builder under *name* in the registry."""
+
+    def decorator(
+        builder: Callable[[int], ScenarioInstance]
+    ) -> Callable[[int], ScenarioInstance]:
+        if name in _REGISTRY:
+            raise ConfigurationError(f"scenario {name!r} is already registered")
+        _REGISTRY[name] = ScenarioSpec(
+            name=name,
+            description=description,
+            default_seed=seed,
+            builder=builder,
+        )
+        return builder
+
+    return decorator
+
+
+def scenario_names() -> Tuple[str, ...]:
+    """All registered scenario names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    spec = _REGISTRY.get(name)
+    if spec is None:
+        raise ConfigurationError(
+            f"unknown scenario {name!r}; available: {', '.join(scenario_names())}"
+        )
+    return spec
+
+
+def build_scenario(name: str, seed: Optional[int] = None) -> ScenarioInstance:
+    """Build the named scenario at *seed* (None -> its default seed)."""
+    return get_scenario(name).build(seed)

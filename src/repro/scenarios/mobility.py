@@ -1,0 +1,201 @@
+"""Mobility-fleet scenarios: tens of receivers streaming through the room.
+
+A *fleet* is many independently moving receivers, chunked into fixed-size
+groups -- one :class:`~repro.runtime.service.AllocationRequest` per group
+per epoch, because a scene (and therefore a service) has a fixed receiver
+count.  Receivers move in staggered phases: at each epoch only the
+receivers whose turn it is advance along their trajectory, the rest hold
+position.  That is deliberate -- a request whose placement differs from
+the previous epoch's in only *some* receivers is exactly what the
+runtime's incremental channel update (``channel_matrix_update``) and
+warm-start neighborhood were built for, so these traces exercise both at
+fleet scale.
+
+Two scenarios register here:
+
+- ``waypoint-fleet`` -- 24 receivers on seeded random-waypoint paths,
+  solved with the ``swing`` tier (warm-startable, milliseconds);
+- ``hotspot-fleet`` -- 32 receivers dwelling around three attraction
+  points (:class:`~repro.geometry.HotspotModel`); dwells produce repeat
+  placements, the cache/coalescing end of the spectrum.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from ..geometry import HotspotModel, MobilityModel, RandomWaypointModel
+from ..geometry.room import simulation_room
+from ..runtime.service import AllocationRequest
+from ..system import simulation_scene
+from .base import (
+    ScenarioInstance,
+    TimedRequest,
+    derive_seed,
+    register_scenario,
+)
+
+__all__ = ["fleet_trace", "build_waypoint_fleet", "build_hotspot_fleet"]
+
+#: Staggering: a receiver advances only on epochs where
+#: ``epoch % MOVE_PHASES == receiver_index % MOVE_PHASES``.
+MOVE_PHASES = 3
+
+
+def fleet_trace(
+    name: str,
+    models: Sequence[MobilityModel],
+    epochs: int,
+    dt: float,
+    group_size: int,
+    power_budget: float = 1.2,
+    solver: str = "heuristic",
+    kappa: Optional[float] = None,
+    deadline_seconds: Optional[float] = None,
+) -> Tuple[Tuple[TimedRequest, ...], List[List[Tuple[float, float]]]]:
+    """Compile a fleet of mobility models into a timestamped trace.
+
+    Returns the trace plus the epoch-0 group placements (the first
+    group seeds the scenario's scene).  Receiver ``i`` advances its
+    model clock only on its phase epochs (``i % MOVE_PHASES``), so
+    consecutive epochs differ in roughly ``1/MOVE_PHASES`` of each
+    group's receivers.
+    """
+    if group_size < 1 or len(models) % group_size != 0:
+        raise ConfigurationError(
+            f"fleet size {len(models)} is not divisible by group size "
+            f"{group_size}"
+        )
+    if epochs < 1 or dt <= 0:
+        raise ConfigurationError("need epochs >= 1 and dt > 0")
+    groups = len(models) // group_size
+    # Per-receiver model time: advanced only on that receiver's phase.
+    clocks = [0.0 for _ in models]
+    positions = [model.position_at(0.0) for model in models]
+    trace: List[TimedRequest] = []
+    first_epoch: List[List[Tuple[float, float]]] = []
+    for epoch in range(epochs):
+        arrival = epoch * dt
+        if epoch > 0:
+            for i, model in enumerate(models):
+                if epoch % MOVE_PHASES == i % MOVE_PHASES:
+                    clocks[i] += dt * MOVE_PHASES
+                    positions[i] = model.position_at(clocks[i])
+        for g in range(groups):
+            group = [
+                (round(float(x), 6), round(float(y), 6))
+                for x, y in positions[g * group_size : (g + 1) * group_size]
+            ]
+            if epoch == 0:
+                first_epoch.append(group)
+            extra = {} if kappa is None else {"kappa": kappa}
+            trace.append(
+                TimedRequest(
+                    arrival_seconds=arrival,
+                    request=AllocationRequest(
+                        rx_positions_xy=tuple(group),
+                        power_budget=power_budget,
+                        solver=solver,
+                        tag=f"{name}-e{epoch}-g{g}",
+                        deadline_seconds=deadline_seconds,
+                        **extra,
+                    ),
+                )
+            )
+    return tuple(trace), first_epoch
+
+
+@register_scenario(
+    "waypoint-fleet",
+    "24 random-waypoint receivers, swing solver, staggered motion",
+    seed=0,
+)
+def build_waypoint_fleet(seed: int) -> ScenarioInstance:
+    room = simulation_room()
+    fleet = 24
+    group_size = 4
+    models: List[MobilityModel] = [
+        RandomWaypointModel(
+            room=room,
+            speed=1.2,
+            seed=derive_seed(seed, "waypoint-fleet", "rx", i),
+            margin=0.3,
+        )
+        for i in range(fleet)
+    ]
+    trace, first_epoch = fleet_trace(
+        "waypoint-fleet",
+        models,
+        epochs=30,
+        dt=0.25,
+        group_size=group_size,
+        solver="swing",
+    )
+    scene = simulation_scene(first_epoch[0])
+    return ScenarioInstance(
+        name="waypoint-fleet",
+        seed=seed,
+        scene=scene,
+        trace=trace,
+        metadata={
+            "fleet_size": fleet,
+            "group_size": group_size,
+            "epochs": 30,
+            "dt_seconds": 0.25,
+            "model": "random-waypoint",
+            "solver": "swing",
+        },
+    )
+
+
+@register_scenario(
+    "hotspot-fleet",
+    "32 receivers dwelling around 3 hotspots, heavy cache locality",
+    seed=0,
+)
+def build_hotspot_fleet(seed: int) -> ScenarioInstance:
+    room = simulation_room()
+    fleet = 32
+    group_size = 4
+    hotspots = (
+        (room.width * 0.25, room.depth * 0.3),
+        (room.width * 0.7, room.depth * 0.25),
+        (room.width * 0.5, room.depth * 0.75),
+    )
+    models: List[MobilityModel] = [
+        HotspotModel(
+            room=room,
+            hotspots=hotspots,
+            sigma=0.25,
+            dwell_seconds=6.0,
+            speed=0.8,
+            seed=derive_seed(seed, "hotspot-fleet", "rx", i),
+            margin=0.3,
+        )
+        for i in range(fleet)
+    ]
+    trace, first_epoch = fleet_trace(
+        "hotspot-fleet",
+        models,
+        epochs=25,
+        dt=0.4,
+        group_size=group_size,
+        solver="heuristic",
+    )
+    scene = simulation_scene(first_epoch[0])
+    return ScenarioInstance(
+        name="hotspot-fleet",
+        seed=seed,
+        scene=scene,
+        trace=trace,
+        metadata={
+            "fleet_size": fleet,
+            "group_size": group_size,
+            "epochs": 25,
+            "dt_seconds": 0.4,
+            "hotspots": [[float(x), float(y)] for x, y in hotspots],
+            "model": "hotspot",
+            "solver": "heuristic",
+        },
+    )

@@ -1,0 +1,11 @@
+"""R1 fixture: a serving-layer module importing the scenario catalog.
+
+Deliberately violates the layering rule; `repro lint` must flag the
+import below.  ``repro.scenarios`` sits above the serving layers --
+workloads are handed *down* as (scene, requests), the runtime never
+reaches up.  The directive makes the file impersonate a module inside
+``repro.runtime``.
+"""
+# repro: module=repro.runtime.fixture_scenarios
+
+from repro.scenarios import build_scenario  # noqa: F401  deliberate violation

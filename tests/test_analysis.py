@@ -36,6 +36,7 @@ FIXTURES = Path(__file__).resolve().parent / "fixtures" / "analysis"
 FIXTURE_RULES = {
     "violate_layering.py": ("R1", "layering"),
     "violate_layering_cluster.py": ("R1", "layering"),
+    "violate_layering_scenarios.py": ("R1", "layering"),
     "violate_lock_discipline.py": ("R2", "lock-discipline"),
     "violate_determinism.py": ("R3", "determinism"),
     "violate_cache_immutability.py": ("R4", "cache-immutability"),

@@ -451,6 +451,89 @@ class TestClusterFrontend:
         with pytest.raises(ClusterError):
             asyncio.run(double_start())
 
+    def test_ema_state_cleared_on_stop(self, scene, placements):
+        # Regression: per-shard EMA state survived stop(), so a
+        # restarted frontend began with the previous run's (possibly
+        # wildly stale) service-time estimates.
+        controller = ClusterController(
+            scene, options=small_options(shards=1)
+        )
+        options = FrontendOptions(
+            initial_service_seconds=0.005, coalesce=False
+        )
+        requests = [make_request(placements, i) for i in range(6)]
+
+        async def _run():
+            frontend = ClusterFrontend(controller, options)
+            await frontend.start()
+            shard_id = controller.shard_ids[0]
+            await frontend.submit_many(requests)
+            warmed = frontend.service_time_estimate(shard_id)
+            await frontend.stop()
+            cold = frontend.service_time_estimate(shard_id)
+            await frontend.start()
+            restarted = frontend.service_time_estimate(shard_id)
+            await frontend.stop()
+            return warmed, cold, restarted
+
+        warmed, cold, restarted = asyncio.run(_run())
+        assert warmed != options.initial_service_seconds
+        assert cold == options.initial_service_seconds
+        assert restarted == options.initial_service_seconds
+
+    def test_remove_shard_clears_queue_worker_and_ema(
+        self, scene, placements
+    ):
+        controller = ClusterController(
+            scene, options=small_options(shards=2)
+        )
+
+        async def _run():
+            frontend = ClusterFrontend(
+                controller, FrontendOptions(coalesce=False)
+            )
+            with pytest.raises(ClusterError):
+                await frontend.remove_shard("shard-0")  # not started
+            async with frontend:
+                victim, survivor = controller.shard_ids
+                await frontend.submit_many(
+                    [make_request(placements, i) for i in range(4)]
+                )
+                await frontend.remove_shard(victim)
+                assert victim not in frontend._ema
+                assert victim not in frontend._queues
+                assert victim not in frontend._workers
+                assert controller.shard_ids == (survivor,)
+                # the cluster still serves after the drain
+                result = await frontend.submit(make_request(placements, 1))
+                assert result.swings is not None
+                with pytest.raises(ClusterError):
+                    await frontend.remove_shard(victim)  # unknown now
+                with pytest.raises(ClusterError):
+                    await frontend.remove_shard(survivor)  # last shard
+                assert survivor in frontend._ema
+
+        asyncio.run(_run())
+
+    def test_spent_deadline_shed_at_admission(self, scene, placements):
+        # Regression: a budget already spent by admission time used to
+        # enter the queue and burn a slot before being late-shed.
+        controller = ClusterController(
+            scene, options=small_options(shards=1)
+        )
+        request = make_request(placements, 0, deadline_seconds=1e-9)
+
+        async def _run():
+            async with ClusterFrontend(
+                controller, FrontendOptions(shed=False)
+            ) as frontend:
+                with pytest.raises(RequestShedError):
+                    await frontend.submit(request)
+
+        asyncio.run(_run())
+        reasons = controller.metrics.counters_with_prefix("cluster.shed")
+        assert any("expired" in key for key in reasons), reasons
+
     def test_invalid_options(self):
         with pytest.raises(ClusterError):
             FrontendOptions(batch_max=0)

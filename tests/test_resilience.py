@@ -76,6 +76,56 @@ class TestDeadline:
         with pytest.raises(ConfigurationError):
             Deadline.after(-1.0)
 
+    def test_non_finite_budget_rejected(self):
+        # Pre-fix, `nan <= 0` is False so Deadline.after(nan) built a
+        # deadline that never expires but reports a NaN remaining().
+        with pytest.raises(ConfigurationError):
+            Deadline.after(float("nan"))
+        with pytest.raises(ConfigurationError):
+            Deadline.after(float("inf"))
+
+    def test_nan_expires_at_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Deadline(expires_at=float("nan"))
+
+    def test_boundary_semantics_at_exact_expiry(self):
+        # At the expiry instant the deadline is expired AND remaining()
+        # is exactly zero -- both derived from one clock read.
+        now = [0.0]
+        deadline = Deadline(expires_at=10.0, clock=lambda: now[0])
+        now[0] = 9.0
+        assert not deadline.expired
+        assert deadline.remaining() == pytest.approx(1.0)
+        now[0] = 10.0
+        assert deadline.expired
+        assert deadline.remaining() == 0.0
+        now[0] = 11.0
+        assert deadline.expired
+        assert deadline.remaining() == 0.0
+
+    def test_expired_iff_remaining_zero(self):
+        for offset in (-1.0, -1e-9, 0.0, 1e-9, 1.0):
+            now = [5.0]
+            deadline = Deadline(expires_at=5.0 + offset, clock=lambda: now[0])
+            assert deadline.expired == (deadline.remaining() == 0.0)
+
+    def test_after_uses_injected_clock(self):
+        now = [50.0]
+        deadline = Deadline.after(2.0, clock=lambda: now[0])
+        assert deadline.remaining() == pytest.approx(2.0)
+        now[0] = 52.0
+        assert deadline.expired
+        with pytest.raises(DeadlineExceeded):
+            deadline.require("boundary solve")
+
+    def test_non_finite_default_deadline_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ResilienceOptions(default_deadline_seconds=float("nan"))
+        with pytest.raises(ConfigurationError):
+            ResilienceOptions(default_deadline_seconds=float("inf"))
+        with pytest.raises(ConfigurationError):
+            ResilienceOptions(default_deadline_seconds=0.0)
+
 
 # ----------------------------------------------------------------------
 # RetryPolicy

@@ -324,6 +324,30 @@ class TestMetrics:
         with pytest.raises(ConfigurationError):
             MetricsRegistry().counter("c").increment(-1)
 
+    def test_empty_histogram_statistics_raise(self):
+        # Pre-fix, percentile() on an empty reservoir silently returned
+        # 0.0 and mean returned 0.0 -- indistinguishable from a real
+        # zero-latency measurement.
+        from repro.errors import ConfigurationError
+
+        histogram = MetricsRegistry().histogram("empty")
+        with pytest.raises(ConfigurationError):
+            histogram.percentile(50.0)
+        with pytest.raises(ConfigurationError):
+            histogram.mean
+        assert histogram.as_dict() == {"count": 0}
+
+    def test_snapshot_and_exposition_skip_empty_reservoirs(self):
+        registry = MetricsRegistry()
+        registry.histogram("never.observed", buckets=(0.1, 1.0))
+        registry.histogram("seen").observe(1.0)
+        snapshot = registry.snapshot()
+        assert "never.observed" not in snapshot["histograms"]
+        assert snapshot["histograms"]["seen"]["count"] == 1
+        text = registry.expose_prometheus(prefix="repro_")
+        assert "never_observed" not in text
+        assert "repro_seen_count 1" in text
+
     def test_labeled_instruments_are_distinct(self):
         registry = MetricsRegistry()
         registry.counter("solve", mode="optimal").increment(2)
@@ -541,6 +565,124 @@ class TestAllocationService:
             AllocationRequest(
                 rx_positions_xy=((1.0, 1.0),), power_budget=1.0, solver="nope"
             )
+
+    def test_non_finite_deadline_rejected(self):
+        # Pre-fix, a NaN deadline sailed through request validation and
+        # turned into a never-expiring Deadline downstream.
+        for bad in (float("nan"), float("inf"), 0.0, -1.0):
+            with pytest.raises(RuntimeEngineError):
+                AllocationRequest(
+                    rx_positions_xy=((1.0, 1.0),),
+                    power_budget=1.0,
+                    deadline_seconds=bad,
+                )
+
+
+# ----------------------------------------------------------------------
+# warm-start neighborhood edge cases
+# ----------------------------------------------------------------------
+
+
+class TestWarmStartNeighborhood:
+    """_warm_start_for boundary behavior, driven via _remember_allocation."""
+
+    def _positions(self, *points):
+        return np.array(points, dtype=float)
+
+    def _seed(self, service, tag, positions, swings, solver="optimal"):
+        service._remember_allocation(
+            (tag, 1.2, solver, None), positions, swings
+        )
+
+    def test_exactly_at_radius_qualifies(self, base_scene):
+        service = AllocationService(
+            base_scene, options=ServiceOptions(warm_start_radius=1.5)
+        )
+        query = self._positions((1.0, 1.0), (2.0, 2.0))
+        swings = np.full(4, 0.25)
+        # every receiver displaced by exactly the radius
+        self._seed(service, "edge", query + np.array([1.5, 0.0]), swings)
+        found = service._warm_start_for("optimal", query)
+        np.testing.assert_array_equal(found, swings)
+
+    def test_beyond_radius_does_not_qualify(self, base_scene):
+        service = AllocationService(
+            base_scene, options=ServiceOptions(warm_start_radius=1.5)
+        )
+        query = self._positions((1.0, 1.0), (2.0, 2.0))
+        self._seed(
+            service, "far", query + np.array([1.5 + 1e-6, 0.0]), np.ones(4)
+        )
+        assert service._warm_start_for("optimal", query) is None
+
+    def test_zero_radius_requires_exact_positions(self, base_scene):
+        service = AllocationService(
+            base_scene, options=ServiceOptions(warm_start_radius=0.0)
+        )
+        query = self._positions((1.0, 1.0), (2.0, 2.0))
+        exact = np.full(4, 0.5)
+        self._seed(service, "exact", query.copy(), exact)
+        self._seed(service, "near", query + 1e-9, np.ones(4))
+        np.testing.assert_array_equal(
+            service._warm_start_for("optimal", query), exact
+        )
+
+    def test_receiver_count_mismatch_never_qualifies(self, base_scene):
+        # Pre-fix, a remembered placement with a different receiver
+        # count could broadcast through the distance computation and
+        # seed a wrong-shaped warm start into the solver.
+        service = AllocationService(base_scene)
+        query = self._positions((1.0, 1.0), (2.0, 2.0), (3.0, 1.5))
+        self._seed(service, "one", self._positions((1.0, 1.0)), np.ones(4))
+        assert service._warm_start_for("optimal", query) is None
+
+    def test_solver_mismatch_never_qualifies(self, base_scene):
+        service = AllocationService(base_scene)
+        query = self._positions((1.0, 1.0), (2.0, 2.0))
+        self._seed(service, "h", query.copy(), np.ones(4), solver="swing")
+        assert service._warm_start_for("optimal", query) is None
+        np.testing.assert_array_equal(
+            service._warm_start_for("swing", query), np.ones(4)
+        )
+
+    def test_property_nearest_within_radius(self, base_scene):
+        """Seeded sweep: the result always matches brute force.
+
+        The returned swings must belong to an entry at the minimal
+        worst-case receiver displacement, and None is returned exactly
+        when no same-shape entry lies within the radius.
+        """
+        radius = 0.8
+        service = AllocationService(
+            base_scene, options=ServiceOptions(warm_start_radius=radius)
+        )
+        rng = np.random.default_rng(17)
+        entries = []
+        for i in range(24):
+            positions = rng.uniform(0.0, 5.0, size=(3, 2))
+            swings = np.full(4, float(i))
+            entries.append((positions, swings))
+            self._seed(service, f"e{i}", positions, swings)
+        for _ in range(50):
+            query = rng.uniform(0.0, 5.0, size=(3, 2))
+            distances = [
+                float(np.max(np.linalg.norm(p - query, axis=1)))
+                for p, _ in entries
+            ]
+            found = service._warm_start_for("optimal", query)
+            within = [d for d in distances if d <= radius]
+            if not within:
+                assert found is None
+            else:
+                best = min(within)
+                candidates = [
+                    s
+                    for (p, s), d in zip(entries, distances)
+                    if d == pytest.approx(best, abs=0.0)
+                ]
+                assert any(
+                    np.array_equal(found, swings) for swings in candidates
+                )
 
 
 # ----------------------------------------------------------------------
