@@ -12,7 +12,9 @@ ID   name                invariant
 R1   layering            ``repro.core``/``channel``/``optics``/
                          ``illumination`` never import ``repro.runtime``
                          or ``repro.cluster`` (tracing crosses layers via
-                         ``repro.tracecontext`` only)
+                         ``repro.tracecontext`` only); nothing below the
+                         scenario catalog imports ``repro.scenarios``;
+                         nothing below ``repro.obs`` imports it
 R2   lock-discipline     no numpy work, I/O or sleeps inside
                          ``with self._lock:`` blocks of the runtime's
                          metrics/cache/pool modules
@@ -23,9 +25,10 @@ R3   determinism         no wall-clock ``time.time()`` or non-blake2b
 R4   cache-immutability  every value stored into an LRU cache's
                          ``_entries`` passes through
                          ``_freeze_arrays``/``setflags(write=False)``
-R5   api-typing          public functions/methods of ``repro.runtime`` and
-                         ``repro.core`` carry full parameter and return
-                         annotations (the mypy-strict surface)
+R5   api-typing          public functions/methods of ``repro.runtime``,
+                         ``repro.core`` and ``repro.obs`` carry full
+                         parameter and return annotations (the
+                         mypy-strict surface)
 ===  ==================  ===================================================
 """
 
@@ -176,7 +179,10 @@ class LayeringRule(Rule):
         "layer sits above the runtime, so repro.cluster may import "
         "repro.runtime but never the reverse.  repro.scenarios sits "
         "above both serving layers: it may import runtime/cluster, but "
-        "nothing at or below the serving layers imports repro.scenarios"
+        "nothing at or below the serving layers imports repro.scenarios. "
+        "repro.obs tops the stack: only the CLI imports it -- the "
+        "serving layers see observers through duck-typed protocols "
+        "(repro.runtime.service.SLOObserver)"
     )
 
     PROTECTED = ("repro.core", "repro.channel", "repro.optics", "repro.illumination")
@@ -189,6 +195,11 @@ class LayeringRule(Rule):
         "repro.system",
     )
     SCENARIOS = "repro.scenarios"
+    #: Everything below the observability layer -- scenarios included --
+    #: must never import it; obs observes the stack, the stack never
+    #: calls up into obs (SLO observers cross down via duck typing).
+    BELOW_OBS = BELOW_SCENARIOS + (SCENARIOS,)
+    OBS = "repro.obs"
 
     def _matches(self, target: Optional[str], layers: Sequence[str]) -> bool:
         if target is None:
@@ -219,9 +230,19 @@ class LayeringRule(Rule):
                 "scenario catalog sits above the serving layers -- "
                 "hand workloads down as (scene, requests) instead",
             )
+        if _in_module(info, self.BELOW_OBS) and self._matches(
+            target, (self.OBS,)
+        ):
+            yield self._violation(
+                info, line,
+                f"layer {info.module!r} imports {target!r}; the "
+                "observability layer tops the stack -- expose hooks "
+                "through duck-typed protocols (SLOObserver) and let "
+                "obs call down, never the reverse",
+            )
 
     def check(self, info: ModuleInfo) -> Iterator[Violation]:
-        if not _in_module(info, self.PROTECTED + self.BELOW_SCENARIOS):
+        if not _in_module(info, self.PROTECTED + self.BELOW_OBS):
             return
         for node in ast.walk(info.tree):
             if isinstance(node, ast.Import):
@@ -481,12 +502,12 @@ class ApiTypingRule(Rule):
     id = "R5"
     name = "api-typing"
     description = (
-        "public functions and public-class methods of repro.runtime and "
-        "repro.core need full parameter and return annotations (the "
-        "surface the mypy-strict gate checks)"
+        "public functions and public-class methods of repro.runtime, "
+        "repro.core and repro.obs need full parameter and return "
+        "annotations (the surface the mypy-strict gate checks)"
     )
 
-    MODULES = ("repro.runtime", "repro.core")
+    MODULES = ("repro.runtime", "repro.core", "repro.obs")
 
     def _check_signature(
         self,

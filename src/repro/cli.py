@@ -15,6 +15,7 @@
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Callable, Dict, List, Optional
 
@@ -282,6 +283,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="write the benchmark report (p50/p95, req/s, stage "
         "breakdown) as JSON ('-' for stdout)",
     )
+    bench_parser.add_argument(
+        "--attribution",
+        action="store_true",
+        help="print the per-stage latency-attribution table (self vs "
+        "child time by solver tier and cache outcome; enables tracing)",
+    )
+    bench_parser.add_argument(
+        "--exemplars",
+        action="store_true",
+        help="render OpenMetrics trace-id exemplars on histogram "
+        "buckets in --metrics-prom output",
+    )
+    bench_parser.add_argument(
+        "--no-slo",
+        action="store_true",
+        help="skip the default SLO tracker (availability + tail "
+        "latency objectives)",
+    )
     cluster_parser = subparsers.add_parser(
         "cluster-bench",
         help="benchmark the sharded cluster against a single service",
@@ -371,6 +390,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         metavar="PATH",
         help="write the merged shard-labeled Prometheus exposition",
     )
+    cluster_parser.add_argument(
+        "--exemplars",
+        action="store_true",
+        help="render OpenMetrics trace-id exemplars on histogram "
+        "buckets in --metrics-prom output",
+    )
+    cluster_parser.add_argument(
+        "--no-slo",
+        action="store_true",
+        help="skip the default SLO tracker (availability + tail "
+        "latency objectives)",
+    )
     metrics_parser = subparsers.add_parser(
         "metrics",
         help="serve a small workload and print the metrics exposition",
@@ -393,6 +424,129 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="exposition format (Prometheus text or the JSON snapshot)",
     )
     metrics_parser.add_argument("--output", default="-")
+    record_parser = subparsers.add_parser(
+        "record",
+        help="record a scenario's request stream as a replayable "
+        "JSONL trace",
+    )
+    record_parser.add_argument(
+        "scenario",
+        metavar="NAME",
+        help="registered scenario name ('list' prints the registry)",
+    )
+    record_parser.add_argument("--seed", type=int, default=None)
+    record_parser.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="trace file to write (default: <scenario>.trace.jsonl)",
+    )
+    replay_parser = subparsers.add_parser(
+        "replay",
+        help="replay a recorded trace against the service or cluster",
+    )
+    replay_parser.add_argument(
+        "trace", metavar="PATH", help="JSONL trace file to replay"
+    )
+    replay_parser.add_argument(
+        "--mode",
+        choices=("recorded", "scaled", "fixed", "closed"),
+        default="closed",
+        help="arrival pacing: recorded offsets, offsets/speed, 1/rate "
+        "spacing, or closed-loop (default)",
+    )
+    replay_parser.add_argument(
+        "--speed",
+        type=float,
+        default=1.0,
+        help="speed factor for --mode scaled (2.0 = twice as fast)",
+    )
+    replay_parser.add_argument(
+        "--rate",
+        type=float,
+        default=0.0,
+        help="offered request rate [req/s] for --mode fixed (and for "
+        "--cluster pacing)",
+    )
+    replay_parser.add_argument(
+        "--cluster",
+        action="store_true",
+        help="replay through the sharded cluster front door instead "
+        "of one service",
+    )
+    replay_parser.add_argument(
+        "--shards", type=int, default=4, help="cluster shards"
+    )
+    replay_parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="solver pool processes (0 = solve in-process)",
+    )
+    replay_parser.add_argument("--cache-size", type=int, default=256)
+    replay_parser.add_argument(
+        "--knee",
+        action="store_true",
+        help="with --cluster: sweep escalating offered rates for this "
+        "trace to find the req/s knee",
+    )
+    replay_parser.add_argument(
+        "--attribution",
+        action="store_true",
+        help="print the per-stage latency-attribution table "
+        "(single-service replays; enables tracing)",
+    )
+    replay_parser.add_argument(
+        "--no-slo",
+        action="store_true",
+        help="skip the default SLO tracker",
+    )
+    replay_parser.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="write the replay's PerfReport as JSON ('-' for stdout)",
+    )
+    replay_parser.add_argument(
+        "--ledger",
+        default=None,
+        metavar="PATH",
+        help="append the PerfReport to this perf-trajectory ledger",
+    )
+    perf_parser = subparsers.add_parser(
+        "perf",
+        help="perf-trajectory tools (diff two ledger entries)",
+    )
+    perf_sub = perf_parser.add_subparsers(dest="perf_command")
+    perf_diff = perf_sub.add_parser(
+        "diff",
+        help="compare the latest entries of two ledgers per label; "
+        "exit 1 on regression",
+    )
+    perf_diff.add_argument(
+        "baseline", metavar="BASELINE", help="baseline ledger JSON"
+    )
+    perf_diff.add_argument(
+        "candidate", metavar="CANDIDATE", help="candidate ledger JSON"
+    )
+    perf_diff.add_argument(
+        "--label",
+        default=None,
+        help="restrict the diff to one label (default: every label "
+        "present in the candidate)",
+    )
+    perf_diff.add_argument(
+        "--p95-tolerance",
+        type=float,
+        default=None,
+        help="allowed fractional p95 increase (default 0.15)",
+    )
+    perf_diff.add_argument(
+        "--throughput-tolerance",
+        type=float,
+        default=None,
+        help="allowed fractional throughput drop (default 0.10)",
+    )
     lint_parser = subparsers.add_parser(
         "lint",
         help="run the invariant-aware static analysis suite (rules R1-R5)",
@@ -435,6 +589,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             run_benchmark,
         )
 
+        from .obs import SLOTracker
+
+        slo_tracker = None if args.no_slo else SLOTracker()
         if args.scenario is not None:
             from .scenarios import run_scenario_benchmark, scenario_names
 
@@ -448,6 +605,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                     seed=args.seed,
                     workers=args.workers,
                     cache_capacity=args.cache_size,
+                    slo=slo_tracker,
                 )
             except DenseVLCError as exc:
                 print(f"repro bench: error: {exc}", file=sys.stderr)
@@ -465,7 +623,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print(line)
             return 0
 
-        tracing = args.trace is not None or args.trace_events is not None
+        tracing = (
+            args.trace is not None
+            or args.trace_events is not None
+            or args.attribution
+        )
         exposing = args.metrics_json is not None or args.metrics_prom is not None
         try:
             service = None
@@ -497,6 +659,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 seed=args.seed,
                 service=service,
                 deadline_seconds=args.deadline,
+                slo=slo_tracker,
             )
         except DenseVLCError as exc:
             print(f"repro bench: error: {exc}", file=sys.stderr)
@@ -515,7 +678,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             if args.metrics_prom is not None:
                 with open(args.metrics_prom, "w", encoding="utf-8") as handle:
                     handle.write(
-                        service.metrics.expose_prometheus(prefix="repro_")
+                        service.metrics.expose_prometheus(
+                            prefix="repro_", exemplars=args.exemplars
+                        )
                     )
         if args.json is not None:
             payload = json.dumps(report.as_dict(), indent=2, sort_keys=True)
@@ -526,6 +691,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                     handle.write(payload + "\n")
         for line in report.lines():
             print(line)
+        if args.attribution and service is not None:
+            from .obs import attribution_table, render_attribution
+
+            print()
+            for line in render_attribution(
+                attribution_table(service.tracer.finished_spans())
+            ):
+                print(line)
         return 0
     if args.command == "cluster-bench":
         import json
@@ -577,13 +750,23 @@ def main(argv: Optional[List[str]] = None) -> int:
                         deadline_seconds=args.deadline,
                         seed=args.seed,
                     )
+                cluster_tracer = None
+                if args.exemplars:
+                    # Exemplars link histogram buckets to trace IDs, so
+                    # rendering them needs traced requests.
+                    from .runtime import Tracer, TracingOptions
+
+                    cluster_tracer = Tracer(TracingOptions(seed=args.seed))
                 controller = ClusterController(
                     scene,
                     options=ClusterOptions(
                         shards=args.shards,
                         service=_shard_service_options(args.cache_size, 0),
                     ),
+                    tracer=cluster_tracer,
                 )
+            from .obs import SLOTracker
+
             report = run_cluster_benchmark(
                 requests=args.requests,
                 shards=args.shards,
@@ -602,13 +785,18 @@ def main(argv: Optional[List[str]] = None) -> int:
                 controller=controller,
                 scene=scenario_scene,
                 workload=scenario_workload,
+                slo=None if args.no_slo else SLOTracker(),
             )
         except DenseVLCError as exc:
             print(f"repro cluster-bench: error: {exc}", file=sys.stderr)
             return 2
         if controller is not None and args.metrics_prom is not None:
             with open(args.metrics_prom, "w", encoding="utf-8") as handle:
-                handle.write(controller.expose_prometheus(prefix="repro_"))
+                handle.write(
+                    controller.expose_prometheus(
+                        prefix="repro_", exemplars=args.exemplars
+                    )
+                )
         if args.json is not None:
             payload = json.dumps(report.as_dict(), indent=2, sort_keys=True)
             if args.json == "-":
@@ -654,6 +842,177 @@ def main(argv: Optional[List[str]] = None) -> int:
             with open(args.output, "w", encoding="utf-8") as handle:
                 handle.write(text)
         return 0
+    if args.command == "record":
+        from .errors import DenseVLCError
+        from .obs import TraceRecorder
+
+        if args.scenario == "list":
+            from .scenarios import scenario_names
+
+            for name in scenario_names():
+                print(name)
+            return 0
+        try:
+            trace = TraceRecorder.record_scenario(args.scenario, args.seed)
+        except DenseVLCError as exc:
+            print(f"repro record: error: {exc}", file=sys.stderr)
+            return 2
+        output = args.output or f"{args.scenario}.trace.jsonl"
+        trace.save(output)
+        print(f"scenario            {trace.scenario} (seed {trace.seed})")
+        print(f"requests            {trace.requests}")
+        print(f"stream digest       {trace.stream_digest()}")
+        print(f"trace               {output}")
+        return 0
+    if args.command == "replay":
+        import json
+
+        from .errors import DenseVLCError
+        from .obs import (
+            SLOTracker,
+            TraceReplayer,
+            append_to_ledger,
+            knee_from_trace,
+            replay_cluster,
+            replay_service,
+        )
+
+        try:
+            if not os.path.exists(args.trace):
+                raise ConfigurationError(
+                    f"trace file {args.trace!r} does not exist"
+                )
+            replayer = TraceReplayer.load(args.trace)
+            slo_tracker = None if args.no_slo else SLOTracker()
+            if args.cluster:
+                report = replay_cluster(
+                    replayer,
+                    shards=args.shards,
+                    rate=args.rate,
+                    cache_capacity=args.cache_size,
+                    workers=args.workers,
+                    slo=slo_tracker,
+                )
+            else:
+                tracer = None
+                if args.attribution:
+                    from .runtime import Tracer, TracingOptions
+
+                    tracer = Tracer(
+                        TracingOptions(seed=replayer.trace.seed)
+                    )
+                report = replay_service(
+                    replayer,
+                    mode=args.mode,
+                    speed=args.speed,
+                    rate=args.rate,
+                    workers=args.workers,
+                    cache_capacity=args.cache_size,
+                    tracer=tracer,
+                    slo=slo_tracker,
+                )
+            knee_points = (
+                knee_from_trace(
+                    replayer,
+                    shards=args.shards,
+                    cache_capacity=args.cache_size,
+                )
+                if args.cluster and args.knee
+                else []
+            )
+        except DenseVLCError as exc:
+            print(f"repro replay: error: {exc}", file=sys.stderr)
+            return 2
+        if args.ledger is not None:
+            append_to_ledger(report, args.ledger)
+        if args.json is not None:
+            payload = json.dumps(report.as_dict(), indent=2, sort_keys=True)
+            if args.json == "-":
+                print(payload)
+            else:
+                with open(args.json, "w", encoding="utf-8") as handle:
+                    handle.write(payload + "\n")
+        for line in report.lines():
+            print(line)
+        for point in knee_points:
+            print(
+                f"knee rate {point['offered_rps']:.0f}/s -> "
+                f"{point['achieved_rps']:.1f} req/s  "
+                f"shed {point['shed_fraction']:.2f}  "
+                f"p95 {point['p95_latency_ms']:.3f} ms"
+            )
+        return 0
+    if args.command == "perf":
+        if args.perf_command != "diff":
+            parser.parse_args(["perf", "--help"])
+            return 1
+        from .errors import DenseVLCError
+        from .obs import (
+            P95_TOLERANCE,
+            THROUGHPUT_TOLERANCE,
+            diff_reports,
+            latest_report,
+            load_ledger,
+        )
+
+        try:
+            for role, path in (
+                ("baseline", args.baseline),
+                ("candidate", args.candidate),
+            ):
+                if not os.path.exists(path):
+                    raise ConfigurationError(
+                        f"{role} ledger {path!r} does not exist"
+                    )
+            baseline_history = load_ledger(args.baseline)
+            candidate_history = load_ledger(args.candidate)
+            if not candidate_history:
+                raise ConfigurationError(
+                    f"candidate ledger {args.candidate!r} is empty"
+                )
+            labels = (
+                [args.label]
+                if args.label is not None
+                else sorted(
+                    {report.label for report in candidate_history}
+                )
+            )
+            failed = False
+            for n, label in enumerate(labels):
+                baseline = latest_report(baseline_history, label)
+                candidate = latest_report(candidate_history, label)
+                if candidate is None:
+                    raise ConfigurationError(
+                        f"label {label!r} is absent from the candidate "
+                        "ledger"
+                    )
+                if baseline is None:
+                    print(f"label               {label}")
+                    print("no baseline entry: first run, nothing to diff")
+                    continue
+                diff = diff_reports(
+                    baseline,
+                    candidate,
+                    p95_tolerance=(
+                        args.p95_tolerance
+                        if args.p95_tolerance is not None
+                        else P95_TOLERANCE
+                    ),
+                    throughput_tolerance=(
+                        args.throughput_tolerance
+                        if args.throughput_tolerance is not None
+                        else THROUGHPUT_TOLERANCE
+                    ),
+                )
+                if n:
+                    print()
+                for line in diff.lines():
+                    print(line)
+                failed = failed or not diff.ok
+        except DenseVLCError as exc:
+            print(f"repro perf: error: {exc}", file=sys.stderr)
+            return 2
+        return 1 if failed else 0
     parser.print_help()
     return 1
 

@@ -28,7 +28,7 @@ from __future__ import annotations
 import asyncio
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -38,6 +38,7 @@ from ..runtime.service import (
     AllocationRequest,
     AllocationService,
     ServiceOptions,
+    SLOObserver,
 )
 from ..runtime.tracing import Tracer
 from ..system import Scene, simulation_scene
@@ -47,6 +48,7 @@ from .frontend import ClusterFrontend, FrontendOptions
 __all__ = [
     "ClusterBenchReport",
     "cluster_workload",
+    "find_knee",
     "knee_sweep",
     "run_cluster_benchmark",
 ]
@@ -132,6 +134,7 @@ class ClusterBenchReport:
     baseline_p95_latency_ms: float = 0.0
     speedup: float = 0.0
     knee: List[Dict[str, float]] = field(default_factory=list)
+    slo: Dict[str, Any] = field(default_factory=dict)
 
     def lines(self) -> List[str]:
         mode = (
@@ -179,6 +182,13 @@ class ClusterBenchReport:
                 f"shed {point['shed_fraction']:.2f}  "
                 f"p95 {point['p95_latency_ms']:.3f} ms"
             )
+        for objective in self.slo.get("objectives", []):
+            lines.append(
+                f"slo {objective['name']:<15} "
+                f"{100 * objective['compliance']:.2f}% "
+                f"(target {100 * objective['target']:.1f}%, budget "
+                f"{100 * objective['budget_remaining']:.1f}% left)"
+            )
         return lines
 
     def as_dict(self) -> dict:
@@ -207,6 +217,7 @@ class ClusterBenchReport:
             "baseline_p95_latency_ms": self.baseline_p95_latency_ms,
             "speedup": self.speedup,
             "knee": [dict(point) for point in self.knee],
+            "slo": dict(self.slo),
         }
 
 
@@ -321,6 +332,7 @@ def run_cluster_benchmark(
     controller: Optional[ClusterController] = None,
     scene: Optional[Scene] = None,
     workload: Optional[Sequence[AllocationRequest]] = None,
+    slo: Optional[SLOObserver] = None,
 ) -> ClusterBenchReport:
     """Benchmark the cluster on a seeded mixed-room workload.
 
@@ -335,6 +347,10 @@ def run_cluster_benchmark(
     ``repro.scenarios`` trace handed down by the CLI -- replaces the
     built-in mixed-room generator; both must be given together so the
     requests match the scene's receiver count.
+
+    An *slo* observer (see :class:`repro.runtime.service.SLOObserver`)
+    is attached to every shard service, sees each served request
+    cluster-wide, and its snapshot lands in ``ClusterBenchReport.slo``.
     """
     if (scene is None) != (workload is None):
         raise ClusterError(
@@ -370,6 +386,9 @@ def run_cluster_benchmark(
             ),
             tracer=tracer,
         )
+    if slo is not None:
+        for shard in controller.shards():
+            shard.service.attach_slo(slo)
     frontend_options = FrontendOptions(batch_max=batch_max)
 
     async def _run() -> Tuple[float, List[float], int, List[bool]]:
@@ -414,6 +433,7 @@ def run_cluster_benchmark(
         mean_batch_size=batch_hist.mean if batch_hist.count else 0.0,
         shed_by_reason=shed_by_reason,
         per_shard=_per_shard_stats(controller),
+        slo=dict(slo.snapshot()) if slo is not None else {},
     )
     if baseline:
         base_duration, base_sojourns = _run_baseline(
@@ -448,6 +468,45 @@ def run_cluster_benchmark(
     return report
 
 
+def find_knee(
+    run_at_rate: Callable[[float], Dict[str, float]],
+    start_rate: float = 100.0,
+    growth: float = 2.0,
+    max_steps: int = 6,
+    shed_budget: float = 0.05,
+    keep_up_fraction: float = 0.9,
+) -> List[Dict[str, float]]:
+    """Escalate offered rates until a serving source stops keeping up.
+
+    The generic knee finder behind :func:`knee_sweep` (and
+    ``repro.obs``'s trace replays): *run_at_rate* serves one fixed
+    workload at the offered rate -- on a *fresh* serving stack each
+    step, so queue state never leaks between steps -- and returns at
+    least ``{achieved_rps, shed_fraction, p95_latency_ms}``.  Each step
+    multiplies the rate by *growth* and the sweep stops once achieved
+    throughput drops below *keep_up_fraction* of offered or the shed
+    fraction exceeds *shed_budget* -- the knee.  Returns one record per
+    step (``offered_rps`` added), knee included.
+    """
+    if start_rate <= 0:
+        raise ClusterError(f"start_rate must be positive, got {start_rate}")
+    if growth <= 1.0:
+        raise ClusterError(f"growth must be > 1, got {growth}")
+    points: List[Dict[str, float]] = []
+    rate = start_rate
+    for _ in range(max_steps):
+        point = dict(run_at_rate(rate))
+        point["offered_rps"] = rate
+        points.append(point)
+        if (
+            point["achieved_rps"] < keep_up_fraction * rate
+            or point["shed_fraction"] > shed_budget
+        ):
+            break
+        rate *= growth
+    return points
+
+
 def knee_sweep(
     requests: int = 200,
     shards: int = 4,
@@ -472,9 +531,8 @@ def knee_sweep(
     Returns one ``{offered_rps, achieved_rps, shed_fraction,
     p95_latency_ms}`` record per step, knee included.
     """
-    points: List[Dict[str, float]] = []
-    rate = start_rate
-    for _ in range(max_steps):
+
+    def run_at_rate(rate: float) -> Dict[str, float]:
         report = run_cluster_benchmark(
             requests=requests,
             shards=shards,
@@ -490,18 +548,16 @@ def knee_sweep(
             baseline=False,
             knee=False,
         )
-        shed_fraction = report.shed / requests
-        point = {
-            "offered_rps": rate,
+        return {
             "achieved_rps": report.requests_per_second,
-            "shed_fraction": shed_fraction,
+            "shed_fraction": report.shed / requests,
             "p95_latency_ms": report.p95_latency_ms,
         }
-        points.append(point)
-        if (
-            report.requests_per_second < 0.9 * rate
-            or shed_fraction > shed_budget
-        ):
-            break
-        rate *= growth
-    return points
+
+    return find_knee(
+        run_at_rate,
+        start_rate=start_rate,
+        growth=growth,
+        max_steps=max_steps,
+        shed_budget=shed_budget,
+    )

@@ -237,9 +237,18 @@ class ClusterController:
         registries["cluster"] = self.metrics
         return registries
 
-    def expose_prometheus(self, prefix: str = "") -> str:
-        """One Prometheus exposition over every registry, shard-labeled."""
-        return merged_prometheus(self.registries(), prefix=prefix)
+    def expose_prometheus(
+        self, prefix: str = "", exemplars: bool = False
+    ) -> str:
+        """One Prometheus exposition over every registry, shard-labeled.
+
+        With ``exemplars=True``, histogram bucket lines carry
+        OpenMetrics-style trace-id exemplars where available; the
+        default output is byte-identical to the pre-exemplar format.
+        """
+        return merged_prometheus(
+            self.registries(), prefix=prefix, exemplars=exemplars
+        )
 
     def metrics_snapshot(self) -> dict:
         """Per-shard metric snapshots plus the cluster-level registry."""

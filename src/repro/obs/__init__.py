@@ -1,0 +1,71 @@
+"""Observability: replayable load traces, perf trajectory, SLOs.
+
+``repro.obs`` sits at the very top of the stack -- above the serving
+layers *and* the scenario catalog: it records scenario workloads into
+committable JSONL traces, replays them against the single service or
+the sharded cluster, folds span trees into latency attribution, tracks
+rolling SLO compliance, and appends each replay's :class:`PerfReport` to
+the committed perf-trajectory ledger the CI gate diffs.  Nothing below
+this package imports it (rule R1); the serving layers see obs only
+through duck-typed protocols (:class:`repro.runtime.service.SLOObserver`)
+and plain data.
+"""
+
+from .attribution import attribution_table, render_attribution
+from .ledger import (
+    LEDGER_VERSION,
+    P95_TOLERANCE,
+    THROUGHPUT_TOLERANCE,
+    PerfDiff,
+    PerfReport,
+    append_to_ledger,
+    diff_reports,
+    environment_fingerprint,
+    latest_report,
+    load_ledger,
+)
+from .replay import (
+    REPLAY_MODES,
+    knee_from_trace,
+    replay_cluster,
+    replay_service,
+)
+from .slo import SLObjective, SLOTracker, default_objectives
+from .trace import (
+    TRACE_VERSION,
+    RequestTrace,
+    TraceRecord,
+    TraceRecorder,
+    TraceReplayer,
+    recording_frontend,
+    recording_service,
+)
+
+__all__ = [
+    "attribution_table",
+    "render_attribution",
+    "LEDGER_VERSION",
+    "P95_TOLERANCE",
+    "THROUGHPUT_TOLERANCE",
+    "PerfDiff",
+    "PerfReport",
+    "append_to_ledger",
+    "diff_reports",
+    "environment_fingerprint",
+    "latest_report",
+    "load_ledger",
+    "REPLAY_MODES",
+    "knee_from_trace",
+    "replay_cluster",
+    "replay_service",
+    "SLObjective",
+    "SLOTracker",
+    "default_objectives",
+    "TRACE_VERSION",
+    "RequestTrace",
+    "TraceRecord",
+    "TraceRecorder",
+    "TraceReplayer",
+    "recording_frontend",
+    "recording_service",
+]

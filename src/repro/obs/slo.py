@@ -1,0 +1,181 @@
+"""Rolling SLO compliance and error-budget tracking.
+
+An :class:`SLOTracker` implements the
+:class:`repro.runtime.service.SLOObserver` protocol: the serving layers
+call ``observe(latency_seconds, ok)`` once per served request and render
+``snapshot()`` into ``health()`` and the bench reports, without ever
+importing this package (rule R1 -- obs sits above serving, duck-typed
+through the protocol).
+
+Each :class:`SLObjective` is evaluated over a rolling window of the last
+*window* requests:
+
+- a *promise* objective (``latency_threshold_seconds is None``) counts a
+  request compliant when the serving stack kept its promises (``ok`` --
+  non-degraded and deadline met);
+- a *latency* objective counts a request compliant when it finished
+  under the threshold, regardless of ``ok``.
+
+The error budget is the familiar SRE quantity: a target of 99% over a
+window of 1000 requests buys 10 non-compliant requests; ``budget
+remaining`` is the unspent fraction of that allowance, and an objective
+whose budget is exhausted (compliance below target) marks the tracker --
+and therefore ``health()`` -- degraded.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.lockgraph import monitored_lock
+from ..errors import ConfigurationError
+
+__all__ = ["SLObjective", "SLOTracker", "default_objectives"]
+
+
+@dataclass(frozen=True)
+class SLObjective:
+    """One service-level objective over the rolling window.
+
+    Attributes:
+        name: report label (``slo availability  99.80% ...``).
+        target: required compliant fraction in [0, 1), e.g. 0.99.
+        latency_threshold_seconds: when set, a request complies iff its
+            latency is under this threshold; when None, compliance is
+            the serving stack's own ``ok`` verdict (non-degraded,
+            deadline kept).
+    """
+
+    name: str
+    target: float
+    latency_threshold_seconds: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.target < 1.0:
+            raise ConfigurationError(
+                f"SLO {self.name!r}: target must be in (0, 1), "
+                f"got {self.target}"
+            )
+        if (
+            self.latency_threshold_seconds is not None
+            and self.latency_threshold_seconds <= 0
+        ):
+            raise ConfigurationError(
+                f"SLO {self.name!r}: latency threshold must be > 0"
+            )
+
+    def compliant(self, latency_seconds: float, ok: bool) -> bool:
+        if self.latency_threshold_seconds is None:
+            return ok
+        return latency_seconds < self.latency_threshold_seconds
+
+
+def default_objectives() -> Tuple[SLObjective, ...]:
+    """The stock pair the bench CLIs attach: availability + tail latency."""
+    return (
+        SLObjective(name="availability", target=0.99),
+        SLObjective(
+            name="latency-100ms",
+            target=0.95,
+            latency_threshold_seconds=0.100,
+        ),
+    )
+
+
+class SLOTracker:
+    """Thread-safe rolling compliance tracker for a set of objectives.
+
+    Shard worker threads call :meth:`observe` concurrently (every shard
+    of a cluster can share one tracker), so state lives behind a
+    monitored lock -- the lock-ordering harness watches it like any
+    runtime lock.
+    """
+
+    def __init__(
+        self,
+        objectives: Optional[Sequence[SLObjective]] = None,
+        window: int = 1000,
+    ) -> None:
+        if window < 1:
+            raise ConfigurationError(f"window must be >= 1, got {window}")
+        chosen = tuple(
+            objectives if objectives is not None else default_objectives()
+        )
+        if not chosen:
+            raise ConfigurationError("an SLO tracker needs >= 1 objective")
+        names = [objective.name for objective in chosen]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(
+                f"duplicate SLO objective names: {names}"
+            )
+        self.objectives = chosen
+        self.window = window
+        self._lock = monitored_lock("obs.slo")
+        # One rolling deque of booleans per objective, newest-right.
+        self._compliant: Tuple[Deque[bool], ...] = tuple(
+            deque(maxlen=window) for _ in chosen
+        )
+        self._observed = 0
+
+    def observe(self, latency_seconds: float, ok: bool) -> None:
+        """Record one served request against every objective."""
+        with self._lock:
+            self._observed += 1
+            for objective, history in zip(self.objectives, self._compliant):
+                history.append(objective.compliant(latency_seconds, ok))
+
+    @property
+    def observed(self) -> int:
+        with self._lock:
+            return self._observed
+
+    def reset(self) -> None:
+        with self._lock:
+            self._observed = 0
+            for history in self._compliant:
+                history.clear()
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The rolling state, shaped for ``health()`` and the reports.
+
+        ``budget_remaining`` is the unspent fraction of the error
+        budget ``(1 - target) * len(window)``; it floors at 0.0 when
+        the budget is blown.  With zero observations every objective is
+        vacuously compliant (``healthy`` stays True) -- an idle service
+        is not in violation.
+        """
+        with self._lock:
+            objectives: List[Dict[str, Any]] = []
+            healthy = True
+            for objective, history in zip(self.objectives, self._compliant):
+                total = len(history)
+                good = sum(1 for entry in history if entry)
+                compliance = good / total if total else 1.0
+                budget = (1.0 - objective.target) * total
+                spent = float(total - good)
+                remaining = (
+                    max(0.0, 1.0 - spent / budget) if budget > 0 else 1.0
+                )
+                meets = compliance >= objective.target if total else True
+                healthy = healthy and meets
+                objectives.append(
+                    {
+                        "name": objective.name,
+                        "target": objective.target,
+                        "latency_threshold_seconds": (
+                            objective.latency_threshold_seconds
+                        ),
+                        "window_filled": total,
+                        "compliance": compliance,
+                        "budget_remaining": remaining,
+                        "healthy": meets,
+                    }
+                )
+            return {
+                "window": self.window,
+                "observed": self._observed,
+                "healthy": healthy,
+                "objectives": objectives,
+            }

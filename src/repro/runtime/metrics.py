@@ -113,9 +113,13 @@ class Histogram:
             self.buckets: Optional[Tuple[float, ...]] = bounds
             # One slot per finite bound plus the +Inf overflow slot.
             self._bucket_counts: Optional[List[int]] = [0] * (len(bounds) + 1)
+            self._exemplars: Optional[List[Optional[Tuple[str, float]]]] = [
+                None
+            ] * (len(bounds) + 1)
         else:
             self.buckets = None
             self._bucket_counts = None
+            self._exemplars = None
         self._recent: Deque[float] = deque(maxlen=self.reservoir_size)
         self._lock = monitored_lock("metrics.histogram")
         self.count = 0
@@ -123,7 +127,17 @@ class Histogram:
         self.minimum = float("inf")
         self.maximum = float("-inf")
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: Optional[str] = None) -> None:
+        """Record *value*, optionally tagging its bucket with an exemplar.
+
+        *exemplar* is an opaque reference (in practice a trace ID) that
+        links this observation back to its originating request; the
+        histogram keeps the most recent exemplar per bucket slot, so a
+        tail bucket always points at a *real* slow request.  Exemplars
+        require configured ``buckets`` and are ignored otherwise; they
+        never alter the statistical state, so passing ``None``
+        everywhere is bit-identical to the pre-exemplar histogram.
+        """
         value = float(value)
         with self._lock:
             self.count += 1
@@ -132,7 +146,10 @@ class Histogram:
             self.maximum = max(self.maximum, value)
             self._recent.append(value)
             if self._bucket_counts is not None:
-                self._bucket_counts[bisect_left(self.buckets, value)] += 1
+                slot = bisect_left(self.buckets, value)
+                self._bucket_counts[slot] += 1
+                if exemplar is not None and self._exemplars is not None:
+                    self._exemplars[slot] = (str(exemplar), value)
 
     @property
     def mean(self) -> float:
@@ -184,6 +201,24 @@ class Histogram:
                 running += count
                 cumulative.append(running)
             return cumulative
+
+    def exemplars(self) -> Optional[Dict[float, Tuple[str, float]]]:
+        """Latest ``(exemplar, value)`` per bucket bound, or None.
+
+        Keys are bucket upper bounds (``inf`` for the overflow slot);
+        buckets that never saw an exemplar-tagged observation are
+        omitted.  Deliberately *not* part of :meth:`as_dict` -- snapshot
+        consumers that predate exemplars stay bit-identical.
+        """
+        with self._lock:
+            if self._exemplars is None or self.buckets is None:
+                return None
+            bounds = [*self.buckets, float("inf")]
+            return {
+                bound: entry
+                for bound, entry in zip(bounds, self._exemplars)
+                if entry is not None
+            }
 
     def as_dict(self) -> dict:
         # One lock acquisition copies the whole state -- count/mean/min/
@@ -398,6 +433,7 @@ class MetricsRegistry:
         self,
         prefix: str = "",
         extra_labels: Optional[Dict[str, str]] = None,
+        exemplars: bool = False,
     ) -> str:
         """The registry in Prometheus text exposition format.
 
@@ -407,7 +443,10 @@ class MetricsRegistry:
         cumulative ``_bucket{le=...}`` series plus ``_sum``/``_count``,
         and reservoir-only histograms expose ``{quantile=...}``
         summaries.  *extra_labels* (e.g. ``{"shard": "shard-0"}``) are
-        merged into every series.
+        merged into every series.  With ``exemplars=True``, bucket
+        series carry OpenMetrics-style ``# {trace_id="..."} value``
+        exemplar suffixes where available; the default exposition is
+        byte-identical to the pre-exemplar format.
         """
         counters, gauges, histograms = self._instruments()
         extra = _label_set(extra_labels or {})
@@ -416,6 +455,7 @@ class MetricsRegistry:
             _with_extra_labels(gauges, extra),
             _with_extra_labels(histograms, extra),
             prefix,
+            exemplars=exemplars,
         )
 
 
@@ -435,6 +475,7 @@ def merged_prometheus(
     registries: Dict[str, MetricsRegistry],
     prefix: str = "",
     label: str = "shard",
+    exemplars: bool = False,
 ) -> str:
     """Several registries as one Prometheus exposition, labeled apart.
 
@@ -453,7 +494,9 @@ def merged_prometheus(
         counters.update(_with_extra_labels(shard_counters, extra))
         gauges.update(_with_extra_labels(shard_gauges, extra))
         histograms.update(_with_extra_labels(shard_histograms, extra))
-    return _render_exposition(counters, gauges, histograms, prefix)
+    return _render_exposition(
+        counters, gauges, histograms, prefix, exemplars=exemplars
+    )
 
 
 def _render_exposition(
@@ -461,6 +504,7 @@ def _render_exposition(
     gauges: Dict[Tuple[str, LabelSet], Gauge],
     histograms: Dict[Tuple[str, LabelSet], Histogram],
     prefix: str,
+    exemplars: bool = False,
 ) -> str:
     lines: List[str] = []
 
@@ -494,12 +538,23 @@ def _render_exposition(
                 )
             )
         if bucket_counts is not None:
+            bucket_exemplars = (
+                histogram.exemplars() if exemplars else None
+            ) or {}
             _prom_header(lines, metric, "histogram")
             for bound, cumulative in bucket_counts.items():
                 le = "+Inf" if bound == float("inf") else _prom_value(bound)
+                suffix = ""
+                entry = bucket_exemplars.get(bound)
+                if entry is not None:
+                    ref, observed = entry
+                    suffix = (
+                        f' # {{trace_id="{_prom_escape(ref)}"}} '
+                        f"{_prom_value(observed)}"
+                    )
                 lines.append(
                     f"{metric}_bucket"
-                    f"{_prom_labels(labels, ('le', le))} {cumulative}"
+                    f"{_prom_labels(labels, ('le', le))} {cumulative}{suffix}"
                 )
         else:
             _prom_header(lines, metric, "summary")

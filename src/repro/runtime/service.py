@@ -16,7 +16,7 @@ import math
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Protocol, Sequence, Tuple
 
 import numpy as np
 
@@ -51,6 +51,24 @@ def placement_fingerprint(
         for x, y in positions
     )
     return f"{base}:{quantized}"
+
+
+class SLOObserver(Protocol):
+    """What the service needs from an attached SLO tracker.
+
+    The runtime never imports the observability layer (R1 keeps
+    ``repro.obs`` above serving); instead an SLO tracker -- in practice
+    :class:`repro.obs.slo.SLOTracker` -- is attached via
+    :meth:`AllocationService.attach_slo` and duck-typed through this
+    protocol.  ``observe`` is called once per served request with its
+    latency and whether it met its objective-relevant promises
+    (non-degraded, deadline kept); ``snapshot`` renders the rolling
+    compliance/error-budget state for :meth:`AllocationService.health`.
+    """
+
+    def observe(self, latency_seconds: float, ok: bool) -> None: ...
+
+    def snapshot(self) -> Dict[str, Any]: ...
 
 
 @dataclass(frozen=True)
@@ -234,6 +252,7 @@ class AllocationService:
             self.options.pool, self.metrics, resilience=self._resilience
         )
         self._base_fingerprint = scene.fingerprint(self.options.quantum)
+        self._slo: Optional[SLOObserver] = None
         # Recently served placements: key -> (M, 2) positions, used to
         # find incremental-channel and warm-start neighbors.
         self._placement_memory: "OrderedDict[str, np.ndarray]" = OrderedDict()
@@ -343,7 +362,14 @@ class AllocationService:
 
         results = []
         for i, request in enumerate(requests):
-            latency_histogram.observe(per_request)
+            root = roots[i]
+            # The exemplar links this latency observation's bucket back
+            # to its trace; with tracing disabled every root is None and
+            # the histogram state is bit-identical to the untraced path.
+            latency_histogram.observe(
+                per_request,
+                exemplar=root.trace_id if root is not None else None,
+            )
             outcome = outcomes[i]
             result = AllocationResult(
                 request=request,
@@ -361,7 +387,11 @@ class AllocationService:
                 ),
             )
             results.append(result)
-            root = roots[i]
+            if self._slo is not None:
+                self._slo.observe(
+                    per_request,
+                    ok=not result.degraded and not result.deadline_exceeded,
+                )
             if root is not None:
                 root.set_attribute("solver_used", result.solver_used)
                 root.set_attribute("degraded", result.degraded)
@@ -402,7 +432,7 @@ class AllocationService:
         self._resilience.refresh_gauges()
         snapshot = self._resilience.snapshot()
         circuit = snapshot["circuit"]
-        return {
+        health: Dict[str, Any] = {
             "status": "ok" if circuit["state"] == "closed" else "degraded",
             "circuit": circuit,
             "resilience": snapshot["counters"],
@@ -415,6 +445,27 @@ class AllocationService:
                 "allocation": self._allocation_cache.snapshot(),
             },
         }
+        if self._slo is not None:
+            slo = self._slo.snapshot()
+            health["slo"] = slo
+            if health["status"] == "ok" and not slo.get("healthy", True):
+                health["status"] = "degraded"
+        return health
+
+    def attach_slo(self, observer: Optional[SLOObserver]) -> None:
+        """Attach (or with None, detach) a rolling SLO tracker.
+
+        The tracker is fed every served request's latency and promise
+        outcome; :meth:`health` then carries its snapshot under
+        ``"slo"`` and degrades the overall status when an objective's
+        error budget is exhausted.
+        """
+        self._slo = observer
+
+    @property
+    def slo(self) -> Optional[SLOObserver]:
+        """The attached SLO tracker, if any."""
+        return self._slo
 
     @property
     def resilience(self) -> ResiliencePolicy:
@@ -829,6 +880,9 @@ class BenchmarkReport:
     resilience_counters: Dict[str, float] = field(default_factory=dict)
     stage_breakdown: Dict[str, Dict[str, float]] = field(default_factory=dict)
     traced_spans: int = 0
+    dropped_spans: int = 0
+    tracing_overhead_ms: float = 0.0
+    slo: Dict[str, Any] = field(default_factory=dict)
 
     def lines(self) -> List[str]:
         lines = [
@@ -868,6 +922,23 @@ class BenchmarkReport:
             lines.append(f"resilience {label:<17} {value:.0f}")
         if self.traced_spans:
             lines.append(f"traced spans        {self.traced_spans}")
+        if self.tracing_overhead_ms:
+            lines.append(
+                f"tracing overhead    {self.tracing_overhead_ms:.3f} ms"
+            )
+        if self.dropped_spans:
+            lines.append(
+                f"WARNING: {self.dropped_spans} spans dropped (buffer "
+                "full) -- attribution below is incomplete; raise "
+                "TracingOptions.max_spans"
+            )
+        for objective in self.slo.get("objectives", []):
+            lines.append(
+                f"slo {objective['name']:<15} "
+                f"{100 * objective['compliance']:.2f}% "
+                f"(target {100 * objective['target']:.1f}%, budget "
+                f"{100 * objective['budget_remaining']:.1f}% left)"
+            )
         return lines
 
     def as_dict(self) -> dict:
@@ -892,6 +963,9 @@ class BenchmarkReport:
                 for stage, stats in self.stage_breakdown.items()
             },
             "traced_spans": self.traced_spans,
+            "dropped_spans": self.dropped_spans,
+            "tracing_overhead_ms": self.tracing_overhead_ms,
+            "slo": dict(self.slo),
         }
 
 
@@ -978,6 +1052,7 @@ def run_benchmark(
     service: Optional[AllocationService] = None,
     deadline_seconds: Optional[float] = None,
     tracer: Optional[Tracer] = None,
+    slo: Optional[SLOObserver] = None,
 ) -> BenchmarkReport:
     """Serve a Fig. 6-style random-placement workload and time it.
 
@@ -1010,6 +1085,8 @@ def run_benchmark(
             ),
             tracer=tracer,
         )
+    if slo is not None:
+        service.attach_slo(slo)
     if distinct >= requests:
         # One request per distinct placement: a fully cold workload.
         order = np.arange(requests)
@@ -1059,4 +1136,7 @@ def run_benchmark(
         resilience_counters=health["resilience"],
         stage_breakdown=_stage_breakdown(snapshot),
         traced_spans=len(service.tracer.finished_spans()),
+        dropped_spans=service.tracer.dropped_spans,
+        tracing_overhead_ms=1e3 * service.tracer.overhead_seconds,
+        slo=dict(health.get("slo", {})),
     )

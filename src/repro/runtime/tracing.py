@@ -112,6 +112,7 @@ class Tracer:
         self._dropped = 0
         self._trace_count = 0
         self._span_count = 0
+        self._overhead = 0.0
 
     @classmethod
     def disabled(cls) -> "Tracer":
@@ -129,6 +130,20 @@ class Tracer:
         with self._lock:
             return self._dropped
 
+    @property
+    def overhead_seconds(self) -> float:
+        """Accumulated wall time spent committing spans to the buffer.
+
+        A lower bound on tracing cost: it covers the buffer-commit path
+        (lock + append + eviction) for every recorded span, which is
+        the only tracing work on the hot path that survives after a
+        span's attributes are gathered.  Zero for a disabled tracer --
+        the disabled path never reaches :meth:`_record`, so measuring
+        here keeps the bit-identity guarantee intact.
+        """
+        with self._lock:
+            return self._overhead
+
     def finished_spans(self) -> List[Span]:
         """Recorded spans, oldest first (bounded by ``max_spans``)."""
         with self._lock:
@@ -141,14 +156,17 @@ class Tracer:
             self._dropped = 0
             self._trace_count = 0
             self._span_count = 0
+            self._overhead = 0.0
 
     # -- span creation --------------------------------------------------
 
     def _record(self, span: Span) -> None:
+        committed_at = self._clock()
         with self._lock:
             if len(self._spans) == self._spans.maxlen:
                 self._dropped += 1
             self._spans.append(span)
+            self._overhead += self._clock() - committed_at
 
     def _next_span_id(self) -> str:
         with self._lock:

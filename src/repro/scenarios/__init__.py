@@ -28,7 +28,7 @@ from .bench import (
 from . import mobility as _mobility  # noqa: F401
 from . import outages as _outages  # noqa: F401
 from . import placement as _placement  # noqa: F401
-from .mobility import fleet_trace
+from .mobility import fleet_trace, iter_fleet_trace, streaming_fleet
 from .outages import (
     OutageEvent,
     OutageTimeline,
@@ -50,6 +50,8 @@ __all__ = [
     "run_scenario_benchmark",
     "scenario_cluster_workload",
     "fleet_trace",
+    "iter_fleet_trace",
+    "streaming_fleet",
     "OutageEvent",
     "OutageTimeline",
     "compile_fault_plan",

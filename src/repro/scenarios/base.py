@@ -29,7 +29,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Mapping, Optional, Tuple
+from typing import Callable, Dict, Iterator, Mapping, Optional, Tuple
 
 from ..errors import ConfigurationError
 from ..runtime.faults import FaultPlan
@@ -80,27 +80,56 @@ class TimedRequest:
 class ScenarioInstance:
     """A fully built scenario: scene + trace (+ faults), ready to serve.
 
+    The trace comes in one of two shapes.  Small scenarios materialize
+    it as the ``trace`` tuple.  Fleet-scale scenarios (hundreds of
+    receivers, thousands of requests) instead provide a
+    ``trace_factory`` -- a zero-argument callable returning a fresh
+    iterator over the same deterministic request stream -- plus the
+    stream's ``request_count``, so building the instance never holds
+    the whole request list in memory.  Consumers should iterate
+    :meth:`iter_trace`, which serves either shape and validates the
+    streamed entries (arrival order, group size) on the fly.
+
     Attributes:
         name: the registry name this instance was built from.
         seed: the root seed it was built with.
         scene: the deployment the trace plays in; its receiver count is
             the per-request group size, not the fleet size.
-        trace: timestamped requests in non-decreasing arrival order.
+        trace: timestamped requests in non-decreasing arrival order
+            (empty for streaming scenarios).
         fault_plan: optional seeded chaos compiled from the scenario's
             physical fault timeline (None for fault-free scenarios).
         metadata: scenario-specific facts worth reporting (fleet size,
             outage fraction, layout uplift, ...); values must be
             JSON-serializable.
+        trace_factory: lazy trace source for streaming scenarios; each
+            call must yield the identical request stream (the digest
+            pin depends on it).
+        request_count: the streamed trace's length (streaming only).
     """
 
     name: str
     seed: int
     scene: Scene
-    trace: Tuple[TimedRequest, ...]
+    trace: Tuple[TimedRequest, ...] = ()
     fault_plan: Optional[FaultPlan] = None
     metadata: Mapping[str, object] = field(default_factory=dict)
+    trace_factory: Optional[Callable[[], Iterator[TimedRequest]]] = None
+    request_count: int = 0
 
     def __post_init__(self) -> None:
+        if self.trace_factory is not None:
+            if self.trace:
+                raise ConfigurationError(
+                    f"scenario {self.name!r} has both a materialized trace "
+                    "and a trace_factory; provide exactly one"
+                )
+            if self.request_count < 1:
+                raise ConfigurationError(
+                    f"scenario {self.name!r}: a streaming trace needs "
+                    f"request_count >= 1, got {self.request_count}"
+                )
+            return
         if not self.trace:
             raise ConfigurationError(f"scenario {self.name!r} has an empty trace")
         arrivals = [t.arrival_seconds for t in self.trace]
@@ -119,7 +148,51 @@ class ScenarioInstance:
 
     @property
     def requests(self) -> int:
-        return len(self.trace)
+        return len(self.trace) if self.trace else self.request_count
+
+    @property
+    def streaming(self) -> bool:
+        """Whether the trace is served lazily from a factory."""
+        return self.trace_factory is not None
+
+    def iter_trace(self) -> Iterator[TimedRequest]:
+        """The trace, one entry at a time, either shape.
+
+        Streamed entries are validated on the fly -- non-decreasing
+        arrivals, receiver count matching the scene, and the factory
+        producing exactly ``request_count`` entries -- because the
+        eager ``__post_init__`` checks never see them.
+        """
+        if self.trace_factory is None:
+            yield from self.trace
+            return
+        group = self.scene.num_receivers
+        previous = 0.0
+        count = 0
+        for timed in self.trace_factory():
+            if timed.arrival_seconds < previous:
+                raise ConfigurationError(
+                    f"scenario {self.name!r} stream is not sorted by arrival"
+                )
+            previous = timed.arrival_seconds
+            if len(timed.request.rx_positions_xy) != group:
+                raise ConfigurationError(
+                    f"scenario {self.name!r}: streamed request with "
+                    f"{len(timed.request.rx_positions_xy)} receivers in a "
+                    f"{group}-receiver scene"
+                )
+            count += 1
+            if count > self.request_count:
+                raise ConfigurationError(
+                    f"scenario {self.name!r} stream produced more than the "
+                    f"declared {self.request_count} requests"
+                )
+            yield timed
+        if count != self.request_count:
+            raise ConfigurationError(
+                f"scenario {self.name!r} stream produced {count} requests, "
+                f"declared {self.request_count}"
+            )
 
     def workload_digest(self) -> str:
         """A blake2b digest pinning the generated workload bit-for-bit.
@@ -129,29 +202,34 @@ class ScenarioInstance:
         of the same ``(name, seed)`` must produce the same digest on any
         platform; ``benchmarks/test_bench_scenarios.py`` asserts the
         committed values.
+
+        The digest is computed incrementally -- one hash update per
+        trace entry -- so streaming scenarios digest in constant
+        memory; materialized and streamed traces with identical entries
+        produce identical digests.
         """
-        payload: list = [
-            ("scenario", self.name, self.seed),
-            ("scene", self.scene.fingerprint()),
-        ]
-        for timed in self.trace:
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(repr(("scenario", self.name, self.seed)).encode("utf-8"))
+        digest.update(repr(("scene", self.scene.fingerprint())).encode("utf-8"))
+        for timed in self.iter_trace():
             request = timed.request
-            payload.append(
-                (
-                    round(timed.arrival_seconds, 9),
-                    request.rx_positions_xy,
-                    float(request.power_budget),
-                    request.solver,
-                    float(request.kappa),
-                    request.tag,
-                    request.deadline_seconds,
+            entry = (
+                round(timed.arrival_seconds, 9),
+                request.rx_positions_xy,
+                float(request.power_budget),
+                request.solver,
+                float(request.kappa),
+                request.tag,
+                request.deadline_seconds,
+            )
+            digest.update(repr(entry).encode("utf-8"))
+        if self.fault_plan is not None:
+            digest.update(
+                repr(("faults",) + dataclasses.astuple(self.fault_plan)).encode(
+                    "utf-8"
                 )
             )
-        if self.fault_plan is not None:
-            payload.append(("faults",) + dataclasses.astuple(self.fault_plan))
-        return hashlib.blake2b(
-            repr(payload).encode("utf-8"), digest_size=16
-        ).hexdigest()
+        return digest.hexdigest()
 
 
 @dataclass(frozen=True)

@@ -34,6 +34,7 @@ from ..runtime.service import (
     AllocationRequest,
     AllocationService,
     ServiceOptions,
+    SLOObserver,
 )
 from ..system import Scene
 from .base import ScenarioInstance, build_scenario
@@ -65,6 +66,7 @@ class ScenarioBenchReport:
     health_status: str
     workload_digest: str
     metadata: Dict[str, object] = field(default_factory=dict)
+    slo: Dict[str, object] = field(default_factory=dict)
 
     def lines(self) -> List[str]:
         lines = [
@@ -84,6 +86,15 @@ class ScenarioBenchReport:
         ]
         for key in sorted(self.metadata):
             lines.append(f"meta {key:<22} {self.metadata[key]}")
+        objectives = self.slo.get("objectives", [])
+        if isinstance(objectives, list):
+            for objective in objectives:
+                lines.append(
+                    f"slo {objective['name']:<15} "
+                    f"{100 * objective['compliance']:.2f}% "
+                    f"(target {100 * objective['target']:.1f}%, budget "
+                    f"{100 * objective['budget_remaining']:.1f}% left)"
+                )
         return lines
 
     def as_dict(self) -> dict:
@@ -104,6 +115,7 @@ class ScenarioBenchReport:
             "health_status": self.health_status,
             "workload_digest": self.workload_digest,
             "metadata": dict(self.metadata),
+            "slo": dict(self.slo),
         }
 
 
@@ -127,20 +139,29 @@ def run_scenario_benchmark(
     workers: int = 0,
     cache_capacity: int = 256,
     service: Optional[AllocationService] = None,
+    slo: Optional[SLOObserver] = None,
 ) -> ScenarioBenchReport:
     """Build scenario *name* at *seed* and serve its trace end to end.
 
     Entries sharing an arrival timestamp (one mobility epoch's groups)
     are served as a single batch.  An explicit *service* overrides the
     default single-service construction (it must be built over the
-    scenario's scene).
+    scenario's scene).  An *slo* observer (duck-typed through
+    :class:`~repro.runtime.service.SLOObserver`) sees every served
+    request; its snapshot lands in ``ScenarioBenchReport.slo``.
     """
     instance = build_scenario(name, seed)
     if service is None:
         service = _service_for(instance, workers, cache_capacity)
+    if slo is not None:
+        service.attach_slo(slo)
     degraded = 0
     start = time.perf_counter()
-    for _, entries in groupby(instance.trace, key=lambda t: t.arrival_seconds):
+    # iter_trace() serves materialized and streaming scenarios alike;
+    # only one epoch's batch is ever in memory at a time.
+    for _, entries in groupby(
+        instance.iter_trace(), key=lambda t: t.arrival_seconds
+    ):
         batch = [timed.request for timed in entries]
         for result in service.handle_batch(batch):
             if result.degraded:
@@ -171,6 +192,7 @@ def run_scenario_benchmark(
         health_status=health["status"],
         workload_digest=instance.workload_digest(),
         metadata=dict(instance.metadata),
+        slo=dict(health.get("slo", {})),
     )
 
 
@@ -184,5 +206,8 @@ def scenario_cluster_workload(
     so the CLI can report the workload digest and metadata.
     """
     instance = build_scenario(name, seed)
-    workload = [timed.request for timed in instance.trace]
+    # The cluster front door submits concurrently, so the handoff
+    # materializes even streaming traces -- the lazy path is for the
+    # single-service epoch loop and the obs recorder.
+    workload = [timed.request for timed in instance.iter_trace()]
     return instance.scene, workload, instance

@@ -22,7 +22,7 @@ Two scenarios register here:
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
 
 from ..errors import ConfigurationError
 from ..geometry import HotspotModel, MobilityModel, RandomWaypointModel
@@ -36,14 +36,20 @@ from .base import (
     register_scenario,
 )
 
-__all__ = ["fleet_trace", "build_waypoint_fleet", "build_hotspot_fleet"]
+__all__ = [
+    "fleet_trace",
+    "iter_fleet_trace",
+    "streaming_fleet",
+    "build_waypoint_fleet",
+    "build_hotspot_fleet",
+]
 
 #: Staggering: a receiver advances only on epochs where
 #: ``epoch % MOVE_PHASES == receiver_index % MOVE_PHASES``.
 MOVE_PHASES = 3
 
 
-def fleet_trace(
+def iter_fleet_trace(
     name: str,
     models: Sequence[MobilityModel],
     epochs: int,
@@ -53,11 +59,13 @@ def fleet_trace(
     solver: str = "heuristic",
     kappa: Optional[float] = None,
     deadline_seconds: Optional[float] = None,
-) -> Tuple[Tuple[TimedRequest, ...], List[List[Tuple[float, float]]]]:
-    """Compile a fleet of mobility models into a timestamped trace.
+) -> Iterator[TimedRequest]:
+    """Yield a fleet's timestamped trace lazily, one request at a time.
 
-    Returns the trace plus the epoch-0 group placements (the first
-    group seeds the scenario's scene).  Receiver ``i`` advances its
+    The streaming core behind :func:`fleet_trace`: only the fleet's
+    *current* positions (one pair per receiver) are held in memory, so
+    a fleet of hundreds of receivers over many epochs never
+    materializes its full request list.  Receiver ``i`` advances its
     model clock only on its phase epochs (``i % MOVE_PHASES``), so
     consecutive epochs differ in roughly ``1/MOVE_PHASES`` of each
     group's receivers.
@@ -73,8 +81,6 @@ def fleet_trace(
     # Per-receiver model time: advanced only on that receiver's phase.
     clocks = [0.0 for _ in models]
     positions = [model.position_at(0.0) for model in models]
-    trace: List[TimedRequest] = []
-    first_epoch: List[List[Tuple[float, float]]] = []
     for epoch in range(epochs):
         arrival = epoch * dt
         if epoch > 0:
@@ -87,84 +93,183 @@ def fleet_trace(
                 (round(float(x), 6), round(float(y), 6))
                 for x, y in positions[g * group_size : (g + 1) * group_size]
             ]
-            if epoch == 0:
-                first_epoch.append(group)
             extra = {} if kappa is None else {"kappa": kappa}
-            trace.append(
-                TimedRequest(
-                    arrival_seconds=arrival,
-                    request=AllocationRequest(
-                        rx_positions_xy=tuple(group),
-                        power_budget=power_budget,
-                        solver=solver,
-                        tag=f"{name}-e{epoch}-g{g}",
-                        deadline_seconds=deadline_seconds,
-                        **extra,
-                    ),
-                )
+            yield TimedRequest(
+                arrival_seconds=arrival,
+                request=AllocationRequest(
+                    rx_positions_xy=tuple(group),
+                    power_budget=power_budget,
+                    solver=solver,
+                    tag=f"{name}-e{epoch}-g{g}",
+                    deadline_seconds=deadline_seconds,
+                    **extra,
+                ),
             )
-    return tuple(trace), first_epoch
+
+
+def fleet_trace(
+    name: str,
+    models: Sequence[MobilityModel],
+    epochs: int,
+    dt: float,
+    group_size: int,
+    power_budget: float = 1.2,
+    solver: str = "heuristic",
+    kappa: Optional[float] = None,
+    deadline_seconds: Optional[float] = None,
+) -> Tuple[Tuple[TimedRequest, ...], List[List[Tuple[float, float]]]]:
+    """Compile a fleet of mobility models into a materialized trace.
+
+    Returns the trace plus the epoch-0 group placements (the first
+    group seeds the scenario's scene).  Kept for small fleets and
+    tests; fleet-scale scenarios stream :func:`iter_fleet_trace`
+    through :func:`streaming_fleet` instead.
+    """
+    trace = tuple(
+        iter_fleet_trace(
+            name,
+            models,
+            epochs=epochs,
+            dt=dt,
+            group_size=group_size,
+            power_budget=power_budget,
+            solver=solver,
+            kappa=kappa,
+            deadline_seconds=deadline_seconds,
+        )
+    )
+    groups = len(models) // group_size
+    first_epoch = [
+        [
+            (float(x), float(y))
+            for x, y in trace[g].request.rx_positions_xy
+        ]
+        for g in range(groups)
+    ]
+    return trace, first_epoch
+
+
+def streaming_fleet(
+    name: str,
+    model_factory: Callable[[int], MobilityModel],
+    fleet: int,
+    epochs: int,
+    dt: float,
+    group_size: int,
+    power_budget: float = 1.2,
+    solver: str = "heuristic",
+    kappa: Optional[float] = None,
+    deadline_seconds: Optional[float] = None,
+) -> Tuple[
+    Callable[[], Iterator[TimedRequest]], List[Tuple[float, float]], int
+]:
+    """A lazy fleet trace: ``(trace_factory, first_group, request_count)``.
+
+    *model_factory(i)* builds receiver *i*'s (seeded) mobility model;
+    the returned factory recreates the whole fleet on every call, so
+    each invocation replays the identical deterministic stream -- the
+    contract :attr:`ScenarioInstance.trace_factory` requires.  The
+    epoch-0 positions of the first group are computed eagerly (they
+    seed the scenario's scene) without instantiating the rest of the
+    fleet's trajectories.
+    """
+    if group_size < 1 or fleet % group_size != 0:
+        raise ConfigurationError(
+            f"fleet size {fleet} is not divisible by group size {group_size}"
+        )
+    if epochs < 1 or dt <= 0:
+        raise ConfigurationError("need epochs >= 1 and dt > 0")
+    first_group = [
+        (round(float(x), 6), round(float(y), 6))
+        for x, y in (
+            model_factory(i).position_at(0.0) for i in range(group_size)
+        )
+    ]
+
+    def factory() -> Iterator[TimedRequest]:
+        models = [model_factory(i) for i in range(fleet)]
+        return iter_fleet_trace(
+            name,
+            models,
+            epochs=epochs,
+            dt=dt,
+            group_size=group_size,
+            power_budget=power_budget,
+            solver=solver,
+            kappa=kappa,
+            deadline_seconds=deadline_seconds,
+        )
+
+    return factory, first_group, (fleet // group_size) * epochs
 
 
 @register_scenario(
     "waypoint-fleet",
-    "24 random-waypoint receivers, swing solver, staggered motion",
+    "240 random-waypoint receivers, swing solver, streamed lazily",
     seed=0,
 )
 def build_waypoint_fleet(seed: int) -> ScenarioInstance:
     room = simulation_room()
-    fleet = 24
+    fleet = 240
     group_size = 4
-    models: List[MobilityModel] = [
-        RandomWaypointModel(
+    epochs = 5
+    dt = 0.5
+
+    def model_factory(i: int) -> MobilityModel:
+        return RandomWaypointModel(
             room=room,
             speed=1.2,
             seed=derive_seed(seed, "waypoint-fleet", "rx", i),
             margin=0.3,
         )
-        for i in range(fleet)
-    ]
-    trace, first_epoch = fleet_trace(
+
+    factory, first_group, request_count = streaming_fleet(
         "waypoint-fleet",
-        models,
-        epochs=30,
-        dt=0.25,
+        model_factory,
+        fleet=fleet,
+        epochs=epochs,
+        dt=dt,
         group_size=group_size,
         solver="swing",
     )
-    scene = simulation_scene(first_epoch[0])
+    scene = simulation_scene(first_group)
     return ScenarioInstance(
         name="waypoint-fleet",
         seed=seed,
         scene=scene,
-        trace=trace,
+        trace_factory=factory,
+        request_count=request_count,
         metadata={
             "fleet_size": fleet,
             "group_size": group_size,
-            "epochs": 30,
-            "dt_seconds": 0.25,
+            "epochs": epochs,
+            "dt_seconds": dt,
             "model": "random-waypoint",
             "solver": "swing",
+            "streaming": True,
         },
     )
 
 
 @register_scenario(
     "hotspot-fleet",
-    "32 receivers dwelling around 3 hotspots, heavy cache locality",
+    "320 receivers dwelling around 3 hotspots, heavy cache locality",
     seed=0,
 )
 def build_hotspot_fleet(seed: int) -> ScenarioInstance:
     room = simulation_room()
-    fleet = 32
+    fleet = 320
     group_size = 4
+    epochs = 6
+    dt = 0.4
     hotspots = (
         (room.width * 0.25, room.depth * 0.3),
         (room.width * 0.7, room.depth * 0.25),
         (room.width * 0.5, room.depth * 0.75),
     )
-    models: List[MobilityModel] = [
-        HotspotModel(
+
+    def model_factory(i: int) -> MobilityModel:
+        return HotspotModel(
             room=room,
             hotspots=hotspots,
             sigma=0.25,
@@ -173,29 +278,31 @@ def build_hotspot_fleet(seed: int) -> ScenarioInstance:
             seed=derive_seed(seed, "hotspot-fleet", "rx", i),
             margin=0.3,
         )
-        for i in range(fleet)
-    ]
-    trace, first_epoch = fleet_trace(
+
+    factory, first_group, request_count = streaming_fleet(
         "hotspot-fleet",
-        models,
-        epochs=25,
-        dt=0.4,
+        model_factory,
+        fleet=fleet,
+        epochs=epochs,
+        dt=dt,
         group_size=group_size,
         solver="heuristic",
     )
-    scene = simulation_scene(first_epoch[0])
+    scene = simulation_scene(first_group)
     return ScenarioInstance(
         name="hotspot-fleet",
         seed=seed,
         scene=scene,
-        trace=trace,
+        trace_factory=factory,
+        request_count=request_count,
         metadata={
             "fleet_size": fleet,
             "group_size": group_size,
-            "epochs": 25,
-            "dt_seconds": 0.4,
+            "epochs": epochs,
+            "dt_seconds": dt,
             "hotspots": [[float(x), float(y)] for x, y in hotspots],
             "model": "hotspot",
             "solver": "heuristic",
+            "streaming": True,
         },
     )

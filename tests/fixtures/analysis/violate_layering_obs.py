@@ -1,0 +1,12 @@
+"""R1 fixture: a scenario-layer module importing the observability layer.
+
+Deliberately violates the layering rule; `repro lint` must flag the
+import below.  ``repro.obs`` tops the stack -- it records, replays and
+scores the layers beneath it, and those layers see observers only
+through duck-typed protocols (``repro.runtime.service.SLOObserver``),
+never by importing obs.  The directive makes the file impersonate a
+module inside ``repro.scenarios``.
+"""
+# repro: module=repro.scenarios.fixture_obs
+
+from repro.obs import SLOTracker  # noqa: F401  deliberate violation

@@ -37,6 +37,7 @@ FIXTURE_RULES = {
     "violate_layering.py": ("R1", "layering"),
     "violate_layering_cluster.py": ("R1", "layering"),
     "violate_layering_scenarios.py": ("R1", "layering"),
+    "violate_layering_obs.py": ("R1", "layering"),
     "violate_lock_discipline.py": ("R2", "lock-discipline"),
     "violate_determinism.py": ("R3", "determinism"),
     "violate_cache_immutability.py": ("R4", "cache-immutability"),

@@ -1,0 +1,246 @@
+"""Tests for the Prometheus text exposition (repro.runtime.metrics).
+
+Focuses on :func:`merged_prometheus` -- the cluster rollup path -- and
+the exemplar extension: one contiguous family per metric (the text
+format forbids interleaving), cumulative bucket series that stay
+monotone and consistent with ``_count``, and exemplar rendering that is
+strictly opt-in (the default exposition stays byte-identical whether or
+not exemplars were ever recorded).
+"""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from repro.runtime.metrics import (
+    DEFAULT_TIME_BUCKETS,
+    MetricsRegistry,
+    merged_prometheus,
+)
+
+BUCKETS = (0.001, 0.01, 0.1)
+
+
+def _shard_registry(observations, exemplars=None):
+    registry = MetricsRegistry()
+    registry.counter("requests").increment(len(observations))
+    registry.gauge("cache.size").set(7)
+    histogram = registry.histogram("latency", buckets=BUCKETS)
+    for n, value in enumerate(observations):
+        histogram.observe(
+            value, exemplar=exemplars[n] if exemplars else None
+        )
+    return registry
+
+
+def _families(text):
+    """Ordered (metric, kind) pairs from the TYPE headers."""
+    return re.findall(r"^# TYPE (\S+) (\S+)$", text, flags=re.M)
+
+
+class TestFamilyGrouping:
+    def test_each_family_has_exactly_one_type_header(self):
+        text = merged_prometheus(
+            {
+                "shard-0": _shard_registry([0.0005, 0.05]),
+                "shard-1": _shard_registry([0.002]),
+            }
+        )
+        families = [metric for metric, _ in _families(text)]
+        assert sorted(families) == sorted(set(families))
+        assert set(families) == {
+            "requests_total",
+            "cache_size",
+            "latency",
+        }
+
+    def test_families_are_contiguous_across_shards(self):
+        # Series from different shards must collate under one header,
+        # never re-open a family later in the exposition.
+        text = merged_prometheus(
+            {
+                "shard-0": _shard_registry([0.0005]),
+                "shard-1": _shard_registry([0.002]),
+                "cluster": _shard_registry([0.05]),
+            }
+        )
+        owner = None
+        owners = []
+        for line in text.splitlines():
+            if line.startswith("# TYPE "):
+                owner = line.split()[2]
+                owners.append(owner)
+                continue
+            metric = line.split("{", 1)[0].split(" ", 1)[0]
+            base = re.sub(r"_(total|bucket|sum|count)$", "", metric)
+            assert owner is not None
+            assert base == re.sub(r"_total$", "", owner) or metric.startswith(
+                owner
+            ), line
+        assert sorted(owners) == sorted(set(owners))
+
+    def test_every_series_carries_its_shard_label(self):
+        text = merged_prometheus(
+            {
+                "shard-0": _shard_registry([0.0005]),
+                "shard-1": _shard_registry([0.002]),
+            }
+        )
+        for line in text.splitlines():
+            if line.startswith("#"):
+                continue
+            assert re.search(r'shard="(shard-0|shard-1)"', line), line
+
+    def test_merge_label_is_configurable(self):
+        text = merged_prometheus(
+            {"a": _shard_registry([0.0005])}, label="zone"
+        )
+        assert 'zone="a"' in text
+        assert "shard=" not in text
+
+    def test_prefix_applies_to_every_family(self):
+        text = merged_prometheus(
+            {"shard-0": _shard_registry([0.0005])}, prefix="repro_"
+        )
+        for metric, _ in _families(text):
+            assert metric.startswith("repro_")
+
+
+class TestBucketSeries:
+    def _bucket_lines(self, text, shard):
+        lines = [
+            line
+            for line in text.splitlines()
+            if line.startswith("latency_bucket") and f'shard="{shard}"' in line
+        ]
+        parsed = []
+        for line in lines:
+            le = re.search(r'le="([^"]+)"', line).group(1)
+            count = int(line.split("}", 1)[1].split()[0])
+            parsed.append((le, count))
+        return parsed
+
+    def test_buckets_are_cumulative_and_monotone(self):
+        observations = [0.0005, 0.0005, 0.005, 0.05, 0.5]
+        text = merged_prometheus(
+            {"shard-0": _shard_registry(observations)}
+        )
+        parsed = self._bucket_lines(text, "shard-0")
+        bounds = [le for le, _ in parsed]
+        counts = [count for _, count in parsed]
+        assert bounds == ["0.001", "0.01", "0.1", "+Inf"]
+        assert counts == [2, 3, 4, 5]
+        assert counts == sorted(counts)
+        count_line = next(
+            line
+            for line in text.splitlines()
+            if line.startswith("latency_count")
+        )
+        assert int(count_line.split()[-1]) == len(observations)
+
+    def test_sum_matches_observations(self):
+        observations = [0.001, 0.002, 0.003]
+        text = merged_prometheus(
+            {"shard-0": _shard_registry(observations)}
+        )
+        sum_line = next(
+            line
+            for line in text.splitlines()
+            if line.startswith("latency_sum")
+        )
+        assert float(sum_line.split()[-1]) == pytest.approx(
+            sum(observations)
+        )
+
+    def test_reservoir_only_histogram_exposes_quantiles(self):
+        registry = MetricsRegistry()
+        for value in (0.001, 0.002, 0.003):
+            registry.histogram("plain").observe(value)
+        text = merged_prometheus({"shard-0": registry})
+        assert ("plain", "summary") in _families(text)
+        assert 'quantile="0.5"' in text
+        assert 'quantile="0.95"' in text
+        assert "plain_bucket" not in text
+
+    def test_never_observed_histograms_are_omitted(self):
+        registry = MetricsRegistry()
+        registry.histogram("silent", buckets=BUCKETS)
+        registry.counter("requests").increment()
+        text = merged_prometheus({"shard-0": registry})
+        assert "silent" not in text
+
+    def test_default_time_buckets_are_strictly_increasing(self):
+        assert list(DEFAULT_TIME_BUCKETS) == sorted(
+            set(DEFAULT_TIME_BUCKETS)
+        )
+
+
+class TestExemplars:
+    OBSERVATIONS = [0.0005, 0.005, 0.05]
+    REFS = ["trace-aa", "trace-bb", "trace-cc"]
+
+    def test_exemplars_render_on_their_buckets(self):
+        registry = _shard_registry(self.OBSERVATIONS, self.REFS)
+        text = merged_prometheus({"shard-0": registry}, exemplars=True)
+        bucket_lines = [
+            line
+            for line in text.splitlines()
+            if line.startswith("latency_bucket")
+        ]
+        tagged = [line for line in bucket_lines if " # {" in line]
+        assert len(tagged) == 3
+        for ref, value, line in zip(
+            self.REFS,
+            self.OBSERVATIONS,
+            tagged,
+        ):
+            assert f'trace_id="{ref}"' in line
+            assert line.rstrip().endswith(repr(float(value)))
+
+    def test_latest_exemplar_per_bucket_wins(self):
+        registry = _shard_registry(
+            [0.0005, 0.0004], ["trace-old", "trace-new"]
+        )
+        text = merged_prometheus({"shard-0": registry}, exemplars=True)
+        assert "trace-new" in text
+        assert "trace-old" not in text
+
+    def test_exemplars_off_is_byte_identical_to_untagged(self):
+        # The acceptance invariant: recording exemplars must not change
+        # the default exposition by a single byte.
+        tagged = _shard_registry(self.OBSERVATIONS, self.REFS)
+        untagged = _shard_registry(self.OBSERVATIONS)
+        assert merged_prometheus({"shard-0": tagged}) == merged_prometheus(
+            {"shard-0": untagged}
+        )
+        assert "trace_id" not in merged_prometheus({"shard-0": tagged})
+
+    def test_exemplars_do_not_alter_statistics(self):
+        tagged = _shard_registry(self.OBSERVATIONS, self.REFS)
+        untagged = _shard_registry(self.OBSERVATIONS)
+        assert (
+            tagged.histogram("latency").as_dict()
+            == untagged.histogram("latency").as_dict()
+        )
+
+    def test_exemplars_true_without_tags_is_identical_too(self):
+        untagged = _shard_registry(self.OBSERVATIONS)
+        assert merged_prometheus(
+            {"shard-0": untagged}, exemplars=True
+        ) == merged_prometheus({"shard-0": untagged})
+
+    def test_reservoir_only_histograms_never_carry_exemplars(self):
+        registry = MetricsRegistry()
+        registry.histogram("plain").observe(0.001, exemplar="trace-aa")
+        text = merged_prometheus({"shard-0": registry}, exemplars=True)
+        assert "trace_id" not in text
+
+    def test_single_registry_exposition_matches(self):
+        registry = _shard_registry(self.OBSERVATIONS, self.REFS)
+        text = registry.expose_prometheus(exemplars=True)
+        assert 'trace_id="trace-aa"' in text
+        assert registry.expose_prometheus() == registry.expose_prometheus(
+            exemplars=False
+        )

@@ -1,0 +1,699 @@
+"""Tests for the observability layer (repro.obs).
+
+Covers the replayable trace format (record -> save -> load -> replay is
+a bit-identical fixed point), the service/cluster replayers and their
+rate modes, the perf-trajectory ledger with its regression diff, the
+span-fold latency attribution, the rolling SLO tracker, and -- the
+invariant every opt-in observability feature must keep -- that the
+disabled paths stay bit-identical to the pre-obs behavior.
+"""
+
+from __future__ import annotations
+
+import json
+from types import SimpleNamespace
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import (
+    LEDGER_VERSION,
+    PerfReport,
+    RequestTrace,
+    SLObjective,
+    SLOTracker,
+    TraceRecord,
+    TraceRecorder,
+    TraceReplayer,
+    append_to_ledger,
+    attribution_table,
+    default_objectives,
+    diff_reports,
+    latest_report,
+    load_ledger,
+    recording_service,
+    render_attribution,
+    replay_cluster,
+    replay_service,
+)
+from repro.runtime import (
+    AllocationRequest,
+    AllocationService,
+    Tracer,
+    TracingOptions,
+)
+from repro.scenarios import build_scenario
+
+FAST_SCENARIO = "mirror-nlos"  # 30 requests, cheapest registered scenario
+
+
+@pytest.fixture(scope="module")
+def fast_trace():
+    return TraceRecorder.record_scenario(FAST_SCENARIO, 0)
+
+
+# ----------------------------------------------------------------------
+# trace format: record -> save -> load round trip
+# ----------------------------------------------------------------------
+
+
+class TestTraceRoundTrip:
+    def test_recording_is_deterministic(self, fast_trace, tmp_path):
+        again = TraceRecorder.record_scenario(FAST_SCENARIO, 0)
+        assert again.stream_digest() == fast_trace.stream_digest()
+        first, second = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        fast_trace.save(str(first))
+        again.save(str(second))
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_round_trip_is_bit_identical(self, fast_trace, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        fast_trace.save(str(path))
+        loaded = TraceReplayer.load(str(path)).trace
+        assert loaded.stream_digest() == fast_trace.stream_digest()
+        assert loaded.scenario == fast_trace.scenario
+        assert loaded.seed == fast_trace.seed
+        assert loaded.scene_fingerprint == fast_trace.scene_fingerprint
+        assert [r.arrival_seconds for r in loaded.records] == [
+            r.arrival_seconds for r in fast_trace.records
+        ]
+        assert [r.deadline_seconds for r in loaded.records] == [
+            r.deadline_seconds for r in fast_trace.records
+        ]
+        assert [r.fingerprint for r in loaded.records] == [
+            r.fingerprint for r in fast_trace.records
+        ]
+        assert loaded.records == fast_trace.records
+
+    def test_save_load_save_is_a_fixed_point(self, fast_trace, tmp_path):
+        first, second = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        fast_trace.save(str(first))
+        TraceReplayer.load(str(first)).trace.save(str(second))
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_header_declares_the_stream(self, fast_trace):
+        header = fast_trace.header()
+        assert header["kind"] == "header"
+        assert header["version"] == 1
+        assert header["requests"] == fast_trace.requests
+        assert header["metadata"]["source"] == "scenario"
+
+    def test_arrival_batches_preserve_order(self, fast_trace, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        fast_trace.save(str(path))
+        replayer = TraceReplayer.load(str(path))
+        flattened = []
+        arrivals = []
+        for arrival, batch in replayer.arrival_batches():
+            arrivals.append(arrival)
+            flattened.extend(batch)
+        assert arrivals == sorted(arrivals)
+        assert len(flattened) == fast_trace.requests
+        assert [r.rx_positions_xy for r in flattened] == [
+            r.rx_positions_xy for r in fast_trace.records
+        ]
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ConfigurationError, match="empty"):
+            TraceReplayer.load(str(path))
+
+    def test_missing_header_rejected(self, fast_trace, tmp_path):
+        path = tmp_path / "headless.jsonl"
+        record = fast_trace.records[0]
+        path.write_text(json.dumps(record.as_dict()) + "\n")
+        with pytest.raises(ConfigurationError, match="header"):
+            TraceReplayer.load(str(path))
+
+    def test_future_version_rejected(self, fast_trace, tmp_path):
+        path = tmp_path / "future.jsonl"
+        header = fast_trace.header()
+        header["version"] = 99
+        lines = [json.dumps(header, sort_keys=True)]
+        lines += [
+            json.dumps(r.as_dict(), sort_keys=True)
+            for r in fast_trace.records
+        ]
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ConfigurationError, match="version 99"):
+            TraceReplayer.load(str(path))
+
+    def test_declared_count_mismatch_rejected(self, fast_trace, tmp_path):
+        path = tmp_path / "short.jsonl"
+        header = fast_trace.header()
+        lines = [json.dumps(header, sort_keys=True)]
+        lines += [
+            json.dumps(r.as_dict(), sort_keys=True)
+            for r in fast_trace.records[:-1]
+        ]
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ConfigurationError, match="declares"):
+            TraceReplayer.load(str(path))
+
+    def test_unsorted_arrivals_rejected(self, fast_trace):
+        shuffled = (fast_trace.records[-1], fast_trace.records[0])
+        if shuffled[0].arrival_seconds <= shuffled[1].arrival_seconds:
+            pytest.skip("scenario trace has a single arrival instant")
+        with pytest.raises(ConfigurationError, match="sorted"):
+            RequestTrace(
+                scenario=fast_trace.scenario,
+                seed=fast_trace.seed,
+                scene_fingerprint=fast_trace.scene_fingerprint,
+                records=shuffled,
+            )
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ConfigurationError, match=">= 1 record"):
+            RequestTrace(
+                scenario="x", seed=0, scene_fingerprint="f", records=()
+            )
+
+    def test_record_replays_identical_request(self, fast_trace):
+        record = fast_trace.records[0]
+        request = record.request()
+        assert request.rx_positions_xy == record.rx_positions_xy
+        assert request.power_budget == record.power_budget
+        assert request.solver == record.solver
+        assert request.deadline_seconds == record.deadline_seconds
+        assert TraceRecord.from_dict(record.as_dict()) == record
+
+
+class TestLiveRecording:
+    def test_recording_service_captures_served_requests(self, fast_trace):
+        instance = build_scenario(FAST_SCENARIO, 0)
+        service = AllocationService(instance.scene)
+        recorder = TraceRecorder(scenario=FAST_SCENARIO, seed=0)
+        wrapped = recording_service(service, recorder)
+        assert recorder.scene_fingerprint == service.base_fingerprint
+        requests = [r.request() for r in fast_trace.records[:4]]
+        wrapped.handle(requests[0])
+        wrapped.handle_batch(requests[1:])
+        assert len(recorder.records) == 4
+        # Recorded fingerprints agree with the service's cache identity.
+        from repro.runtime.service import placement_fingerprint
+
+        for record, request in zip(recorder.records, requests):
+            assert record.fingerprint == placement_fingerprint(
+                service.base_fingerprint, request.rx_positions_xy
+            )
+        trace = recorder.trace()
+        arrivals = [r.arrival_seconds for r in trace.records]
+        assert arrivals[0] == 0.0
+        assert arrivals == sorted(arrivals)
+
+    def test_wrapper_forwards_everything_else(self):
+        instance = build_scenario(FAST_SCENARIO, 0)
+        service = AllocationService(instance.scene)
+        wrapped = recording_service(service, TraceRecorder())
+        assert wrapped.base_fingerprint == service.base_fingerprint
+        assert wrapped.health()["status"] == "ok"
+
+
+# ----------------------------------------------------------------------
+# replays
+# ----------------------------------------------------------------------
+
+
+class TestReplayService:
+    @pytest.fixture(scope="class")
+    def trace_path(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("traces") / "fast.trace.jsonl"
+        TraceRecorder.record_scenario(FAST_SCENARIO, 0).save(str(path))
+        return str(path)
+
+    def test_closed_replay_serves_everything(self, trace_path):
+        replayer = TraceReplayer.load(trace_path)
+        report = replay_service(replayer, mode="closed")
+        assert report.label == f"service:{FAST_SCENARIO}"
+        assert report.target == "service"
+        assert report.served == replayer.requests
+        assert report.shed == 0
+        assert report.stream_digest == replayer.stream_digest()
+        assert report.requests_per_second > 0
+        assert report.p95_latency_ms > 0
+        assert report.p99_latency_ms >= report.p95_latency_ms > 0
+
+    def test_replayed_stream_is_the_recorded_stream(self, trace_path):
+        # The acceptance bit-identity: what the replayer feeds the
+        # service is byte-for-byte what the recorder captured.
+        replayer = TraceReplayer.load(trace_path)
+        recorded = TraceRecorder.record_scenario(FAST_SCENARIO, 0)
+        replayed = [req for _, req in replayer.timed_requests()]
+        assert [r.request() for r in recorded.records] == replayed
+        assert replayer.stream_digest() == recorded.stream_digest()
+
+    def test_scaled_and_fixed_modes(self, trace_path):
+        replayer = TraceReplayer.load(trace_path)
+        scaled = replay_service(replayer, mode="scaled", speed=1e6)
+        assert scaled.served == replayer.requests
+        assert scaled.mode == "scaled"
+        fixed = replay_service(replayer, mode="fixed", rate=1e6)
+        assert fixed.served == replayer.requests
+        assert fixed.mode == "fixed"
+
+    def test_mode_validation(self, trace_path):
+        replayer = TraceReplayer.load(trace_path)
+        with pytest.raises(ConfigurationError, match="unknown replay mode"):
+            replay_service(replayer, mode="warp")
+        with pytest.raises(ConfigurationError, match="speed > 0"):
+            replay_service(replayer, mode="scaled", speed=0.0)
+        with pytest.raises(ConfigurationError, match="rate > 0"):
+            replay_service(replayer, mode="fixed", rate=0.0)
+
+    def test_unregistered_scenario_rejected(self, trace_path, tmp_path):
+        replayer = TraceReplayer.load(trace_path)
+        header = replayer.trace.header()
+        header["scenario"] = "no-such-scenario"
+        lines = [json.dumps(header, sort_keys=True)]
+        lines += [
+            json.dumps(r.as_dict(), sort_keys=True)
+            for r in replayer.trace.records
+        ]
+        path = tmp_path / "unknown.jsonl"
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ConfigurationError, match="not in the registry"):
+            replay_service(TraceReplayer.load(str(path)))
+
+    def test_scene_drift_rejected(self, trace_path, tmp_path):
+        replayer = TraceReplayer.load(trace_path)
+        header = replayer.trace.header()
+        header["scene_fingerprint"] = "0" * 32
+        lines = [json.dumps(header, sort_keys=True)]
+        lines += [
+            json.dumps(r.as_dict(), sort_keys=True)
+            for r in replayer.trace.records
+        ]
+        path = tmp_path / "drifted.jsonl"
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ConfigurationError, match="fingerprint mismatch"):
+            replay_service(TraceReplayer.load(str(path)))
+
+    def test_attribution_requires_a_tracer(self, trace_path):
+        replayer = TraceReplayer.load(trace_path)
+        plain = replay_service(replayer)
+        assert plain.stage_self_ms == {}
+        traced = replay_service(
+            replayer, tracer=Tracer(TracingOptions(seed=0))
+        )
+        assert traced.stage_self_ms
+        assert any(
+            stage.startswith("channel") for stage in traced.stage_self_ms
+        )
+
+    def test_slo_snapshot_lands_in_the_report(self, trace_path):
+        replayer = TraceReplayer.load(trace_path)
+        tracker = SLOTracker()
+        report = replay_service(replayer, slo=tracker)
+        assert tracker.observed == replayer.requests
+        names = {o["name"] for o in report.slo["objectives"]}
+        assert names == {"availability", "latency-100ms"}
+
+
+class TestReplayCluster:
+    def test_cluster_replay(self, fast_trace, tmp_path):
+        path = tmp_path / "fast.trace.jsonl"
+        fast_trace.save(str(path))
+        replayer = TraceReplayer.load(str(path))
+        tracker = SLOTracker()
+        report = replay_cluster(replayer, shards=2, slo=tracker)
+        assert report.label == f"cluster:{FAST_SCENARIO}"
+        assert report.target == "cluster"
+        assert report.served + report.shed == replayer.requests
+        assert report.stream_digest == replayer.stream_digest()
+        assert tracker.observed == report.served
+        assert report.slo["objectives"]
+
+
+# ----------------------------------------------------------------------
+# perf-trajectory ledger
+# ----------------------------------------------------------------------
+
+
+def _report(label="service:fast", rps=1000.0, p95=1.0, digest="d" * 32):
+    target = label.split(":", 1)[0]
+    return PerfReport(
+        label=label,
+        target=target,
+        scenario="fast",
+        seed=0,
+        stream_digest=digest,
+        mode="closed",
+        requests=30,
+        served=30,
+        shed=0,
+        duration_seconds=0.03,
+        requests_per_second=rps,
+        p50_latency_ms=p95 / 2,
+        p95_latency_ms=p95,
+    )
+
+
+class TestLedger:
+    def test_append_and_load(self, tmp_path):
+        path = str(tmp_path / "ledger.json")
+        assert load_ledger(path) == []
+        history = append_to_ledger(_report(), path)
+        assert len(history) == 1
+        assert history[0].created  # stamped on append
+        history = append_to_ledger(_report(rps=1100.0), path)
+        assert len(history) == 2
+        loaded = load_ledger(path)
+        assert [r.requests_per_second for r in loaded] == [1000.0, 1100.0]
+        document = json.loads((tmp_path / "ledger.json").read_text())
+        assert document["version"] == LEDGER_VERSION
+
+    def test_latest_report_picks_newest_with_label(self, tmp_path):
+        history = [
+            _report(rps=1.0),
+            _report(label="cluster:fast", rps=2.0),
+            _report(rps=3.0),
+        ]
+        latest = latest_report(history, "service:fast")
+        assert latest is not None and latest.requests_per_second == 3.0
+        assert latest_report(history, "service:absent") is None
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "ledger.json"
+        path.write_text(json.dumps({"version": 99, "entries": []}))
+        with pytest.raises(ConfigurationError, match="version 99"):
+            load_ledger(str(path))
+
+    def test_diff_within_thresholds(self):
+        diff = diff_reports(_report(), _report(rps=950.0, p95=1.1))
+        assert diff.ok
+        assert "ok: within regression thresholds" in diff.lines()[-1]
+
+    def test_throughput_regression_fires(self):
+        diff = diff_reports(_report(), _report(rps=850.0))
+        assert not diff.ok
+        assert any("throughput fell" in r for r in diff.regressions)
+
+    def test_p95_regression_fires(self):
+        diff = diff_reports(_report(), _report(p95=1.2))
+        assert not diff.ok
+        assert any("p95 latency rose" in r for r in diff.regressions)
+
+    def test_diff_refuses_mismatched_labels(self):
+        with pytest.raises(ConfigurationError, match="labels must match"):
+            diff_reports(_report(), _report(label="cluster:fast"))
+
+    def test_diff_refuses_mismatched_digests(self):
+        with pytest.raises(ConfigurationError, match="digest mismatch"):
+            diff_reports(_report(), _report(digest="e" * 32))
+
+    def test_diff_tolerance_validation(self):
+        with pytest.raises(ConfigurationError, match="p95_tolerance"):
+            diff_reports(_report(), _report(), p95_tolerance=-0.1)
+        with pytest.raises(ConfigurationError, match="throughput_tolerance"):
+            diff_reports(_report(), _report(), throughput_tolerance=1.0)
+
+    def test_report_validation(self):
+        with pytest.raises(ConfigurationError, match="target"):
+            _report(label="edge:fast")
+        with pytest.raises(ConfigurationError, match=">= 1 request"):
+            PerfReport(
+                label="service:x",
+                target="service",
+                scenario="x",
+                seed=0,
+                stream_digest="d",
+                mode="closed",
+                requests=0,
+                served=0,
+                shed=0,
+                duration_seconds=0.0,
+                requests_per_second=0.0,
+                p50_latency_ms=0.0,
+                p95_latency_ms=0.0,
+            )
+
+    def test_report_round_trips_through_dict(self):
+        report = _report()
+        assert PerfReport.from_dict(report.as_dict()) == report
+
+
+# ----------------------------------------------------------------------
+# latency attribution
+# ----------------------------------------------------------------------
+
+
+def _span(name, span_id, parent_id, duration, **attributes):
+    return SimpleNamespace(
+        name=name,
+        span_id=span_id,
+        parent_id=parent_id,
+        duration=duration,
+        attributes=attributes,
+    )
+
+
+class TestAttribution:
+    def test_self_time_excludes_children(self):
+        spans = [
+            _span("request", "a", None, 0.010),
+            _span("channel", "b", "a", 0.004),
+            _span("allocation", "c", "a", 0.003, cache_outcome="miss"),
+        ]
+        table = attribution_table(spans)
+        rows = {row["stage"]: row for row in table}
+        assert rows["request"]["self_ms"] == pytest.approx(3.0)
+        assert rows["request"]["child_ms"] == pytest.approx(7.0)
+        assert rows["channel"]["self_ms"] == pytest.approx(4.0)
+        assert rows["allocation[miss]"]["self_ms"] == pytest.approx(3.0)
+        fractions = sum(row["self_fraction"] for row in table)
+        assert fractions == pytest.approx(1.0)
+
+    def test_refinements_split_cost_profiles(self):
+        spans = [
+            _span("allocation", "a", None, 0.001, cache_outcome="hit"),
+            _span("allocation", "b", None, 0.005, cache_outcome="miss"),
+            _span("solve", "c", "b", 0.004, solver="swing"),
+        ]
+        stages = [row["stage"] for row in attribution_table(spans)]
+        assert "allocation[hit]" in stages
+        assert "allocation[miss]" in stages
+        assert "solve[swing]" in stages
+
+    def test_unrefined_span_keeps_plain_name(self):
+        table = attribution_table([_span("allocation", "a", None, 0.001)])
+        assert table[0]["stage"] == "allocation"
+
+    def test_child_outlasting_parent_clamps_at_zero(self):
+        # Batched stages bracket one shared window into several traces;
+        # a child can nominally outlast its parent's slice.
+        spans = [
+            _span("request", "a", None, 0.001),
+            _span("channel", "b", "a", 0.005),
+        ]
+        rows = {row["stage"]: row for row in attribution_table(spans)}
+        assert rows["request"]["self_ms"] == 0.0
+        assert rows["channel"]["self_ms"] == pytest.approx(5.0)
+
+    def test_sorted_by_descending_self_time(self):
+        spans = [
+            _span("cheap", "a", None, 0.001),
+            _span("dear", "b", None, 0.009),
+        ]
+        assert [r["stage"] for r in attribution_table(spans)] == [
+            "dear",
+            "cheap",
+        ]
+
+    def test_empty_input(self):
+        assert attribution_table([]) == []
+        assert render_attribution([]) == []
+
+    def test_render_alignment(self):
+        table = attribution_table([_span("request", "a", None, 0.010)])
+        lines = render_attribution(table)
+        assert lines[0].split() == [
+            "stage", "count", "self", "ms", "child", "ms", "total", "ms",
+            "self", "%",
+        ]
+        assert "request" in lines[1]
+        assert "100.0%" in lines[1]
+
+    def test_real_tracer_spans_fold_cleanly(self, fast_trace, tmp_path):
+        path = tmp_path / "fast.trace.jsonl"
+        fast_trace.save(str(path))
+        tracer = Tracer(TracingOptions(seed=0))
+        replay_service(TraceReplayer.load(str(path)), tracer=tracer)
+        table = attribution_table(tracer.finished_spans())
+        stages = {row["stage"] for row in table}
+        assert any(s.startswith("request") for s in stages)
+        assert any(s.startswith("allocation[") for s in stages)
+        assert all(row["self_ms"] >= 0.0 for row in table)
+
+
+# ----------------------------------------------------------------------
+# SLO tracking
+# ----------------------------------------------------------------------
+
+
+class TestSLOTracker:
+    def test_idle_tracker_is_vacuously_healthy(self):
+        snapshot = SLOTracker().snapshot()
+        assert snapshot["healthy"]
+        assert snapshot["observed"] == 0
+        for objective in snapshot["objectives"]:
+            assert objective["compliance"] == 1.0
+            assert objective["budget_remaining"] == 1.0
+
+    def test_availability_breach_marks_unhealthy(self):
+        tracker = SLOTracker(
+            objectives=[SLObjective(name="availability", target=0.99)],
+            window=100,
+        )
+        for _ in range(95):
+            tracker.observe(0.001, ok=True)
+        for _ in range(5):
+            tracker.observe(0.001, ok=False)
+        snapshot = tracker.snapshot()
+        assert not snapshot["healthy"]
+        objective = snapshot["objectives"][0]
+        assert objective["compliance"] == pytest.approx(0.95)
+        assert objective["budget_remaining"] == 0.0
+
+    def test_latency_objective_ignores_ok(self):
+        tracker = SLOTracker(
+            objectives=[
+                SLObjective(
+                    name="latency-10ms",
+                    target=0.5,
+                    latency_threshold_seconds=0.010,
+                )
+            ],
+            window=10,
+        )
+        tracker.observe(0.001, ok=False)  # fast but degraded: compliant
+        tracker.observe(0.500, ok=True)  # slow but ok: non-compliant
+        objective = tracker.snapshot()["objectives"][0]
+        assert objective["compliance"] == pytest.approx(0.5)
+
+    def test_window_evicts_old_observations(self):
+        tracker = SLOTracker(
+            objectives=[SLObjective(name="availability", target=0.5)],
+            window=4,
+        )
+        for _ in range(4):
+            tracker.observe(0.001, ok=False)
+        assert not tracker.snapshot()["healthy"]
+        for _ in range(4):
+            tracker.observe(0.001, ok=True)
+        snapshot = tracker.snapshot()
+        assert snapshot["healthy"]
+        assert snapshot["objectives"][0]["compliance"] == 1.0
+        assert snapshot["observed"] == 8
+
+    def test_reset(self):
+        tracker = SLOTracker()
+        tracker.observe(0.001, ok=False)
+        tracker.reset()
+        assert tracker.observed == 0
+        assert tracker.snapshot()["healthy"]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError, match="target"):
+            SLObjective(name="bad", target=1.0)
+        with pytest.raises(ConfigurationError, match="threshold"):
+            SLObjective(
+                name="bad", target=0.5, latency_threshold_seconds=0.0
+            )
+        with pytest.raises(ConfigurationError, match="window"):
+            SLOTracker(window=0)
+        with pytest.raises(ConfigurationError, match=">= 1 objective"):
+            SLOTracker(objectives=[])
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            SLOTracker(
+                objectives=[
+                    SLObjective(name="a", target=0.9),
+                    SLObjective(name="a", target=0.8),
+                ]
+            )
+
+    def test_default_objectives(self):
+        names = [o.name for o in default_objectives()]
+        assert names == ["availability", "latency-100ms"]
+
+    def test_service_surfaces_slo_in_health(self, fast_trace):
+        instance = build_scenario(FAST_SCENARIO, 0)
+        service = AllocationService(instance.scene)
+        tracker = SLOTracker()
+        service.attach_slo(tracker)
+        service.handle_batch(
+            [r.request() for r in fast_trace.records[:4]]
+        )
+        health = service.health()
+        assert health["slo"]["observed"] == 4
+        assert health["slo"]["healthy"]
+
+    def test_disabled_slo_health_is_unchanged(self, fast_trace):
+        # No observer attached: health() must look exactly like the
+        # pre-obs schema (no "slo" key) -- the opt-out path is free.
+        instance = build_scenario(FAST_SCENARIO, 0)
+        service = AllocationService(instance.scene)
+        service.handle(fast_trace.records[0].request())
+        assert "slo" not in service.health()
+
+
+# ----------------------------------------------------------------------
+# CLI contract: record -> replay -> perf diff
+# ----------------------------------------------------------------------
+
+
+class TestCli:
+    def test_record_replay_diff_round_trip(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+
+        trace = tmp_path / "fast.trace.jsonl"
+        ledger = tmp_path / "ledger.json"
+        assert cli_main(
+            ["record", FAST_SCENARIO, "--output", str(trace)]
+        ) == 0
+        capsys.readouterr()  # drain the record summary
+        assert cli_main(
+            ["replay", str(trace), "--ledger", str(ledger), "--json", "-"]
+        ) == 0
+        payload = json.loads(
+            capsys.readouterr().out.split("\nlabel")[0]
+        )
+        assert payload["served"] + payload["shed"] == 30
+        # Diffing a ledger against itself is a zero-delta pass.
+        assert cli_main(["perf", "diff", str(ledger), str(ledger)]) == 0
+
+    def test_replay_missing_trace_is_usage_error(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+
+        missing = tmp_path / "missing.trace.jsonl"
+        assert cli_main(["replay", str(missing)]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_perf_diff_missing_ledger_is_usage_error(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+
+        ledger = tmp_path / "ledger.json"
+        append_to_ledger(
+            PerfReport(
+                label="service:x",
+                target="service",
+                scenario="x",
+                seed=0,
+                mode="closed",
+                requests=1,
+                served=1,
+                shed=0,
+                duration_seconds=1.0,
+                requests_per_second=1.0,
+                p50_latency_ms=1.0,
+                p95_latency_ms=1.0,
+                p99_latency_ms=1.0,
+                stream_digest="d" * 32,
+            ),
+            str(ledger),
+        )
+        missing = tmp_path / "missing.json"
+        assert cli_main(["perf", "diff", str(missing), str(ledger)]) == 2
+        assert "baseline ledger" in capsys.readouterr().err
+        assert cli_main(["perf", "diff", str(ledger), str(missing)]) == 2
+        assert "candidate ledger" in capsys.readouterr().err
