@@ -1,0 +1,77 @@
+"""Incremental-lint benchmark: warm cache vs. cold analysis.
+
+The dataflow-aware rule suite (R1-R9) re-parses every module, builds a
+cross-module symbol table, and runs a taint pass per function -- too
+slow to pay on every CI invocation for files that did not change.  The
+incremental engine keys each file's verdicts on a content digest plus
+an engine fingerprint, so a warm re-run only re-hashes bytes and
+replays cached verdicts.
+
+Contract asserted here (ISSUE 10 acceptance criterion): a warm re-run
+over ``src/`` must be >= 5x faster than the cold run, serve *every*
+file from cache, and report byte-identical violations.
+"""
+
+import json
+import pathlib
+import time
+
+import pytest
+
+from repro.analysis import analyze_paths
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+
+WARM_SPEEDUP_FLOOR = 5.0
+WARM_RUNS = 3
+
+
+@pytest.mark.smoke
+def test_bench_incremental_lint(record_rows, results_dir, tmp_path):
+    cache = tmp_path / "lint-cache.json"
+
+    start = time.perf_counter()
+    cold = analyze_paths([str(SRC)], cache_path=cache)
+    cold_seconds = time.perf_counter() - start
+
+    warm_seconds = []
+    warm = None
+    for _ in range(WARM_RUNS):
+        start = time.perf_counter()
+        warm = analyze_paths([str(SRC)], cache_path=cache)
+        warm_seconds.append(time.perf_counter() - start)
+    best_warm = min(warm_seconds)
+    speedup = cold_seconds / best_warm
+
+    assert cold.cache_hits == 0
+    assert warm.cache_hits == warm.files_scanned == cold.files_scanned
+    assert warm.violations == cold.violations
+    assert warm.parse_errors == cold.parse_errors
+    assert speedup >= WARM_SPEEDUP_FLOOR, (
+        f"warm lint only {speedup:.1f}x faster than cold "
+        f"({best_warm * 1e3:.1f} ms vs {cold_seconds * 1e3:.1f} ms)"
+    )
+
+    rows = [
+        f"{'variant':<14} {'seconds':>10} {'files':>7} {'cache_hits':>11}",
+        f"{'cold':<14} {cold_seconds:>10.4f} "
+        f"{cold.files_scanned:>7d} {cold.cache_hits:>11d}",
+        f"{'warm (best)':<14} {best_warm:>10.4f} "
+        f"{warm.files_scanned:>7d} {warm.cache_hits:>11d}",
+        f"speedup {speedup:.1f}x (floor {WARM_SPEEDUP_FLOOR:.0f}x)",
+    ]
+    record_rows("BENCH_analysis", rows)
+    with open(results_dir / "BENCH_analysis.json", "w") as handle:
+        json.dump(
+            {
+                "cold_seconds": cold_seconds,
+                "warm_seconds_best": best_warm,
+                "warm_seconds_all": warm_seconds,
+                "speedup": speedup,
+                "files_scanned": cold.files_scanned,
+                "violations": len(cold.violations),
+            },
+            handle,
+            indent=2,
+        )

@@ -22,6 +22,15 @@ The static machinery is stdlib-only and the lockgraph is a leaf module
 runtime adds no heavy dependencies.
 """
 
+from .baseline import (
+    Baseline,
+    apply_baseline,
+    load_baseline,
+    violation_fingerprint,
+    write_baseline,
+)
+from .cache import AnalysisCache, engine_fingerprint
+from .contracts import DocsCatalog, parse_docs_catalog
 from .engine import (
     AnalysisReport,
     analyze_paths,
@@ -29,6 +38,8 @@ from .engine import (
     load_module,
     run_lint,
 )
+from .sarif import sarif_report
+from .symbols import FileSymbols, MetricSite, SymbolTable, collect_symbols
 from .lockgraph import (
     BlockingViolation,
     InstrumentedLock,
@@ -43,21 +54,35 @@ from .rules import ALL_RULES, ModuleInfo, Rule, Violation, rules_by_token
 
 __all__ = [
     "ALL_RULES",
+    "AnalysisCache",
     "AnalysisReport",
+    "Baseline",
     "BlockingViolation",
+    "DocsCatalog",
+    "FileSymbols",
     "InstrumentedLock",
     "LockOrderMonitor",
+    "MetricSite",
     "ModuleInfo",
     "Rule",
+    "SymbolTable",
     "Violation",
     "analyze_paths",
+    "apply_baseline",
+    "collect_symbols",
     "disable_lock_monitor",
     "enable_lock_monitor",
+    "engine_fingerprint",
     "get_lock_monitor",
     "iter_python_files",
+    "load_baseline",
     "load_module",
     "lock_order_monitor",
     "monitored_lock",
+    "parse_docs_catalog",
     "run_lint",
     "rules_by_token",
+    "sarif_report",
+    "violation_fingerprint",
+    "write_baseline",
 ]

@@ -1,0 +1,115 @@
+"""Suppression baseline for ``repro lint``.
+
+New rules land strict: instead of weakening a rule to keep CI green,
+pre-existing findings are fingerprinted into a committed
+``lint-baseline.json`` and burned down explicitly.  A fingerprint is
+line-independent -- blake2b of ``rule|path|name|message`` -- so
+unrelated edits that shift line numbers do not churn the baseline,
+while touching the offending code (which changes the message or
+removes the finding) does.
+
+CI fails if the baseline *grows*; stale entries (fingerprints no run
+reproduces) are reported so they can be deleted, but do not fail the
+run.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from hashlib import blake2b
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from .rules import Violation
+
+__all__ = [
+    "Baseline",
+    "apply_baseline",
+    "violation_fingerprint",
+    "load_baseline",
+    "write_baseline",
+]
+
+_VERSION = 1
+
+
+def _relative_path(path: str, base_dir: Path) -> str:
+    try:
+        return Path(path).resolve().relative_to(base_dir.resolve()).as_posix()
+    except ValueError:
+        return Path(path).as_posix()
+
+
+def violation_fingerprint(violation: Violation, base_dir: Path) -> str:
+    """Stable, line-independent identity of one finding."""
+    rel = _relative_path(violation.path, base_dir)
+    payload = f"{violation.rule}|{rel}|{violation.name}|{violation.message}"
+    return blake2b(payload.encode("utf-8"), digest_size=12).hexdigest()
+
+
+@dataclass(frozen=True)
+class Baseline:
+    """A loaded suppression baseline."""
+
+    path: Path
+    entries: "Dict[str, dict]"
+
+    @property
+    def base_dir(self) -> Path:
+        return self.path.resolve().parent
+
+
+def load_baseline(path: "str | Path") -> Baseline:
+    path = Path(path)
+    raw = json.loads(path.read_text(encoding="utf-8"))
+    if raw.get("version") != _VERSION:
+        raise ValueError(
+            f"unsupported baseline version {raw.get('version')!r} in {path}"
+        )
+    return Baseline(path=path, entries=dict(raw.get("entries", {})))
+
+
+def write_baseline(
+    path: "str | Path", violations: Sequence[Violation]
+) -> Baseline:
+    """Fingerprint *violations* into a fresh baseline file at *path*."""
+    path = Path(path)
+    base_dir = path.resolve().parent
+    entries: Dict[str, dict] = {}
+    for violation in violations:
+        fingerprint = violation_fingerprint(violation, base_dir)
+        entry = entries.setdefault(
+            fingerprint,
+            {
+                "rule": violation.rule,
+                "name": violation.name,
+                "path": _relative_path(violation.path, base_dir),
+                "message": violation.message,
+                "count": 0,
+            },
+        )
+        entry["count"] += 1
+    payload = {"version": _VERSION, "entries": entries}
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return Baseline(path=path, entries=entries)
+
+
+def apply_baseline(
+    violations: Sequence[Violation], baseline: Baseline
+) -> "Tuple[Tuple[Violation, ...], Tuple[Violation, ...], Tuple[str, ...]]":
+    """Split findings into (new, suppressed) plus stale fingerprints."""
+    fresh: List[Violation] = []
+    suppressed: List[Violation] = []
+    seen: set = set()
+    for violation in violations:
+        fingerprint = violation_fingerprint(violation, baseline.base_dir)
+        if fingerprint in baseline.entries:
+            suppressed.append(violation)
+            seen.add(fingerprint)
+        else:
+            fresh.append(violation)
+    stale = tuple(sorted(set(baseline.entries) - seen))
+    return tuple(fresh), tuple(suppressed), stale

@@ -1,0 +1,184 @@
+"""Content-hash incremental cache for the analysis engine.
+
+A warm ``repro lint`` on a clean tree should not re-parse a thousand
+functions to conclude nothing changed.  Each file's cache entry is
+keyed on the blake2b digest of its bytes; the whole cache is keyed on
+an *engine fingerprint* (blake2b over the analysis package's own
+sources), so editing a rule invalidates everything it might now judge
+differently.
+
+Entries store two result classes:
+
+- **local** rules (R2-R6, R9) depend only on the file itself; their
+  violations are valid whenever the content digest matches.
+- **project** rules (R1, R7, R8) also read the cross-module symbol
+  table and the docs catalog; their violations carry the *project key*
+  (symbol-table digest + docs digest + active ruleset) they were
+  computed under and are discarded when any of those change.
+
+Each entry also persists the file's :class:`~repro.analysis.symbols.
+FileSymbols` contribution, so a fully-warm run rebuilds the symbol
+table without touching :func:`ast.parse` at all -- that is where the
+>=5x warm speedup comes from.
+"""
+
+from __future__ import annotations
+
+import json
+from hashlib import blake2b
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .rules import Violation
+from .symbols import FileSymbols
+
+__all__ = ["AnalysisCache", "engine_fingerprint", "file_digest"]
+
+_VERSION = 1
+
+
+def file_digest(data: bytes) -> str:
+    return blake2b(data, digest_size=16).hexdigest()
+
+
+def engine_fingerprint() -> str:
+    """Digest of the analysis package's own sources."""
+    package_dir = Path(__file__).resolve().parent
+    h = blake2b(digest_size=16)
+    for source in sorted(package_dir.glob("*.py")):
+        h.update(source.name.encode())
+        h.update(source.read_bytes())
+    return h.hexdigest()
+
+
+def _violations_to_json(violations: Sequence[Violation]) -> list:
+    return [v.as_dict() for v in violations]
+
+
+def _violations_from_json(raw: Sequence[dict]) -> "Tuple[Violation, ...]":
+    return tuple(
+        Violation(
+            rule=item["rule"], name=item["name"], path=item["path"],
+            line=item["line"], message=item["message"],
+        )
+        for item in raw
+    )
+
+
+class AnalysisCache:
+    """Per-file analysis results keyed on content + engine fingerprints."""
+
+    def __init__(self, path: "str | Path", fingerprint: str) -> None:
+        self.path = Path(path)
+        self.fingerprint = fingerprint
+        self._files: Dict[str, dict] = {}
+        self._dirty = False
+        self._load()
+
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        try:
+            raw = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return  # unreadable cache: start cold
+        if raw.get("version") != _VERSION:
+            return
+        if raw.get("engine") != self.fingerprint:
+            return  # rules changed: everything is stale
+        self._files = dict(raw.get("files", {}))
+
+    # -- lookups --------------------------------------------------------
+
+    def entry(self, path: str, digest: str) -> Optional[dict]:
+        entry = self._files.get(path)
+        if entry is not None and entry.get("digest") == digest:
+            return entry
+        return None
+
+    def symbols(self, path: str, digest: str) -> Optional[FileSymbols]:
+        entry = self.entry(path, digest)
+        if entry is None:
+            return None
+        try:
+            return FileSymbols.from_dict(entry["symbols"])
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def local_violations(
+        self, path: str, digest: str, rule_id: str
+    ) -> "Optional[Tuple[Violation, ...]]":
+        entry = self.entry(path, digest)
+        if entry is None:
+            return None
+        stored = entry.get("local", {})
+        if rule_id not in stored:
+            return None
+        return _violations_from_json(stored[rule_id])
+
+    def project_violations(
+        self, path: str, digest: str, project_key: str, rule_id: str
+    ) -> "Optional[Tuple[Violation, ...]]":
+        entry = self.entry(path, digest)
+        if entry is None or entry.get("project_key") != project_key:
+            return None
+        stored = entry.get("project", {})
+        if rule_id not in stored:
+            return None
+        return _violations_from_json(stored[rule_id])
+
+    # -- updates --------------------------------------------------------
+
+    def _fresh_entry(self, path: str, digest: str) -> dict:
+        entry = self._files.get(path)
+        if entry is None or entry.get("digest") != digest:
+            entry = {"digest": digest, "local": {}, "project": {}}
+            self._files[path] = entry
+        return entry
+
+    def store_symbols(
+        self, path: str, digest: str, symbols: FileSymbols
+    ) -> None:
+        entry = self._fresh_entry(path, digest)
+        entry["symbols"] = symbols.as_dict()
+        self._dirty = True
+
+    def store_local(
+        self,
+        path: str,
+        digest: str,
+        rule_id: str,
+        violations: Sequence[Violation],
+    ) -> None:
+        entry = self._fresh_entry(path, digest)
+        entry.setdefault("local", {})[rule_id] = _violations_to_json(violations)
+        self._dirty = True
+
+    def store_project(
+        self,
+        path: str,
+        digest: str,
+        project_key: str,
+        rule_id: str,
+        violations: Sequence[Violation],
+    ) -> None:
+        entry = self._fresh_entry(path, digest)
+        if entry.get("project_key") != project_key:
+            entry["project"] = {}
+            entry["project_key"] = project_key
+        entry["project"][rule_id] = _violations_to_json(violations)
+        self._dirty = True
+
+    def save(self) -> None:
+        if not self._dirty:
+            return
+        payload = {
+            "version": _VERSION,
+            "engine": self.fingerprint,
+            "files": self._files,
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.write_text(
+            json.dumps(payload, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        self._dirty = False

@@ -1,12 +1,17 @@
 """File discovery, pragma handling and the ``repro lint`` entry point.
 
 The engine turns paths into :class:`~repro.analysis.rules.ModuleInfo`
-records, runs every (selected) rule over them, filters violations
-through ``# repro: allow[rule]`` pragmas, and renders the report::
+records, collects each file's symbol contribution into a cross-module
+:class:`~repro.analysis.symbols.SymbolTable`, runs every (selected)
+rule, filters violations through ``# repro: allow[rule]`` pragmas, and
+renders the report::
 
     repro lint src tests              # scan, text report, exit 1 on findings
     repro lint src --format json      # machine-readable report
     repro lint --list-rules           # rule catalog
+    repro lint src --sarif out.sarif  # SARIF 2.1.0 for code scanning
+    repro lint src --baseline lint-baseline.json
+    repro lint src --cache .lint-cache.json
 
 Pragmas suppress a rule on the line they sit on and on the line below,
 so both styles work::
@@ -16,6 +21,10 @@ so both styles work::
     # repro: allow[R3] -- seeded upstream, measured workload only
     rng = np.random.default_rng()
 
+On a decorated function the pragma may sit above the decorator stack
+(or on any decorator line): the tokens extend down to the ``def`` line
+where signature rules report.
+
 A ``# repro: module=repro.runtime.metrics`` directive (on a comment-only
 line) overrides the module name inferred from the path -- the rule
 fixtures under ``tests/fixtures/analysis`` use it to impersonate
@@ -23,6 +32,11 @@ in-tree modules.
 Directories named ``fixtures`` are skipped during discovery (they
 contain deliberate violations); linting a fixture file explicitly still
 works.
+
+Incremental caching (``--cache PATH`` or ``REPRO_LINT_CACHE``) keys
+each file's results on its content digest (see
+:mod:`repro.analysis.cache`); a warm run on a clean tree re-parses
+nothing.
 """
 
 from __future__ import annotations
@@ -30,13 +44,30 @@ from __future__ import annotations
 import argparse
 import ast
 import json
+import os
 import re
 import sys
 from dataclasses import dataclass
+from hashlib import blake2b
 from pathlib import Path
-from typing import FrozenSet, Iterable, Iterator, List, Optional, Sequence, TextIO
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    TextIO,
+    Tuple,
+)
 
+from .baseline import Baseline, apply_baseline, load_baseline, write_baseline
+from .cache import AnalysisCache, engine_fingerprint, file_digest
+from .contracts import MetricsContractRule, parse_docs_catalog
 from .rules import ALL_RULES, ModuleInfo, Rule, Violation, rules_by_token
+from .sarif import sarif_report
+from .symbols import FileSymbols, SymbolTable, collect_symbols
 
 __all__ = [
     "AnalysisReport",
@@ -66,6 +97,10 @@ _SKIP_DIRS = frozenset(
         ".pytest_cache",
     }
 )
+
+#: Relative location of the metric-contract docs, discovered by walking
+#: up from the first scanned file.
+_DOCS_RELATIVE = Path("docs") / "architecture.md"
 
 
 def iter_python_files(paths: Sequence[str]) -> Iterator[Path]:
@@ -111,6 +146,27 @@ def _infer_module(path: Path) -> "tuple[str, bool]":
     return path.stem, is_init
 
 
+def _extend_decorator_pragmas(tree: ast.AST, allows: dict) -> None:
+    """Carry pragmas across decorator stacks to the ``def`` line.
+
+    Signature rules (R5) report at the ``def`` line, but a pragma
+    written above a decorated function covers the *decorator* line.
+    Tokens found anywhere from one line above the first decorator down
+    to the ``def`` line are unioned onto the ``def`` line.
+    """
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if not node.decorator_list:
+            continue
+        start = min(d.lineno for d in node.decorator_list)
+        tokens: FrozenSet[str] = frozenset()
+        for line in range(start - 1, node.lineno + 1):
+            tokens |= allows.get(line, frozenset())
+        if tokens:
+            allows[node.lineno] = allows.get(node.lineno, frozenset()) | tokens
+
+
 def load_module(path: Path) -> ModuleInfo:
     """Parse one file into a :class:`ModuleInfo` (pragmas included)."""
     source = path.read_text(encoding="utf-8")
@@ -132,6 +188,7 @@ def load_module(path: Path) -> ModuleInfo:
             # A pragma covers its own line and the statement below it.
             for covered in (number, number + 1):
                 allows[covered] = allows.get(covered, frozenset()) | tokens
+    _extend_decorator_pragmas(tree, allows)
     return ModuleInfo(
         path=str(path),
         module=module,
@@ -157,6 +214,12 @@ class AnalysisReport:
     violations: "tuple[Violation, ...]"
     files_scanned: int
     parse_errors: "tuple[str, ...]" = ()
+    #: findings matched (and silenced) by the suppression baseline
+    suppressed: "tuple[Violation, ...]" = ()
+    #: baseline fingerprints no current finding reproduces
+    stale_baseline: "tuple[str, ...]" = ()
+    #: files served entirely from the incremental cache (no re-parse)
+    cache_hits: int = 0
 
     @property
     def clean(self) -> bool:
@@ -165,36 +228,194 @@ class AnalysisReport:
     def as_dict(self) -> dict:
         return {
             "files_scanned": self.files_scanned,
+            "cache_hits": self.cache_hits,
             "violations": [v.as_dict() for v in self.violations],
+            "suppressed": [v.as_dict() for v in self.suppressed],
+            "stale_baseline": list(self.stale_baseline),
             "parse_errors": list(self.parse_errors),
             "clean": self.clean,
         }
 
 
+def _find_docs(files: Sequence[Path]) -> "Optional[Path]":
+    """Locate ``docs/architecture.md`` above the first scanned file.
+
+    The catalog is only representative when the scan covers the source
+    tree that emits the documented metrics; a partial scan (say,
+    ``repro lint tests``) would make every documented metric look dead.
+    So discovery additionally requires at least one scanned file under
+    the sibling ``src/`` of the docs directory.
+    """
+    if not files:
+        return None
+    resolved = [path.resolve() for path in files]
+    for ancestor in resolved[0].parents:
+        candidate = ancestor / _DOCS_RELATIVE
+        if candidate.is_file():
+            source_root = str(ancestor / "src") + os.sep
+            if any(str(path).startswith(source_root) for path in resolved):
+                return candidate
+            return None
+    return None
+
+
+@dataclass
+class _FileRecord:
+    path: Path
+    key: str
+    digest: str
+    symbols: FileSymbols
+    info: Optional[ModuleInfo] = None
+    from_cache: bool = False
+
+    def module_info(self) -> ModuleInfo:
+        if self.info is None:
+            self.info = load_module(self.path)
+        return self.info
+
+
 def analyze_paths(
-    paths: Sequence[str], rules: Optional[Sequence[Rule]] = None
+    paths: Sequence[str],
+    rules: Optional[Sequence[Rule]] = None,
+    *,
+    cache_path: "Optional[str | Path]" = None,
+    docs_path: "Optional[str | Path]" = None,
 ) -> AnalysisReport:
-    """Run *rules* (default: all) over every Python file under *paths*."""
+    """Run *rules* (default: all) over every Python file under *paths*.
+
+    With *cache_path* set, unchanged files are served from the
+    incremental cache: their symbol contributions and local-rule
+    verdicts are reused without re-parsing, and project-rule verdicts
+    are reused while the cross-module symbol table, docs catalog and
+    ruleset stay unchanged.
+    """
     active = tuple(rules) if rules is not None else ALL_RULES
-    violations: List[Violation] = []
+    cache = (
+        AnalysisCache(cache_path, engine_fingerprint())
+        if cache_path is not None
+        else None
+    )
+
+    files = list(iter_python_files(paths))
     parse_errors: List[str] = []
-    scanned = 0
-    for path in iter_python_files(paths):
-        scanned += 1
+    records: List[_FileRecord] = []
+    for path in files:
+        try:
+            data = path.read_bytes()
+        except OSError as error:
+            parse_errors.append(f"{path}:0: {error}")
+            continue
+        digest = file_digest(data)
+        key = str(path)
+        symbols = cache.symbols(key, digest) if cache is not None else None
+        if symbols is not None:
+            records.append(
+                _FileRecord(
+                    path=path, key=key, digest=digest, symbols=symbols,
+                    from_cache=True,
+                )
+            )
+            continue
         try:
             info = load_module(path)
         except SyntaxError as error:
             parse_errors.append(f"{path}:{error.lineno or 0}: {error.msg}")
             continue
+        file_symbols = collect_symbols(info.module, info.tree)
+        if cache is not None:
+            cache.store_symbols(key, digest, file_symbols)
+        records.append(
+            _FileRecord(
+                path=path, key=key, digest=digest, symbols=file_symbols,
+                info=info,
+            )
+        )
+
+    table = SymbolTable()
+    for record in records:
+        table.add(record.key, record.symbols)
+
+    # Docs drift is only meaningful against a representative catalog:
+    # auto-discover the docs for directory scans, but not when linting
+    # explicit single files (fixtures, tmp files) whose lone-file
+    # symbol table would make every documented metric look dead.
+    docs_file: Optional[Path]
+    if docs_path is not None:
+        docs_file = Path(docs_path)
+    elif any(Path(raw).is_dir() for raw in paths):
+        docs_file = _find_docs(files)
+    else:
+        docs_file = None
+    docs_digest = ""
+    docs_catalog = None
+    if docs_file is not None and docs_file.is_file():
+        docs_bytes = docs_file.read_bytes()
+        docs_digest = file_digest(docs_bytes)
+        docs_catalog = parse_docs_catalog(
+            str(docs_file), docs_bytes.decode("utf-8")
+        )
+    for rule in active:
+        if isinstance(rule, MetricsContractRule):
+            rule.docs = docs_catalog
+
+    project_key = blake2b(
+        "|".join(
+            [table.digest(), docs_digest] + [rule.id for rule in active]
+        ).encode(),
+        digest_size=16,
+    ).hexdigest()
+
+    violations: List[Violation] = []
+    for record in records:
+        served_from_cache = record.from_cache
         for rule in active:
-            for violation in rule.check(info):
-                if not _allowed(info, violation):
-                    violations.append(violation)
+            cached: Optional[Tuple[Violation, ...]] = None
+            if cache is not None:
+                if rule.scope == "project":
+                    cached = cache.project_violations(
+                        record.key, record.digest, project_key, rule.id
+                    )
+                else:
+                    cached = cache.local_violations(
+                        record.key, record.digest, rule.id
+                    )
+            if cached is not None:
+                violations.extend(cached)
+                continue
+            info = record.module_info()
+            found = tuple(
+                violation
+                for violation in rule.check(info, table)
+                if not _allowed(info, violation)
+            )
+            served_from_cache = False
+            violations.extend(found)
+            if cache is not None:
+                if rule.scope == "project":
+                    cache.store_project(
+                        record.key, record.digest, project_key, rule.id,
+                        found,
+                    )
+                else:
+                    cache.store_local(
+                        record.key, record.digest, rule.id, found
+                    )
+        record.from_cache = served_from_cache
+
+    # Whole-project findings (e.g. R8's docs-reverse drift) are cheap
+    # -- symbol table and docs only -- so they always run live.
+    for rule in active:
+        violations.extend(rule.finalize(table))
+
+    if cache is not None:
+        cache.save()
+
     violations.sort(key=lambda v: (v.path, v.line, v.rule, v.message))
     return AnalysisReport(
         violations=tuple(violations),
-        files_scanned=scanned,
+        files_scanned=len(records),
         parse_errors=tuple(parse_errors),
+        cache_hits=sum(1 for record in records if record.from_cache),
     )
 
 
@@ -203,11 +424,20 @@ def _render_text(report: AnalysisReport, stream: TextIO) -> None:
         stream.write(f"{error} [parse-error]\n")
     for violation in report.violations:
         stream.write(violation.render() + "\n")
+    for fingerprint in report.stale_baseline:
+        stream.write(
+            f"stale baseline entry {fingerprint} (finding no longer "
+            "reproduced; delete it from the baseline)\n"
+        )
     summary = (
         f"{len(report.violations)} violation(s), "
         f"{len(report.parse_errors)} parse error(s) across "
         f"{report.files_scanned} file(s)"
     )
+    if report.suppressed:
+        summary += f"; {len(report.suppressed)} baseline-suppressed"
+    if report.cache_hits:
+        summary += f"; {report.cache_hits} file(s) from cache"
     stream.write(("" if report.clean else "\n") + summary + "\n")
 
 
@@ -216,12 +446,13 @@ def run_lint(
 ) -> int:
     """The ``repro lint`` subcommand; returns the process exit code.
 
-    Exit codes: 0 clean, 1 violations or parse errors found, 2 usage
-    errors (unknown rule, missing path).
+    Exit codes: 0 clean (baseline-suppressed findings do not fail the
+    run), 1 new violations or parse errors found, 2 usage errors
+    (unknown rule, missing path, unreadable baseline).
     """
     parser = argparse.ArgumentParser(
         prog="repro lint",
-        description="invariant-aware static analysis (rules R1-R5)",
+        description="invariant-aware static analysis (rules R1-R9)",
     )
     parser.add_argument(
         "paths", nargs="*", default=["src"],
@@ -239,6 +470,30 @@ def run_lint(
     parser.add_argument(
         "--list-rules", action="store_true",
         help="print the rule catalog and exit",
+    )
+    parser.add_argument(
+        "--sarif", default=None, metavar="PATH",
+        help="additionally write a SARIF 2.1.0 report ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="suppression baseline (lint-baseline.json); findings "
+        "fingerprinted there are reported as suppressed, not failures",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="rewrite the --baseline file from this run's findings "
+        "and exit 0",
+    )
+    parser.add_argument(
+        "--cache", default=os.environ.get("REPRO_LINT_CACHE") or None,
+        metavar="PATH",
+        help="incremental analysis cache file (default: "
+        "$REPRO_LINT_CACHE, else no caching)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the incremental cache even if configured",
     )
     args = parser.parse_args(argv)
 
@@ -261,8 +516,66 @@ def run_lint(
             file=sys.stderr,
         )
         return 2
+    if args.write_baseline and not args.baseline:
+        print(
+            "repro lint: error: --write-baseline requires --baseline PATH",
+            file=sys.stderr,
+        )
+        return 2
 
-    report = analyze_paths(args.paths, rules=rules)
+    baseline: Optional[Baseline] = None
+    if args.baseline and not args.write_baseline:
+        baseline_path = Path(args.baseline)
+        if baseline_path.exists():
+            try:
+                baseline = load_baseline(baseline_path)
+            except (ValueError, OSError) as error:
+                print(
+                    f"repro lint: error: unreadable baseline: {error}",
+                    file=sys.stderr,
+                )
+                return 2
+
+    cache_path = None if args.no_cache else args.cache
+    report = analyze_paths(args.paths, rules=rules, cache_path=cache_path)
+
+    if args.write_baseline:
+        written = write_baseline(args.baseline, report.violations)
+        stream.write(
+            f"wrote {len(written.entries)} baseline entr"
+            f"{'y' if len(written.entries) == 1 else 'ies'} to "
+            f"{args.baseline}\n"
+        )
+        return 0
+
+    if baseline is not None:
+        fresh, suppressed, stale = apply_baseline(
+            report.violations, baseline
+        )
+        report = AnalysisReport(
+            violations=fresh,
+            files_scanned=report.files_scanned,
+            parse_errors=report.parse_errors,
+            suppressed=suppressed,
+            stale_baseline=stale,
+            cache_hits=report.cache_hits,
+        )
+
+    if args.sarif:
+        active = rules if rules is not None else ALL_RULES
+        document = sarif_report(
+            report.violations,
+            active,
+            suppressed=report.suppressed,
+            parse_errors=report.parse_errors,
+            base_dir=Path.cwd(),
+        )
+        rendered = json.dumps(document, indent=2, sort_keys=True) + "\n"
+        if args.sarif == "-":
+            stream.write(rendered)
+        else:
+            Path(args.sarif).write_text(rendered, encoding="utf-8")
+
     if args.format == "json":
         stream.write(json.dumps(report.as_dict(), indent=2, sort_keys=True) + "\n")
     else:

@@ -29,14 +29,43 @@ R5   api-typing          public functions/methods of ``repro.runtime``,
                          ``repro.core`` and ``repro.obs`` carry full
                          parameter and return annotations (the
                          mypy-strict surface)
+R6   async-discipline    no blocking calls lexically inside ``async
+                         def`` bodies of ``repro.cluster``/``repro.obs``
+                         (:mod:`repro.analysis.dataflow`)
+R7   deadline-           a function holding a ``Deadline`` threads the
+     propagation         budget into every serving-stack call it makes
+                         (:mod:`repro.analysis.dataflow`)
+R8   metrics-contract    metric call sites agree with the registration
+                         catalog and the docs tables
+                         (:mod:`repro.analysis.contracts`)
+R9   exception-policy    broad ``except`` in serving-layer decision
+                         paths must re-raise or count the failure
+                         (:mod:`repro.analysis.dataflow`)
 ===  ==================  ===================================================
+
+Rules R1/R7/R8 are *project-scoped*: :meth:`Rule.check` additionally
+receives the cross-module :class:`~repro.analysis.symbols.SymbolTable`
+and their cached results are invalidated when any file's symbol
+contribution changes, not just their own file.
 """
 
 from __future__ import annotations
 
 import ast
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .symbols import SymbolTable
 
 __all__ = [
     "ALL_RULES",
@@ -95,14 +124,27 @@ class ModuleInfo:
 
 
 class Rule:
-    """Base class: an identified, named check over one module."""
+    """Base class: an identified, named check over one module.
+
+    ``scope`` drives incremental caching: a ``"local"`` rule's verdict
+    on a file depends only on that file's content; a ``"project"``
+    rule also reads the cross-module symbol table (and, for R8, the
+    docs catalog), so its cached results are keyed on those too.
+    """
 
     id: str = ""
     name: str = ""
     description: str = ""
+    scope: str = "local"
 
-    def check(self, info: ModuleInfo) -> Iterator[Violation]:
+    def check(
+        self, info: ModuleInfo, symbols: "Optional[SymbolTable]" = None
+    ) -> Iterator[Violation]:
         raise NotImplementedError
+
+    def finalize(self, symbols: "SymbolTable") -> Iterator[Violation]:
+        """Whole-project findings not anchored to a scanned file."""
+        return iter(())
 
     def _violation(self, info: ModuleInfo, line: int, message: str) -> Violation:
         return Violation(
@@ -241,9 +283,16 @@ class LayeringRule(Rule):
                 "obs call down, never the reverse",
             )
 
-    def check(self, info: ModuleInfo) -> Iterator[Violation]:
+    #: project-scoped: the symbol table's module index resolves
+    #: ``from repro import scenarios``-style imports.
+    scope = "project"
+
+    def check(
+        self, info: ModuleInfo, symbols: "Optional[SymbolTable]" = None
+    ) -> Iterator[Violation]:
         if not _in_module(info, self.PROTECTED + self.BELOW_OBS):
             return
+        known_modules = symbols.modules if symbols is not None else frozenset()
         for node in ast.walk(info.tree):
             if isinstance(node, ast.Import):
                 for alias in node.names:
@@ -253,6 +302,19 @@ class LayeringRule(Rule):
             elif isinstance(node, ast.ImportFrom):
                 target = _resolve_import_from(info, node)
                 yield from self._check_target(info, node.lineno, target)
+                if target is None or self._matches(
+                    target, self.FORBIDDEN + (self.SCENARIOS, self.OBS)
+                ):
+                    continue  # the direct target check already fired
+                # `from repro import scenarios` resolves to target
+                # "repro" above, which no layer matches; the module
+                # index tells us the bound name is itself a package.
+                for alias in node.names:
+                    composite = f"{target}.{alias.name}"
+                    if composite in known_modules:
+                        yield from self._check_target(
+                            info, node.lineno, composite
+                        )
 
 
 # ----------------------------------------------------------------------
@@ -300,7 +362,9 @@ class LockDisciplineRule(Rule):
             return f"I/O call {'.'.join(chain)}()"
         return None
 
-    def check(self, info: ModuleInfo) -> Iterator[Violation]:
+    def check(
+        self, info: ModuleInfo, symbols: "Optional[SymbolTable]" = None
+    ) -> Iterator[Violation]:
         if info.module not in self.MODULES:
             return
         for node in ast.walk(info.tree):
@@ -365,7 +429,9 @@ class DeterminismRule(Rule):
                     return True
         return False
 
-    def check(self, info: ModuleInfo) -> Iterator[Violation]:
+    def check(
+        self, info: ModuleInfo, symbols: "Optional[SymbolTable]" = None
+    ) -> Iterator[Violation]:
         decision_path = _in_module(info, self.DECISION_MODULES)
         stdlib_random = self._imports_stdlib_random(info)
         for node in ast.walk(info.tree):
@@ -475,7 +541,9 @@ class CacheImmutabilityRule(Rule):
                     return True
         return False
 
-    def check(self, info: ModuleInfo) -> Iterator[Violation]:
+    def check(
+        self, info: ModuleInfo, symbols: "Optional[SymbolTable]" = None
+    ) -> Iterator[Violation]:
         for node in ast.walk(info.tree):
             if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 continue
@@ -547,7 +615,9 @@ class ApiTypingRule(Rule):
             for d in getattr(func, "decorator_list", [])
         )
 
-    def check(self, info: ModuleInfo) -> Iterator[Violation]:
+    def check(
+        self, info: ModuleInfo, symbols: "Optional[SymbolTable]" = None
+    ) -> Iterator[Violation]:
         if not _in_module(info, self.MODULES) or info.is_package_init:
             return
         tree = info.tree
@@ -578,6 +648,16 @@ class ApiTypingRule(Rule):
                     )
 
 
+# The dataflow (R6/R7/R9) and contract (R8) rules live in sibling
+# modules that import the base classes above; the import sits below
+# every definition they need, so the cycle resolves cleanly.
+from .contracts import MetricsContractRule  # noqa: E402
+from .dataflow import (  # noqa: E402
+    AsyncDisciplineRule,
+    DeadlinePropagationRule,
+    ExceptionPolicyRule,
+)
+
 #: Every rule, in report order.
 ALL_RULES: Tuple[Rule, ...] = (
     LayeringRule(),
@@ -585,6 +665,10 @@ ALL_RULES: Tuple[Rule, ...] = (
     DeterminismRule(),
     CacheImmutabilityRule(),
     ApiTypingRule(),
+    AsyncDisciplineRule(),
+    DeadlinePropagationRule(),
+    MetricsContractRule(),
+    ExceptionPolicyRule(),
 )
 
 

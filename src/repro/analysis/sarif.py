@@ -1,0 +1,131 @@
+"""SARIF 2.1.0 rendering for ``repro lint --sarif``.
+
+Emits the minimal-but-valid subset GitHub code scanning ingests: one
+run, a driver with the full rule catalog, and one result per finding
+with a physical location.  Baseline-suppressed findings are included
+with an ``external`` suppression so code scanning shows them as
+dismissed instead of new.  Parse errors surface under a synthetic
+``parse-error`` rule so a broken file still annotates.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from .rules import Rule, Violation
+
+__all__ = ["sarif_report"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+_PARSE_ERROR_RULE = {
+    "id": "parse-error",
+    "name": "parse-error",
+    "shortDescription": {"text": "file failed to parse as Python"},
+}
+
+
+def _uri(path: str, base_dir: Optional[Path]) -> str:
+    candidate = Path(path)
+    if base_dir is not None:
+        try:
+            return candidate.resolve().relative_to(base_dir.resolve()).as_posix()
+        except ValueError:
+            pass
+    return candidate.as_posix()
+
+
+def _result(
+    violation: Violation,
+    rule_index: Dict[str, int],
+    base_dir: Optional[Path],
+    suppressed: bool,
+) -> dict:
+    result = {
+        "ruleId": violation.rule,
+        "ruleIndex": rule_index[violation.rule],
+        "level": "error",
+        "message": {"text": f"[{violation.name}] {violation.message}"},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": _uri(violation.path, base_dir)
+                    },
+                    "region": {"startLine": max(violation.line, 1)},
+                }
+            }
+        ],
+    }
+    if suppressed:
+        result["suppressions"] = [{"kind": "external"}]
+    return result
+
+
+def sarif_report(
+    violations: Sequence[Violation],
+    rules: Sequence[Rule],
+    *,
+    suppressed: Sequence[Violation] = (),
+    parse_errors: Sequence[str] = (),
+    base_dir: "Optional[Path]" = None,
+) -> dict:
+    """Build the SARIF 2.1.0 document for one analysis run."""
+    driver_rules: List[dict] = [
+        {
+            "id": rule.id,
+            "name": rule.name,
+            "shortDescription": {"text": rule.name},
+            "fullDescription": {"text": rule.description},
+        }
+        for rule in rules
+    ]
+    driver_rules.append(dict(_PARSE_ERROR_RULE))
+    rule_index = {rule["id"]: i for i, rule in enumerate(driver_rules)}
+
+    results: List[dict] = []
+    for violation in violations:
+        results.append(_result(violation, rule_index, base_dir, False))
+    for violation in suppressed:
+        results.append(_result(violation, rule_index, base_dir, True))
+    for error in parse_errors:
+        path, _, rest = error.partition(":")
+        lineno_text, _, message = rest.partition(":")
+        try:
+            lineno = max(int(lineno_text), 1)
+        except ValueError:
+            lineno, message = 1, rest
+        results.append(
+            {
+                "ruleId": "parse-error",
+                "ruleIndex": rule_index["parse-error"],
+                "level": "error",
+                "message": {"text": message.strip() or "parse error"},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {"uri": _uri(path, base_dir)},
+                            "region": {"startLine": lineno},
+                        }
+                    }
+                ],
+            }
+        )
+
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "rules": driver_rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }

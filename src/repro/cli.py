@@ -549,7 +549,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     lint_parser = subparsers.add_parser(
         "lint",
-        help="run the invariant-aware static analysis suite (rules R1-R5)",
+        help="run the invariant-aware static analysis suite (rules R1-R9)",
         add_help=False,
     )
     lint_parser.add_argument("lint_args", nargs=argparse.REMAINDER)
@@ -559,7 +559,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     argv = list(argv)
     if argv and argv[0] == "lint":
         # `repro lint` owns its own argument parser (paths, --format,
-        # --rules, --list-rules) so its --help stays self-contained.
+        # --rules, --list-rules, --sarif, --baseline, --cache) so its
+        # --help stays self-contained.
         from .analysis import run_lint
 
         return run_lint(argv[1:])

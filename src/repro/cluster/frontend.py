@@ -254,7 +254,10 @@ class ClusterFrontend:
                 return await asyncio.shield(inflight)
 
         route_start = time.perf_counter()
-        shard, spilled = self.controller.route(fingerprint)
+        # Routing is a pure consistent-hash shard pick and takes no
+        # budget by design: admission control right below consumes the
+        # deadline against the routed shard's queue estimate.
+        shard, spilled = self.controller.route(fingerprint)  # repro: allow[R7]
         route_end = time.perf_counter()
         queue = self._queues.get(shard.shard_id)
         if queue is None:
@@ -452,6 +455,13 @@ class ClusterFrontend:
                 ),
             )
         except Exception as exc:
+            # The exception reaches the awaiting submitters through
+            # their futures, but nothing aggregate would show a shard
+            # failing every batch -- count it so dashboards and the
+            # bench report see the failure rate.
+            self.metrics.counter("cluster.dispatch_errors").increment(
+                len(live)
+            )
             for pending in live:
                 if pending.root is not None:
                     pending.root.set_attribute("error", type(exc).__name__)

@@ -1,0 +1,24 @@
+# repro: module=repro.cluster.fixture_async
+"""R6 fixture: blocking calls lexically inside an event-loop coroutine.
+
+The frontend's real dispatch path hands `handle_batch` to
+`run_in_executor`; this fixture calls it (and `time.sleep`, and file
+I/O, and a bare lock acquire) directly on the loop.
+"""
+import time
+
+
+async def dispatch_batch(shard, batch, lock) -> None:
+    lock.acquire()
+    time.sleep(0.05)
+    results = shard.service.handle_batch(batch)
+    open("/tmp/batch.json", "w").write(str(results))
+    lock.release()
+
+
+async def off_loop_is_fine(loop, executor, shard, batch) -> None:
+    # Routed through the executor: the blocking call sits in a nested
+    # lambda body, which R6 does not treat as on-loop.
+    await loop.run_in_executor(
+        executor, lambda: shard.service.handle_batch(batch)
+    )

@@ -1,0 +1,29 @@
+# repro: module=repro.cluster.fixture_deadline
+"""R7 fixture: a budget received, re-derived -- and then dropped.
+
+`serve_batch` constructs a Deadline from the request budget, threads
+it into a task list ... and then calls the pool's synchronous entry
+point with a *different*, budget-free argument.  This is the seeded
+dropped-deadline case from the acceptance criteria: the taint pass
+must see the budget in scope and notice the sink call carries none of
+it.
+"""
+
+
+def serve_batch(pool, requests, budget_seconds: float):
+    deadline = Deadline.after(budget_seconds)
+    tasks = []
+    for request in requests:
+        tasks.append(build_task(request))
+    remaining = deadline.remaining()
+    trimmed = [task for task in tasks if remaining > 0.0]
+    return pool.solve_outcomes(tasks)
+
+
+def threaded_is_fine(pool, requests, deadline_seconds: float):
+    deadline = Deadline.after(deadline_seconds)
+    tasks = [
+        build_task(request, deadline=deadline.remaining())
+        for request in requests
+    ]
+    return pool.solve_outcomes(tasks)

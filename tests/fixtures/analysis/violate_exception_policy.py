@@ -1,0 +1,35 @@
+# repro: module=repro.obs.fixture_exceptions
+"""R9 fixture: broad handlers that swallow in a decision path.
+
+Functions are private so the api-typing rule (R5) stays quiet; the
+compliant shapes (re-raise, failure counter) are included to pin the
+rule's negative space.
+"""
+
+
+def _drain_swallows(queue) -> None:
+    try:
+        queue.flush()
+    except Exception:
+        pass
+
+
+def _tuple_swallows(queue) -> None:
+    try:
+        queue.flush()
+    except (ValueError, BaseException) as exc:
+        _ = exc
+
+
+def _counted_is_fine(queue, metrics) -> None:
+    try:
+        queue.flush()
+    except Exception:
+        metrics.counter("obs.flush_failures").increment()
+
+
+def _reraise_is_fine(queue) -> None:
+    try:
+        queue.flush()
+    except:  # noqa: E722 -- the re-raise keeps it policy-clean
+        raise

@@ -1,0 +1,21 @@
+# repro: module=repro.runtime.fixture_metrics
+"""R8 fixture: one name, two instrument kinds; label drift; a typo'd
+read that would report zeros forever.
+
+Functions are private so the api-typing rule (R5) stays out of the
+blast radius -- this file must trip R8 and nothing else.
+"""
+
+
+def _serve(metrics, work) -> None:
+    metrics.counter("fixture.requests").increment()
+    # Same name re-registered as a histogram: kind conflict.
+    metrics.histogram("fixture.requests").observe(work)
+    # Two write sites disagreeing on the label key set.
+    metrics.counter("fixture.shed", reason="capacity").increment()
+    metrics.counter("fixture.shed", shard="s0").increment()
+
+
+def _report(metrics) -> float:
+    # Typo'd name ("reqests"): no in-tree site ever writes it.
+    return metrics.counter("fixture.reqests").value

@@ -1,9 +1,11 @@
 """Tests for the invariant-aware static analyzer (repro.analysis).
 
 Covers the `repro lint` exit-code contract, both report formats, pragma
-suppression, the module-impersonation directive, and -- via the fixture
-files under tests/fixtures/analysis -- that each rule R1-R5 fires on a
-deliberate violation while the real tree stays silent.
+suppression (including across decorator stacks), the
+module-impersonation directive, the cross-module symbol table, the
+incremental cache, SARIF rendering, the suppression baseline, and --
+via the fixture files under tests/fixtures/analysis -- that each rule
+R1-R9 fires on a deliberate violation while the real tree stays silent.
 """
 
 from __future__ import annotations
@@ -22,7 +24,10 @@ from repro.analysis import (
     ALL_RULES,
     AnalysisReport,
     analyze_paths,
+    collect_symbols,
+    load_baseline,
     load_module,
+    parse_docs_catalog,
     run_lint,
     rules_by_token,
 )
@@ -42,6 +47,10 @@ FIXTURE_RULES = {
     "violate_determinism.py": ("R3", "determinism"),
     "violate_cache_immutability.py": ("R4", "cache-immutability"),
     "violate_api_typing.py": ("R5", "api-typing"),
+    "violate_async_discipline.py": ("R6", "async-discipline"),
+    "violate_deadline_propagation.py": ("R7", "deadline-propagation"),
+    "violate_metrics_contract.py": ("R8", "metrics-contract"),
+    "violate_exception_policy.py": ("R9", "exception-policy"),
 }
 
 
@@ -183,7 +192,8 @@ class TestCliContract:
         assert code == 1
         payload = json.loads(output)
         assert set(payload) == {
-            "clean", "files_scanned", "parse_errors", "violations",
+            "cache_hits", "clean", "files_scanned", "parse_errors",
+            "stale_baseline", "suppressed", "violations",
         }
         assert payload["clean"] is False
         assert payload["files_scanned"] == 1
@@ -288,3 +298,499 @@ class TestMypyGate:
             ]
         )
         assert status == 0, stdout + stderr
+
+
+class TestNewRuleSemantics:
+    """Negative space of R6/R7/R9: the compliant shapes stay quiet."""
+
+    def test_executor_handoff_is_not_blocking(self, tmp_path):
+        path = tmp_path / "frontdoor.py"
+        path.write_text(
+            textwrap.dedent(
+                """\
+                # repro: module=repro.cluster.fixture_frontdoor
+                async def dispatch(loop, executor, shard, batch):
+                    return await loop.run_in_executor(
+                        executor, lambda: shard.service.handle_batch(batch)
+                    )
+                """
+            )
+        )
+        code, output = lint([str(path)])
+        assert code == 0, output
+
+    def test_sync_code_may_block(self, tmp_path):
+        # R6 is about event-loop coroutines only.
+        path = tmp_path / "syncside.py"
+        path.write_text(
+            "# repro: module=repro.obs.fixture_sync\n"
+            "import time\n"
+            "def _pace(dt) -> None:\n"
+            "    time.sleep(dt)\n"
+        )
+        code, output = lint([str(path)])
+        assert code == 0, output
+
+    def test_deadline_threaded_through_collection_is_clean(self, tmp_path):
+        path = tmp_path / "threaded.py"
+        path.write_text(
+            textwrap.dedent(
+                """\
+                # repro: module=repro.runtime.fixture_threaded
+                def _serve(pool, requests, deadline_seconds):
+                    deadline = Deadline.after(deadline_seconds)
+                    tasks = []
+                    for request in requests:
+                        tasks.append(_task(request, deadline.remaining()))
+                    return pool.solve_outcomes(tasks)
+                """
+            )
+        )
+        code, output = lint([str(path)])
+        assert code == 0, output
+
+    def test_symbol_table_supplies_extra_deadline_sinks(self, tmp_path):
+        # `stage()` accepts a deadline in one file; a caller in another
+        # file holds a budget and drops it -- only the cross-module
+        # symbol table can know stage() is a sink.
+        (tmp_path / "stages.py").write_text(
+            "# repro: module=repro.runtime.fixture_stages\n"
+            "def stage(tasks, deadline=None) -> None:\n"
+            "    return None\n"
+        )
+        (tmp_path / "caller.py").write_text(
+            textwrap.dedent(
+                """\
+                # repro: module=repro.runtime.fixture_caller
+                from .fixture_stages import stage
+                def _serve(tasks, deadline_seconds):
+                    budget = Deadline.after(deadline_seconds)
+                    return stage(tasks)
+                """
+            )
+        )
+        code, output = lint([str(tmp_path)])
+        assert code == 1
+        assert "R7[deadline-propagation]" in output
+        assert "stage()" in output
+
+    def test_counted_broad_except_is_clean(self, tmp_path):
+        path = tmp_path / "counted.py"
+        path.write_text(
+            textwrap.dedent(
+                """\
+                # repro: module=repro.cluster.fixture_counted
+                def _drain(queue, metrics) -> None:
+                    try:
+                        queue.flush()
+                    except Exception:
+                        metrics.counter("cluster.drain_errors").increment()
+                """
+            )
+        )
+        code, output = lint([str(path)])
+        assert code == 0, output
+
+    def test_narrow_except_is_outside_policy(self, tmp_path):
+        path = tmp_path / "narrow.py"
+        path.write_text(
+            "# repro: module=repro.cluster.fixture_narrow\n"
+            "def _drain(queue) -> None:\n"
+            "    try:\n"
+            "        queue.flush()\n"
+            "    except KeyError:\n"
+            "        pass\n"
+        )
+        code, output = lint([str(path)])
+        assert code == 0, output
+
+
+class TestSymbolTable:
+    def test_layering_resolves_from_repro_import(self, tmp_path):
+        # `from repro import scenarios` binds a *package*; only the
+        # module index built across the scan can see that.
+        package = tmp_path / "repro"
+        (package / "core").mkdir(parents=True)
+        (package / "scenarios").mkdir()
+        (package / "__init__.py").write_text("")
+        (package / "core" / "__init__.py").write_text("")
+        (package / "scenarios" / "__init__.py").write_text("")
+        (package / "core" / "solver.py").write_text(
+            "from repro import scenarios\n"
+        )
+        code, output = lint([str(tmp_path)])
+        assert code == 1
+        assert "R1[layering]" in output
+        assert "repro.scenarios" in output
+
+    def test_collect_symbols_classifies_metric_sites(self, tmp_path):
+        import ast as ast_module
+
+        tree = ast_module.parse(
+            textwrap.dedent(
+                """\
+                def serve(metrics, dt):
+                    metrics.counter("x.served", shard="a").increment()
+                    with metrics.timer("x.latency"):
+                        pass
+                    hist = metrics.histogram("x.sizes", buckets=(1, 2))
+                    hist.observe(dt)
+                def report(metrics):
+                    return metrics.counter("x.served").value
+                """
+            )
+        )
+        symbols = collect_symbols("repro.runtime.fixture_sites", tree)
+        by_name = {}
+        for site in sorted(symbols.metric_sites, key=lambda s: s.line):
+            by_name.setdefault(site.name, []).append(site)
+        assert by_name["x.served"][0].access == "write"
+        assert by_name["x.served"][0].labels == ("shard",)
+        assert by_name["x.served"][1].access == "read"
+        assert by_name["x.latency"][0].kind == "histogram"
+        assert by_name["x.latency"][0].access == "write"
+        # buckets is configuration, not a label; the assigned variable's
+        # .observe() makes the registration a write.
+        assert by_name["x.sizes"][0].labels == ()
+        assert by_name["x.sizes"][0].access == "write"
+
+    def test_docs_catalog_shorthand_and_wildcards(self):
+        catalog = parse_docs_catalog(
+            "docs.md",
+            textwrap.dedent(
+                """\
+                | metric | type | labels |
+                |---|---|---|
+                | `service.channel_hits/misses` | counter | - |
+                | `cluster.submitted/coalesced` | counter | - |
+                | `optimizer.*_seconds` | histogram | - |
+                """
+            ),
+        )
+        assert "service.channel_hits" in catalog.names
+        assert "service.channel_misses" in catalog.names
+        assert "cluster.coalesced" in catalog.names
+        assert catalog.covers("optimizer.reduction_seconds")
+        assert not catalog.covers("optimizer.reduction_k")
+
+    def test_docs_drift_fires_both_directions(self, tmp_path):
+        docs = tmp_path / "architecture.md"
+        docs.write_text(
+            "| metric | type |\n"
+            "|---|---|\n"
+            "| `svc.documented_only` | counter |\n"
+        )
+        source = tmp_path / "svc.py"
+        source.write_text(
+            "# repro: module=repro.runtime.fixture_drift\n"
+            "def _serve(metrics) -> None:\n"
+            "    metrics.counter('svc.undocumented').increment()\n"
+        )
+        report = analyze_paths([str(source)], docs_path=docs)
+        messages = [v.message for v in report.violations]
+        assert any("svc.undocumented" in m for m in messages)
+        assert any("svc.documented_only" in m for m in messages)
+        docs_anchored = [
+            v for v in report.violations if v.path.endswith("architecture.md")
+        ]
+        assert docs_anchored and docs_anchored[0].line == 3
+
+
+class TestDecoratedPragmas:
+    DECORATED = (
+        "# repro: module=repro.runtime.fixture_decorated\n"
+        "import functools\n"
+        "{pragma}"
+        "@functools.lru_cache\n"
+        "def build(scene):\n"
+        "    return scene\n"
+    )
+
+    def test_pragma_above_decorator_covers_the_def(self, tmp_path):
+        path = tmp_path / "decorated.py"
+        path.write_text(
+            self.DECORATED.format(pragma="# repro: allow[api-typing]\n")
+        )
+        code, output = lint([str(path)])
+        assert code == 0, output
+
+    def test_undecorated_pragma_distance_still_misses(self, tmp_path):
+        # Guard: the decorator carve-out must not turn into "a pragma
+        # anywhere suppresses everything below".
+        path = tmp_path / "missing.py"
+        path.write_text(
+            self.DECORATED.format(pragma="")
+        )
+        code, output = lint([str(path)])
+        assert code == 1
+        assert "R5[api-typing]" in output
+
+    def test_pragma_on_decorator_line_covers_the_def(self, tmp_path):
+        path = tmp_path / "online.py"
+        path.write_text(
+            "# repro: module=repro.runtime.fixture_decorated\n"
+            "import functools\n"
+            "@functools.lru_cache  # repro: allow[R5]\n"
+            "def build(scene):\n"
+            "    return scene\n"
+        )
+        code, output = lint([str(path)])
+        assert code == 0, output
+
+
+class TestSarifOutput:
+    def _sarif_for(self, tmp_path, argv_extra=()):
+        out = tmp_path / "lint.sarif"
+        code, _ = lint(
+            [str(FIXTURES / "violate_layering.py"), "--sarif", str(out)]
+            + list(argv_extra)
+        )
+        return code, json.loads(out.read_text())
+
+    def test_sarif_document_shape(self, tmp_path):
+        code, document = self._sarif_for(tmp_path)
+        assert code == 1
+        assert document["version"] == "2.1.0"
+        assert document["$schema"].endswith("sarif-2.1.0.json")
+        (run,) = document["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro-lint"
+        rule_ids = [rule["id"] for rule in driver["rules"]]
+        assert [f"R{n}" for n in range(1, 10)] == rule_ids[:9]
+        (result,) = run["results"]
+        assert result["ruleId"] == "R1"
+        assert result["level"] == "error"
+        assert driver["rules"][result["ruleIndex"]]["id"] == "R1"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"].endswith(
+            "violate_layering.py"
+        )
+        assert location["region"]["startLine"] > 0
+
+    def test_sarif_validates_against_schema_subset(self, tmp_path):
+        jsonschema = pytest.importorskip("jsonschema")
+        _, document = self._sarif_for(tmp_path)
+        # The load-bearing subset of the SARIF 2.1.0 schema: the
+        # properties GitHub code scanning rejects uploads without.
+        schema = {
+            "type": "object",
+            "required": ["version", "runs"],
+            "properties": {
+                "version": {"const": "2.1.0"},
+                "runs": {
+                    "type": "array",
+                    "minItems": 1,
+                    "items": {
+                        "type": "object",
+                        "required": ["tool", "results"],
+                        "properties": {
+                            "tool": {
+                                "type": "object",
+                                "required": ["driver"],
+                                "properties": {
+                                    "driver": {
+                                        "type": "object",
+                                        "required": ["name"],
+                                    }
+                                },
+                            },
+                            "results": {
+                                "type": "array",
+                                "items": {
+                                    "type": "object",
+                                    "required": ["ruleId", "message"],
+                                    "properties": {
+                                        "message": {
+                                            "type": "object",
+                                            "required": ["text"],
+                                        },
+                                        "level": {
+                                            "enum": [
+                                                "none", "note",
+                                                "warning", "error",
+                                            ]
+                                        },
+                                    },
+                                },
+                            },
+                        },
+                    },
+                },
+            },
+        }
+        jsonschema.validate(document, schema)
+
+    def test_parse_errors_surface_in_sarif(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def broken(:\n")
+        out = tmp_path / "lint.sarif"
+        code, _ = lint([str(bad), "--sarif", str(out)])
+        assert code == 1
+        document = json.loads(out.read_text())
+        (result,) = document["runs"][0]["results"]
+        assert result["ruleId"] == "parse-error"
+
+    def test_sarif_to_stdout(self):
+        code, output = lint(
+            [str(FIXTURES / "violate_layering.py"), "--sarif", "-",
+             "--format", "json"]
+        )
+        assert code == 1
+        # stream carries the SARIF document then the json report.
+        assert output.count('"2.1.0"') == 1
+
+
+class TestBaseline:
+    def test_write_then_suppress_roundtrip(self, tmp_path):
+        baseline = tmp_path / "lint-baseline.json"
+        fixture = str(FIXTURES / "violate_determinism.py")
+        code, output = lint(
+            [fixture, "--baseline", str(baseline), "--write-baseline"]
+        )
+        assert code == 0
+        assert "4 baseline entries" in output
+        loaded = load_baseline(baseline)
+        assert len(loaded.entries) == 4
+        for entry in loaded.entries.values():
+            assert entry["rule"] == "R3"
+            assert entry["count"] == 1
+
+        code, output = lint([fixture, "--baseline", str(baseline)])
+        assert code == 0, output
+        assert "4 baseline-suppressed" in output
+        assert "0 violation(s)" in output
+
+    def test_new_findings_still_fail_with_baseline(self, tmp_path):
+        baseline = tmp_path / "lint-baseline.json"
+        determinism = str(FIXTURES / "violate_determinism.py")
+        lint([determinism, "--baseline", str(baseline), "--write-baseline"])
+        # A different fixture's findings are not in the baseline.
+        code, output = lint(
+            [
+                determinism, str(FIXTURES / "violate_layering.py"),
+                "--baseline", str(baseline),
+            ]
+        )
+        assert code == 1
+        assert "R1[layering]" in output
+        assert "baseline-suppressed" in output
+
+    def test_stale_entries_report_but_pass(self, tmp_path):
+        baseline = tmp_path / "lint-baseline.json"
+        baseline.write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "entries": {
+                        "deadbeefdeadbeefdeadbeef": {
+                            "rule": "R3", "name": "determinism",
+                            "path": "gone.py", "message": "fixed long ago",
+                            "count": 1,
+                        }
+                    },
+                }
+            )
+        )
+        code, output = lint(
+            [str(SRC / "repro" / "tracecontext.py"),
+             "--baseline", str(baseline)]
+        )
+        assert code == 0, output
+        assert "stale baseline entry deadbeefdeadbeefdeadbeef" in output
+
+    def test_committed_baseline_is_empty_and_tree_is_clean(self):
+        committed = load_baseline(REPO_ROOT / "lint-baseline.json")
+        assert committed.entries == {}
+
+    def test_unreadable_baseline_is_usage_error(self, tmp_path):
+        baseline = tmp_path / "lint-baseline.json"
+        baseline.write_text("{\"version\": 99}")
+        code, _ = lint(
+            [str(FIXTURES / "violate_layering.py"),
+             "--baseline", str(baseline)]
+        )
+        assert code == 2
+
+
+class TestIncrementalCache:
+    def _project(self, tmp_path, sleeper="time.sleep(dt)"):
+        project = tmp_path / "proj"
+        project.mkdir(exist_ok=True)
+        (project / "clean.py").write_text(
+            "# repro: module=repro.runtime.fixture_clean\n"
+            "def _ok(x) -> int:\n"
+            "    return x\n"
+        )
+        (project / "dirty.py").write_text(
+            "# repro: module=repro.cluster.fixture_dirty\n"
+            "import time\n"
+            "async def pace(dt):\n"
+            f"    {sleeper}\n"
+        )
+        return project
+
+    def test_warm_run_serves_everything_from_cache(self, tmp_path):
+        project = self._project(tmp_path)
+        cache = tmp_path / "cache.json"
+        cold = analyze_paths([str(project)], cache_path=cache)
+        assert cold.cache_hits == 0
+        assert len(cold.violations) == 1  # R6 on dirty.py
+
+        warm = analyze_paths([str(project)], cache_path=cache)
+        assert warm.cache_hits == warm.files_scanned == 2
+        assert warm.violations == cold.violations
+
+    def test_edited_file_is_reanalyzed(self, tmp_path):
+        project = self._project(tmp_path)
+        cache = tmp_path / "cache.json"
+        analyze_paths([str(project)], cache_path=cache)
+        # Fix the violation; only dirty.py should re-analyze.
+        self._project(tmp_path, sleeper="await asyncio.sleep(dt)")
+        repaired = analyze_paths([str(project)], cache_path=cache)
+        assert repaired.violations == ()
+        assert repaired.cache_hits == 1
+
+    def test_cacheless_runs_unaffected(self, tmp_path):
+        project = self._project(tmp_path)
+        report = analyze_paths([str(project)])
+        assert report.cache_hits == 0
+        assert len(report.violations) == 1
+
+    def test_cache_results_identical_for_project_rules(self, tmp_path):
+        # Project-scoped rules (R7 via symbol-table sinks) must
+        # invalidate when *another* file changes their inputs.
+        (tmp_path / "caller.py").write_text(
+            "# repro: module=repro.runtime.fixture_caller\n"
+            "def _serve(tasks, deadline_seconds):\n"
+            "    budget = Deadline.after(deadline_seconds)\n"
+            "    return stage(tasks)\n"
+        )
+        cache = tmp_path / "cache.json"
+        first = analyze_paths([str(tmp_path / "caller.py")], cache_path=cache)
+        assert first.violations == ()  # stage() is not a known sink yet
+
+        (tmp_path / "stages.py").write_text(
+            "# repro: module=repro.runtime.fixture_stages\n"
+            "def stage(tasks, deadline=None) -> None:\n"
+            "    return None\n"
+        )
+        second = analyze_paths(
+            [str(tmp_path / "caller.py"), str(tmp_path / "stages.py")],
+            cache_path=cache,
+        )
+        assert any(v.rule == "R7" for v in second.violations)
+
+
+class TestUsageErrors:
+    def test_unknown_rule_lists_all_nine(self, capsys):
+        code = run_lint([str(SRC), "--rules", "R99"], stream=io.StringIO())
+        assert code == 2
+        stderr = capsys.readouterr().err
+        for rule in ALL_RULES:
+            assert rule.id in stderr and rule.name in stderr
+
+    def test_write_baseline_requires_baseline_path(self):
+        code = run_lint(
+            [str(SRC), "--write-baseline"], stream=io.StringIO()
+        )
+        assert code == 2

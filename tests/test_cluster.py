@@ -668,3 +668,26 @@ class TestClusterCLI:
         captured = capsys.readouterr()
         assert code == 2
         assert "error" in captured.err
+
+
+class TestDispatchErrorAccounting:
+    def test_dispatch_error_counts_and_surfaces(self, scene, placements):
+        # A shard raising mid-dispatch must reach every submitter's
+        # future AND leave an aggregate trace: cluster.dispatch_errors
+        # is what dashboards see when a shard fails every batch.
+        controller = ClusterController(scene, options=small_options(shards=2))
+        request = make_request(placements, 3)
+
+        def explode(requests, trace_parents=None):
+            raise RuntimeError("shard exploded")
+
+        for shard in controller.shards():
+            shard.service.handle_batch = explode  # type: ignore[method-assign]
+
+        async def submit_one(frontend):
+            with pytest.raises(RuntimeError, match="shard exploded"):
+                await frontend.submit(request)
+            return frontend.metrics.counter("cluster.dispatch_errors").value
+
+        errors = run_frontend(controller, FrontendOptions(), submit_one)
+        assert errors == 1

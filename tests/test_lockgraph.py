@@ -249,3 +249,64 @@ class TestRuntimeUnderMonitor:
                 AllocationService(simulation_scene(placements))
             )
         assert np.array_equal(plain, monitored)
+
+
+class TestAsyncioFrontendHandoff:
+    """The cluster front door hands batches from the event loop to an
+    executor thread; locks touched on both sides (metrics registries,
+    caches, the breaker) must not pick up opposite-order edges from
+    that handoff."""
+
+    def test_frontend_cycle_free_under_detector(self):
+        import asyncio
+
+        from repro.cluster import (
+            ClusterController,
+            ClusterFrontend,
+            ClusterOptions,
+            FrontendOptions,
+        )
+        from repro.runtime import PoolOptions, ServiceOptions
+
+        placements = [(0.5, 0.5), (2.5, 1.0), (1.5, 2.5)]
+        scene = simulation_scene(placements)
+        options = ClusterOptions(
+            shards=2,
+            service=ServiceOptions(
+                pool=PoolOptions(max_workers=0),
+                channel_cache_capacity=16,
+                allocation_cache_capacity=32,
+            ),
+        )
+        requests = [
+            AllocationRequest(
+                rx_positions_xy=tuple(
+                    (x + 0.05 * (i % 3), y) for x, y in placements
+                ),
+                power_budget=1.2,
+            )
+            for i in range(6)
+        ]
+
+        with lock_order_monitor() as monitor:
+            controller = ClusterController(scene, options=options)
+
+            async def _cycle():
+                frontend = ClusterFrontend(controller, FrontendOptions())
+                await frontend.start()
+                try:
+                    return await asyncio.gather(
+                        *(frontend.submit(request) for request in requests)
+                    )
+                finally:
+                    await frontend.stop()
+
+            results = asyncio.run(_cycle())
+            assert len(results) == len(requests)
+            assert monitor.acquisitions > 0
+            # The executor handoff must not register as opposite-order
+            # acquisition (a false-positive deadlock) or as blocking
+            # work under a held lock.
+            assert monitor.find_cycle() is None
+            assert monitor.blocking_violations() == []
+            monitor.assert_acyclic()
